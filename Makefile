@@ -1,0 +1,41 @@
+# hitl build targets. Everything is stdlib Go; no external tools required.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples fmt cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/hitl-experiments
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/phishing
+	$(GO) run ./examples/passwordpolicy
+	$(GO) run ./examples/smartcard
+	$(GO) run ./examples/trainingprogram
+
+fmt:
+	gofmt -w .
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,273 @@
+package hitl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hitl/internal/agent"
+	"hitl/internal/comms"
+	"hitl/internal/core"
+	"hitl/internal/experiments"
+	"hitl/internal/gems"
+	"hitl/internal/password"
+	"hitl/internal/phishing"
+	"hitl/internal/population"
+	"hitl/internal/predict"
+	"hitl/internal/sim"
+	"hitl/internal/stimuli"
+)
+
+// Each Benchmark* below regenerates one exhibit from the paper (see the
+// DESIGN.md experiment index). The benchmark time is the cost of rerunning
+// the whole exhibit at a reduced subject count; headline results are
+// attached via b.ReportMetric so `go test -bench` output doubles as a
+// summary of the reproduction.
+
+func benchExperiment(b *testing.B, id string, metricKeys ...string) {
+	b.Helper()
+	cfg := experiments.Config{Seed: 20080124, N: 500}
+	var out *experiments.Output
+	var err error
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err = experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, k := range metricKeys {
+		if v, ok := out.Metrics[k]; ok {
+			b.ReportMetric(v, sanitizeUnit(k))
+		}
+	}
+}
+
+// sanitizeUnit makes a metric key acceptable to testing.B.ReportMetric,
+// which forbids whitespace in units.
+func sanitizeUnit(k string) string {
+	k = strings.ReplaceAll(k, " ", "_")
+	k = strings.ReplaceAll(k, "(", "")
+	return strings.ReplaceAll(k, ")", "")
+}
+
+// BenchmarkTable1Components regenerates Table 1 (T1).
+func BenchmarkTable1Components(b *testing.B) {
+	benchExperiment(b, "T1", "components")
+}
+
+// BenchmarkFigure1Pipeline regenerates the Figure 1 structure (F1).
+func BenchmarkFigure1Pipeline(b *testing.B) {
+	benchExperiment(b, "F1", "stages")
+}
+
+// BenchmarkFigure2Process runs the Figure 2 iterative process (F2).
+func BenchmarkFigure2Process(b *testing.B) {
+	benchExperiment(b, "F2", "pass1_reliability_before", "pass1_reliability_after")
+}
+
+// BenchmarkFigure3CHIPComparison runs the C-HIP differential (F3).
+func BenchmarkFigure3CHIPComparison(b *testing.B) {
+	benchExperiment(b, "F3", "unrepresentable_fraction")
+}
+
+// BenchmarkE1WarningEffectiveness reproduces the §3.1 heed-rate table (E1).
+func BenchmarkE1WarningEffectiveness(b *testing.B) {
+	benchExperiment(b, "E1",
+		"heed_firefox-active", "heed_ie-active", "heed_ie-passive", "heed_toolbar-passive")
+}
+
+// BenchmarkE2PhishingMitigations reproduces the §3.1 ablation (E2).
+func BenchmarkE2PhishingMitigations(b *testing.B) {
+	benchExperiment(b, "E2", "heed_ie-active", "heed_ie-active+distinct+why+training")
+}
+
+// BenchmarkE3PasswordCompliance reproduces the §3.2 sweeps (E3).
+func BenchmarkE3PasswordCompliance(b *testing.B) {
+	benchExperiment(b, "E3", "reuse_at_2", "reuse_at_50", "top_failure_is_capabilities")
+}
+
+// BenchmarkE4PasswordMitigations reproduces the §3.2 ablation (E4).
+func BenchmarkE4PasswordMitigations(b *testing.B) {
+	benchExperiment(b, "E4", "compliance_baseline", "compliance_all")
+}
+
+// BenchmarkE5Predictability reproduces the §2.4 predictability table (E5).
+func BenchmarkE5Predictability(b *testing.B) {
+	benchExperiment(b, "E5", "median_reduction_click-hotspots (Thorpe)")
+}
+
+// BenchmarkE6Habituation reproduces the habituation/trust curves (E6).
+func BenchmarkE6Habituation(b *testing.B) {
+	benchExperiment(b, "E6", "heed_after_0_fps", "heed_after_10_fps")
+}
+
+// BenchmarkE7PassiveIndicator reproduces the SSL-lock attention table (E7).
+func BenchmarkE7PassiveIndicator(b *testing.B) {
+	benchExperiment(b, "E7", "notice_quiet", "notice_primed")
+}
+
+// BenchmarkE8GulfsAndGEMS reproduces the §2.4 error-mix tables (E8).
+func BenchmarkE8GulfsAndGEMS(b *testing.B) {
+	benchExperiment(b, "E8", "smartcard_no-error", "smartcard+cues+feedback_no-error")
+}
+
+// BenchmarkE9DesignPatterns runs the §5 pattern-catalog ablation (E9).
+func BenchmarkE9DesignPatterns(b *testing.B) {
+	benchExperiment(b, "E9", "stack_before", "stack_after")
+}
+
+// BenchmarkE10MemoryDynamics runs the memory-substrate exhibit (E10).
+func BenchmarkE10MemoryDynamics(b *testing.B) {
+	benchExperiment(b, "E10", "massed_day60", "spaced_day60")
+}
+
+// BenchmarkE11TrustedPath runs the semantic-attack/trusted-path exhibit (E11).
+func BenchmarkE11TrustedPath(b *testing.B) {
+	benchExperiment(b, "E11", "heed_none", "heed_spoof", "heed_spoof_hardened")
+}
+
+// BenchmarkE12ModelAblations runs the design-choice ablation index (E12).
+func BenchmarkE12ModelAblations(b *testing.B) {
+	benchExperiment(b, "E12", "full-model_ff", "no-heuristic-path_ff")
+}
+
+// BenchmarkE13ActivenessTradeoff runs the §2.1 contamination exhibit (E13).
+func BenchmarkE13ActivenessTradeoff(b *testing.B) {
+	benchExperiment(b, "E13", "severe_heed_noisy_active", "severe_heed_noisy_passive")
+}
+
+// BenchmarkE14PasswordStrings runs the concrete password audit (E14).
+func BenchmarkE14PasswordStrings(b *testing.B) {
+	benchExperiment(b, "E14", "bits_word+digits", "bits_random")
+}
+
+// BenchmarkE15AntivirusAutomation runs the §1 automation story (E15).
+func BenchmarkE15AntivirusAutomation(b *testing.B) {
+	benchExperiment(b, "E15", "prompt_infection_rate", "auto_infection_rate")
+}
+
+// --- Micro-benchmarks on the core machinery ---
+
+// BenchmarkReceiverProcess measures one pass through the full framework
+// pipeline for a blocking warning.
+func BenchmarkReceiverProcess(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	prof := population.GeneralPublic().Sample(rng)
+	enc := agent.Encounter{
+		Comm:          comms.FirefoxActiveWarning(),
+		Env:           stimuli.Busy(),
+		HazardPresent: true,
+		Task:          gems.LeaveSuspiciousSite(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := agent.NewReceiver(prof)
+		if _, err := r.Process(rng, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzer measures the deterministic checklist analyzer.
+func BenchmarkAnalyzer(b *testing.B) {
+	spec := core.SystemSpec{
+		Name: "bench",
+		Tasks: []core.HumanTask{{
+			ID:            "heed-warning",
+			Communication: comms.IEPassiveWarning(),
+			Environment:   stimuli.Busy(),
+			Task:          gems.LeaveSuspiciousSite(),
+			Population:    population.GeneralPublic(),
+		}},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGEMSPerform measures one behavior-stage attempt.
+func BenchmarkGEMSPerform(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	prof := population.GeneralPublic().MeanProfile()
+	task := gems.SmartcardInsertion()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := gems.Perform(rng, task, prof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictAnalyze measures the predictability analysis on a
+// realistic hot-spot distribution.
+func BenchmarkPredictAnalyze(b *testing.B) {
+	m := predict.HotSpotModel{Cells: 1000, HotSpots: 20, HotMass: 0.6}
+	w, err := m.Distribution()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := predict.Analyze(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimEngine measures Monte Carlo throughput (subjects/op) through
+// the full agent pipeline with parallel workers.
+func BenchmarkSimEngine(b *testing.B) {
+	spec := population.GeneralPublic()
+	enc := agent.Encounter{
+		Comm:          comms.IEActiveWarning(),
+		Env:           stimuli.Busy(),
+		HazardPresent: true,
+		Task:          gems.LeaveSuspiciousSite(),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runner := sim.Runner{Seed: int64(i), N: 1000}
+		_, err := runner.Run(func(rng *rand.Rand, _ int) (sim.Outcome, error) {
+			r := agent.NewReceiver(spec.Sample(rng))
+			ar, err := r.Process(rng, enc)
+			if err != nil {
+				return sim.Outcome{}, err
+			}
+			return sim.FromAgentResult(ar), nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhishingStudy measures one §3.1 study arm.
+func BenchmarkPhishingStudy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := phishing.Study{Condition: phishing.StandardConditions()[0], N: 500, Seed: int64(i)}
+		if _, err := st.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPasswordScenario measures one §3.2 scenario run.
+func BenchmarkPasswordScenario(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc := password.Scenario{
+			Policy: password.StrongPolicy(), Accounts: 15, DurationDays: 365,
+			N: 500, Seed: int64(i),
+		}
+		if _, err := sc.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Command hitl-analyze applies the human-in-the-loop framework checklist to
+// a system specification and prints the failure-mode findings, mean-field
+// reliability estimates, and (optionally) a run of the four-step human
+// threat identification and mitigation process.
+//
+// Usage:
+//
+//	hitl-analyze -spec system.json [-process] [-passes N] [-patterns]
+//	hitl-analyze -example > system.json
+//
+// The spec is JSON-encoded hitl.SystemSpec; run with -example to get a
+// commented starting point (the §3.1 anti-phishing system).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hitl"
+	"hitl/internal/report"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "path to a JSON SystemSpec")
+	example := flag.Bool("example", false, "print an example spec (the §3.1 anti-phishing system) and exit")
+	process := flag.Bool("process", false, "also run the four-step threat identification and mitigation process")
+	passes := flag.Int("passes", 2, "maximum process passes")
+	recommend := flag.Bool("patterns", false, "recommend §5 design patterns ranked by reliability gain")
+	flag.Parse()
+
+	if *example {
+		printExample()
+		return
+	}
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "hitl-analyze: -spec or -example required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	var spec hitl.SystemSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *specPath, err))
+	}
+
+	rep, err := hitl.Analyze(spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := report.NewTable("Checklist findings: "+rep.System,
+		"Severity", "Task", "Component", "Issue", "Recommendation")
+	for _, f := range rep.Findings {
+		t.Add(f.Severity.String(), f.TaskID, f.Component.String(), f.Issue, f.Recommendation)
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	rt := report.NewTable("Mean-field task reliability", "Task", "P(success)")
+	for _, task := range spec.Tasks {
+		rt.Addf(task.ID, rep.Reliability[task.ID])
+	}
+	fmt.Println()
+	if err := rt.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	// Adversarial view: rank each task's declared threats by damage.
+	for _, task := range spec.Tasks {
+		if len(task.Threats) == 0 {
+			continue
+		}
+		impacts, err := hitl.WorstCaseThreat(task)
+		if err != nil {
+			fatal(err)
+		}
+		at := report.NewTable("Threat impact: "+task.ID,
+			"Threat", "Strength", "Reliability under attack", "Reliability lost")
+		for _, ti := range impacts {
+			at.Addf(ti.Threat.Kind.String()+" — "+ti.Threat.Description,
+				ti.Threat.Strength, ti.Under, fmt.Sprintf("-%.3f", ti.Lost()))
+		}
+		fmt.Println()
+		if err := at.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *recommend {
+		recs, err := hitl.RecommendPatterns(spec, rep, hitl.SeverityMedium)
+		if err != nil {
+			fatal(err)
+		}
+		pt := report.NewTable("Recommended design patterns",
+			"Pattern", "Task", "Category", "Reliability delta", "Intent")
+		for _, r := range recs {
+			pt.Add(r.Pattern.Name, r.TaskID, r.Pattern.Category.String(),
+				fmt.Sprintf("%+.3f", r.Delta()), r.Pattern.Intent)
+		}
+		fmt.Println()
+		if err := pt.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
+	if !*process {
+		return
+	}
+	res, err := hitl.RunProcess(spec, hitl.ProcessOptions{MaxPasses: *passes})
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range res.Passes {
+		fmt.Printf("\n--- process pass %d ---\n", p.Number)
+		for _, d := range p.Automation {
+			fmt.Printf("automation: %s: automate=%v (human %.2f vs automation %.2f): %s\n",
+				d.TaskID, d.Automate, d.HumanReliability, d.AutomationQuality, d.Rationale)
+		}
+		for _, m := range p.Mitigations {
+			fmt.Printf("mitigation: %s [%s]: %s (reliability %.2f -> %.2f)\n",
+				m.TaskID, m.Component, m.Action, m.Before, m.After)
+		}
+	}
+	fmt.Println("\nfinal reliability:")
+	for id, rel := range res.FinalReliability {
+		fmt.Printf("  %-30s %.3f\n", id, rel)
+	}
+	for id, pass := range res.Automated {
+		fmt.Printf("  %-30s automated (pass %d)\n", id, pass)
+	}
+}
+
+func printExample() {
+	spec := hitl.SystemSpec{
+		Name: "browser-anti-phishing",
+		Tasks: []hitl.HumanTask{{
+			ID:                    "heed-phishing-warning",
+			Description:           "decide whether to heed the anti-phishing warning and leave the site",
+			Communication:         hitl.IEPassiveWarning(),
+			Environment:           hitl.BusyEnvironment(),
+			Task:                  hitl.LeaveSuspiciousSite(),
+			Population:            hitl.GeneralPublic(),
+			AutomationFeasibility: 0.8,
+			AutomationQuality:     0.9,
+		}},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(spec); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hitl-analyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command hitl-experiments regenerates every table and figure from the
+// paper's reproduction index (DESIGN.md / EXPERIMENTS.md).
+//
+// Usage:
+//
+//	hitl-experiments [-seed N] [-n subjects] [-id T1,E1,...] [-list]
+//
+// With no -id it runs the full suite in order. Output is plain text,
+// suitable for diffing against EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hitl/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 20080124, "master seed for every stochastic experiment")
+	n := flag.Int("n", 0, "subjects per experimental arm (0 = per-experiment default)")
+	ids := flag.String("id", "", "comma-separated experiment IDs to run (default: all)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, N: *n}
+	var outs []*experiments.Output
+	if *ids == "" {
+		all, err := experiments.RunAll(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		outs = all
+	} else {
+		for _, id := range strings.Split(*ids, ",") {
+			o, err := experiments.Run(strings.TrimSpace(id), cfg)
+			if err != nil {
+				fatal(err)
+			}
+			outs = append(outs, o)
+		}
+	}
+	for _, o := range outs {
+		if err := o.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hitl-experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+// Command hitl-serve exposes the hitl library as a JSON HTTP API.
+//
+// Usage:
+//
+//	hitl-serve [-addr :8080]
+//
+// Endpoints: GET /v1/healthz, /v1/components, /v1/patterns,
+// /v1/experiments; POST /v1/analyze, /v1/process, /v1/recommend,
+// /v1/experiments/run. See internal/server for payload shapes.
+//
+// Example:
+//
+//	hitl-serve &
+//	hitl-analyze -example | curl -s -X POST --data-binary @- localhost:8080/v1/analyze
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"hitl/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(server.Config{}),
+		ReadTimeout:       10 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      120 * time.Second, // experiment runs can take a while
+		IdleTimeout:       60 * time.Second,
+	}
+	log.Printf("hitl-serve listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

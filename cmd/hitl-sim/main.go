@@ -1,0 +1,164 @@
+// Command hitl-sim runs one of the built-in Monte Carlo scenarios from the
+// paper's case studies and prints its results.
+//
+// Usage:
+//
+//	hitl-sim -scenario phishing-study   [-n N] [-seed S] [-population P] [-trained]
+//	hitl-sim -scenario phishing-campaign [-n N] [-seed S] [-days D] [-fpr F] [-tpr T] [-warning W]
+//	hitl-sim -scenario password          [-n N] [-seed S] [-accounts A] [-expiry E] [-sso] [-vault] [-meter] [-rationale]
+//
+// Populations: general-public (default), enterprise, experts, novices.
+// Warnings: firefox-active (default), ie-active, ie-passive, toolbar-passive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hitl/internal/comms"
+	"hitl/internal/password"
+	"hitl/internal/phishing"
+	"hitl/internal/population"
+	"hitl/internal/report"
+)
+
+func main() {
+	scenario := flag.String("scenario", "phishing-study", "phishing-study | phishing-campaign | password")
+	n := flag.Int("n", 2000, "subjects")
+	seed := flag.Int64("seed", 1, "seed")
+	pop := flag.String("population", "general-public", "population preset")
+	warning := flag.String("warning", "firefox-active", "warning preset for campaign runs")
+	trained := flag.Bool("trained", false, "pre-train subjects (phishing-study)")
+	days := flag.Int("days", 60, "campaign length in days")
+	tpr := flag.Float64("tpr", 0.9, "detector true-positive rate")
+	fpr := flag.Float64("fpr", 0.02, "detector false-positive rate")
+	accounts := flag.Int("accounts", 15, "password portfolio size")
+	expiry := flag.Int("expiry", 90, "password expiry days (0 = never)")
+	sso := flag.Bool("sso", false, "deploy single sign-on")
+	vault := flag.Bool("vault", false, "deploy a password vault")
+	meter := flag.Bool("meter", false, "deploy a strength meter")
+	rationale := flag.Bool("rationale", false, "deploy rationale training")
+	flag.Parse()
+
+	popSpec, err := popByName(*pop)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *scenario {
+	case "phishing-study":
+		conds := phishing.StandardConditions()
+		if *trained {
+			for i := range conds {
+				conds[i] = phishing.WithTraining(conds[i])
+			}
+		}
+		results, err := phishing.CompareConditions(*seed, *n, conds)
+		if err != nil {
+			fatal(err)
+		}
+		t := report.NewTable(fmt.Sprintf("Phishing study (%s, n=%d, seed=%d)", popSpec.Name, *n, *seed),
+			"Condition", "Heed rate [95% CI]", "Top failure stage")
+		for _, r := range results {
+			stage, _, ok := r.Run.TopFailureStage()
+			name := "-"
+			if ok {
+				name = stage.String()
+			}
+			t.Add(r.Condition, r.Run.Heed.String(), name)
+		}
+		must(t.WriteText(os.Stdout))
+
+	case "phishing-campaign":
+		w, err := warningByName(*warning)
+		if err != nil {
+			fatal(err)
+		}
+		c := phishing.Campaign{
+			Population: popSpec, Warning: w,
+			Days: *days, DetectorTPR: *tpr, DetectorFPR: *fpr,
+			N: *n, Seed: *seed,
+		}
+		m, err := c.Run()
+		if err != nil {
+			fatal(err)
+		}
+		t := report.NewTable(fmt.Sprintf("Phishing campaign (%s over %d days, tpr=%.2f fpr=%.2f)",
+			w.ID, *days, *tpr, *fpr),
+			"Metric", "Value")
+		t.Addf("victim rate", report.Pct(m.VictimRate))
+		t.Addf("mean phish encounters/subject", m.MeanPhishEncounters)
+		t.Addf("mean false alarms/subject", m.MeanFalseAlarms)
+		if stage, _, ok := m.Run.TopFailureStage(); ok {
+			t.Add("top failure stage", stage.String())
+		}
+		must(t.WriteText(os.Stdout))
+
+	case "password":
+		sc := password.Scenario{
+			Policy:     password.StrongPolicy(),
+			Accounts:   *accounts,
+			Population: popSpec,
+			Tools: password.Tools{
+				SSO: *sso, Vault: *vault, StrengthMeter: *meter, RationaleTraining: *rationale,
+			},
+			N: *n, Seed: *seed,
+		}
+		sc.Policy.ExpiryDays = *expiry
+		m, err := sc.Run()
+		if err != nil {
+			fatal(err)
+		}
+		t := report.NewTable(fmt.Sprintf("Password policy (%s, %d accounts, expiry=%d, %s)",
+			sc.Policy.Name, *accounts, *expiry, popSpec.Name),
+			"Metric", "Value")
+		t.Addf("compliance rate", report.Pct(m.ComplianceRate))
+		t.Addf("mean reuse fraction", m.MeanReuseFraction)
+		t.Addf("write-down rate", report.Pct(m.WriteDownRate))
+		t.Addf("share rate", report.Pct(m.ShareRate))
+		t.Addf("resets/yr", m.MeanResetsPerYear)
+		t.Addf("mean strength (bits)", m.MeanStrengthBits)
+		if stage, _, ok := m.Run.TopFailureStage(); ok {
+			t.Add("top failure stage", stage.String())
+			t.Add("its share of failures", report.Pct(m.Run.FailureShare(stage)))
+		}
+		must(t.WriteText(os.Stdout))
+
+	default:
+		fatal(fmt.Errorf("unknown scenario %q", *scenario))
+	}
+}
+
+func popByName(name string) (population.Spec, error) {
+	switch name {
+	case "general-public":
+		return population.GeneralPublic(), nil
+	case "enterprise":
+		return population.Enterprise(), nil
+	case "experts":
+		return population.Experts(), nil
+	case "novices":
+		return population.Novices(), nil
+	default:
+		return population.Spec{}, fmt.Errorf("unknown population %q", name)
+	}
+}
+
+func warningByName(name string) (comms.Communication, error) {
+	if c, ok := comms.Presets()[name]; ok && c.Kind == comms.Warning {
+		return c, nil
+	}
+	return comms.Communication{}, fmt.Errorf("unknown warning %q", name)
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hitl-sim:", err)
+	os.Exit(1)
+}

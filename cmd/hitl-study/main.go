@@ -1,0 +1,97 @@
+// Command hitl-study runs a synthetic user study (a replication of the
+// §3.1 warning study by default), writes the per-subject dataset as CSV,
+// and prints the per-condition rates with a chi-square test — the workflow
+// the paper prescribes for failure identification and mitigation
+// evaluation.
+//
+// Usage:
+//
+//	hitl-study [-n N] [-seed S] [-primed] [-trained] [-o dataset.csv]
+//	hitl-study -analyze dataset.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hitl/internal/report"
+	"hitl/internal/study"
+)
+
+func main() {
+	n := flag.Int("n", 2000, "total subjects across conditions")
+	seed := flag.Int64("seed", 1, "seed")
+	primed := flag.Bool("primed", false, "tell subjects to watch for indicators (as Wu et al. did)")
+	trained := flag.Bool("trained", false, "pre-train every subject")
+	out := flag.String("o", "", "write the per-subject dataset CSV to this path")
+	analyze := flag.String("analyze", "", "skip generation; analyze an existing dataset CSV")
+	flag.Parse()
+
+	var ds *study.Dataset
+	if *analyze != "" {
+		f, err := os.Open(*analyze)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		ds, err = study.ReadCSV(f, *analyze)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		d := study.EgelmanReplication(*n, *seed)
+		d.Primed = *primed
+		if *trained {
+			for i := range d.Arms {
+				d.Arms[i].PreTrained = true
+			}
+		}
+		var err error
+		ds, err = d.Run()
+		if err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			if err := ds.WriteCSV(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(ds.Records), *out)
+		}
+	}
+
+	t := report.NewTable("Study results: "+ds.Design,
+		"Condition", "n", "Noticed", "Read", "Comprehended", "Believed", "Heeded")
+	for _, c := range ds.Conditions() {
+		total := ds.Rate(c, func(study.Record) bool { return true })
+		t.Add(c,
+			fmt.Sprint(total.Trials),
+			report.Pct(ds.Rate(c, func(r study.Record) bool { return r.Noticed }).Rate()),
+			report.Pct(ds.Rate(c, func(r study.Record) bool { return r.Read }).Rate()),
+			report.Pct(ds.Rate(c, func(r study.Record) bool { return r.Comprehended }).Rate()),
+			report.Pct(ds.Rate(c, func(r study.Record) bool { return r.Believed }).Rate()),
+			report.Pct(ds.Rate(c, func(r study.Record) bool { return r.Heeded }).Rate()),
+		)
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	chi, df, p, err := ds.HeedTest()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nheed-rate homogeneity: chi-square(%d) = %.2f, p = %.2g\n", df, chi, p)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hitl-study:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command hitl-trace runs a single simulated user through the framework
+// pipeline and prints both the mean-field stage probabilities and a sampled
+// trace — a live walk through Figure 1 for one encounter.
+//
+// Usage:
+//
+//	hitl-trace [-warning W] [-population P] [-env quiet|busy] [-seed S]
+//	           [-exposures N] [-false-alarms N] [-primed] [-trained]
+//
+// Warnings: firefox-active, ie-active, ie-passive, toolbar-passive,
+// ssl-lock, password-policy, anti-phishing-training.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hitl/internal/agent"
+	"hitl/internal/comms"
+	"hitl/internal/gems"
+	"hitl/internal/population"
+	"hitl/internal/report"
+	"hitl/internal/stimuli"
+)
+
+func main() {
+	warning := flag.String("warning", "firefox-active", "communication preset")
+	pop := flag.String("population", "general-public", "population preset")
+	env := flag.String("env", "busy", "quiet | busy")
+	seed := flag.Int64("seed", 1, "seed")
+	exposures := flag.Int("exposures", 0, "prior noticed exposures (habituation)")
+	falseAlarms := flag.Int("false-alarms", 0, "prior experienced false alarms (trust erosion)")
+	primed := flag.Bool("primed", false, "user told to watch for the indicator")
+	trained := flag.Bool("trained", false, "user has interactive topic training")
+	flag.Parse()
+
+	comm, ok := comms.Presets()[*warning]
+	if !ok {
+		fatal(fmt.Errorf("unknown communication %q", *warning))
+	}
+	spec, err := popByName(*pop)
+	if err != nil {
+		fatal(err)
+	}
+	environment := stimuli.Busy()
+	if *env == "quiet" {
+		environment = stimuli.Quiet()
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	r := agent.NewReceiver(spec.Sample(rng))
+	r.AddExposures(comm.ID, *exposures)
+	r.AddFalseAlarms(comm.Topic, *falseAlarms)
+	if *trained {
+		r.Train(comm.Topic, agent.Skill{Level: 0.85, Interactivity: 0.85})
+	}
+	enc := agent.Encounter{
+		Comm:          comm,
+		Env:           environment,
+		HazardPresent: true,
+		Primed:        *primed,
+		Task:          gems.LeaveSuspiciousSite(),
+	}
+
+	// Mean-field panel: the probabilities before sampling.
+	t := report.NewTable(fmt.Sprintf("Stage probabilities: %s for a sampled %s member (%s env)",
+		comm.ID, spec.Name, *env),
+		"Stage", "P(pass)")
+	accurate := r.HasAccurateModel(comm.Topic)
+	rows := []struct {
+		name string
+		p    float64
+	}{
+		{"attention switch", r.PNotice(enc)},
+		{"attention maintenance", r.PMaintain(enc)},
+		{fmt.Sprintf("comprehension (accurate model: %v)", accurate), r.PComprehend(enc, accurate)},
+		{"knowledge acquisition", r.PAcquire(enc)},
+		{"knowledge retention", r.PRetain(enc)},
+		{"knowledge transfer", r.PTransfer(enc)},
+		{"attitudes & beliefs", r.PBelieve(enc)},
+		{"motivation", r.PMotivate(enc)},
+		{"capabilities", r.PCapable(enc)},
+		{"heuristic fallback (blockers)", r.PHeuristic(enc)},
+	}
+	for _, row := range rows {
+		t.Addf(row.name, row.p)
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	// Sampled trace.
+	res, err := r.Process(rng, enc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("\nSampled trace:")
+	fmt.Print(res.TraceString())
+}
+
+func popByName(name string) (population.Spec, error) {
+	switch name {
+	case "general-public":
+		return population.GeneralPublic(), nil
+	case "enterprise":
+		return population.Enterprise(), nil
+	case "experts":
+		return population.Experts(), nil
+	case "novices":
+		return population.Novices(), nil
+	default:
+		return population.Spec{}, fmt.Errorf("unknown population %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hitl-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+package hitl_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hitl"
+)
+
+// ExampleAnalyze applies the Table 1 checklist to a system that relies on
+// a passive warning and prints the most severe finding.
+func ExampleAnalyze() {
+	spec := hitl.SystemSpec{
+		Name: "example",
+		Tasks: []hitl.HumanTask{{
+			ID:            "heed-warning",
+			Communication: hitl.IEPassiveWarning(),
+			Environment:   hitl.BusyEnvironment(),
+			Task:          hitl.LeaveSuspiciousSite(),
+			Population:    hitl.GeneralPublic(),
+		}},
+	}
+	rep, err := hitl.Analyze(spec)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	f := rep.Findings[0]
+	fmt.Printf("[%s] %s\n", f.Severity, f.Component)
+	// Output:
+	// [high] Communication
+}
+
+// ExampleAdviseCommunication asks the §2.1 advisor what communication a
+// severe, user-actionable hazard warrants.
+func ExampleAdviseCommunication() {
+	rec, err := hitl.AdviseCommunication(hitl.Hazard{
+		Severity:            0.9,
+		EncounterRate:       0.5,
+		UserActionNecessity: 0.9,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s (activeness %.1f, pair with training: %v)\n",
+		rec.Kind, rec.Activeness, rec.PairWithTraining)
+	// Output:
+	// warning (activeness 0.9, pair with training: true)
+}
+
+// ExampleReceiver_Process runs one simulated user through the framework
+// pipeline for a blocking warning.
+func ExampleReceiver_Process() {
+	rng := rand.New(rand.NewSource(1))
+	r := hitl.NewReceiver(hitl.GeneralPublic().MeanProfile())
+	res, err := r.Process(rng, hitl.Encounter{
+		Comm:          hitl.FirefoxActiveWarning(),
+		Env:           hitl.QuietEnvironment(),
+		HazardPresent: true,
+		Task:          hitl.LeaveSuspiciousSite(),
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("heeded:", res.Heeded)
+	fmt.Println("first stage checked:", res.Trace[0].Stage)
+	// Output:
+	// heeded: true
+	// first stage checked: delivery
+}
+
+// ExampleAttributeCHIP shows a root cause the C-HIP baseline cannot
+// represent — the reason the paper added a capabilities component.
+func ExampleAttributeCHIP() {
+	att, err := hitl.AttributeCHIP(hitl.StageCapabilities)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("filed under %q, representable: %v\n", att.Stage, att.Representable)
+	// Output:
+	// filed under "behavior", representable: false
+}
+
+// ExampleStrongPasswordPolicy checks concrete passwords against the strict
+// enterprise policy.
+func ExampleStrongPasswordPolicy() {
+	p := hitl.StrongPasswordPolicy()
+	fmt.Println(p.Complies("Sunshine2024!") != nil) // dictionary word: rejected
+	fmt.Println(p.Complies("xK9#mQ2$vL7!") != nil)  // random: accepted
+	// Output:
+	// true
+	// false
+}
+
+// ExampleTrainingCadenceSweep plans security-training refreshers with the
+// memory substrate.
+func ExampleTrainingCadenceSweep() {
+	pts, err := hitl.TrainingCadenceSweep(hitl.DefaultMemoryModel(), 0.5,
+		[]float64{30, 365}, 365)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, p := range pts {
+		fmt.Printf("every %.0f days: availability %.2f\n", p.GapDays, p.MeanAvailability)
+	}
+	// Output:
+	// every 30 days: availability 0.86
+	// every 365 days: availability 0.05
+}
+
+// ExampleRecommendPatterns gets gain-ranked §5 design patterns for a weak
+// system.
+func ExampleRecommendPatterns() {
+	spec := hitl.SystemSpec{
+		Name: "example",
+		Tasks: []hitl.HumanTask{{
+			ID:            "heed-warning",
+			Communication: hitl.IEPassiveWarning(),
+			Environment:   hitl.BusyEnvironment(),
+			Task:          hitl.LeaveSuspiciousSite(),
+			Population:    hitl.GeneralPublic(),
+		}},
+	}
+	rep, err := hitl.Analyze(spec)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	recs, err := hitl.RecommendPatterns(spec, rep, hitl.SeverityMedium)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("top pattern:", recs[0].Pattern.Name)
+	// Output:
+	// top pattern: forced-path
+}

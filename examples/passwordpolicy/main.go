@@ -1,0 +1,119 @@
+// Password policy case study (§3.2 of the paper), end to end:
+//
+//  1. Diagnose a strict policy with the framework checklist.
+//  2. Simulate an enterprise over a year: compliance, reuse, write-downs,
+//     forgotten-password resets, effective strength.
+//  3. Sweep portfolio size (the Gaw & Felten reuse curve) and expiry (the
+//     Adams & Sasse coping effect).
+//  4. Deploy the §3.2 mitigations (SSO, vault, meter, rationale training)
+//     and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hitl"
+	"hitl/internal/password"
+)
+
+func main() {
+	// 1. Checklist diagnosis of the policy-as-communication.
+	spec := hitl.SystemSpec{
+		Name: "org-password-policy",
+		Tasks: []hitl.HumanTask{{
+			ID:            "comply-with-policy",
+			Description:   "create, remember, and protect policy-compliant passwords for every account",
+			Communication: hitl.PasswordPolicyDocument(),
+			Environment:   hitl.QuietEnvironment(),
+			Task: hitl.BehaviorTask{
+				Name: "create-and-recall-passwords", Steps: 3,
+				CueQuality: 0.6, FeedbackQuality: 0.7, ControlClarity: 0.8,
+				PlanSoundness: 0.9, CognitiveDemand: 0.85, PhysicalDemand: 0.05,
+			},
+			Population:             hitl.Enterprise(),
+			ComplianceCost:         0.5,
+			ApplyDelayDays:         45,
+			BehaviorPredictability: 0.6,
+			PredictabilityMatters:  true,
+		}},
+	}
+	rep, err := hitl.Analyze(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Checklist findings for the password policy:")
+	for _, f := range rep.Findings {
+		if f.Severity < hitl.SeverityMedium {
+			continue
+		}
+		fmt.Printf("  [%-8s] %-28s %s\n", f.Severity, f.Component, f.Issue)
+	}
+
+	// 2. Baseline year.
+	base := hitl.PasswordScenario{
+		Policy: hitl.StrongPasswordPolicy(), Accounts: 15, DurationDays: 365,
+		N: 4000, Seed: 32,
+	}
+	m, err := base.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nStrong policy, 15 accounts, one year (n=%d):\n", m.Run.N)
+	fmt.Printf("  compliance %.3f | reuse %.3f | write-down %.3f | resets/yr %.2f | strength %.1f bits\n",
+		m.ComplianceRate, m.MeanReuseFraction, m.WriteDownRate, m.MeanResetsPerYear, m.MeanStrengthBits)
+	if stage, _, ok := m.Run.TopFailureStage(); ok {
+		fmt.Printf("  top failure: %s (%.0f%% of failures) — the paper's capability diagnosis\n",
+			stage, m.Run.FailureShare(stage)*100)
+	}
+
+	// 3. Sweeps.
+	fmt.Println("\nReuse vs portfolio size (Gaw & Felten shape):")
+	sizes := []int{2, 5, 10, 20, 35, 50}
+	bySize, err := password.PortfolioSweep(base, sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, mm := range bySize {
+		fmt.Printf("  %2d accounts: reuse %.3f, compliance %.3f\n",
+			sizes[i], mm.MeanReuseFraction, mm.ComplianceRate)
+	}
+
+	fmt.Println("\nExpiry effect (Adams & Sasse shape):")
+	expiries := []int{0, 180, 90, 30}
+	byExp, err := password.ExpirySweep(base, expiries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, mm := range byExp {
+		label := fmt.Sprintf("%3d days", expiries[i])
+		if expiries[i] == 0 {
+			label = "   never"
+		}
+		fmt.Printf("  expiry %s: compliance %.3f, resets/yr %.2f\n",
+			label, mm.ComplianceRate, mm.MeanResetsPerYear)
+	}
+
+	// 4. Mitigations.
+	fmt.Println("\nMitigation tools:")
+	for _, arm := range []struct {
+		name  string
+		tools hitl.PasswordTools
+	}{
+		{"baseline        ", hitl.PasswordTools{}},
+		{"sso             ", hitl.PasswordTools{SSO: true}},
+		{"vault           ", hitl.PasswordTools{Vault: true}},
+		{"strength meter  ", hitl.PasswordTools{StrengthMeter: true}},
+		{"sso+vault+meter ", hitl.PasswordTools{SSO: true, Vault: true, StrengthMeter: true}},
+	} {
+		sc := base
+		sc.Tools = arm.tools
+		sc.Seed = 33
+		mm, err := sc.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s compliance %.3f | reuse %.3f | strength %.1f bits\n",
+			arm.name, mm.ComplianceRate, mm.MeanReuseFraction, mm.MeanStrengthBits)
+	}
+}

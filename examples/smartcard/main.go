@@ -1,0 +1,82 @@
+// Smartcard usability example (§2.4 of the paper): Norman's gulfs of
+// execution and evaluation, GEMS error classes, and the Piazzalunga et al.
+// mitigations — print visual cues on the card (shrinks the execution gulf)
+// and add reader feedback (shrinks the evaluation gulf).
+//
+// Also demonstrates §2.4's predictability analysis on graphical passwords:
+// face choice (Davis et al.), click hot-spots (Thorpe & van Oorschot), and
+// the dictionary-prohibition mitigation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hitl"
+	"hitl/internal/gems"
+)
+
+func main() {
+	prof := hitl.GeneralPublic().MeanProfile()
+	rng := rand.New(rand.NewSource(11))
+
+	// The baseline smartcard task: no cues on the card, no feedback from
+	// the reader.
+	card := hitl.SmartcardInsertion()
+	fmt.Printf("Smartcard insertion (baseline):\n")
+	fmt.Printf("  gulf of execution  %.2f\n", hitl.GulfOfExecution(card, prof))
+	fmt.Printf("  gulf of evaluation %.2f\n", hitl.GulfOfEvaluation(card, prof))
+	printRates(rng, card, prof)
+
+	// Piazzalunga mitigations.
+	mitigated := gems.WithBetterFeedback(gems.WithBetterCues(card, 0.9), 0.9)
+	fmt.Printf("\nWith printed cues + reader feedback:\n")
+	fmt.Printf("  gulf of execution  %.2f\n", hitl.GulfOfExecution(mitigated, prof))
+	fmt.Printf("  gulf of evaluation %.2f\n", hitl.GulfOfEvaluation(mitigated, prof))
+	printRates(rng, mitigated, prof)
+
+	// Contrast: Maxion & Reeder's XP file permissions (evaluation-gulf
+	// dominated) and the naive attachment plan (mistake dominated).
+	fmt.Printf("\nXP file permissions:\n")
+	printRates(rng, hitl.WindowsFilePermissions(), prof)
+	fmt.Printf("\nAttachment judged by known sender (unsound plan):\n")
+	printRates(rng, hitl.AttachmentJudgment(), prof)
+
+	// §2.4 predictability: who wins when users choose predictably.
+	fmt.Println("\nGraphical password predictability:")
+	faces := hitl.FaceChoiceModel{Faces: 36, Groups: 4, OwnGroupBias: 0.7, AttractivenessSkew: 0.8}
+	w, err := faces.Distribution(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := hitl.AnalyzePredictability(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  faces (own-group + attractiveness bias): %.1f of %.1f bits; informed attacker needs %.0fx less median work\n",
+		a.EntropyBits, a.UniformEntropyBits, a.MedianWorkReduction)
+
+	hot := hitl.HotSpotChoiceModel{Cells: 400, HotSpots: 10, HotMass: 0.6}
+	hw, err := hot.Distribution()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ha, err := hitl.AnalyzePredictability(hw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  click hot-spots: alpha50 = %d guesses (vs %d uniform) — %.0fx median-work reduction\n",
+		ha.Alpha50, (ha.Choices+1)/2, ha.MedianWorkReduction)
+}
+
+// printRates Monte-Carlos the GEMS error mix for a task.
+func printRates(rng *rand.Rand, task hitl.BehaviorTask, prof hitl.Profile) {
+	rates, err := gems.Rates(rng, task, prof, 20000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  success %.1f%% | mistakes %.1f%% | lapses %.1f%% | slips %.1f%% | exec-gulf %.1f%% | eval-gulf %.1f%%\n",
+		rates[hitl.NoError]*100, rates[hitl.Mistake]*100, rates[hitl.Lapse]*100,
+		rates[hitl.Slip]*100, rates[hitl.ExecutionGulf]*100, rates[hitl.EvaluationGulf]*100)
+}

@@ -1,0 +1,135 @@
+// Security-training program design (§2.3.3 + §5): use the memory substrate
+// to pick a refresher cadence, compare massed vs spaced delivery, account
+// for interference between similar procedures, and then verify with the
+// receiver pipeline that the trained population actually heeds warnings
+// better.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hitl"
+)
+
+func main() {
+	mem := hitl.DefaultMemoryModel()
+	avg := hitl.GeneralPublic().MeanProfile()
+
+	// 1. How fast does a one-shot security training fade?
+	fmt.Println("Forgetting curve after a single training session:")
+	store, err := hitl.NewMemoryStore(mem, avg.MemoryCapacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Practice("phishing-skill", 0, 1); err != nil {
+		log.Fatal(err)
+	}
+	for _, day := range []float64{1, 7, 30, 90, 365} {
+		fmt.Printf("  day %3.0f: P(recall) = %.3f\n", day, store.PRecall("phishing-skill", day, 0))
+	}
+
+	// 2. Pick a refresher cadence: availability vs training cost.
+	fmt.Println("\nRefresher cadence over a one-year horizon:")
+	points, err := hitl.TrainingCadenceSweep(mem, avg.MemoryCapacity,
+		[]float64{7, 14, 30, 90, 180, 365}, 365)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range points {
+		fmt.Printf("  every %3.0f days: mean availability %.3f (%2d sessions/yr)\n",
+			p.GapDays, p.MeanAvailability, p.Sessions)
+	}
+
+	// 3. Same content, different schedule: massed onboarding day vs spaced
+	//    micro-trainings.
+	massed, err := hitl.NewMemoryStore(mem, avg.MemoryCapacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spaced, err := hitl.NewMemoryStore(mem, avg.MemoryCapacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := massed.Practice("skill", float64(i)*0.01, 1); err != nil {
+			log.Fatal(err)
+		}
+		if err := spaced.Practice("skill", float64(i)*7, 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nSpacing effect (5 sessions, probed at day 60): massed %.3f vs spaced %.3f\n",
+		massed.PRecall("skill", 60, 0), spaced.PRecall("skill", 60, 0))
+
+	// 4. Interference: the more near-identical procedures people must hold,
+	//    the worse each is recalled (the password problem in miniature).
+	one, err := hitl.NewMemoryStore(mem, avg.MemoryCapacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := one.Practice("procedure", 0, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nInterference from similar procedures (recall at day 7):")
+	for _, fan := range []int{0, 4, 9, 19} {
+		fmt.Printf("  %2d similar items: P(recall) = %.3f\n", fan, one.PRecall("procedure", 7, fan))
+	}
+
+	// 5. Close the loop: does training actually raise warning heed rates in
+	//    the receiver pipeline? Train novices, then show them the IE active
+	//    warning.
+	const n = 4000
+	rng := rand.New(rand.NewSource(99))
+	pop := hitl.Novices()
+	heed := func(trained bool) float64 {
+		heeded := 0
+		for i := 0; i < n; i++ {
+			r := hitl.NewReceiver(pop.Sample(rng))
+			if trained {
+				r.Train("phishing", hitl.Skill{Level: 0.85, Interactivity: 0.85})
+			}
+			res, err := r.Process(rng, hitl.Encounter{
+				Comm:          hitl.IEActiveWarning(),
+				Env:           hitl.BusyEnvironment(),
+				HazardPresent: true,
+				Task:          hitl.LeaveSuspiciousSite(),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Heeded {
+				heeded++
+			}
+		}
+		return float64(heeded) / n
+	}
+	fmt.Printf("\nNovices heeding the IE active warning: untrained %.3f vs trained %.3f\n",
+		heed(false), heed(true))
+
+	// 6. And the §5 pattern view: which catalog patterns would a designer
+	//    reach for on a training-dependent task?
+	task := hitl.HumanTask{
+		ID:               "apply-training",
+		Description:      "recognize and report phishing per the annual training",
+		Communication:    hitl.AntiPhishingTraining(),
+		Environment:      hitl.BusyEnvironment(),
+		Population:       hitl.Novices(),
+		ApplyDelayDays:   120, // annual training, applied months later
+		SituationNovelty: 0.5,
+	}
+	spec := hitl.SystemSpec{Name: "training-program", Tasks: []hitl.HumanTask{task}}
+	rep, err := hitl.Analyze(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, err := hitl.RecommendPatterns(spec, rep, hitl.SeverityMedium)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nRecommended design patterns for the training program:")
+	for _, r := range recs {
+		fmt.Printf("  %-24s %+0.3f reliability — %s\n", r.Pattern.Name, r.Delta(), r.Pattern.Intent)
+	}
+}

@@ -1,0 +1,3 @@
+module hitl
+
+go 1.22

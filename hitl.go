@@ -1,0 +1,456 @@
+// Package hitl is an executable implementation of Lorrie Cranor's
+// human-in-the-loop security framework ("A Framework for Reasoning About
+// the Human in the Loop", CMU-CyLab-08-001, 2008).
+//
+// The package re-exports the library's public surface from its internal
+// packages:
+//
+//   - The framework itself: the Table 1 component checklist, the Figure 1
+//     structure, a deterministic checklist analyzer over declarative system
+//     specs, and the Figure 2 four-step human threat identification and
+//     mitigation process (internal/core).
+//   - Security communications and their design space (internal/comms),
+//     communication impediments (internal/stimuli), user populations
+//     (internal/population).
+//   - A stochastic human receiver that processes communications through the
+//     framework's stages (internal/agent), with GEMS/Norman behavior models
+//     (internal/gems) and a Monte Carlo engine (internal/sim).
+//   - The paper's two case studies as runnable simulations: anti-phishing
+//     browser warnings (internal/phishing) and organizational password
+//     policies (internal/password), plus behavior-predictability analysis
+//     (internal/predict) and the C-HIP baseline comparison (internal/chip).
+//
+// Quickstart:
+//
+//	spec := hitl.SystemSpec{
+//	    Name: "my-system",
+//	    Tasks: []hitl.HumanTask{{
+//	        ID:            "heed-warning",
+//	        Communication: hitl.FirefoxActiveWarning(),
+//	        Environment:   hitl.BusyEnvironment(),
+//	        Population:    hitl.GeneralPublic(),
+//	    }},
+//	}
+//	report, err := hitl.Analyze(spec)
+//
+// Everything stochastic takes an explicit seed; results are reproducible.
+package hitl
+
+import (
+	"io"
+
+	"hitl/internal/agent"
+	"hitl/internal/chip"
+	"hitl/internal/comms"
+	"hitl/internal/core"
+	"hitl/internal/gems"
+	"hitl/internal/memory"
+	"hitl/internal/password"
+	"hitl/internal/patterns"
+	"hitl/internal/phishing"
+	"hitl/internal/population"
+	"hitl/internal/predict"
+	"hitl/internal/sim"
+	"hitl/internal/stimuli"
+	"hitl/internal/study"
+)
+
+// --- Framework (internal/core) ---
+
+// Component is one row of the paper's Table 1.
+type Component = core.Component
+
+// ComponentID identifies a Table 1 component.
+type ComponentID = core.ComponentID
+
+// The framework components, in Table 1 order.
+const (
+	CompCommunication        = core.CompCommunication
+	CompEnvironmentalStimuli = core.CompEnvironmentalStimuli
+	CompInterference         = core.CompInterference
+	CompDemographics         = core.CompDemographics
+	CompKnowledgeExperience  = core.CompKnowledgeExperience
+	CompAttitudesBeliefs     = core.CompAttitudesBeliefs
+	CompMotivation           = core.CompMotivation
+	CompCapabilities         = core.CompCapabilities
+	CompAttentionSwitch      = core.CompAttentionSwitch
+	CompAttentionMaintenance = core.CompAttentionMaintenance
+	CompComprehension        = core.CompComprehension
+	CompKnowledgeAcquisition = core.CompKnowledgeAcquisition
+	CompKnowledgeRetention   = core.CompKnowledgeRetention
+	CompKnowledgeTransfer    = core.CompKnowledgeTransfer
+	CompBehavior             = core.CompBehavior
+)
+
+// Components returns the Table 1 registry.
+func Components() []Component { return core.Components() }
+
+// FrameworkGraph returns the Figure 1 structure as directed edges.
+func FrameworkGraph() []core.Edge { return core.FrameworkGraph() }
+
+// SystemSpec declares a secure system's human dependencies.
+type SystemSpec = core.SystemSpec
+
+// HumanTask is one security-critical human task in a SystemSpec.
+type HumanTask = core.HumanTask
+
+// Finding is one checklist hit from the analyzer.
+type Finding = core.Finding
+
+// Severity ranks findings.
+type Severity = core.Severity
+
+// Severity levels.
+const (
+	SeverityInfo     = core.SeverityInfo
+	SeverityLow      = core.SeverityLow
+	SeverityMedium   = core.SeverityMedium
+	SeverityHigh     = core.SeverityHigh
+	SeverityCritical = core.SeverityCritical
+)
+
+// AnalysisReport is the checklist analyzer's output.
+type AnalysisReport = core.Report
+
+// Analyze walks the framework checklist over the spec.
+func Analyze(spec SystemSpec) (*AnalysisReport, error) { return core.Analyze(spec) }
+
+// EstimateReliability computes the mean-field end-to-end success estimate
+// for one human task.
+func EstimateReliability(t HumanTask) (float64, error) { return core.EstimateReliability(t) }
+
+// ProcessOptions configures RunProcess.
+type ProcessOptions = core.ProcessOptions
+
+// ProcessResult is a run of the Figure 2 iterative process.
+type ProcessResult = core.ProcessResult
+
+// RunProcess executes the four-step human threat identification and
+// mitigation process.
+func RunProcess(spec SystemSpec, opts ProcessOptions) (*ProcessResult, error) {
+	return core.RunProcess(spec, opts)
+}
+
+// Mitigate applies the catalog mitigation for a finding to a task.
+func Mitigate(t HumanTask, f Finding) (HumanTask, string, bool) { return core.Mitigate(t, f) }
+
+// EstimateReliabilityUnder computes the task's mean-field reliability with
+// an interference active on every delivery (§2.2 adversarial analysis).
+func EstimateReliabilityUnder(t HumanTask, att Interference) (float64, error) {
+	return core.EstimateReliabilityUnder(t, att)
+}
+
+// ThreatImpact is one declared threat's measured effect on a task.
+type ThreatImpact = core.ThreatImpact
+
+// WorstCaseThreat ranks a task's declared threats by reliability destroyed.
+func WorstCaseThreat(t HumanTask) ([]ThreatImpact, error) { return core.WorstCaseThreat(t) }
+
+// --- Communications (internal/comms) ---
+
+// Communication is a security communication.
+type Communication = comms.Communication
+
+// CommDesign holds a communication's presentation attributes.
+type CommDesign = comms.Design
+
+// Hazard describes what a communication protects against.
+type Hazard = comms.Hazard
+
+// CommKind is one of the five communication types.
+type CommKind = comms.Kind
+
+// The five communication types (§2.1).
+const (
+	Warning         = comms.Warning
+	Notice          = comms.Notice
+	StatusIndicator = comms.StatusIndicator
+	Training        = comms.Training
+	Policy          = comms.Policy
+)
+
+// Recommendation is the §2.1 communication-design advice.
+type Recommendation = comms.Recommendation
+
+// AdviseCommunication recommends a communication type for a hazard.
+func AdviseCommunication(h Hazard) (Recommendation, error) { return comms.Advise(h) }
+
+// Preset communications from the case studies.
+var (
+	FirefoxActiveWarning    = comms.FirefoxActiveWarning
+	IEActiveWarning         = comms.IEActiveWarning
+	IEPassiveWarning        = comms.IEPassiveWarning
+	ToolbarPassiveIndicator = comms.ToolbarPassiveIndicator
+	SSLLockIndicator        = comms.SSLLockIndicator
+	PasswordPolicyDocument  = comms.PasswordPolicyDocument
+	AntiPhishingTraining    = comms.AntiPhishingTraining
+)
+
+// --- Impediments (internal/stimuli) ---
+
+// Environment describes ambient conditions and competing demands.
+type Environment = stimuli.Environment
+
+// Interference disrupts communication delivery.
+type Interference = stimuli.Interference
+
+// InterferenceKind classifies interference.
+type InterferenceKind = stimuli.InterferenceKind
+
+// Interference kinds (§2.2).
+const (
+	InterferenceNone    = stimuli.None
+	InterferenceBlock   = stimuli.Block
+	InterferenceSpoof   = stimuli.Spoof
+	InterferenceObscure = stimuli.Obscure
+	InterferenceDelay   = stimuli.Delay
+	TechFailure         = stimuli.TechFailure
+)
+
+// QuietEnvironment is a benign desk environment.
+func QuietEnvironment() Environment { return stimuli.Quiet() }
+
+// BusyEnvironment is a high-distraction, primary-task-heavy environment.
+func BusyEnvironment() Environment { return stimuli.Busy() }
+
+// --- Populations (internal/population) ---
+
+// Profile is one simulated user's traits.
+type Profile = population.Profile
+
+// PopulationSpec declares a user population.
+type PopulationSpec = population.Spec
+
+// Preset populations.
+var (
+	GeneralPublic = population.GeneralPublic
+	Enterprise    = population.Enterprise
+	Experts       = population.Experts
+	Novices       = population.Novices
+)
+
+// --- Receiver (internal/agent) ---
+
+// Receiver is a simulated human processing communications.
+type Receiver = agent.Receiver
+
+// NewReceiver creates a receiver with a profile and default model.
+func NewReceiver(p Profile) *Receiver { return agent.NewReceiver(p) }
+
+// Encounter is one presentation of a communication to a receiver.
+type Encounter = agent.Encounter
+
+// EncounterResult is the outcome of processing an encounter.
+type EncounterResult = agent.Result
+
+// PipelineStage identifies a framework processing stage.
+type PipelineStage = agent.Stage
+
+// Pipeline stages.
+const (
+	StageNone                 = agent.StageNone
+	StageDelivery             = agent.StageDelivery
+	StageAttentionSwitch      = agent.StageAttentionSwitch
+	StageAttentionMaintenance = agent.StageAttentionMaintenance
+	StageComprehension        = agent.StageComprehension
+	StageKnowledgeAcquisition = agent.StageKnowledgeAcquisition
+	StageKnowledgeRetention   = agent.StageKnowledgeRetention
+	StageKnowledgeTransfer    = agent.StageKnowledgeTransfer
+	StageAttitudesBeliefs     = agent.StageAttitudesBeliefs
+	StageMotivation           = agent.StageMotivation
+	StageCapabilities         = agent.StageCapabilities
+	StageBehavior             = agent.StageBehavior
+)
+
+// ReceiverModel holds the stage-probability calibration coefficients.
+type ReceiverModel = agent.Model
+
+// DefaultReceiverModel returns the calibrated defaults.
+func DefaultReceiverModel() *ReceiverModel { return agent.DefaultModel() }
+
+// Skill is trained topic knowledge.
+type Skill = agent.Skill
+
+// --- Behavior (internal/gems) ---
+
+// BehaviorTask describes a security-critical task design.
+type BehaviorTask = gems.Task
+
+// ErrorClass is the GEMS error taxonomy plus Norman's gulfs.
+type ErrorClass = gems.ErrorClass
+
+// Error classes (§2.4).
+const (
+	NoError        = gems.NoError
+	Mistake        = gems.Mistake
+	Lapse          = gems.Lapse
+	Slip           = gems.Slip
+	ExecutionGulf  = gems.ExecutionGulf
+	EvaluationGulf = gems.EvaluationGulf
+)
+
+// Preset behavior tasks.
+var (
+	SmartcardInsertion     = gems.SmartcardInsertion
+	WindowsFilePermissions = gems.WindowsFilePermissions
+	LeaveSuspiciousSite    = gems.LeaveSuspiciousSite
+	AttachmentJudgment     = gems.AttachmentJudgment
+)
+
+// GulfOfExecution measures the intention-to-mechanism gap for a task.
+func GulfOfExecution(t BehaviorTask, p Profile) float64 { return gems.GulfOfExecution(t, p) }
+
+// GulfOfEvaluation measures the state-to-understanding gap for a task.
+func GulfOfEvaluation(t BehaviorTask, p Profile) float64 { return gems.GulfOfEvaluation(t, p) }
+
+// --- Simulation engine (internal/sim) ---
+
+// Runner configures a Monte Carlo run.
+type Runner = sim.Runner
+
+// SimOutcome is one subject's result.
+type SimOutcome = sim.Outcome
+
+// SimResult aggregates a run.
+type SimResult = sim.Result
+
+// --- Case studies ---
+
+// PhishingStudy is the §3.1 single-encounter warning study.
+type PhishingStudy = phishing.Study
+
+// PhishingCondition is one warning arm.
+type PhishingCondition = phishing.Condition
+
+// PhishingCampaign is the longitudinal §3.1 simulation.
+type PhishingCampaign = phishing.Campaign
+
+// StandardPhishingConditions returns the four §3.1 warning conditions.
+func StandardPhishingConditions() []PhishingCondition { return phishing.StandardConditions() }
+
+// ComparePhishingConditions runs a study arm per condition.
+func ComparePhishingConditions(seed int64, n int, conds []PhishingCondition) ([]phishing.StudyResult, error) {
+	return phishing.CompareConditions(seed, n, conds)
+}
+
+// PasswordPolicy is an organizational password policy (§3.2).
+type PasswordPolicy = password.Policy
+
+// PasswordScenario is a §3.2 simulation configuration.
+type PasswordScenario = password.Scenario
+
+// PasswordTools are the §3.2 mitigation tools.
+type PasswordTools = password.Tools
+
+// Preset password policies.
+var (
+	BasicPasswordPolicy  = password.BasicPolicy
+	StrongPasswordPolicy = password.StrongPolicy
+)
+
+// --- Predictability (internal/predict) ---
+
+// PredictabilityAnalysis quantifies how exploitable a choice pattern is.
+type PredictabilityAnalysis = predict.Analysis
+
+// AnalyzePredictability analyzes a choice distribution (§2.4).
+func AnalyzePredictability(weights []float64) (PredictabilityAnalysis, error) {
+	return predict.Analyze(weights)
+}
+
+// Choice models from the §2.4 studies.
+type (
+	// FaceChoiceModel is the Davis et al. face-password model.
+	FaceChoiceModel = predict.FaceModel
+	// HotSpotChoiceModel is the Thorpe & van Oorschot click-point model.
+	HotSpotChoiceModel = predict.HotSpotModel
+	// MnemonicChoiceModel is the Kuo et al. phrase-password model.
+	MnemonicChoiceModel = predict.MnemonicModel
+)
+
+// --- Design patterns (internal/patterns, §5 future work) ---
+
+// DesignPattern is a named mitigation design pattern.
+type DesignPattern = patterns.Pattern
+
+// PatternRecommendation pairs a pattern with its measured effect.
+type PatternRecommendation = patterns.Recommendation
+
+// PatternCatalog returns the full §5 design-pattern catalog.
+func PatternCatalog() []DesignPattern { return patterns.Catalog() }
+
+// PatternByName looks up a catalog pattern.
+func PatternByName(name string) (DesignPattern, error) { return patterns.ByName(name) }
+
+// RecommendPatterns selects and ranks applicable patterns from a checklist
+// report by mean-field reliability gain.
+func RecommendPatterns(spec SystemSpec, rep *AnalysisReport, min Severity) ([]PatternRecommendation, error) {
+	return patterns.Recommend(spec, rep, min)
+}
+
+// ApplyPatterns applies every applicable pattern to the task in order,
+// returning the transformed task and the names applied.
+func ApplyPatterns(task HumanTask, ps []DesignPattern) (HumanTask, []string) {
+	return patterns.ApplyAll(task, ps)
+}
+
+// --- Memory substrate (internal/memory, §2.3.3) ---
+
+// MemoryModel holds the activation-equation parameters.
+type MemoryModel = memory.Model
+
+// MemoryStore tracks one person's memorized items.
+type MemoryStore = memory.Store
+
+// DefaultMemoryModel returns human-plausible memory parameters.
+func DefaultMemoryModel() MemoryModel { return memory.DefaultModel() }
+
+// NewMemoryStore creates a store for a person with the given memory
+// ability (Profile.MemoryCapacity).
+func NewMemoryStore(m MemoryModel, ability float64) (*MemoryStore, error) {
+	return memory.NewStore(m, ability)
+}
+
+// TrainingCadencePoint is one refresher-cadence evaluation.
+type TrainingCadencePoint = memory.CadencePoint
+
+// TrainingCadenceSweep evaluates refresher-training cadences over a
+// horizon (§2.3.3 retention planning).
+func TrainingCadenceSweep(m MemoryModel, ability float64, gaps []float64, horizonDays float64) ([]TrainingCadencePoint, error) {
+	return memory.CadenceSweep(m, ability, gaps, horizonDays)
+}
+
+// --- Synthetic user studies (internal/study) ---
+
+// StudyDesign is a between-subjects synthetic user study.
+type StudyDesign = study.Design
+
+// StudyArm is one condition of a StudyDesign.
+type StudyArm = study.Arm
+
+// StudyDataset is the per-subject output of a study run.
+type StudyDataset = study.Dataset
+
+// StudyRecord is one subject's row.
+type StudyRecord = study.Record
+
+// EgelmanReplication returns the ready-made §3.1 four-condition warning
+// study design.
+func EgelmanReplication(n int, seed int64) StudyDesign { return study.EgelmanReplication(n, seed) }
+
+// ReadStudyCSV parses a dataset written by StudyDataset.WriteCSV.
+func ReadStudyCSV(r io.Reader, designName string) (*StudyDataset, error) {
+	return study.ReadCSV(r, designName)
+}
+
+// --- C-HIP baseline (internal/chip) ---
+
+// CHIPStage is a stage of Wogalter's C-HIP model (Figure 3).
+type CHIPStage = chip.Stage
+
+// CHIPAttribution is how C-HIP would classify a framework failure.
+type CHIPAttribution = chip.Attribution
+
+// AttributeCHIP maps a framework failure stage to its C-HIP attribution,
+// showing which root causes the baseline model cannot represent.
+func AttributeCHIP(s PipelineStage) (CHIPAttribution, error) { return chip.Attribute(s) }

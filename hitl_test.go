@@ -1,0 +1,300 @@
+package hitl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The facade tests exercise the library exactly the way a downstream user
+// would: through the re-exported hitl API only.
+
+func TestFacadeAnalyzeQuickstart(t *testing.T) {
+	spec := SystemSpec{
+		Name: "quickstart",
+		Tasks: []HumanTask{{
+			ID:            "heed-warning",
+			Description:   "leave the suspicious site when warned",
+			Communication: IEPassiveWarning(),
+			Environment:   BusyEnvironment(),
+			Task:          LeaveSuspiciousSite(),
+			Population:    GeneralPublic(),
+		}},
+	}
+	rep, err := Analyze(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("expected findings for a passive warning")
+	}
+	if rep.MaxSeverity() < SeverityHigh {
+		t.Errorf("expected at least one high-severity finding, got max %v", rep.MaxSeverity())
+	}
+	rel, err := EstimateReliability(spec.Tasks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel > 0.4 {
+		t.Errorf("passive warning reliability %v suspiciously high", rel)
+	}
+}
+
+func TestFacadeProcess(t *testing.T) {
+	spec := SystemSpec{
+		Name: "quickstart",
+		Tasks: []HumanTask{{
+			ID:                    "heed-warning",
+			Communication:         IEPassiveWarning(),
+			Environment:           BusyEnvironment(),
+			Task:                  LeaveSuspiciousSite(),
+			Population:            GeneralPublic(),
+			AutomationFeasibility: 0.8,
+			AutomationQuality:     0.9,
+		}},
+	}
+	res, err := RunProcess(spec, ProcessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Passes) == 0 {
+		t.Fatal("no passes")
+	}
+	if len(res.Passes[0].Mitigations) == 0 {
+		t.Error("expected mitigations on pass 1")
+	}
+}
+
+func TestFacadeReceiver(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewReceiver(GeneralPublic().Sample(rng))
+	res, err := r.Process(rng, Encounter{
+		Comm:          FirefoxActiveWarning(),
+		Env:           QuietEnvironment(),
+		HazardPresent: true,
+		Task:          LeaveSuspiciousSite(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Error("empty trace")
+	}
+}
+
+func TestFacadeCommunicationAdvice(t *testing.T) {
+	rec, err := AdviseCommunication(Hazard{Severity: 0.9, EncounterRate: 0.3, UserActionNecessity: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != Warning {
+		t.Errorf("kind = %v, want warning", rec.Kind)
+	}
+}
+
+func TestFacadeCHIP(t *testing.T) {
+	att, err := AttributeCHIP(StageCapabilities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Representable {
+		t.Error("capabilities must be unrepresentable in C-HIP")
+	}
+}
+
+func TestFacadePredictability(t *testing.T) {
+	m := HotSpotChoiceModel{Cells: 100, HotSpots: 5, HotMass: 0.5}
+	w, err := m.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzePredictability(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MedianWorkReduction < 5 {
+		t.Errorf("median work reduction %v", a.MedianWorkReduction)
+	}
+}
+
+func TestFacadeGulfs(t *testing.T) {
+	prof := GeneralPublic().MeanProfile()
+	if GulfOfExecution(SmartcardInsertion(), prof) <= GulfOfExecution(LeaveSuspiciousSite(), prof) {
+		t.Error("smartcard execution gulf must exceed leave-site")
+	}
+	if GulfOfEvaluation(WindowsFilePermissions(), prof) <= GulfOfEvaluation(LeaveSuspiciousSite(), prof) {
+		t.Error("XP permissions evaluation gulf must exceed leave-site")
+	}
+}
+
+func TestFacadeCaseStudies(t *testing.T) {
+	results, err := ComparePhishingConditions(5, 800, StandardPhishingConditions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results", len(results))
+	}
+	sc := PasswordScenario{
+		Policy: StrongPasswordPolicy(), Accounts: 10, DurationDays: 365, N: 500, Seed: 6,
+	}
+	m, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ComplianceRate < 0 || m.ComplianceRate > 1 {
+		t.Errorf("compliance %v", m.ComplianceRate)
+	}
+}
+
+func TestFacadeComponents(t *testing.T) {
+	if len(Components()) != 15 {
+		t.Errorf("components = %d", len(Components()))
+	}
+	if len(FrameworkGraph()) == 0 {
+		t.Error("empty framework graph")
+	}
+}
+
+// TestMeanFieldTracksMonteCarlo cross-validates the two reasoning modes the
+// library offers: the analyzer's deterministic mean-field reliability
+// estimate must track the Monte Carlo heed rate for every preset warning,
+// within a tolerance that accounts for population heterogeneity (Jensen
+// gaps).
+func TestMeanFieldTracksMonteCarlo(t *testing.T) {
+	for i, comm := range []Communication{
+		FirefoxActiveWarning(), IEActiveWarning(), IEPassiveWarning(), ToolbarPassiveIndicator(),
+	} {
+		task := HumanTask{
+			ID:            "heed-" + comm.ID,
+			Communication: comm,
+			Environment:   BusyEnvironment(),
+			Task:          LeaveSuspiciousSite(),
+			Population:    GeneralPublic(),
+		}
+		mf, err := EstimateReliability(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		heeded := 0
+		const n = 3000
+		for s := 0; s < n; s++ {
+			r := NewReceiver(task.Population.Sample(rng))
+			res, err := r.Process(rng, Encounter{
+				Comm: comm, Env: task.Environment, HazardPresent: true, Task: task.Task,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Heeded {
+				heeded++
+			}
+		}
+		mc := float64(heeded) / n
+		if diff := mf - mc; diff > 0.15 || diff < -0.15 {
+			t.Errorf("%s: mean-field %.3f vs Monte Carlo %.3f diverge by %.3f", comm.ID, mf, mc, diff)
+		}
+		t.Logf("%-16s mean-field %.3f, Monte Carlo %.3f", comm.ID, mf, mc)
+	}
+}
+
+func TestFacadeWrapperCoverage(t *testing.T) {
+	// Exercise the thin wrappers end to end.
+	if len(PatternCatalog()) < 12 {
+		t.Error("pattern catalog too small")
+	}
+	p, err := PatternByName("forced-path")
+	if err != nil || p.Name != "forced-path" {
+		t.Errorf("PatternByName: %v", err)
+	}
+	task := HumanTask{
+		ID:            "t",
+		Communication: IEPassiveWarning(),
+		Environment:   BusyEnvironment(),
+		Task:          LeaveSuspiciousSite(),
+		Population:    GeneralPublic(),
+	}
+	out, applied := ApplyPatterns(task, PatternCatalog())
+	if len(applied) == 0 {
+		t.Error("no patterns applied to a weak task")
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("ApplyPatterns produced invalid task: %v", err)
+	}
+	// Mitigate via the facade.
+	rep, err := Analyze(SystemSpec{Name: "s", Tasks: []HumanTask{task}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mitigated := false
+	for _, f := range rep.FindingsFor("t") {
+		if _, _, ok := Mitigate(task, f); ok {
+			mitigated = true
+			break
+		}
+	}
+	if !mitigated {
+		t.Error("no catalog mitigation applied")
+	}
+	// Receiver model knobs.
+	m := DefaultReceiverModel()
+	if m.HabituationRate <= 0 {
+		t.Error("default model has no habituation")
+	}
+	// Memory store via the facade.
+	st, err := NewMemoryStore(DefaultMemoryModel(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Practice("x", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p := st.PRecall("x", 7, 0); p <= 0 || p >= 1 {
+		t.Errorf("recall probability %v", p)
+	}
+	// Study round trip via the facade.
+	ds, err := EgelmanReplication(100, 5).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadStudyCSV(&buf, ds.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(ds.Records) {
+		t.Error("study CSV round-trip lost records")
+	}
+}
+
+func TestFacadeAdversarial(t *testing.T) {
+	task := HumanTask{
+		ID:            "t",
+		Communication: FirefoxActiveWarning(),
+		Environment:   BusyEnvironment(),
+		Task:          LeaveSuspiciousSite(),
+		Population:    GeneralPublic(),
+		Threats: []Interference{
+			{Kind: InterferenceSpoof, Strength: 1, Description: "chrome spoof"},
+			{Kind: InterferenceDelay, Strength: 0.2, Description: "slow feed"},
+		},
+	}
+	under, err := EstimateReliabilityUnder(task, task.Threats[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if under != 0 {
+		t.Errorf("spoofed reliability = %v", under)
+	}
+	impacts, err := WorstCaseThreat(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impacts[0].Threat.Kind != InterferenceSpoof {
+		t.Errorf("worst threat = %v, want spoof", impacts[0].Threat.Kind)
+	}
+}

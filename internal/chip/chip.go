@@ -1,0 +1,188 @@
+// Package chip implements Wogalter's Communication-Human Information
+// Processing (C-HIP) model (Figure 3 of the paper) as the baseline the
+// human-in-the-loop framework extends, and the differential attribution
+// that demonstrates the extension's value.
+//
+// C-HIP models a warning flowing from a source through a channel to a
+// receiver, in competition with environmental stimuli; the receiver passes
+// through attention switch, attention maintenance, comprehension/memory,
+// attitudes/beliefs, and motivation before behavior. The paper's framework
+// adds, on top of C-HIP: an interference component (active attackers and
+// technology failures), a capabilities component, the knowledge
+// acquisition/retention/transfer split, and generalization to five
+// communication types. Attribute shows which root causes C-HIP can and
+// cannot represent.
+package chip
+
+import (
+	"fmt"
+
+	"hitl/internal/agent"
+)
+
+// Stage is a C-HIP model stage.
+type Stage int
+
+// C-HIP stages in model order (Wogalter 2006).
+const (
+	// StageSource is the originator of the warning.
+	StageSource Stage = iota
+	// StageChannel is the medium carrying the warning.
+	StageChannel
+	// StageEnvironmentalStimuli competes with the warning for attention.
+	StageEnvironmentalStimuli
+	// StageAttentionSwitch: the receiver notices the warning.
+	StageAttentionSwitch
+	// StageAttentionMaintenance: the receiver keeps attending to it.
+	StageAttentionMaintenance
+	// StageComprehensionMemory: the receiver understands and remembers it.
+	StageComprehensionMemory
+	// StageAttitudesBeliefs: the receiver believes it.
+	StageAttitudesBeliefs
+	// StageMotivation: the receiver is energized to comply.
+	StageMotivation
+	// StageBehavior: the receiver acts.
+	StageBehavior
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageSource:
+		return "source"
+	case StageChannel:
+		return "channel"
+	case StageEnvironmentalStimuli:
+		return "environmental-stimuli"
+	case StageAttentionSwitch:
+		return "attention-switch"
+	case StageAttentionMaintenance:
+		return "attention-maintenance"
+	case StageComprehensionMemory:
+		return "comprehension-memory"
+	case StageAttitudesBeliefs:
+		return "attitudes-beliefs"
+	case StageMotivation:
+		return "motivation"
+	case StageBehavior:
+		return "behavior"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// Stages lists the C-HIP stages in model order.
+func Stages() []Stage {
+	return []Stage{StageSource, StageChannel, StageEnvironmentalStimuli,
+		StageAttentionSwitch, StageAttentionMaintenance, StageComprehensionMemory,
+		StageAttitudesBeliefs, StageMotivation, StageBehavior}
+}
+
+// Attribution is how a C-HIP analyst would classify a failure whose true
+// root cause is known (from the richer hitl trace).
+type Attribution struct {
+	// Stage is the C-HIP stage the failure would be filed under.
+	Stage Stage
+	// Representable reports whether C-HIP can express the true root cause
+	// at all. False for attacker interference (no interference component)
+	// and capability shortfalls (no capabilities component) — the two
+	// components the paper adds for the computer-security context.
+	Representable bool
+	// Exact reports whether the C-HIP stage pinpoints the cause at the same
+	// granularity. False where the framework's finer distinctions
+	// (acquisition vs retention vs transfer) collapse into C-HIP's single
+	// comprehension/memory box.
+	Exact bool
+}
+
+// Attribute maps a framework failure stage to its C-HIP attribution.
+func Attribute(s agent.Stage) (Attribution, error) {
+	switch s {
+	case agent.StageDelivery:
+		// An attacker blocking/spoofing the warning, or a technology
+		// failure, is invisible to C-HIP: the analyst sees only that the
+		// channel did not deliver.
+		return Attribution{Stage: StageChannel, Representable: false, Exact: false}, nil
+	case agent.StageAttentionSwitch:
+		return Attribution{Stage: StageAttentionSwitch, Representable: true, Exact: true}, nil
+	case agent.StageAttentionMaintenance:
+		return Attribution{Stage: StageAttentionMaintenance, Representable: true, Exact: true}, nil
+	case agent.StageComprehension:
+		return Attribution{Stage: StageComprehensionMemory, Representable: true, Exact: true}, nil
+	case agent.StageKnowledgeAcquisition,
+		agent.StageKnowledgeRetention,
+		agent.StageKnowledgeTransfer:
+		// C-HIP folds these into one comprehension/memory stage; the
+		// framework's split is what makes training/policy failures
+		// diagnosable.
+		return Attribution{Stage: StageComprehensionMemory, Representable: true, Exact: false}, nil
+	case agent.StageAttitudesBeliefs:
+		return Attribution{Stage: StageAttitudesBeliefs, Representable: true, Exact: true}, nil
+	case agent.StageMotivation:
+		return Attribution{Stage: StageMotivation, Representable: true, Exact: true}, nil
+	case agent.StageCapabilities:
+		// C-HIP has no capabilities component: a user who *cannot* comply
+		// looks identical to one who would not (a behavior failure).
+		return Attribution{Stage: StageBehavior, Representable: false, Exact: false}, nil
+	case agent.StageBehavior:
+		return Attribution{Stage: StageBehavior, Representable: true, Exact: true}, nil
+	default:
+		return Attribution{}, fmt.Errorf("chip: cannot attribute stage %v", s)
+	}
+}
+
+// DifferentialRow is one root cause compared across the two models.
+type DifferentialRow struct {
+	// RootCause is the true failure stage from the framework trace.
+	RootCause agent.Stage
+	// Count is how many observed failures had this root cause.
+	Count int
+	// CHIP is where C-HIP files them.
+	CHIP Attribution
+}
+
+// Differential builds the model-comparison table for a set of failures
+// counted by true root cause, in framework stage order. Stages with zero
+// count are omitted.
+func Differential(failures map[agent.Stage]int) ([]DifferentialRow, error) {
+	var rows []DifferentialRow
+	for _, s := range agent.Stages() {
+		n := failures[s]
+		if n == 0 {
+			continue
+		}
+		att, err := Attribute(s)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DifferentialRow{RootCause: s, Count: n, CHIP: att})
+	}
+	return rows, nil
+}
+
+// Summary aggregates a differential: how many failures C-HIP attributes to
+// the right place, how many it mis-files coarsely, and how many it cannot
+// represent at all.
+type Summary struct {
+	Total              int
+	ExactlyAttributed  int
+	CoarselyAttributed int
+	Unrepresentable    int
+}
+
+// Summarize computes the attribution summary for a differential table.
+func Summarize(rows []DifferentialRow) Summary {
+	var s Summary
+	for _, r := range rows {
+		s.Total += r.Count
+		switch {
+		case !r.CHIP.Representable:
+			s.Unrepresentable += r.Count
+		case !r.CHIP.Exact:
+			s.CoarselyAttributed += r.Count
+		default:
+			s.ExactlyAttributed += r.Count
+		}
+	}
+	return s
+}

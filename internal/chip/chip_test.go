@@ -1,0 +1,137 @@
+package chip
+
+import (
+	"strings"
+	"testing"
+
+	"hitl/internal/agent"
+)
+
+func TestStageStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Stages() {
+		str := s.String()
+		if str == "" || strings.HasPrefix(str, "Stage(") {
+			t.Errorf("stage %d unnamed", int(s))
+		}
+		if seen[str] {
+			t.Errorf("duplicate stage name %q", str)
+		}
+		seen[str] = true
+	}
+	if len(Stages()) != 9 {
+		t.Errorf("C-HIP has %d stages, want 9", len(Stages()))
+	}
+	if s := Stage(99).String(); s != "Stage(99)" {
+		t.Errorf("unknown stage = %q", s)
+	}
+}
+
+func TestAttributeCoversAllFrameworkStages(t *testing.T) {
+	for _, s := range agent.Stages() {
+		if _, err := Attribute(s); err != nil {
+			t.Errorf("stage %v unattributable: %v", s, err)
+		}
+	}
+	if _, err := Attribute(agent.StageNone); err == nil {
+		t.Error("StageNone should not be attributable")
+	}
+}
+
+func TestPaperAdditionsAreUnrepresentable(t *testing.T) {
+	// The paper's §4 claim: interference and capabilities were *added* to
+	// C-HIP because computer security needs them.
+	for _, s := range []agent.Stage{agent.StageDelivery, agent.StageCapabilities} {
+		att, err := Attribute(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if att.Representable {
+			t.Errorf("%v must be unrepresentable in C-HIP", s)
+		}
+	}
+	// Everything else the framework kept from C-HIP stays representable.
+	for _, s := range []agent.Stage{agent.StageAttentionSwitch, agent.StageAttentionMaintenance,
+		agent.StageComprehension, agent.StageAttitudesBeliefs, agent.StageMotivation,
+		agent.StageBehavior} {
+		att, err := Attribute(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !att.Representable || !att.Exact {
+			t.Errorf("%v should be exactly representable in C-HIP, got %+v", s, att)
+		}
+	}
+}
+
+func TestKnowledgeStagesCollapse(t *testing.T) {
+	// Acquisition, retention, and transfer all collapse into C-HIP's single
+	// comprehension/memory stage — representable but not exact.
+	for _, s := range []agent.Stage{agent.StageKnowledgeAcquisition,
+		agent.StageKnowledgeRetention, agent.StageKnowledgeTransfer} {
+		att, err := Attribute(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if att.Stage != StageComprehensionMemory {
+			t.Errorf("%v should map to comprehension-memory, got %v", s, att.Stage)
+		}
+		if !att.Representable || att.Exact {
+			t.Errorf("%v should be coarsely representable, got %+v", s, att)
+		}
+	}
+}
+
+func TestCapabilitiesLooksLikeBehavior(t *testing.T) {
+	att, err := Attribute(agent.StageCapabilities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Stage != StageBehavior {
+		t.Errorf("capability failures should be mis-filed under behavior in C-HIP, got %v", att.Stage)
+	}
+}
+
+func TestDifferentialAndSummary(t *testing.T) {
+	failures := map[agent.Stage]int{
+		agent.StageDelivery:           10, // attacker interference
+		agent.StageAttentionSwitch:    30,
+		agent.StageKnowledgeRetention: 15,
+		agent.StageCapabilities:       25,
+		agent.StageMotivation:         20,
+	}
+	rows, err := Differential(failures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	// Rows come out in framework stage order.
+	if rows[0].RootCause != agent.StageDelivery || rows[4].RootCause != agent.StageCapabilities {
+		t.Errorf("rows out of order: first %v, last %v", rows[0].RootCause, rows[4].RootCause)
+	}
+	s := Summarize(rows)
+	if s.Total != 100 {
+		t.Errorf("total = %d, want 100", s.Total)
+	}
+	if s.Unrepresentable != 35 { // delivery 10 + capabilities 25
+		t.Errorf("unrepresentable = %d, want 35", s.Unrepresentable)
+	}
+	if s.CoarselyAttributed != 15 { // retention
+		t.Errorf("coarse = %d, want 15", s.CoarselyAttributed)
+	}
+	if s.ExactlyAttributed != 50 { // attention 30 + motivation 20
+		t.Errorf("exact = %d, want 50", s.ExactlyAttributed)
+	}
+}
+
+func TestDifferentialSkipsZeroCounts(t *testing.T) {
+	rows, err := Differential(map[agent.Stage]int{agent.StageBehavior: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("zero counts should be omitted, got %d rows", len(rows))
+	}
+}

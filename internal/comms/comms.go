@@ -1,0 +1,300 @@
+// Package comms models security communications: the five types the
+// human-in-the-loop framework distinguishes (warnings, notices, status
+// indicators, training, and policies), their position on the active–passive
+// spectrum, and the design attributes that drive every downstream
+// information-processing stage (clarity, instruction specificity, salience,
+// look-alike similarity, length, channel, ...).
+//
+// It also implements the §2.1 design guidance as an Advisor that recommends
+// a communication type and activeness level from the hazard profile
+// (severity, encounter frequency, and how necessary user action is).
+package comms
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind is one of the five types of security communications (§2.1).
+type Kind int
+
+// The five communication types.
+const (
+	// Warning alerts users to take immediate action to avoid a hazard.
+	Warning Kind = iota
+	// Notice informs users about characteristics of an entity or object
+	// (privacy policies, SSL certificates).
+	Notice
+	// StatusIndicator reports system status with a small number of states
+	// (Bluetooth on/off, AV freshness, file permissions).
+	StatusIndicator
+	// Training teaches users about threats and how to respond (tutorials,
+	// games, courses, manuals).
+	Training
+	// Policy documents rules users are expected to comply with (password
+	// policies, encryption mandates).
+	Policy
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Warning:
+		return "warning"
+	case Notice:
+		return "notice"
+	case StatusIndicator:
+		return "status indicator"
+	case Training:
+		return "training"
+	case Policy:
+		return "policy"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists all communication kinds in declaration order.
+func Kinds() []Kind {
+	return []Kind{Warning, Notice, StatusIndicator, Training, Policy}
+}
+
+// Channel is the medium through which a communication reaches the receiver.
+type Channel int
+
+// Supported delivery channels.
+const (
+	ChannelDialog   Channel = iota // modal or pop-up dialog
+	ChannelChrome                  // browser/application chrome (address bar, lock icon)
+	ChannelToolbar                 // add-on toolbar indicator
+	ChannelInline                  // in-page / in-document banner
+	ChannelEmail                   // email message
+	ChannelDocument                // handbook, memo, terms of service
+	ChannelCourse                  // seminar, tutorial, game
+	ChannelAudio                   // audible alert
+)
+
+// String returns a short channel name.
+func (c Channel) String() string {
+	switch c {
+	case ChannelDialog:
+		return "dialog"
+	case ChannelChrome:
+		return "chrome"
+	case ChannelToolbar:
+		return "toolbar"
+	case ChannelInline:
+		return "inline"
+	case ChannelEmail:
+		return "email"
+	case ChannelDocument:
+		return "document"
+	case ChannelCourse:
+		return "course"
+	case ChannelAudio:
+		return "audio"
+	default:
+		return fmt.Sprintf("Channel(%d)", int(c))
+	}
+}
+
+// Design captures the attributes of a communication that the framework's
+// information-processing stages depend on. All fields except the booleans
+// and DelaySeconds are normalized to [0, 1].
+type Design struct {
+	// Activeness places the communication on the active–passive spectrum:
+	// 0 is fully passive (a color change in an icon), 1 fully active (the
+	// primary task cannot proceed until the user responds).
+	Activeness float64
+	// Salience is visual/auditory prominence independent of interruption:
+	// size, contrast, animation, sound.
+	Salience float64
+	// Clarity measures jargon-free plain language and familiar symbols.
+	Clarity float64
+	// InstructionSpecificity measures how concretely the communication says
+	// what to do to avoid the hazard (good warnings include specific
+	// instructions, §2.3.2).
+	InstructionSpecificity float64
+	// Explanation measures how well the communication explains *why* — the
+	// risk context that lets users make an informed choice (§3.1 mitigation).
+	Explanation float64
+	// LookAlike is the similarity to frequently-seen benign communications
+	// (e.g. an anti-phishing page that resembles a 404 page). High values
+	// invite mistaken identity and dilute perceived importance.
+	LookAlike float64
+	// Length is reading/processing burden: 0 glanceable, 1 a long document.
+	Length float64
+	// Interactivity measures involvement during training (§2.3.3);
+	// meaningful mainly for Training communications.
+	Interactivity float64
+	// Polymorphic reports whether the communication deliberately varies its
+	// appearance across exposures to resist habituation (a §5-style design
+	// pattern: familiarity cannot build on a stable stimulus).
+	Polymorphic bool
+	// BlocksPrimaryTask reports whether the user cannot continue the primary
+	// task without responding (the extreme active end of the spectrum).
+	BlocksPrimaryTask bool
+	// DelaySeconds is how long after the triggering event the communication
+	// appears (the IE7 passive warning loaded seconds after the page).
+	DelaySeconds float64
+	// DismissedByPrimaryTask reports whether ordinary primary-task input
+	// dismisses the communication before the user necessarily saw it
+	// (typing into a form dismissed the IE7 passive warning).
+	DismissedByPrimaryTask bool
+}
+
+// Hazard describes the hazard a communication addresses, using the three
+// factors §2.1 says should drive communication-type choice.
+type Hazard struct {
+	// Severity of the hazard in [0, 1].
+	Severity float64
+	// EncounterRate is how often a typical user encounters the hazard (and
+	// hence the communication), in expected encounters per week. Drives
+	// habituation.
+	EncounterRate float64
+	// UserActionNecessity is the extent to which appropriate user action is
+	// necessary to avoid the hazard, in [0, 1]. 0 means the system can
+	// handle it; 1 means only the user can avert it.
+	UserActionNecessity float64
+}
+
+// Communication is a concrete security communication an actual system
+// presents to its users.
+type Communication struct {
+	// ID identifies the communication in specs, traces, and reports.
+	ID string
+	// Topic groups communications about the same threat class (e.g.
+	// "phishing", "passwords") so that training on a topic improves mental
+	// models and knowledge for that topic's warnings and policies.
+	Topic string
+	// Kind is the communication type.
+	Kind Kind
+	// Channel is the delivery medium.
+	Channel Channel
+	// Design holds the presentation attributes.
+	Design Design
+	// Hazard describes what the communication protects against.
+	Hazard Hazard
+	// FalsePositiveRate is the fraction of times the communication fires
+	// when no hazard exists. It erodes trust (§2.3.5).
+	FalsePositiveRate float64
+	// Message is optional human-readable content, used in reports.
+	Message string
+}
+
+func inUnit(v float64) bool { return v >= 0 && v <= 1 }
+
+// Validate checks that all normalized fields are within range and the
+// communication is internally consistent. It returns a descriptive error
+// for the first violation found.
+func (c *Communication) Validate() error {
+	if c.ID == "" {
+		return errors.New("comms: communication has empty ID")
+	}
+	if c.Kind < Warning || c.Kind > Policy {
+		return fmt.Errorf("comms: %s: invalid kind %d", c.ID, int(c.Kind))
+	}
+	d := c.Design
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Activeness", d.Activeness},
+		{"Salience", d.Salience},
+		{"Clarity", d.Clarity},
+		{"InstructionSpecificity", d.InstructionSpecificity},
+		{"Explanation", d.Explanation},
+		{"LookAlike", d.LookAlike},
+		{"Length", d.Length},
+		{"Interactivity", d.Interactivity},
+		{"Hazard.Severity", c.Hazard.Severity},
+		{"Hazard.UserActionNecessity", c.Hazard.UserActionNecessity},
+		{"FalsePositiveRate", c.FalsePositiveRate},
+	} {
+		if !inUnit(f.v) {
+			return fmt.Errorf("comms: %s: %s = %v out of [0,1]", c.ID, f.name, f.v)
+		}
+	}
+	if d.DelaySeconds < 0 {
+		return fmt.Errorf("comms: %s: DelaySeconds = %v negative", c.ID, d.DelaySeconds)
+	}
+	if c.Hazard.EncounterRate < 0 {
+		return fmt.Errorf("comms: %s: Hazard.EncounterRate = %v negative", c.ID, c.Hazard.EncounterRate)
+	}
+	if d.BlocksPrimaryTask && d.Activeness < 0.8 {
+		return fmt.Errorf("comms: %s: BlocksPrimaryTask requires Activeness >= 0.8, got %v", c.ID, d.Activeness)
+	}
+	return nil
+}
+
+// IsActive reports whether the communication sits on the active half of the
+// spectrum (it interrupts the user rather than waiting to be found).
+func (c *Communication) IsActive() bool { return c.Design.Activeness >= 0.5 }
+
+// Recommendation is the Advisor's output: a communication type, a target
+// activeness, and the rationale, per the §2.1 guidance.
+type Recommendation struct {
+	Kind       Kind
+	Activeness float64
+	// PairWithTraining suggests linking the communication to training
+	// materials (recommended for severe hazards needing user action).
+	PairWithTraining bool
+	Rationale        string
+}
+
+// Advise recommends a communication type and activeness for a hazard,
+// implementing the §2.1 guidance: severe hazards where user action is
+// critical warrant active warnings (with links to training); frequent or
+// low-risk hazards, or hazards users cannot act on, warrant passive notices
+// or status indicators so that habituation does not poison more severe
+// warnings.
+func Advise(h Hazard) (Recommendation, error) {
+	if !inUnit(h.Severity) || !inUnit(h.UserActionNecessity) || h.EncounterRate < 0 {
+		return Recommendation{}, fmt.Errorf("comms: invalid hazard %+v", h)
+	}
+	const frequentPerWeek = 5
+	switch {
+	case h.UserActionNecessity < 0.2:
+		return Recommendation{
+			Kind:       StatusIndicator,
+			Activeness: 0.1,
+			Rationale: "user action is not necessary to avoid the hazard; " +
+				"interrupting users would only breed habituation — expose state passively",
+		}, nil
+	case h.Severity >= 0.6 && h.UserActionNecessity >= 0.6:
+		act := 0.9
+		if h.EncounterRate > frequentPerWeek {
+			// Even severe hazards encountered constantly need care: blocking
+			// users many times a day trains them to click through.
+			act = 0.75
+		}
+		return Recommendation{
+			Kind:             Warning,
+			Activeness:       act,
+			PairWithTraining: true,
+			Rationale: "severe hazard and user action is critical; use an active " +
+				"warning with specific avoidance instructions and links to training",
+		}, nil
+	case h.Severity < 0.3 && h.EncounterRate > frequentPerWeek:
+		return Recommendation{
+			Kind:       Notice,
+			Activeness: 0.2,
+			Rationale: "frequent low-risk hazard; frequent active warnings would " +
+				"habituate users and dull their response to severe warnings — prefer " +
+				"a passive notice useful to expert users",
+		}, nil
+	case h.Severity < 0.3:
+		return Recommendation{
+			Kind:       Notice,
+			Activeness: 0.3,
+			Rationale:  "low-risk hazard; provide information without interruption",
+		}, nil
+	default:
+		return Recommendation{
+			Kind:       Warning,
+			Activeness: 0.6,
+			Rationale: "moderate hazard; a non-blocking active warning balances " +
+				"attention capture against habituation",
+		}, nil
+	}
+}

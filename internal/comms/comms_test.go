@@ -1,0 +1,247 @@
+package comms
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		Warning:         "warning",
+		Notice:          "notice",
+		StatusIndicator: "status indicator",
+		Training:        "training",
+		Policy:          "policy",
+		Kind(99):        "Kind(99)",
+	}
+	for k, s := range want {
+		if got := k.String(); got != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, s)
+		}
+	}
+	if len(Kinds()) != 5 {
+		t.Errorf("Kinds() = %v, want 5 kinds", Kinds())
+	}
+}
+
+func TestChannelString(t *testing.T) {
+	for _, c := range []Channel{ChannelDialog, ChannelChrome, ChannelToolbar,
+		ChannelInline, ChannelEmail, ChannelDocument, ChannelCourse, ChannelAudio} {
+		if s := c.String(); s == "" || strings.HasPrefix(s, "Channel(") {
+			t.Errorf("channel %d has no name", int(c))
+		}
+	}
+	if s := Channel(42).String(); s != "Channel(42)" {
+		t.Errorf("unknown channel = %q", s)
+	}
+}
+
+func validComm() Communication {
+	return Communication{
+		ID:      "test",
+		Kind:    Warning,
+		Channel: ChannelDialog,
+		Design: Design{
+			Activeness: 0.9,
+			Salience:   0.5,
+			Clarity:    0.5,
+		},
+		Hazard: Hazard{Severity: 0.5, EncounterRate: 1, UserActionNecessity: 0.5},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	c := validComm()
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid communication rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Communication)
+		substr string
+	}{
+		{"empty id", func(c *Communication) { c.ID = "" }, "empty ID"},
+		{"bad kind", func(c *Communication) { c.Kind = Kind(9) }, "invalid kind"},
+		{"activeness", func(c *Communication) { c.Design.Activeness = 1.5 }, "Activeness"},
+		{"clarity negative", func(c *Communication) { c.Design.Clarity = -0.1 }, "Clarity"},
+		{"severity", func(c *Communication) { c.Hazard.Severity = 2 }, "Severity"},
+		{"fp rate", func(c *Communication) { c.FalsePositiveRate = 1.2 }, "FalsePositiveRate"},
+		{"delay", func(c *Communication) { c.Design.DelaySeconds = -1 }, "DelaySeconds"},
+		{"encounter", func(c *Communication) { c.Hazard.EncounterRate = -1 }, "EncounterRate"},
+		{"blocking-passive", func(c *Communication) {
+			c.Design.BlocksPrimaryTask = true
+			c.Design.Activeness = 0.3
+		}, "BlocksPrimaryTask"},
+		{"nan", func(c *Communication) { c.Design.Salience = math.NaN() }, "Salience"},
+	}
+	for _, tc := range cases {
+		c := validComm()
+		tc.mutate(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.substr)
+		}
+	}
+}
+
+func TestIsActive(t *testing.T) {
+	c := validComm()
+	if !c.IsActive() {
+		t.Error("activeness 0.9 should be active")
+	}
+	c.Design.Activeness = 0.2
+	if c.IsActive() {
+		t.Error("activeness 0.2 should be passive")
+	}
+}
+
+func TestAdviseSevereActionable(t *testing.T) {
+	rec, err := Advise(Hazard{Severity: 0.9, EncounterRate: 0.5, UserActionNecessity: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != Warning {
+		t.Errorf("severe actionable hazard: kind = %v, want warning", rec.Kind)
+	}
+	if rec.Activeness < 0.8 {
+		t.Errorf("severe actionable hazard: activeness = %v, want >= 0.8", rec.Activeness)
+	}
+	if !rec.PairWithTraining {
+		t.Error("severe actionable hazard should pair with training")
+	}
+}
+
+func TestAdviseSevereButFrequent(t *testing.T) {
+	rare, _ := Advise(Hazard{Severity: 0.9, EncounterRate: 0.5, UserActionNecessity: 0.9})
+	freq, err := Advise(Hazard{Severity: 0.9, EncounterRate: 20, UserActionNecessity: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freq.Activeness >= rare.Activeness {
+		t.Errorf("frequent severe hazard should be less blocking: %v vs %v",
+			freq.Activeness, rare.Activeness)
+	}
+}
+
+func TestAdviseNoUserAction(t *testing.T) {
+	rec, err := Advise(Hazard{Severity: 0.9, EncounterRate: 1, UserActionNecessity: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != StatusIndicator {
+		t.Errorf("non-actionable hazard: kind = %v, want status indicator", rec.Kind)
+	}
+	if rec.Activeness > 0.3 {
+		t.Errorf("non-actionable hazard should be passive, got activeness %v", rec.Activeness)
+	}
+}
+
+func TestAdviseFrequentLowRisk(t *testing.T) {
+	rec, err := Advise(Hazard{Severity: 0.1, EncounterRate: 30, UserActionNecessity: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != Notice {
+		t.Errorf("frequent low-risk hazard: kind = %v, want notice", rec.Kind)
+	}
+	if rec.Activeness >= 0.5 {
+		t.Errorf("frequent low-risk hazard must be passive, got %v", rec.Activeness)
+	}
+	if !strings.Contains(rec.Rationale, "habituat") {
+		t.Errorf("rationale should mention habituation: %q", rec.Rationale)
+	}
+}
+
+func TestAdviseModerate(t *testing.T) {
+	rec, err := Advise(Hazard{Severity: 0.5, EncounterRate: 1, UserActionNecessity: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != Warning {
+		t.Errorf("moderate hazard: kind = %v, want warning", rec.Kind)
+	}
+}
+
+func TestAdviseInvalid(t *testing.T) {
+	if _, err := Advise(Hazard{Severity: 2}); err == nil {
+		t.Error("invalid severity: want error")
+	}
+	if _, err := Advise(Hazard{Severity: 0.5, EncounterRate: -1}); err == nil {
+		t.Error("negative encounter rate: want error")
+	}
+}
+
+// Property: Advise always yields a valid kind, activeness in [0,1], and a
+// non-empty rationale for every valid hazard.
+func TestAdviseProperties(t *testing.T) {
+	f := func(sev, freq, act float64) bool {
+		h := Hazard{
+			Severity:            math.Abs(math.Mod(sev, 1)),
+			EncounterRate:       math.Abs(math.Mod(freq, 50)),
+			UserActionNecessity: math.Abs(math.Mod(act, 1)),
+		}
+		rec, err := Advise(h)
+		if err != nil {
+			return false
+		}
+		return rec.Kind >= Warning && rec.Kind <= Policy &&
+			rec.Activeness >= 0 && rec.Activeness <= 1 &&
+			rec.Rationale != ""
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPresetsAllValid(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 7 {
+		t.Fatalf("got %d presets, want 7", len(ps))
+	}
+	for id, c := range ps {
+		if err := c.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", id, err)
+		}
+		if c.ID != id {
+			t.Errorf("preset map key %q != ID %q", id, c.ID)
+		}
+	}
+}
+
+func TestPresetDesignRelationships(t *testing.T) {
+	// The presets must encode the paper's qualitative design comparisons.
+	ff := FirefoxActiveWarning()
+	iea := IEActiveWarning()
+	iep := IEPassiveWarning()
+	tb := ToolbarPassiveIndicator()
+	lock := SSLLockIndicator()
+
+	if !ff.IsActive() || !iea.IsActive() {
+		t.Error("Firefox and IE active warnings must be active")
+	}
+	if iep.IsActive() || tb.IsActive() || lock.IsActive() {
+		t.Error("IE passive, toolbar, and SSL lock must be passive")
+	}
+	if ff.Design.LookAlike >= iea.Design.LookAlike {
+		t.Error("Firefox warning must look less like routine warnings than IE's")
+	}
+	if !iep.Design.DismissedByPrimaryTask || iep.Design.DelaySeconds <= 0 {
+		t.Error("IE passive warning must be delayed and dismissible by typing")
+	}
+	if lock.Design.Salience >= tb.Design.Salience {
+		t.Error("SSL lock must be less salient than a toolbar indicator")
+	}
+	tr := AntiPhishingTraining()
+	if tr.Design.Interactivity < 0.5 {
+		t.Error("anti-phishing training must be interactive")
+	}
+}

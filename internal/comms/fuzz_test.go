@@ -1,0 +1,36 @@
+package comms
+
+import "testing"
+
+// FuzzAnalyzeText checks that arbitrary copy never panics the readability
+// pass and all derived attributes stay within their documented ranges.
+func FuzzAnalyzeText(f *testing.F) {
+	f.Add(goodWarning)
+	f.Add(jargonWarning)
+	f.Add("")
+	f.Add("...")
+	f.Add("Do not enter your password! This site may steal it. Close the window.")
+	f.Add("\x00\xff\xfe broken utf8 \x80")
+	f.Add("a")
+	f.Add("STOP")
+	f.Fuzz(func(t *testing.T, text string) {
+		a, err := AnalyzeText(text)
+		if err != nil {
+			return // rejected inputs are fine
+		}
+		for name, v := range map[string]float64{
+			"clarity":      a.Clarity,
+			"length":       a.Length,
+			"instructions": a.InstructionSpecificity,
+			"explanation":  a.Explanation,
+			"jargon":       a.JargonFraction,
+		} {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s = %v out of [0,1] for %q", name, v, text)
+			}
+		}
+		if a.Words <= 0 || a.Sentences <= 0 {
+			t.Fatalf("accepted text with no words/sentences: %q", text)
+		}
+	})
+}

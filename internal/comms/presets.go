@@ -1,0 +1,212 @@
+package comms
+
+// Preset communications used throughout the case studies and experiments.
+// Parameter values encode the qualitative design descriptions in the paper:
+// the Firefox 2 anti-phishing warning greys out the page and uses a dialog
+// that does not resemble other browser warnings; the IE7 active warning
+// blocks the page but looks like other IE interstitials; the IE7 passive
+// warning appears seconds after page load and is dismissed if the user
+// types; security-toolbar indicators are small passive chrome elements.
+
+// FirefoxActiveWarning models the Firefox 2 anti-phishing warning (§3.1):
+// blocking, visually distinct from routine warnings, with an override link.
+func FirefoxActiveWarning() Communication {
+	return Communication{
+		ID:      "firefox-active",
+		Topic:   "phishing",
+		Kind:    Warning,
+		Channel: ChannelDialog,
+		Design: Design{
+			Activeness:             1.0,
+			Salience:               0.95,
+			Clarity:                0.75,
+			InstructionSpecificity: 0.7,
+			Explanation:            0.35,
+			LookAlike:              0.10, // "does not look similar to other browser warnings"
+			Length:                 0.25,
+			BlocksPrimaryTask:      true,
+		},
+		Hazard:            PhishingHazard(),
+		FalsePositiveRate: 0.02,
+		Message:           "Suspected Web Forgery: this page has been reported as a web forgery.",
+	}
+}
+
+// IEActiveWarning models the IE7 active anti-phishing warning (§3.1):
+// blocking, but visually similar to IE's frequently-seen interstitials
+// (e.g. certificate and 404-style pages).
+func IEActiveWarning() Communication {
+	return Communication{
+		ID:      "ie-active",
+		Topic:   "phishing",
+		Kind:    Warning,
+		Channel: ChannelInline,
+		Design: Design{
+			Activeness:             0.95,
+			Salience:               0.8,
+			Clarity:                0.65,
+			InstructionSpecificity: 0.6,
+			Explanation:            0.3,
+			LookAlike:              0.55, // resembles other IE warnings -> confusion
+			Length:                 0.3,
+			BlocksPrimaryTask:      true,
+		},
+		Hazard:            PhishingHazard(),
+		FalsePositiveRate: 0.02,
+		Message:           "This is a reported phishing website.",
+	}
+}
+
+// IEPassiveWarning models the IE7 passive anti-phishing warning (§3.1): the
+// page loads normally, the warning appears a few seconds later, and typing
+// into the page dismisses it.
+func IEPassiveWarning() Communication {
+	return Communication{
+		ID:      "ie-passive",
+		Topic:   "phishing",
+		Kind:    Warning,
+		Channel: ChannelChrome,
+		Design: Design{
+			Activeness:             0.25,
+			Salience:               0.45,
+			Clarity:                0.65,
+			InstructionSpecificity: 0.5,
+			Explanation:            0.25,
+			LookAlike:              0.6,
+			Length:                 0.2,
+			DelaySeconds:           3,
+			DismissedByPrimaryTask: true,
+		},
+		Hazard:            PhishingHazard(),
+		FalsePositiveRate: 0.02,
+		Message:           "Suspicious website (address bar warning).",
+	}
+}
+
+// ToolbarPassiveIndicator models a passive security-toolbar anti-phishing
+// indicator of the kind Wu et al. studied (§3.1): a small symbol in an
+// add-on toolbar, easily overlooked during the primary task.
+func ToolbarPassiveIndicator() Communication {
+	return Communication{
+		ID:      "toolbar-passive",
+		Topic:   "phishing",
+		Kind:    Warning,
+		Channel: ChannelToolbar,
+		Design: Design{
+			Activeness:             0.05,
+			Salience:               0.25,
+			Clarity:                0.5,
+			InstructionSpecificity: 0.2,
+			Explanation:            0.15,
+			LookAlike:              0.4,
+			Length:                 0.05,
+		},
+		Hazard:            PhishingHazard(),
+		FalsePositiveRate: 0.05,
+		Message:           "Toolbar phishing indicator.",
+	}
+}
+
+// SSLLockIndicator models the browser chrome SSL padlock (§2.3.1): a tiny,
+// fully passive status indicator most users never attend to.
+func SSLLockIndicator() Communication {
+	return Communication{
+		ID:      "ssl-lock",
+		Topic:   "ssl",
+		Kind:    StatusIndicator,
+		Channel: ChannelChrome,
+		Design: Design{
+			Activeness: 0.0,
+			Salience:   0.12,
+			Clarity:    0.4, // the padlock's meaning is widely misunderstood
+			LookAlike:  0.2,
+			Length:     0.02,
+		},
+		Hazard: Hazard{
+			Severity:            0.5,
+			EncounterRate:       50, // seen on nearly every page view
+			UserActionNecessity: 0.7,
+		},
+		FalsePositiveRate: 0.0,
+		Message:           "SSL padlock in browser chrome.",
+	}
+}
+
+// PasswordPolicyDocument models an organizational password policy (§3.2):
+// a document communication users encounter at enrollment and in handbooks.
+func PasswordPolicyDocument() Communication {
+	return Communication{
+		ID:      "password-policy",
+		Topic:   "passwords",
+		Kind:    Policy,
+		Channel: ChannelDocument,
+		Design: Design{
+			Activeness:             0.15,
+			Salience:               0.3,
+			Clarity:                0.7, // password guidance is now widely understood (§3.2)
+			InstructionSpecificity: 0.8,
+			Explanation:            0.2, // policies rarely explain the rationale
+			LookAlike:              0.3,
+			Length:                 0.6,
+		},
+		Hazard: Hazard{
+			Severity:            0.7,
+			EncounterRate:       0.2, // consulted rarely
+			UserActionNecessity: 1.0, // only the user can pick & protect the password
+		},
+		Message: "Organizational password policy.",
+	}
+}
+
+// AntiPhishingTraining models interactive anti-phishing training of the
+// Anti-Phishing Phil kind (§3.1 mitigation): an interactive game/tutorial
+// that builds accurate mental models.
+func AntiPhishingTraining() Communication {
+	return Communication{
+		ID:      "anti-phishing-training",
+		Topic:   "phishing",
+		Kind:    Training,
+		Channel: ChannelCourse,
+		Design: Design{
+			Activeness:             0.7,
+			Salience:               0.8,
+			Clarity:                0.85,
+			InstructionSpecificity: 0.85,
+			Explanation:            0.9,
+			LookAlike:              0.05,
+			Length:                 0.5,
+			Interactivity:          0.85,
+		},
+		Hazard: PhishingHazard(),
+	}
+}
+
+// PhishingHazard is the hazard profile for phishing sites used by the
+// anti-phishing presets: severe, encountered occasionally, and avoidable
+// only if the user acts (leaves the site / closes the window).
+func PhishingHazard() Hazard {
+	return Hazard{
+		Severity:            0.8,
+		EncounterRate:       0.5,
+		UserActionNecessity: 0.9,
+	}
+}
+
+// Presets returns all preset communications, keyed by ID. The returned map
+// is freshly allocated; callers may mutate it.
+func Presets() map[string]Communication {
+	list := []Communication{
+		FirefoxActiveWarning(),
+		IEActiveWarning(),
+		IEPassiveWarning(),
+		ToolbarPassiveIndicator(),
+		SSLLockIndicator(),
+		PasswordPolicyDocument(),
+		AntiPhishingTraining(),
+	}
+	m := make(map[string]Communication, len(list))
+	for _, c := range list {
+		m[c.ID] = c
+	}
+	return m
+}

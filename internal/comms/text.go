@@ -1,0 +1,193 @@
+package comms
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TextAnalysis estimates the §2.3.2 comprehension drivers from the actual
+// text of a communication: "Short, jargon-free sentences, use of familiar
+// symbols, and unambiguous statements about risk will aid comprehension."
+// It is a heuristic readability pass, not NLP: designers use it to get
+// defensible Clarity/Length/InstructionSpecificity estimates from draft
+// warning copy instead of guessing.
+type TextAnalysis struct {
+	// Words and Sentences are the token counts.
+	Words, Sentences int
+	// AvgSentenceLength is words per sentence.
+	AvgSentenceLength float64
+	// AvgWordLength is characters per word.
+	AvgWordLength float64
+	// JargonFraction is the fraction of words matching the security-jargon
+	// lexicon.
+	JargonFraction float64
+	// HasInstruction reports whether the text contains imperative guidance
+	// ("do not enter", "close this window", ...).
+	HasInstruction bool
+	// HasRiskStatement reports whether the text names a concrete harm
+	// ("steal", "fraud", "attacker", ...).
+	HasRiskStatement bool
+	// Clarity, Length, InstructionSpecificity, and Explanation are the
+	// derived design-attribute estimates in [0,1].
+	Clarity                float64
+	Length                 float64
+	InstructionSpecificity float64
+	Explanation            float64
+}
+
+// jargonLexicon lists terms §2.3.2 warns against showing non-experts.
+// Matching is case-insensitive on word stems.
+var jargonLexicon = []string{
+	"ssl", "tls", "certificate", "cert", "https", "cipher", "encrypt",
+	"hash", "checksum", "dns", "ip", "url", "domain", "hostname", "proxy",
+	"authentication", "authenticate", "credential", "token", "session",
+	"cookie", "malware", "trojan", "exploit", "vulnerability", "payload",
+	"spoof", "mitm", "handshake", "revocation", "x509", "pki", "root",
+	"registry", "config", "parameter", "protocol", "heuristic",
+}
+
+// instructionCues are imperative fragments that signal concrete guidance.
+var instructionCues = []string{
+	"do not", "don't", "close this", "close the", "leave this", "leave the",
+	"go back", "click", "contact", "call", "verify", "check that",
+	"navigate", "delete", "update", "install", "enable", "disable",
+	"report", "never enter", "do not enter", "stop",
+}
+
+// riskCues are concrete-harm words that make risk unambiguous.
+var riskCues = []string{
+	"steal", "stolen", "theft", "fraud", "fraudulent", "attacker",
+	"criminal", "scam", "forged", "forgery", "fake", "impersonat",
+	"compromise", "lose", "loss", "money", "identity", "password",
+	"danger", "harm", "risk",
+}
+
+// AnalyzeText estimates design attributes from communication copy.
+// It returns an error for empty text.
+func AnalyzeText(text string) (TextAnalysis, error) {
+	trimmed := strings.TrimSpace(text)
+	if trimmed == "" {
+		return TextAnalysis{}, fmt.Errorf("comms: empty text")
+	}
+	var a TextAnalysis
+	lower := strings.ToLower(trimmed)
+
+	// Tokenize.
+	words := strings.FieldsFunc(lower, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsNumber(r) && r != '\''
+	})
+	a.Words = len(words)
+	for _, r := range trimmed {
+		if r == '.' || r == '!' || r == '?' {
+			a.Sentences++
+		}
+	}
+	if a.Sentences == 0 {
+		a.Sentences = 1
+	}
+	if a.Words == 0 {
+		return TextAnalysis{}, fmt.Errorf("comms: no words in text")
+	}
+	var chars, jargon int
+	for _, w := range words {
+		chars += len(w)
+		for _, j := range jargonLexicon {
+			if strings.HasPrefix(w, j) {
+				jargon++
+				break
+			}
+		}
+	}
+	a.AvgSentenceLength = float64(a.Words) / float64(a.Sentences)
+	a.AvgWordLength = float64(chars) / float64(a.Words)
+	a.JargonFraction = float64(jargon) / float64(a.Words)
+	for _, c := range instructionCues {
+		if strings.Contains(lower, c) {
+			a.HasInstruction = true
+			break
+		}
+	}
+	for _, c := range riskCues {
+		if strings.Contains(lower, c) {
+			a.HasRiskStatement = true
+			break
+		}
+	}
+
+	// Derived attributes.
+	// Clarity: penalize long sentences (beyond ~12 words), long words
+	// (beyond ~5.5 chars), and jargon density.
+	clarity := 1.0
+	if a.AvgSentenceLength > 12 {
+		clarity -= 0.03 * (a.AvgSentenceLength - 12)
+	}
+	if a.AvgWordLength > 5.5 {
+		clarity -= 0.1 * (a.AvgWordLength - 5.5)
+	}
+	clarity -= 2.5 * a.JargonFraction
+	a.Clarity = clampUnit(clarity)
+
+	// Length: 0 at a glanceable 5 words, 1 at a 300-word document.
+	a.Length = clampUnit((float64(a.Words) - 5) / 295)
+
+	// Instructions: baseline for imperative presence, boosted when the
+	// instruction is specific (several imperative cues / short sentences).
+	if a.HasInstruction {
+		a.InstructionSpecificity = 0.6
+		if a.AvgSentenceLength <= 12 {
+			a.InstructionSpecificity += 0.2
+		}
+		count := 0
+		for _, c := range instructionCues {
+			if strings.Contains(lower, c) {
+				count++
+			}
+		}
+		if count >= 2 {
+			a.InstructionSpecificity += 0.15
+		}
+	} else {
+		a.InstructionSpecificity = 0.15
+	}
+	a.InstructionSpecificity = clampUnit(a.InstructionSpecificity)
+
+	// Explanation: does the text say what is at risk and why?
+	if a.HasRiskStatement {
+		a.Explanation = 0.6
+		if strings.Contains(lower, "because") || strings.Contains(lower, "this site") ||
+			strings.Contains(lower, "reported") {
+			a.Explanation += 0.2
+		}
+	} else {
+		a.Explanation = 0.1
+	}
+	a.Explanation = clampUnit(a.Explanation)
+	return a, nil
+}
+
+func clampUnit(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ApplyText overwrites the communication's text-derived design attributes
+// (Clarity, Length, InstructionSpecificity, Explanation) with estimates
+// from its Message. Attributes with no textual basis (salience, activeness,
+// look-alike) are untouched. It returns the analysis for inspection.
+func (c *Communication) ApplyText() (TextAnalysis, error) {
+	a, err := AnalyzeText(c.Message)
+	if err != nil {
+		return TextAnalysis{}, fmt.Errorf("comms: %s: %w", c.ID, err)
+	}
+	c.Design.Clarity = a.Clarity
+	c.Design.Length = a.Length
+	c.Design.InstructionSpecificity = a.InstructionSpecificity
+	c.Design.Explanation = a.Explanation
+	return a, nil
+}

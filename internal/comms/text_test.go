@@ -1,0 +1,137 @@
+package comms
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const goodWarning = `Web forgery reported. This site is a fake that may try to
+steal your password or credit card details. Do not enter any information.
+Close this window now.`
+
+const jargonWarning = `The SSL/TLS certificate presented by this hostname
+failed X509 revocation verification against the configured PKI trust
+anchors; the authentication handshake parameters indicate a potential
+man-in-the-middle proxy interposition on the session protocol.`
+
+func TestAnalyzeTextErrors(t *testing.T) {
+	if _, err := AnalyzeText(""); err == nil {
+		t.Error("empty: want error")
+	}
+	if _, err := AnalyzeText("   \n\t "); err == nil {
+		t.Error("whitespace: want error")
+	}
+	if _, err := AnalyzeText("..."); err == nil {
+		t.Error("no words: want error")
+	}
+}
+
+func TestAnalyzeGoodWarning(t *testing.T) {
+	a, err := AnalyzeText(goodWarning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Words < 25 || a.Sentences != 4 {
+		t.Errorf("tokenization off: %d words, %d sentences", a.Words, a.Sentences)
+	}
+	if !a.HasInstruction {
+		t.Error("'Do not enter' / 'Close this window' should register as instructions")
+	}
+	if !a.HasRiskStatement {
+		t.Error("'steal your password' should register as a risk statement")
+	}
+	if a.Clarity < 0.7 {
+		t.Errorf("plain-language warning clarity = %.2f, want >= 0.7", a.Clarity)
+	}
+	if a.InstructionSpecificity < 0.7 {
+		t.Errorf("instruction specificity = %.2f, want >= 0.7", a.InstructionSpecificity)
+	}
+	if a.Explanation < 0.5 {
+		t.Errorf("explanation = %.2f, want >= 0.5", a.Explanation)
+	}
+	if a.Length > 0.2 {
+		t.Errorf("short warning length = %.2f, want <= 0.2", a.Length)
+	}
+}
+
+func TestAnalyzeJargonWarning(t *testing.T) {
+	good, err := AnalyzeText(goodWarning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := AnalyzeText(jargonWarning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.JargonFraction <= good.JargonFraction {
+		t.Errorf("jargon fractions: bad %.2f should exceed good %.2f",
+			bad.JargonFraction, good.JargonFraction)
+	}
+	if bad.Clarity >= good.Clarity {
+		t.Errorf("clarity: jargon %.2f should be below plain %.2f", bad.Clarity, good.Clarity)
+	}
+	if bad.Clarity > 0.45 {
+		t.Errorf("jargon-dense clarity = %.2f, want <= 0.45", bad.Clarity)
+	}
+	if bad.HasInstruction {
+		t.Error("jargon warning has no instructions")
+	}
+	if bad.InstructionSpecificity > 0.2 {
+		t.Errorf("no-instruction specificity = %.2f, want <= 0.2", bad.InstructionSpecificity)
+	}
+}
+
+func TestAnalyzeLengthScaling(t *testing.T) {
+	short, _ := AnalyzeText("Stop. Danger ahead.")
+	long, _ := AnalyzeText(strings.Repeat("This sentence pads the policy document with words. ", 40))
+	if short.Length >= long.Length {
+		t.Errorf("length: short %.2f should be below long %.2f", short.Length, long.Length)
+	}
+	if long.Length < 0.6 {
+		t.Errorf("400-word document length = %.2f, want >= 0.6", long.Length)
+	}
+}
+
+func TestApplyText(t *testing.T) {
+	c := FirefoxActiveWarning()
+	c.Message = goodWarning
+	before := c.Design.Salience
+	a, err := c.ApplyText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Design.Clarity != a.Clarity || c.Design.Length != a.Length {
+		t.Error("ApplyText must install derived attributes")
+	}
+	if c.Design.Salience != before {
+		t.Error("ApplyText must not touch non-textual attributes")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("communication invalid after ApplyText: %v", err)
+	}
+	bad := c
+	bad.Message = ""
+	if _, err := bad.ApplyText(); err == nil {
+		t.Error("empty message: want error")
+	}
+}
+
+// Property: all derived attributes stay in [0,1] for arbitrary text.
+func TestAnalyzeTextBounds(t *testing.T) {
+	f := func(s string) bool {
+		a, err := AnalyzeText(s)
+		if err != nil {
+			return true // empty/wordless inputs are rejected
+		}
+		for _, v := range []float64{a.Clarity, a.Length, a.InstructionSpecificity, a.Explanation, a.JargonFraction} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return a.Words > 0 && a.Sentences > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

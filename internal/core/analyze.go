@@ -1,0 +1,569 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hitl/internal/agent"
+	"hitl/internal/comms"
+	"hitl/internal/gems"
+	"hitl/internal/stimuli"
+)
+
+// Severity ranks a finding.
+type Severity int
+
+// Severity levels, ascending.
+const (
+	SeverityInfo Severity = iota
+	SeverityLow
+	SeverityMedium
+	SeverityHigh
+	SeverityCritical
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityLow:
+		return "low"
+	case SeverityMedium:
+		return "medium"
+	case SeverityHigh:
+		return "high"
+	case SeverityCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Finding is one checklist hit: a potential human failure mode.
+type Finding struct {
+	// TaskID is the task the finding concerns.
+	TaskID string
+	// Component is the Table 1 component implicated (the root cause).
+	Component ComponentID
+	// Severity ranks the finding.
+	Severity Severity
+	// Issue describes the failure mode.
+	Issue string
+	// Recommendation is the suggested mitigation direction.
+	Recommendation string
+	// Estimate, when nonzero, is the mean-field probability estimate that
+	// triggered the finding (e.g. estimated notice probability).
+	Estimate float64
+}
+
+// Report is the analyzer's output.
+type Report struct {
+	// System names the analyzed spec.
+	System string
+	// Findings in descending severity (stable within a severity).
+	Findings []Finding
+	// Reliability is the mean-field end-to-end success estimate per task.
+	Reliability map[string]float64
+}
+
+// FindingsFor returns the findings concerning one task, preserving order.
+func (r *Report) FindingsFor(taskID string) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.TaskID == taskID {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// MaxSeverity returns the highest severity present (SeverityInfo when there
+// are no findings).
+func (r *Report) MaxSeverity() Severity {
+	max := SeverityInfo
+	for _, f := range r.Findings {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max
+}
+
+// encounterFor builds the mean-field encounter the analyzer reasons about.
+func encounterFor(t HumanTask) agent.Encounter {
+	return agent.Encounter{
+		Comm:             t.Communication,
+		Env:              t.Environment,
+		HazardPresent:    true,
+		ApplyDelayDays:   t.ApplyDelayDays,
+		SituationNovelty: t.SituationNovelty,
+		Task:             t.Task,
+		ComplianceCost:   t.ComplianceCost,
+	}
+}
+
+// EstimateReliability computes the deterministic mean-field estimate of the
+// probability that the population's average member ends up performing the
+// task's security behavior, mirroring the agent pipeline (including the
+// heuristic fallback for blocking communications). Tasks with no
+// communication estimate 0: nothing triggers the behavior.
+func EstimateReliability(t HumanTask) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if !t.HasCommunication() {
+		return 0, nil
+	}
+	r := agent.NewReceiver(t.Population.MeanProfile())
+	e := encounterFor(t)
+
+	notice := r.PNotice(e)
+	maintain := r.PMaintain(e)
+	accFrac := t.Population.AccurateModelFraction()
+	comp := accFrac*r.PComprehend(e, true) + (1-accFrac)*r.PComprehend(e, false)
+	acquire := r.PAcquire(e)
+	retain := r.PRetain(e)
+	transfer := r.PTransfer(e)
+	believe := r.PBelieve(e)
+	motivate := r.PMotivate(e)
+	capable := r.PCapable(e)
+	heur := r.PHeuristic(e)
+
+	behaviorOK := 1.0
+	if t.Task.Steps > 0 {
+		behaviorOK = 1 - gems.GulfOfExecution(t.Task, r.Profile)*0.5
+	}
+
+	full := acquire * retain * transfer * believe * motivate * capable * behaviorOK
+	var p float64
+	if t.Communication.Design.BlocksPrimaryTask {
+		// Users who fail to read or comprehend a blocker still decide.
+		p = notice * (maintain*(comp*full+(1-comp)*heur) + (1-maintain)*heur)
+	} else {
+		p = notice * maintain * comp * full
+	}
+	// Delivery race for delayed, dismissible passive warnings.
+	if t.Communication.Design.DismissedByPrimaryTask {
+		d := t.Communication.Design.DelaySeconds
+		frac := d / 5
+		if frac > 1 {
+			frac = 1
+		}
+		p *= 1 - 0.6*t.Environment.PrimaryTaskPressure*frac
+	}
+	return p, nil
+}
+
+// probability thresholds for severity grading of a stage estimate.
+func severityForEstimate(p float64) (Severity, bool) {
+	switch {
+	case p < 0.25:
+		return SeverityCritical, true
+	case p < 0.45:
+		return SeverityHigh, true
+	case p < 0.65:
+		return SeverityMedium, true
+	case p < 0.8:
+		return SeverityLow, true
+	default:
+		return SeverityInfo, false
+	}
+}
+
+// Analyze walks the checklist over every task in the spec and returns the
+// report. It is deterministic: identical specs produce identical reports.
+func Analyze(spec SystemSpec) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{System: spec.Name, Reliability: make(map[string]float64)}
+	for _, t := range spec.Tasks {
+		rel, err := EstimateReliability(t)
+		if err != nil {
+			return nil, err
+		}
+		rep.Reliability[t.ID] = rel
+		fs, err := analyzeTask(t)
+		if err != nil {
+			return nil, err
+		}
+		rep.Findings = append(rep.Findings, fs...)
+	}
+	rep.Findings = append(rep.Findings, analyzeSystemLevel(spec)...)
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		return rep.Findings[i].Severity > rep.Findings[j].Severity
+	})
+	return rep, nil
+}
+
+// analyzeSystemLevel applies cross-task rules that no single task reveals.
+func analyzeSystemLevel(spec SystemSpec) []Finding {
+	var fs []Finding
+
+	// Same-topic contamination (§2.1): a frequent, false-positive-prone
+	// communication erodes trust in *every* communication sharing its topic,
+	// including severe ones ("users start ignoring not only these warnings,
+	// but also similar warnings about more severe hazards").
+	for _, noisy := range spec.Tasks {
+		if !noisy.HasCommunication() {
+			continue
+		}
+		nc := noisy.Communication
+		// Expected false alarms per week this communication generates.
+		faPerWeek := nc.Hazard.EncounterRate * nc.FalsePositiveRate /
+			maxFloat(1-nc.FalsePositiveRate, 0.05)
+		if nc.FalsePositiveRate < 0.2 || faPerWeek < 1 || nc.Design.Activeness < 0.5 {
+			continue
+		}
+		for _, victim := range spec.Tasks {
+			if victim.ID == noisy.ID || !victim.HasCommunication() {
+				continue
+			}
+			vc := victim.Communication
+			if vc.Topic != nc.Topic || vc.Hazard.Severity < 0.6 {
+				continue
+			}
+			fs = append(fs, Finding{
+				TaskID:    victim.ID,
+				Component: CompAttitudesBeliefs,
+				Severity:  SeverityHigh,
+				Issue: fmt.Sprintf(
+					"communication %q shares topic %q with the noisy, frequently-false-positive %q (~%.0f false alarms/week); users will learn to ignore the whole indicator family",
+					vc.ID, vc.Topic, nc.ID, faPerWeek),
+				Recommendation: fmt.Sprintf(
+					"demote %q to a passive notice or cut its false positives before it poisons the severe warning", nc.ID),
+				Estimate: nc.FalsePositiveRate,
+			})
+		}
+	}
+
+	// Indicator overload (§2.2): many passive communications across the
+	// system compete for the same attention channel.
+	var passive []string
+	for _, t := range spec.Tasks {
+		if t.HasCommunication() && !t.Communication.IsActive() {
+			passive = append(passive, t.Communication.ID)
+		}
+	}
+	if len(passive) > 3 {
+		fs = append(fs, Finding{
+			TaskID:    spec.Tasks[0].ID,
+			Component: CompEnvironmentalStimuli,
+			Severity:  SeverityMedium,
+			Issue: fmt.Sprintf(
+				"system relies on %d passive indicators (%v); passive indicators compete with each other for attention",
+				len(passive), passive),
+			Recommendation: "consolidate indicators or promote the critical ones to active communications",
+			Estimate:       float64(len(passive)),
+		})
+	}
+	return fs
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func analyzeTask(t HumanTask) ([]Finding, error) {
+	var fs []Finding
+	add := func(c ComponentID, sev Severity, issue, rec string, est float64) {
+		fs = append(fs, Finding{
+			TaskID: t.ID, Component: c, Severity: sev,
+			Issue: issue, Recommendation: rec, Estimate: est,
+		})
+	}
+
+	// --- Communication: existence and fit (§2.1). ---
+	if !t.HasCommunication() {
+		add(CompCommunication, SeverityCritical,
+			"no communication triggers this security-critical behavior; the lack of communication is likely responsible for failures",
+			"add a communication (warning, training, or policy) that triggers the behavior, or automate the task",
+			0)
+		return fs, nil
+	}
+	rec, err := comms.Advise(t.Communication.Hazard)
+	if err != nil {
+		return nil, err
+	}
+	d := t.Communication.Design
+	if rec.Kind != t.Communication.Kind {
+		add(CompCommunication, SeverityMedium,
+			fmt.Sprintf("communication is a %s but the hazard profile suggests a %s (%s)",
+				t.Communication.Kind, rec.Kind, rec.Rationale),
+			fmt.Sprintf("consider redesigning the communication as a %s", rec.Kind),
+			0)
+	}
+	if gap := rec.Activeness - d.Activeness; gap > 0.3 {
+		add(CompCommunication, SeverityHigh,
+			fmt.Sprintf("communication is too passive (activeness %.2f) for this hazard (suggested %.2f)",
+				d.Activeness, rec.Activeness),
+			"move the communication toward the active end of the spectrum (interrupt, block, or force acknowledgment)",
+			d.Activeness)
+	} else if gap < -0.3 && t.Communication.Hazard.EncounterRate > 5 {
+		add(CompCommunication, SeverityMedium,
+			"frequent active interruptions for this hazard will habituate users and dull responses to severe warnings",
+			"use a passive notice or status indicator for frequent low-stakes conditions",
+			d.Activeness)
+	}
+	if t.Communication.FalsePositiveRate > 0.1 {
+		add(CompAttitudesBeliefs, SeverityHigh,
+			fmt.Sprintf("false-positive rate %.0f%% will erode trust in this and similar communications",
+				t.Communication.FalsePositiveRate*100),
+			"reduce false positives before tuning the communication itself; users discount unreliable indicators",
+			t.Communication.FalsePositiveRate)
+	}
+
+	// --- Impediments. ---
+	if load := t.Environment.AttentionLoad(); load > 0.5 && d.Activeness < 0.5 {
+		add(CompEnvironmentalStimuli, SeverityHigh,
+			fmt.Sprintf("high attention load (%.2f) with a passive communication: users are likely to miss it", load),
+			"reduce competing indicators, or raise the communication's activeness/salience",
+			load)
+	}
+	if t.Environment.CompetingIndicators > 3 {
+		add(CompEnvironmentalStimuli, SeverityMedium,
+			fmt.Sprintf("%d competing security indicators clutter the interface", t.Environment.CompetingIndicators),
+			"consolidate indicators; passive indicators compete with each other for attention",
+			0)
+	}
+	for _, th := range t.Threats {
+		if th.Kind == stimuli.None || th.Strength < 0.3 {
+			continue
+		}
+		sev := SeverityHigh
+		if th.Kind.Malicious() {
+			sev = SeverityCritical
+		}
+		add(CompInterference, sev,
+			fmt.Sprintf("communication can be disrupted by %s interference (strength %.1f): %s",
+				th.Kind, th.Strength, th.Description),
+			"harden the delivery path: make indicators unspoofable, detect blocking, and fail closed on technology failures",
+			th.Strength)
+	}
+	if t.Communication.Channel == comms.ChannelAudio && t.Environment.NoiseMasking > 0.5 {
+		add(CompInterference, SeverityHigh,
+			"audio communication in a noisy environment is likely to be masked",
+			"add a visual channel alongside the audio alert",
+			t.Environment.NoiseMasking)
+	}
+
+	// --- Personal variables. ---
+	mean := t.Population.MeanProfile()
+	if mean.SecurityKnowledge < 0.3 && d.Clarity < 0.7 {
+		add(CompDemographics, SeverityHigh,
+			"population is security-novice and the communication is not written in plain language",
+			"rewrite for non-experts: short jargon-free sentences, familiar symbols, unambiguous risk statements",
+			mean.SecurityKnowledge)
+	}
+	if t.Population.AccurateModelFraction() < 0.5 {
+		add(CompKnowledgeExperience, SeverityHigh,
+			fmt.Sprintf("only %.0f%% of users hold an accurate mental model of this threat; misinterpretation is likely",
+				t.Population.AccurateModelFraction()*100),
+			"deliver training that corrects mental models (interactive formats retain and transfer best)",
+			t.Population.AccurateModelFraction())
+	}
+
+	// --- Mean-field stage estimates. ---
+	r := agent.NewReceiver(mean)
+	e := encounterFor(t)
+
+	if p := r.PNotice(e); true {
+		if sev, hit := severityForEstimate(p); hit {
+			add(CompAttentionSwitch, sev,
+				fmt.Sprintf("estimated notice probability %.2f: users will often not see this communication", p),
+				"raise salience or activeness, avoid delivery races, and place the indicator where eyes already are",
+				p)
+		}
+	}
+	if d.DismissedByPrimaryTask && d.DelaySeconds > 0 {
+		add(CompAttentionSwitch, SeverityHigh,
+			"communication appears late and is dismissed by ordinary primary-task input; users can lose it before seeing it",
+			"display immediately and require explicit dismissal",
+			0)
+	}
+	if p := r.PMaintain(e); true {
+		if sev, hit := severityForEstimate(p); hit {
+			add(CompAttentionMaintenance, sev,
+				fmt.Sprintf("estimated attention-maintenance probability %.2f: users will not process the full message", p),
+				"shorten the message and front-load the decision-relevant content",
+				p)
+		}
+	}
+	accFrac := t.Population.AccurateModelFraction()
+	comp := accFrac*r.PComprehend(e, true) + (1-accFrac)*r.PComprehend(e, false)
+	if sev, hit := severityForEstimate(comp); hit {
+		add(CompComprehension, sev,
+			fmt.Sprintf("estimated comprehension probability %.2f", comp),
+			"reduce jargon and conceptual complexity; make the communication visually distinct from routine ones",
+			comp)
+	}
+	if d.LookAlike > 0.5 {
+		add(CompComprehension, SeverityMedium,
+			fmt.Sprintf("communication resembles frequently-seen benign communications (look-alike %.2f); users may mistake it for a routine message", d.LookAlike),
+			"make critical warnings look unlike non-critical ones",
+			d.LookAlike)
+	}
+	if p := r.PAcquire(e); true {
+		if sev, hit := severityForEstimate(p); hit {
+			add(CompKnowledgeAcquisition, sev,
+				fmt.Sprintf("estimated knowledge-acquisition probability %.2f: users will not know what to do", p),
+				"include specific hazard-avoidance instructions in the communication itself",
+				p)
+		}
+	}
+	if t.ApplyDelayDays > 0 {
+		if p := r.PRetain(e); true {
+			if sev, hit := severityForEstimate(p); hit {
+				add(CompKnowledgeRetention, sev,
+					fmt.Sprintf("estimated retention probability %.2f after %.0f days", p, t.ApplyDelayDays),
+					"add periodic reminders or refresher training; increase training interactivity",
+					p)
+			}
+		}
+		if p := r.PTransfer(e); true {
+			if sev, hit := severityForEstimate(p); hit {
+				add(CompKnowledgeTransfer, sev,
+					fmt.Sprintf("estimated transfer probability %.2f for situations this novel (%.2f)", p, t.SituationNovelty),
+					"train on varied, realistic examples so knowledge transfers to unfamiliar situations",
+					p)
+			}
+		}
+	}
+	if p := r.PBelieve(e); true {
+		if sev, hit := severityForEstimate(p); hit {
+			add(CompAttitudesBeliefs, sev,
+				fmt.Sprintf("estimated belief probability %.2f: users will not take the communication seriously", p),
+				"explain why the communication fired and what is at risk; reduce false positives",
+				p)
+		}
+	}
+	if p := r.PMotivate(e); true {
+		if sev, hit := severityForEstimate(p); hit {
+			add(CompMotivation, sev,
+				fmt.Sprintf("estimated motivation probability %.2f given compliance cost %.2f", p, t.ComplianceCost),
+				"cut the cost of compliance, align with primary-task workflow, and add incentives",
+				p)
+		}
+	}
+	if p := r.PCapable(e); true {
+		if sev, hit := severityForEstimate(p); hit {
+			add(CompCapabilities, sev,
+				fmt.Sprintf("estimated capability probability %.2f: users cannot perform the required action", p),
+				"reduce the demand (e.g. fewer memorized secrets, simpler motor actions) or supply tools that perform it",
+				p)
+		}
+	}
+
+	// --- Behavior (§2.4). ---
+	if t.Task.Steps > 0 {
+		ge := gems.GulfOfExecution(t.Task, mean)
+		gv := gems.GulfOfEvaluation(t.Task, mean)
+		if ge > 0.4 {
+			add(CompBehavior, SeverityHigh,
+				fmt.Sprintf("wide gulf of execution (%.2f): users cannot figure out how to perform the action", ge),
+				"provide cues and affordances that make the correct action sequence apparent",
+				ge)
+		}
+		if gv > 0.4 {
+			add(CompBehavior, SeverityHigh,
+				fmt.Sprintf("wide gulf of evaluation (%.2f): users cannot tell whether the action worked", gv),
+				"provide feedback that confirms the outcome of the action",
+				gv)
+		}
+		if t.Task.PlanSoundness < 0.5 {
+			add(CompBehavior, SeverityHigh,
+				fmt.Sprintf("the obvious plan for this task is unsound (%.2f): users will make mistakes", t.Task.PlanSoundness),
+				"communicate a correct plan explicitly; the intuitive approach fails",
+				t.Task.PlanSoundness)
+		}
+		if t.Task.Steps > 5 && t.Task.CueQuality < 0.6 {
+			add(CompBehavior, SeverityMedium,
+				fmt.Sprintf("%d-step task without guiding cues invites lapses", t.Task.Steps),
+				"minimize steps and guide users through the sequence",
+				0)
+		}
+	}
+	if t.PredictabilityMatters && t.BehaviorPredictability > 0.5 {
+		add(CompBehavior, SeverityHigh,
+			fmt.Sprintf("user behavior is predictable (%.2f) and an attacker can exploit the pattern", t.BehaviorPredictability),
+			"encourage or enforce less predictable behavior (e.g. prohibit dictionary choices, randomize defaults)",
+			t.BehaviorPredictability)
+	}
+	return fs, nil
+}
+
+// EstimateReliabilityUnder computes the mean-field reliability of the task
+// when a given interference is active on every delivery — the §2.2
+// adversarial question: what does this attack do to the human layer?
+func EstimateReliabilityUnder(t HumanTask, att stimuli.Interference) (float64, error) {
+	if err := att.Validate(); err != nil {
+		return 0, err
+	}
+	base, err := EstimateReliability(t)
+	if err != nil {
+		return 0, err
+	}
+	eff := att.Apply()
+	if eff.Spoofed {
+		// The receiver acts on attacker-controlled content.
+		return 0, nil
+	}
+	p := base * eff.DeliveredFraction
+	// Extra delay interacts with dismissible designs.
+	if t.HasCommunication() && t.Communication.Design.DismissedByPrimaryTask && eff.AddedDelaySeconds > 0 {
+		frac := (t.Communication.Design.DelaySeconds + eff.AddedDelaySeconds) / 5
+		if frac > 1 {
+			frac = 1
+		}
+		baseFrac := t.Communication.Design.DelaySeconds / 5
+		if baseFrac > 1 {
+			baseFrac = 1
+		}
+		// Replace the base race term with the delayed one.
+		ptp := t.Environment.PrimaryTaskPressure
+		baseSurvive := 1 - 0.6*ptp*baseFrac
+		newSurvive := 1 - 0.6*ptp*frac
+		if baseSurvive > 0 {
+			p = p / baseSurvive * newSurvive
+		}
+	}
+	return p, nil
+}
+
+// ThreatImpact is one declared threat's effect on a task.
+type ThreatImpact struct {
+	Threat stimuli.Interference
+	// Baseline and Under are mean-field reliabilities without and with the
+	// threat active.
+	Baseline, Under float64
+}
+
+// Lost is the absolute reliability destroyed by the threat.
+func (ti ThreatImpact) Lost() float64 { return ti.Baseline - ti.Under }
+
+// WorstCaseThreat evaluates every declared threat on the task and returns
+// the impacts sorted by damage (worst first). It returns an error when the
+// task declares no threats.
+func WorstCaseThreat(t HumanTask) ([]ThreatImpact, error) {
+	if len(t.Threats) == 0 {
+		return nil, fmt.Errorf("core: task %s declares no threats", t.ID)
+	}
+	base, err := EstimateReliability(t)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ThreatImpact, 0, len(t.Threats))
+	for _, th := range t.Threats {
+		under, err := EstimateReliabilityUnder(t, th)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ThreatImpact{Threat: th, Baseline: base, Under: under})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Lost() > out[j].Lost() })
+	return out, nil
+}

@@ -1,0 +1,834 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hitl/internal/comms"
+	"hitl/internal/gems"
+	"hitl/internal/population"
+	"hitl/internal/stimuli"
+)
+
+func TestComponentsRegistry(t *testing.T) {
+	cs := Components()
+	if len(cs) != 15 {
+		t.Fatalf("Table 1 has %d components, want 15", len(cs))
+	}
+	for i, c := range cs {
+		if c.ID != ComponentID(i) {
+			t.Errorf("component %d has ID %d", i, int(c.ID))
+		}
+		if c.Name == "" || c.Group == "" {
+			t.Errorf("component %d missing name/group", i)
+		}
+		if len(c.Questions) == 0 || len(c.Factors) == 0 {
+			t.Errorf("component %s missing questions or factors", c.Name)
+		}
+	}
+	// Spot-check Table 1 content.
+	behavior := cs[CompBehavior]
+	foundPredictable := false
+	for _, q := range behavior.Questions {
+		if strings.Contains(q, "predictable patterns") {
+			foundPredictable = true
+		}
+	}
+	if !foundPredictable {
+		t.Error("behavior component must ask about predictable patterns")
+	}
+	caps := cs[CompCapabilities]
+	foundMem := false
+	for _, f := range caps.Factors {
+		if strings.Contains(f, "Memorability") {
+			foundMem = true
+		}
+	}
+	if !foundMem {
+		t.Error("capabilities component must list memorability")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	gs := Groups()
+	want := []string{"Communication", "Communication impediments", "Personal variables",
+		"Intentions", "Capabilities", "Communication delivery",
+		"Communication processing", "Application", "Behavior"}
+	if len(gs) != len(want) {
+		t.Fatalf("groups = %v, want %v", gs, want)
+	}
+	for i := range want {
+		if gs[i] != want[i] {
+			t.Errorf("group %d = %q, want %q", i, gs[i], want[i])
+		}
+	}
+}
+
+func TestComponentByID(t *testing.T) {
+	c, err := ComponentByID(CompInterference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "Interference" {
+		t.Errorf("got %q", c.Name)
+	}
+	if _, err := ComponentByID(ComponentID(99)); err == nil {
+		t.Error("unknown ID: want error")
+	}
+	if s := ComponentID(99).String(); !strings.HasPrefix(s, "ComponentID(") {
+		t.Errorf("unknown component string = %q", s)
+	}
+}
+
+func TestFrameworkGraph(t *testing.T) {
+	edges := FrameworkGraph()
+	has := func(from, to string) bool {
+		for _, e := range edges {
+			if e.From == from && e.To == to {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range [][2]string{
+		{NodeCommunication, NodeImpediments},
+		{NodeImpediments, NodeDelivery},
+		{NodeDelivery, NodeProcessing},
+		{NodeProcessing, NodeApplication},
+		{NodeApplication, NodeBehavior},
+		{NodeCapabilities, NodeBehavior},
+		{NodeIntentions, NodeBehavior},
+	} {
+		if !has(e[0], e[1]) {
+			t.Errorf("missing edge %s -> %s", e[0], e[1])
+		}
+	}
+	// No edge goes backwards from behavior.
+	for _, e := range edges {
+		if e.From == NodeBehavior {
+			t.Errorf("behavior should be terminal, found %v", e)
+		}
+	}
+}
+
+func phishingTask(c comms.Communication) HumanTask {
+	return HumanTask{
+		ID:                    "heed-" + c.ID,
+		Description:           "decide whether to heed the anti-phishing warning and leave the site",
+		Communication:         c,
+		Environment:           stimuli.Busy(),
+		Task:                  gems.LeaveSuspiciousSite(),
+		Population:            population.GeneralPublic(),
+		AutomationFeasibility: 0.8,
+		AutomationQuality:     0.9, // blocking outright: limited by false positives
+	}
+}
+
+func passwordTask() HumanTask {
+	return HumanTask{
+		ID:            "comply-password-policy",
+		Description:   "create and remember policy-compliant passwords for every account",
+		Communication: comms.PasswordPolicyDocument(),
+		Environment:   stimuli.Quiet(),
+		Task: gems.Task{
+			Name: "create-and-recall-passwords", Steps: 3,
+			CueQuality: 0.6, FeedbackQuality: 0.7, ControlClarity: 0.8,
+			PlanSoundness: 0.9, CognitiveDemand: 0.85, PhysicalDemand: 0.05,
+		},
+		Population:             population.Enterprise(),
+		ComplianceCost:         0.6,
+		ApplyDelayDays:         45,
+		SituationNovelty:       0.2,
+		AutomationFeasibility:  0.6,
+		AutomationQuality:      0.85, // SSO / vault
+		BehaviorPredictability: 0.6,
+		PredictabilityMatters:  true,
+	}
+}
+
+func validSpec() SystemSpec {
+	return SystemSpec{
+		Name:  "browser-anti-phishing",
+		Tasks: []HumanTask{phishingTask(comms.FirefoxActiveWarning())},
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	s := validSpec()
+	s.Name = ""
+	if err := s.Validate(); err == nil {
+		t.Error("empty name: want error")
+	}
+	s = validSpec()
+	s.Tasks = nil
+	if err := s.Validate(); err == nil {
+		t.Error("no tasks: want error")
+	}
+	s = validSpec()
+	s.Tasks = append(s.Tasks, s.Tasks[0])
+	if err := s.Validate(); err == nil {
+		t.Error("duplicate IDs: want error")
+	}
+	s = validSpec()
+	s.Tasks[0].ComplianceCost = 2
+	if err := s.Validate(); err == nil {
+		t.Error("bad compliance cost: want error")
+	}
+	s = validSpec()
+	s.Tasks[0].Threats = []stimuli.Interference{{Kind: stimuli.Block, Strength: 5}}
+	if err := s.Validate(); err == nil {
+		t.Error("bad threat: want error")
+	}
+}
+
+func TestTaskByID(t *testing.T) {
+	s := validSpec()
+	got, err := s.TaskByID(s.Tasks[0].ID)
+	if err != nil || got.ID != s.Tasks[0].ID {
+		t.Errorf("TaskByID failed: %v", err)
+	}
+	if _, err := s.TaskByID("nope"); err == nil {
+		t.Error("missing task: want error")
+	}
+}
+
+func TestEstimateReliabilityOrdering(t *testing.T) {
+	ff, err := EstimateReliability(phishingTask(comms.FirefoxActiveWarning()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iep, err := EstimateReliability(phishingTask(comms.IEPassiveWarning()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := EstimateReliability(phishingTask(comms.ToolbarPassiveIndicator()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mean-field reliability: firefox=%.3f ie-passive=%.3f toolbar=%.3f", ff, iep, tb)
+	if !(ff > iep && iep >= tb) {
+		t.Errorf("reliability ordering violated: %.3f, %.3f, %.3f", ff, iep, tb)
+	}
+	if ff < 0.4 {
+		t.Errorf("firefox mean-field reliability %.3f too low", ff)
+	}
+}
+
+func TestEstimateReliabilityNoCommunication(t *testing.T) {
+	task := phishingTask(comms.FirefoxActiveWarning())
+	task.Communication = comms.Communication{}
+	rel, err := EstimateReliability(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != 0 {
+		t.Errorf("no communication should estimate 0 reliability, got %v", rel)
+	}
+}
+
+func TestAnalyzeMissingCommunication(t *testing.T) {
+	task := phishingTask(comms.FirefoxActiveWarning())
+	task.Communication = comms.Communication{}
+	rep, err := Analyze(SystemSpec{Name: "s", Tasks: []HumanTask{task}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := rep.FindingsFor(task.ID)
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings, want exactly the missing-communication finding", len(fs))
+	}
+	if fs[0].Component != CompCommunication || fs[0].Severity != SeverityCritical {
+		t.Errorf("finding = %+v", fs[0])
+	}
+}
+
+func TestAnalyzePassiveWarningFindings(t *testing.T) {
+	rep, err := Analyze(SystemSpec{
+		Name:  "ie-passive",
+		Tasks: []HumanTask{phishingTask(comms.IEPassiveWarning())},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byComp := map[ComponentID]bool{}
+	for _, f := range rep.Findings {
+		byComp[f.Component] = true
+	}
+	for _, want := range []ComponentID{CompCommunication, CompAttentionSwitch, CompKnowledgeExperience} {
+		if !byComp[want] {
+			t.Errorf("expected a finding on %v; got components %v", want, byComp)
+		}
+	}
+	// The activeness-gap finding should be high severity.
+	found := false
+	for _, f := range rep.Findings {
+		if f.Component == CompCommunication && f.Severity >= SeverityHigh {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("too-passive communication should be a high-severity finding")
+	}
+	// Findings are sorted by descending severity.
+	for i := 1; i < len(rep.Findings); i++ {
+		if rep.Findings[i].Severity > rep.Findings[i-1].Severity {
+			t.Fatal("findings not sorted by severity")
+		}
+	}
+}
+
+func TestAnalyzeInterferenceThreats(t *testing.T) {
+	task := phishingTask(comms.FirefoxActiveWarning())
+	task.Threats = []stimuli.Interference{
+		{Kind: stimuli.Spoof, Strength: 0.8, Description: "fake lock icon (Ye et al.)"},
+		{Kind: stimuli.TechFailure, Strength: 0.5, Description: "blocklist not loaded"},
+		{Kind: stimuli.Delay, Strength: 0.1}, // too weak to flag
+	}
+	rep, err := Analyze(SystemSpec{Name: "s", Tasks: []HumanTask{task}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spoofSev, techSev Severity
+	count := 0
+	for _, f := range rep.Findings {
+		if f.Component == CompInterference {
+			count++
+			if strings.Contains(f.Issue, "spoof") {
+				spoofSev = f.Severity
+			}
+			if strings.Contains(f.Issue, "tech-failure") {
+				techSev = f.Severity
+			}
+		}
+	}
+	if count != 2 {
+		t.Fatalf("got %d interference findings, want 2", count)
+	}
+	if spoofSev != SeverityCritical {
+		t.Errorf("malicious interference severity = %v, want critical", spoofSev)
+	}
+	if techSev != SeverityHigh {
+		t.Errorf("tech failure severity = %v, want high", techSev)
+	}
+}
+
+func TestAnalyzePasswordCapabilities(t *testing.T) {
+	rep, err := Analyze(SystemSpec{Name: "pw", Tasks: []HumanTask{passwordTask()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasCap, hasMot, hasPredict bool
+	for _, f := range rep.Findings {
+		switch f.Component {
+		case CompCapabilities:
+			hasCap = true
+		case CompMotivation:
+			hasMot = true
+		case CompBehavior:
+			if strings.Contains(f.Issue, "predictable") {
+				hasPredict = true
+			}
+		}
+	}
+	if !hasCap {
+		t.Error("password policy should yield a capabilities finding (memory)")
+	}
+	if !hasMot {
+		t.Error("password policy should yield a motivation finding (inconvenience)")
+	}
+	if !hasPredict {
+		t.Error("predictable password choice should be flagged")
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	spec := SystemSpec{Name: "s", Tasks: []HumanTask{
+		phishingTask(comms.IEPassiveWarning()), passwordTask(),
+	}}
+	a, err := Analyze(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Findings) != len(b.Findings) {
+		t.Fatal("non-deterministic finding count")
+	}
+	for i := range a.Findings {
+		if a.Findings[i] != b.Findings[i] {
+			t.Fatalf("finding %d differs between runs", i)
+		}
+	}
+}
+
+func TestMitigateImprovesReliability(t *testing.T) {
+	task := phishingTask(comms.IEPassiveWarning())
+	before, err := EstimateReliability(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(SystemSpec{Name: "s", Tasks: []HumanTask{task}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := task
+	applied := 0
+	seen := map[ComponentID]bool{}
+	for _, f := range rep.FindingsFor(task.ID) {
+		if f.Severity < SeverityMedium || seen[f.Component] {
+			continue
+		}
+		next, action, ok := Mitigate(cur, f)
+		if !ok {
+			continue
+		}
+		if action == "" {
+			t.Errorf("mitigation for %v returned empty action", f.Component)
+		}
+		seen[f.Component] = true
+		cur = next
+		applied++
+	}
+	if applied == 0 {
+		t.Fatal("no mitigations applied to a passive IE warning")
+	}
+	after, err := EstimateReliability(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mitigation: reliability %.3f -> %.3f (%d actions)", before, after, applied)
+	if after <= before {
+		t.Errorf("mitigations should raise reliability: %.3f -> %.3f", before, after)
+	}
+	if after-before < 0.2 {
+		t.Errorf("mitigating a passive warning should help a lot, got +%.3f", after-before)
+	}
+}
+
+func TestMitigateIdempotent(t *testing.T) {
+	task := phishingTask(comms.IEPassiveWarning())
+	f := Finding{TaskID: task.ID, Component: CompAttentionSwitch, Severity: SeverityHigh}
+	once, _, ok := Mitigate(task, f)
+	if !ok {
+		t.Fatal("first mitigation should apply")
+	}
+	_, _, ok = Mitigate(once, f)
+	if ok {
+		t.Error("second identical mitigation should be a no-op")
+	}
+}
+
+func TestMitigateValidatesOutput(t *testing.T) {
+	// Every applied mitigation must leave the task valid.
+	task := passwordTask()
+	rep, err := Analyze(SystemSpec{Name: "s", Tasks: []HumanTask{task}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.FindingsFor(task.ID) {
+		next, _, ok := Mitigate(task, f)
+		if !ok {
+			continue
+		}
+		if err := next.Validate(); err != nil {
+			t.Errorf("mitigation for %v produced invalid task: %v", f.Component, err)
+		}
+	}
+}
+
+func TestRunProcessTwoPassNarrative(t *testing.T) {
+	// A task whose automation (quality 0.85) is imperfect: dismissed on
+	// pass 1, adopted on pass 2 only if the mitigated human still
+	// underperforms it.
+	pw := passwordTask()
+	spec := SystemSpec{Name: "org-passwords", Tasks: []HumanTask{pw}}
+	res, err := RunProcess(spec, ProcessOptions{MaxPasses: 2, TargetReliability: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Passes) == 0 {
+		t.Fatal("no passes recorded")
+	}
+	p1 := res.Passes[0]
+	if len(p1.Identified) != 1 || p1.Identified[0] != pw.ID {
+		t.Errorf("pass 1 identification = %v", p1.Identified)
+	}
+	if len(p1.Automation) != 1 || p1.Automation[0].Automate {
+		t.Errorf("pass 1 must not adopt imperfect automation: %+v", p1.Automation)
+	}
+	if p1.Analysis == nil || len(p1.Analysis.Findings) == 0 {
+		t.Error("pass 1 must identify failures")
+	}
+	if len(p1.Mitigations) == 0 {
+		t.Error("pass 1 must apply mitigations")
+	}
+	for _, m := range p1.Mitigations {
+		if m.After < m.Before {
+			t.Errorf("mitigation %v lowered reliability %.3f -> %.3f", m.Component, m.Before, m.After)
+		}
+	}
+	// Process must be deterministic.
+	res2, err := RunProcess(spec, ProcessOptions{MaxPasses: 2, TargetReliability: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Passes) != len(res.Passes) {
+		t.Error("process not deterministic")
+	}
+}
+
+func TestRunProcessAutomatesPerfectAutomation(t *testing.T) {
+	task := phishingTask(comms.FirefoxActiveWarning())
+	task.AutomationFeasibility = 0.9
+	task.AutomationQuality = 0.99
+	res, err := RunProcess(SystemSpec{Name: "s", Tasks: []HumanTask{task}}, ProcessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass, ok := res.Automated[task.ID]; !ok || pass != 1 {
+		t.Errorf("near-perfect automation should be adopted in pass 1, got %v", res.Automated)
+	}
+	if len(res.FinalSpec.Tasks) != 0 {
+		t.Error("automated task should leave the human loop")
+	}
+}
+
+func TestRunProcessRevisitAdoptsImperfectAutomation(t *testing.T) {
+	// Force a task that stays unreliable even after mitigation, with
+	// moderately good automation: pass 2 should adopt it.
+	task := passwordTask()
+	task.Communication = comms.ToolbarPassiveIndicator() // hopeless communication
+	task.Communication.Topic = "passwords"
+	task.AutomationFeasibility = 0.9
+	task.AutomationQuality = 0.85
+	res, err := RunProcess(SystemSpec{Name: "s", Tasks: []HumanTask{task}},
+		ProcessOptions{MaxPasses: 3, TargetReliability: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pass, ok := res.Automated[task.ID]; !ok {
+		rel := res.FinalReliability[task.ID]
+		if rel < task.AutomationQuality {
+			t.Errorf("task with reliability %.3f < automation %.2f should have been automated on revisit", rel, task.AutomationQuality)
+		}
+	} else if pass < 2 {
+		t.Errorf("imperfect automation adopted on pass %d, want a revisit pass", pass)
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	rep := &Report{Findings: []Finding{
+		{TaskID: "a", Severity: SeverityHigh},
+		{TaskID: "b", Severity: SeverityLow},
+		{TaskID: "a", Severity: SeverityMedium},
+	}}
+	if got := len(rep.FindingsFor("a")); got != 2 {
+		t.Errorf("FindingsFor(a) = %d, want 2", got)
+	}
+	if rep.MaxSeverity() != SeverityHigh {
+		t.Errorf("MaxSeverity = %v", rep.MaxSeverity())
+	}
+	if (&Report{}).MaxSeverity() != SeverityInfo {
+		t.Error("empty report severity should be info")
+	}
+}
+
+func TestSeverityStrings(t *testing.T) {
+	for _, s := range []Severity{SeverityInfo, SeverityLow, SeverityMedium, SeverityHigh, SeverityCritical} {
+		if str := s.String(); str == "" || strings.HasPrefix(str, "Severity(") {
+			t.Errorf("severity %d unnamed", int(s))
+		}
+	}
+}
+
+func noisySiblingSpec() SystemSpec {
+	noisy := phishingTask(comms.FirefoxActiveWarning())
+	noisy.ID = "noisy-low-severity"
+	noisy.Communication.ID = "mixed-content-warning"
+	noisy.Communication.Hazard.Severity = 0.15
+	noisy.Communication.Hazard.EncounterRate = 20
+	noisy.Communication.FalsePositiveRate = 0.7
+	severe := phishingTask(comms.FirefoxActiveWarning())
+	return SystemSpec{Name: "contamination", Tasks: []HumanTask{noisy, severe}}
+}
+
+func TestSystemLevelContaminationFinding(t *testing.T) {
+	rep, err := Analyze(noisySiblingSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rep.FindingsFor("heed-firefox-active") {
+		if f.Component == CompAttitudesBeliefs && strings.Contains(f.Issue, "indicator family") {
+			found = true
+			if f.Severity < SeverityHigh {
+				t.Errorf("contamination severity = %v, want >= high", f.Severity)
+			}
+		}
+	}
+	if !found {
+		t.Error("expected a cross-task contamination finding on the severe warning")
+	}
+	// Demoting the noisy warning to passive removes the finding.
+	spec := noisySiblingSpec()
+	spec.Tasks[0].Communication.Design.Activeness = 0.2
+	spec.Tasks[0].Communication.Design.BlocksPrimaryTask = false
+	rep, err = Analyze(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.FindingsFor("heed-firefox-active") {
+		if strings.Contains(f.Issue, "indicator family") {
+			t.Error("passive noisy sibling should not trigger contamination")
+		}
+	}
+	// Different topics do not contaminate.
+	spec = noisySiblingSpec()
+	spec.Tasks[0].Communication.Topic = "mixed-content"
+	rep, err = Analyze(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.FindingsFor("heed-firefox-active") {
+		if strings.Contains(f.Issue, "indicator family") {
+			t.Error("different-topic sibling should not trigger contamination")
+		}
+	}
+}
+
+func TestSystemLevelIndicatorOverload(t *testing.T) {
+	var tasks []HumanTask
+	for i := 0; i < 5; i++ {
+		task := phishingTask(comms.SSLLockIndicator())
+		task.ID = fmt.Sprintf("indicator-%d", i)
+		task.Communication.ID = fmt.Sprintf("lock-%d", i)
+		tasks = append(tasks, task)
+	}
+	rep, err := Analyze(SystemSpec{Name: "cluttered", Tasks: tasks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Component == CompEnvironmentalStimuli && strings.Contains(f.Issue, "passive indicators compete") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("5 passive indicators should trigger the overload finding")
+	}
+	// Two passive indicators are fine.
+	rep, err = Analyze(SystemSpec{Name: "ok", Tasks: tasks[:2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		if strings.Contains(f.Issue, "passive indicators compete") {
+			t.Error("2 passive indicators should not trigger overload")
+		}
+	}
+}
+
+func TestEstimateReliabilityUnder(t *testing.T) {
+	task := phishingTask(comms.FirefoxActiveWarning())
+	base, err := EstimateReliability(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spoofed, err := EstimateReliabilityUnder(task, stimuli.Interference{Kind: stimuli.Spoof, Strength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spoofed != 0 {
+		t.Errorf("full spoof reliability = %v, want 0", spoofed)
+	}
+	blocked, err := EstimateReliabilityUnder(task, stimuli.Interference{Kind: stimuli.Block, Strength: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked >= base || blocked <= 0 {
+		t.Errorf("half block reliability = %v (base %v)", blocked, base)
+	}
+	none, err := EstimateReliabilityUnder(task, stimuli.Interference{Kind: stimuli.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none != base {
+		t.Errorf("no interference should match baseline: %v vs %v", none, base)
+	}
+	if _, err := EstimateReliabilityUnder(task, stimuli.Interference{Kind: stimuli.Block, Strength: 3}); err == nil {
+		t.Error("invalid interference: want error")
+	}
+}
+
+func TestEstimateReliabilityUnderDelayRace(t *testing.T) {
+	task := phishingTask(comms.IEPassiveWarning())
+	base, err := EstimateReliability(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := EstimateReliabilityUnder(task, stimuli.Interference{Kind: stimuli.Delay, Strength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delayed >= base {
+		t.Errorf("extra delay must worsen a dismissible warning: %v vs %v", delayed, base)
+	}
+}
+
+func TestWorstCaseThreat(t *testing.T) {
+	task := phishingTask(comms.FirefoxActiveWarning())
+	task.Threats = []stimuli.Interference{
+		{Kind: stimuli.Delay, Strength: 0.3, Description: "slow blocklist"},
+		{Kind: stimuli.Spoof, Strength: 1, Description: "full chrome spoof"},
+		{Kind: stimuli.Obscure, Strength: 0.5, Description: "overlay"},
+	}
+	impacts, err := WorstCaseThreat(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(impacts) != 3 {
+		t.Fatalf("got %d impacts", len(impacts))
+	}
+	if impacts[0].Threat.Kind != stimuli.Spoof {
+		t.Errorf("worst threat should be the spoof, got %v", impacts[0].Threat.Kind)
+	}
+	for i := 1; i < len(impacts); i++ {
+		if impacts[i].Lost() > impacts[i-1].Lost()+1e-12 {
+			t.Fatal("impacts not sorted by damage")
+		}
+	}
+	task.Threats = nil
+	if _, err := WorstCaseThreat(task); err == nil {
+		t.Error("no threats: want error")
+	}
+}
+
+func TestMitigateAllBranches(t *testing.T) {
+	// Exercise every mitigation branch in the catalog switch.
+	base := phishingTask(comms.IEPassiveWarning())
+
+	// CompCommunication: missing communication is un-mitigatable here.
+	noComm := base
+	noComm.Communication = comms.Communication{}
+	if _, _, ok := Mitigate(noComm, Finding{Component: CompCommunication}); ok {
+		t.Error("missing communication cannot be mitigated by the catalog")
+	}
+	// CompCommunication: frequent interruption demoted to passive.
+	noisy := phishingTask(comms.FirefoxActiveWarning())
+	noisy.Communication.Hazard.EncounterRate = 20
+	out, action, ok := Mitigate(noisy, Finding{Component: CompCommunication})
+	if !ok || !strings.Contains(action, "demote") {
+		t.Errorf("frequent active warning should be demoted: ok=%v action=%q", ok, action)
+	}
+	if out.Communication.Design.BlocksPrimaryTask {
+		t.Error("demoted warning must not block")
+	}
+	// CompEnvironmentalStimuli: no clutter -> no-op.
+	clean := base
+	clean.Environment.CompetingIndicators = 0
+	if _, _, ok := Mitigate(clean, Finding{Component: CompEnvironmentalStimuli}); ok {
+		t.Error("no competing indicators: want no-op")
+	}
+	// CompInterference: weak threats -> no-op.
+	weak := base
+	weak.Threats = []stimuli.Interference{{Kind: stimuli.Delay, Strength: 0.1}}
+	if _, _, ok := Mitigate(weak, Finding{Component: CompInterference}); ok {
+		t.Error("weak threats: want no-op")
+	}
+	// CompAttentionMaintenance: shorten long messages.
+	long := base
+	long.Communication.Design.Length = 0.8
+	out, _, ok = Mitigate(long, Finding{Component: CompAttentionMaintenance})
+	if !ok || out.Communication.Design.Length > 0.3 {
+		t.Errorf("long message should be shortened: ok=%v len=%v", ok, out.Communication.Design.Length)
+	}
+	// CompKnowledgeRetention: cap the apply gap and raise interactivity.
+	stale := base
+	stale.ApplyDelayDays = 120
+	out, _, ok = Mitigate(stale, Finding{Component: CompKnowledgeRetention})
+	if !ok || out.ApplyDelayDays > 30 || out.Communication.Design.Interactivity < 0.7 {
+		t.Errorf("retention mitigation failed: %v %v %v", ok, out.ApplyDelayDays, out.Communication.Design.Interactivity)
+	}
+	// CompKnowledgeTransfer: interactive training.
+	flat := base
+	flat.Communication.Design.Interactivity = 0.2
+	out, _, ok = Mitigate(flat, Finding{Component: CompKnowledgeTransfer})
+	if !ok || out.Communication.Design.Interactivity < 0.8 {
+		t.Errorf("transfer mitigation failed: %v %v", ok, out.Communication.Design.Interactivity)
+	}
+	// CompCapabilities: offload demanding tasks.
+	heavy := base
+	heavy.Task = gems.Task{Name: "heavy", Steps: 2, CueQuality: 0.5, FeedbackQuality: 0.5,
+		ControlClarity: 0.5, PlanSoundness: 0.9, CognitiveDemand: 0.9, PhysicalDemand: 0.6}
+	out, _, ok = Mitigate(heavy, Finding{Component: CompCapabilities})
+	if !ok || out.Task.CognitiveDemand > 0.4 || out.Task.PhysicalDemand > 0.4 {
+		t.Errorf("capability mitigation failed: %+v", out.Task)
+	}
+	// CompBehavior: predictability clamp.
+	pred := base
+	pred.Task = gems.Task{}
+	pred.PredictabilityMatters = true
+	pred.BehaviorPredictability = 0.9
+	out, _, ok = Mitigate(pred, Finding{Component: CompBehavior})
+	if !ok || out.BehaviorPredictability > 0.2 {
+		t.Errorf("predictability mitigation failed: %v %v", ok, out.BehaviorPredictability)
+	}
+	// Unknown component: no-op.
+	if _, _, ok := Mitigate(base, Finding{Component: ComponentID(99)}); ok {
+		t.Error("unknown component: want no-op")
+	}
+}
+
+func TestAnalyzeAudioMaskingFinding(t *testing.T) {
+	task := phishingTask(comms.FirefoxActiveWarning())
+	task.Communication.Channel = comms.ChannelAudio
+	task.Environment.NoiseMasking = 0.8
+	rep, err := Analyze(SystemSpec{Name: "s", Tasks: []HumanTask{task}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rep.FindingsFor(task.ID) {
+		if f.Component == CompInterference && strings.Contains(f.Issue, "audio") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("audio channel in a noisy environment should be flagged")
+	}
+}
+
+func TestSpecValidateMoreBranches(t *testing.T) {
+	s := validSpec()
+	s.Tasks[0].Environment.Distraction = 2
+	if err := s.Validate(); err == nil {
+		t.Error("bad environment: want error")
+	}
+	s = validSpec()
+	s.Tasks[0].Task.CueQuality = 5
+	if err := s.Validate(); err == nil {
+		t.Error("bad task: want error")
+	}
+	s = validSpec()
+	s.Tasks[0].Population.Name = ""
+	if err := s.Validate(); err == nil {
+		t.Error("bad population: want error")
+	}
+	s = validSpec()
+	s.Tasks[0].ApplyDelayDays = -1
+	if err := s.Validate(); err == nil {
+		t.Error("negative delay: want error")
+	}
+	s = validSpec()
+	s.Tasks[0].ID = ""
+	if err := s.Validate(); err == nil {
+		t.Error("empty task id: want error")
+	}
+}

@@ -1,0 +1,319 @@
+// Package core implements the human-in-the-loop security framework itself:
+// the component checklist of Table 1, the framework structure of Figure 1,
+// a static checklist analyzer that walks a declarative SystemSpec and emits
+// failure-mode findings with root-cause components, and the four-step human
+// threat identification and mitigation process of Figure 2.
+//
+// The analyzer is deliberately deterministic — it reasons the way a human
+// analyst applies the paper's checklist, using mean-field estimates from
+// the agent stage models rather than Monte Carlo sampling. The stochastic
+// counterpart lives in internal/sim.
+package core
+
+import "fmt"
+
+// ComponentID identifies one row of Table 1.
+type ComponentID int
+
+// The framework components, in Table 1 order.
+const (
+	CompCommunication ComponentID = iota
+	CompEnvironmentalStimuli
+	CompInterference
+	CompDemographics
+	CompKnowledgeExperience
+	CompAttitudesBeliefs
+	CompMotivation
+	CompCapabilities
+	CompAttentionSwitch
+	CompAttentionMaintenance
+	CompComprehension
+	CompKnowledgeAcquisition
+	CompKnowledgeRetention
+	CompKnowledgeTransfer
+	CompBehavior
+)
+
+// String names the component.
+func (c ComponentID) String() string {
+	if int(c) < 0 || int(c) >= len(componentTable) {
+		return fmt.Sprintf("ComponentID(%d)", int(c))
+	}
+	return componentTable[c].Name
+}
+
+// Component is one row of Table 1: a framework component with the questions
+// an analyst asks about it and the factors to consider.
+type Component struct {
+	ID ComponentID
+	// Group is the framework grouping the component belongs to
+	// (e.g. "Communication impediments", "Intentions").
+	Group string
+	// Name is the component's display name.
+	Name string
+	// Questions are the analyst questions from Table 1.
+	Questions []string
+	// Factors are the factors-to-consider from Table 1.
+	Factors []string
+}
+
+var componentTable = []Component{
+	{
+		ID:    CompCommunication,
+		Group: "Communication",
+		Name:  "Communication",
+		Questions: []string{
+			"What type of communication is it (warning, notice, status indicator, policy, training)?",
+			"Is the communication active or passive?",
+			"Is this the best type of communication for this situation?",
+		},
+		Factors: []string{
+			"Severity of hazard",
+			"Frequency with which hazard is encountered",
+			"Extent to which appropriate user action is necessary to avoid hazard",
+		},
+	},
+	{
+		ID:    CompEnvironmentalStimuli,
+		Group: "Communication impediments",
+		Name:  "Environmental stimuli",
+		Questions: []string{
+			"What other environmental stimuli are likely to be present?",
+		},
+		Factors: []string{
+			"Other related and unrelated communications",
+			"User's primary task",
+			"Ambient light",
+			"Noise",
+		},
+	},
+	{
+		ID:    CompInterference,
+		Group: "Communication impediments",
+		Name:  "Interference",
+		Questions: []string{
+			"Will anything interfere with the communication being delivered as intended?",
+		},
+		Factors: []string{
+			"Malicious attackers",
+			"Technology failures",
+			"Environmental stimuli that obscure the communication",
+		},
+	},
+	{
+		ID:    CompDemographics,
+		Group: "Personal variables",
+		Name:  "Demographics and personal characteristics",
+		Questions: []string{
+			"Who are the users?",
+			"What do their personal characteristics suggest about how they are likely to behave?",
+		},
+		Factors: []string{
+			"Age", "Gender", "Culture", "Education", "Occupation", "Disabilities",
+		},
+	},
+	{
+		ID:    CompKnowledgeExperience,
+		Group: "Personal variables",
+		Name:  "Knowledge and experience",
+		Questions: []string{
+			"What relevant knowledge or experience do the users or recipients have?",
+		},
+		Factors: []string{
+			"Education", "Occupation", "Prior experience",
+		},
+	},
+	{
+		ID:    CompAttitudesBeliefs,
+		Group: "Intentions",
+		Name:  "Attitudes and beliefs",
+		Questions: []string{
+			"Do users believe the communication is accurate?",
+			"Do they believe they should pay attention to it?",
+			"Do they have a positive attitude about it?",
+		},
+		Factors: []string{
+			"Reliability", "Conflicting goals", "Distraction from primary task",
+			"Risk perception", "Self-efficacy", "Response efficacy",
+		},
+	},
+	{
+		ID:    CompMotivation,
+		Group: "Intentions",
+		Name:  "Motivation",
+		Questions: []string{
+			"Are users motivated to take the appropriate action?",
+			"Are they motivated to do it carefully or properly?",
+		},
+		Factors: []string{
+			"Conflicting goals", "Distraction from primary task", "Convenience",
+			"Risk perception", "Consequences", "Incentives/disincentives",
+		},
+	},
+	{
+		ID:    CompCapabilities,
+		Group: "Capabilities",
+		Name:  "Capabilities",
+		Questions: []string{
+			"Are users capable of taking the appropriate action?",
+		},
+		Factors: []string{
+			"Knowledge", "Cognitive or physical skills", "Memorability",
+			"Required software or devices",
+		},
+	},
+	{
+		ID:    CompAttentionSwitch,
+		Group: "Communication delivery",
+		Name:  "Attention switch",
+		Questions: []string{
+			"Do users notice the communication?",
+			"Are they aware of rules, procedures, or training messages?",
+		},
+		Factors: []string{
+			"Environmental stimuli", "Interference", "Format", "Font size",
+			"Length", "Delivery channel", "Habituation",
+		},
+	},
+	{
+		ID:    CompAttentionMaintenance,
+		Group: "Communication delivery",
+		Name:  "Attention maintenance",
+		Questions: []string{
+			"Do users pay attention to the communication long enough to process it?",
+			"Do they read, watch, or listen to it fully?",
+		},
+		Factors: []string{
+			"Environmental stimuli", "Format", "Font size", "Length",
+			"Delivery channel", "Habituation",
+		},
+	},
+	{
+		ID:    CompComprehension,
+		Group: "Communication processing",
+		Name:  "Comprehension",
+		Questions: []string{
+			"Do users understand what the communication means?",
+		},
+		Factors: []string{
+			"Symbols", "Vocabulary and sentence structure",
+			"Conceptual complexity", "Personal variables",
+		},
+	},
+	{
+		ID:    CompKnowledgeAcquisition,
+		Group: "Communication processing",
+		Name:  "Knowledge acquisition",
+		Questions: []string{
+			"Have users learned how to apply it in practice?",
+			"Do they know what they are supposed to do?",
+		},
+		Factors: []string{
+			"Exposure or training time", "Involvement during training",
+			"Personal characteristics",
+		},
+	},
+	{
+		ID:    CompKnowledgeRetention,
+		Group: "Application",
+		Name:  "Knowledge retention",
+		Questions: []string{
+			"Do users remember the communication when a situation arises in which they need to apply it?",
+			"Do they recognize and recall the meaning of symbols or instructions?",
+		},
+		Factors: []string{
+			"Frequency", "Familiarity", "Long term memory",
+			"Involvement during training", "Personal characteristics",
+		},
+	},
+	{
+		ID:    CompKnowledgeTransfer,
+		Group: "Application",
+		Name:  "Knowledge transfer",
+		Questions: []string{
+			"Can users recognize situations where the communication is applicable and figure out how to apply it?",
+		},
+		Factors: []string{
+			"Involvement during training", "Similarity of training",
+			"Personal characteristics",
+		},
+	},
+	{
+		ID:    CompBehavior,
+		Group: "Behavior",
+		Name:  "Behavior",
+		Questions: []string{
+			"Does behavior result in successful completion of desired action?",
+			"Does behavior follow predictable patterns that an attacker might exploit?",
+		},
+		Factors: []string{
+			"See Norman's Stages of Action, GEMS",
+			"Type of behavior", "Ability of people to act randomly in this context",
+			"Usefulness of prediction to attacker",
+		},
+	},
+}
+
+// Components returns the full Table 1 registry in order. The returned slice
+// is freshly allocated.
+func Components() []Component {
+	return append([]Component(nil), componentTable...)
+}
+
+// ComponentByID looks up a single component.
+func ComponentByID(id ComponentID) (Component, error) {
+	if int(id) < 0 || int(id) >= len(componentTable) {
+		return Component{}, fmt.Errorf("core: unknown component %d", int(id))
+	}
+	return componentTable[id], nil
+}
+
+// Groups returns the distinct component groups in Table 1 order.
+func Groups() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range componentTable {
+		if !seen[c.Group] {
+			seen[c.Group] = true
+			out = append(out, c.Group)
+		}
+	}
+	return out
+}
+
+// Edge is a directed edge in the Figure 1 framework graph.
+type Edge struct {
+	From, To string
+}
+
+// Graph node names used by FrameworkGraph.
+const (
+	NodeCommunication     = "communication"
+	NodeImpediments       = "communication impediments"
+	NodePersonalVariables = "personal variables"
+	NodeIntentions        = "intentions"
+	NodeCapabilities      = "capabilities"
+	NodeDelivery          = "communication delivery"
+	NodeProcessing        = "communication processing"
+	NodeApplication       = "application"
+	NodeBehavior          = "behavior"
+)
+
+// FrameworkGraph returns the structure of Figure 1: the communication flows
+// through impediments into the receiver's processing steps (delivery →
+// processing → application), modulated by personal variables, intentions,
+// and capabilities, and produces behavior.
+func FrameworkGraph() []Edge {
+	return []Edge{
+		{NodeCommunication, NodeImpediments},
+		{NodeImpediments, NodeDelivery},
+		{NodeDelivery, NodeProcessing},
+		{NodeProcessing, NodeApplication},
+		{NodeApplication, NodeBehavior},
+		{NodePersonalVariables, NodeDelivery},
+		{NodePersonalVariables, NodeProcessing},
+		{NodePersonalVariables, NodeApplication},
+		{NodeIntentions, NodeBehavior},
+		{NodeCapabilities, NodeBehavior},
+	}
+}

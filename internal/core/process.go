@@ -1,0 +1,421 @@
+package core
+
+import (
+	"fmt"
+
+	"hitl/internal/gems"
+)
+
+// AutomationDecision records the task-automation step (Figure 2, step 2)
+// for one task in one pass.
+type AutomationDecision struct {
+	TaskID string
+	// Automate is true when the task should be removed from the human loop.
+	Automate bool
+	// HumanReliability is the estimate the decision was based on.
+	HumanReliability float64
+	// AutomationQuality is the expected success rate of the automated
+	// alternative.
+	AutomationQuality float64
+	Rationale         string
+}
+
+// MitigationRecord is one applied mitigation (Figure 2, step 4) and its
+// measured effect on the task's mean-field reliability.
+type MitigationRecord struct {
+	TaskID    string
+	Component ComponentID
+	Action    string
+	// Before and After are the task reliabilities around this pass's whole
+	// mitigation batch (recorded identically on each record of the batch).
+	Before, After float64
+}
+
+// Pass is one iteration through the four-step process.
+type Pass struct {
+	// Number is 1-based.
+	Number int
+	// Identified lists the security-critical human task IDs (step 1).
+	Identified []string
+	// Automation holds the step-2 decisions.
+	Automation []AutomationDecision
+	// Analysis is the step-3 failure identification report.
+	Analysis *Report
+	// Mitigations are the step-4 actions applied.
+	Mitigations []MitigationRecord
+	// SpecAfter is the system spec with this pass's mitigations applied.
+	SpecAfter SystemSpec
+}
+
+// ProcessResult is the full run of the iterative process.
+type ProcessResult struct {
+	Passes []Pass
+	// FinalSpec is the system after all passes.
+	FinalSpec SystemSpec
+	// FinalReliability maps remaining human task IDs to their mean-field
+	// reliability estimates.
+	FinalReliability map[string]float64
+	// Automated lists tasks removed from the human loop, with the pass
+	// number in which that happened.
+	Automated map[string]int
+}
+
+// ProcessOptions configures RunProcess.
+type ProcessOptions struct {
+	// MaxPasses bounds iteration; default 2 (the paper's narrative: a first
+	// pass, then a revisit). Must be >= 1.
+	MaxPasses int
+	// TargetReliability stops iteration early once every remaining task
+	// meets it; default 0.8.
+	TargetReliability float64
+	// FirstPassAutomationBar is the automation quality required to remove a
+	// task in pass 1, before human performance is known; default 0.95
+	// ("an automated approach known to be imperfect might be dismissed
+	// during the first pass").
+	FirstPassAutomationBar float64
+	// RevisitMargin is how much better than the (mitigated) human the
+	// automation must be to be adopted on later passes; default 0.05.
+	RevisitMargin float64
+	// MinSeverity is the lowest finding severity that triggers a
+	// mitigation; default SeverityMedium.
+	MinSeverity Severity
+}
+
+func (o *ProcessOptions) setDefaults() {
+	if o.MaxPasses == 0 {
+		o.MaxPasses = 2
+	}
+	if o.TargetReliability == 0 {
+		o.TargetReliability = 0.8
+	}
+	if o.FirstPassAutomationBar == 0 {
+		o.FirstPassAutomationBar = 0.95
+	}
+	if o.RevisitMargin == 0 {
+		o.RevisitMargin = 0.05
+	}
+	if o.MinSeverity == 0 {
+		o.MinSeverity = SeverityMedium
+	}
+}
+
+// Mitigate returns a copy of the task with the catalog mitigation for the
+// finding's component applied, along with a description of the action. The
+// boolean is false when the catalog has no applicable change (e.g. the
+// attribute is already at its improved value).
+func Mitigate(t HumanTask, f Finding) (HumanTask, string, bool) {
+	d := &t.Communication.Design
+	switch f.Component {
+	case CompCommunication:
+		if !t.HasCommunication() {
+			return t, "", false // adding a communication requires design input
+		}
+		if d.Activeness < 0.85 {
+			d.Activeness = 0.9
+			d.BlocksPrimaryTask = true
+			d.Salience = maxf(d.Salience, 0.85)
+			return t, "replace with an active, blocking warning", true
+		}
+		if d.Activeness > 0.6 && t.Communication.Hazard.EncounterRate > 5 {
+			d.Activeness = 0.3
+			d.BlocksPrimaryTask = false
+			return t, "demote frequent interruption to a passive notice", true
+		}
+		return t, "", false
+	case CompEnvironmentalStimuli:
+		if t.Environment.CompetingIndicators > 1 {
+			t.Environment.CompetingIndicators = 1
+			return t, "consolidate competing security indicators", true
+		}
+		return t, "", false
+	case CompInterference:
+		changed := false
+		for i := range t.Threats {
+			if t.Threats[i].Strength > 0.2 {
+				t.Threats[i].Strength *= 0.25
+				changed = true
+			}
+		}
+		if changed {
+			return t, "harden the delivery path against spoofing/blocking (trusted paths, fail-closed)", true
+		}
+		return t, "", false
+	case CompDemographics, CompComprehension:
+		if d.Clarity < 0.85 || d.LookAlike > 0.15 {
+			d.Clarity = maxf(d.Clarity, 0.85)
+			d.LookAlike = minf(d.LookAlike, 0.15)
+			return t, "rewrite in plain language and make the warning visually distinct", true
+		}
+		return t, "", false
+	case CompKnowledgeExperience:
+		if t.Population.AccurateModelBase < 0.7 {
+			t.Population.AccurateModelBase = 0.7
+			d.Explanation = maxf(d.Explanation, 0.6)
+			return t, "deploy interactive training that corrects users' mental models", true
+		}
+		return t, "", false
+	case CompAttentionSwitch:
+		changed := false
+		if d.Salience < 0.8 {
+			d.Salience = 0.8
+			changed = true
+		}
+		if d.DismissedByPrimaryTask {
+			d.DismissedByPrimaryTask = false
+			d.DelaySeconds = 0
+			changed = true
+		}
+		if changed {
+			return t, "raise salience and remove delivery races (immediate display, explicit dismissal)", true
+		}
+		return t, "", false
+	case CompAttentionMaintenance:
+		if d.Length > 0.3 {
+			d.Length = 0.3
+			return t, "shorten the message and front-load the decision", true
+		}
+		return t, "", false
+	case CompKnowledgeAcquisition:
+		if d.InstructionSpecificity < 0.85 {
+			d.InstructionSpecificity = 0.85
+			return t, "add specific hazard-avoidance instructions", true
+		}
+		return t, "", false
+	case CompKnowledgeRetention:
+		changed := false
+		if d.Interactivity < 0.7 {
+			d.Interactivity = 0.7
+			changed = true
+		}
+		if t.ApplyDelayDays > 30 {
+			t.ApplyDelayDays = 30 // periodic reminders cap the effective gap
+			changed = true
+		}
+		if changed {
+			return t, "add periodic reminders and make training interactive", true
+		}
+		return t, "", false
+	case CompKnowledgeTransfer:
+		if d.Interactivity < 0.8 {
+			d.Interactivity = 0.8
+			return t, "train on varied realistic examples (interactive formats transfer best)", true
+		}
+		return t, "", false
+	case CompAttitudesBeliefs:
+		changed := false
+		if t.Communication.FalsePositiveRate > 0.02 {
+			t.Communication.FalsePositiveRate = 0.02
+			changed = true
+		}
+		if d.Explanation < 0.6 {
+			d.Explanation = 0.6
+			changed = true
+		}
+		if changed {
+			return t, "cut false positives and explain why the communication fired", true
+		}
+		return t, "", false
+	case CompMotivation:
+		if t.ComplianceCost > 0.1 {
+			t.ComplianceCost *= 0.5
+			d.Explanation = maxf(d.Explanation, 0.5)
+			return t, "reduce the cost of compliance and explain the consequences of ignoring it", true
+		}
+		return t, "", false
+	case CompCapabilities:
+		if t.Task.Steps > 0 && (t.Task.CognitiveDemand > 0.4 || t.Task.PhysicalDemand > 0.4) {
+			t.Task.CognitiveDemand = minf(t.Task.CognitiveDemand, 0.4)
+			t.Task.PhysicalDemand = minf(t.Task.PhysicalDemand, 0.4)
+			return t, "offload the demanding part of the task to tools (vaults, single sign-on, helpers)", true
+		}
+		return t, "", false
+	case CompBehavior:
+		changed := false
+		if t.Task.Steps > 0 {
+			if t.Task.CueQuality < 0.85 {
+				t.Task = gems.WithBetterCues(t.Task, 0.85)
+				changed = true
+			}
+			if t.Task.FeedbackQuality < 0.85 {
+				t.Task = gems.WithBetterFeedback(t.Task, 0.85)
+				changed = true
+			}
+			if t.Task.Steps > 3 {
+				t.Task = gems.WithFewerSteps(t.Task, 3)
+				changed = true
+			}
+			if t.Task.PlanSoundness < 0.8 {
+				t.Task.PlanSoundness = 0.8
+				changed = true
+			}
+		}
+		if t.PredictabilityMatters && t.BehaviorPredictability > 0.2 {
+			t.BehaviorPredictability = 0.2
+			changed = true
+		}
+		if changed {
+			return t, "close the gulfs (cues + feedback), shorten the sequence, and block predictable choices", true
+		}
+		return t, "", false
+	default:
+		return t, "", false
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RunProcess executes the human threat identification and mitigation
+// process of Figure 2: task identification, task automation, failure
+// identification, and failure mitigation, iterating up to MaxPasses. On
+// revisit passes it reconsiders automation with the now-known (mitigated)
+// human reliability, reproducing the paper's narrative that imperfect
+// automation dismissed on the first pass may be adopted once human
+// performance proves worse.
+func RunProcess(spec SystemSpec, opts ProcessOptions) (*ProcessResult, error) {
+	opts.setDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	res := &ProcessResult{
+		Automated:        make(map[string]int),
+		FinalReliability: make(map[string]float64),
+	}
+	current := spec
+
+	for pass := 1; pass <= opts.MaxPasses; pass++ {
+		p := Pass{Number: pass}
+
+		// Step 1: task identification.
+		for _, t := range current.Tasks {
+			p.Identified = append(p.Identified, t.ID)
+		}
+
+		// Step 2: task automation.
+		var remaining []HumanTask
+		for _, t := range current.Tasks {
+			rel, err := EstimateReliability(t)
+			if err != nil {
+				return nil, err
+			}
+			dec := AutomationDecision{
+				TaskID:            t.ID,
+				HumanReliability:  rel,
+				AutomationQuality: t.AutomationQuality,
+			}
+			feasible := t.AutomationFeasibility >= 0.5
+			switch {
+			case !feasible:
+				dec.Rationale = "no feasible automated alternative"
+			case pass == 1 && t.AutomationQuality >= opts.FirstPassAutomationBar:
+				dec.Automate = true
+				dec.Rationale = "near-perfect automation available; remove the human from the loop"
+			case pass == 1:
+				dec.Rationale = fmt.Sprintf(
+					"automation quality %.2f below first-pass bar %.2f; keep the human and mitigate",
+					t.AutomationQuality, opts.FirstPassAutomationBar)
+			case t.AutomationQuality > rel+opts.RevisitMargin:
+				dec.Automate = true
+				dec.Rationale = fmt.Sprintf(
+					"imperfect automation (%.2f) now beats mitigated human performance (%.2f); reconsidered on revisit",
+					t.AutomationQuality, rel)
+			default:
+				dec.Rationale = fmt.Sprintf(
+					"mitigated human performance (%.2f) within margin of automation (%.2f); keep the human",
+					rel, t.AutomationQuality)
+			}
+			p.Automation = append(p.Automation, dec)
+			if dec.Automate {
+				res.Automated[t.ID] = pass
+			} else {
+				remaining = append(remaining, t)
+			}
+		}
+		current.Tasks = remaining
+		if len(remaining) == 0 {
+			p.SpecAfter = current
+			res.Passes = append(res.Passes, p)
+			break
+		}
+
+		// Step 3: failure identification.
+		rep, err := Analyze(current)
+		if err != nil {
+			return nil, err
+		}
+		p.Analysis = rep
+
+		// Step 4: failure mitigation.
+		mitigated := make([]HumanTask, len(current.Tasks))
+		copy(mitigated, current.Tasks)
+		for i, t := range mitigated {
+			before := rep.Reliability[t.ID]
+			var records []MitigationRecord
+			cur := t
+			seen := map[ComponentID]bool{}
+			for _, f := range rep.FindingsFor(t.ID) {
+				if f.Severity < opts.MinSeverity || seen[f.Component] {
+					continue
+				}
+				next, action, ok := Mitigate(cur, f)
+				if !ok {
+					continue
+				}
+				seen[f.Component] = true
+				cur = next
+				records = append(records, MitigationRecord{
+					TaskID: t.ID, Component: f.Component, Action: action, Before: before,
+				})
+			}
+			after, err := EstimateReliability(cur)
+			if err != nil {
+				return nil, err
+			}
+			for j := range records {
+				records[j].After = after
+			}
+			p.Mitigations = append(p.Mitigations, records...)
+			mitigated[i] = cur
+		}
+		current.Tasks = mitigated
+		p.SpecAfter = current
+		res.Passes = append(res.Passes, p)
+
+		// Early exit when every remaining task meets the target.
+		allGood := true
+		for _, t := range current.Tasks {
+			rel, err := EstimateReliability(t)
+			if err != nil {
+				return nil, err
+			}
+			if rel < opts.TargetReliability {
+				allGood = false
+				break
+			}
+		}
+		if allGood {
+			break
+		}
+	}
+
+	res.FinalSpec = current
+	for _, t := range current.Tasks {
+		rel, err := EstimateReliability(t)
+		if err != nil {
+			return nil, err
+		}
+		res.FinalReliability[t.ID] = rel
+	}
+	return res, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hitl/internal/comms"
+	"hitl/internal/gems"
+	"hitl/internal/population"
+	"hitl/internal/stimuli"
+)
+
+// HumanTask is one point where a secure system relies on a human to perform
+// a security-critical function, together with everything the framework
+// needs to reason about it.
+type HumanTask struct {
+	// ID identifies the task in findings and reports.
+	ID string
+	// Description says what the human must do and why it matters.
+	Description string
+	// Communication is the communication expected to trigger the behavior.
+	// The paper: if a failure has no associated communication, the lack of
+	// communication is itself likely responsible — model that by an empty
+	// Communication.ID.
+	Communication comms.Communication
+	// Environment is the typical context the communication arrives in.
+	Environment stimuli.Environment
+	// Task is the behavior to perform on compliance.
+	Task gems.Task
+	// Population describes who the users are.
+	Population population.Spec
+	// ComplianceCost in [0,1] is the burden of complying.
+	ComplianceCost float64
+	// ApplyDelayDays is the expected gap between communication and
+	// application (0 for warnings shown at hazard time).
+	ApplyDelayDays float64
+	// SituationNovelty in [0,1] is how unlike the training examples the
+	// real situations are.
+	SituationNovelty float64
+	// Threats are interference scenarios an attacker (or failure mode)
+	// could realistically mount against the communication.
+	Threats []stimuli.Interference
+	// AutomationFeasibility in [0,1]: how feasible it is to automate the
+	// task away (0 = inherently human, 1 = trivially automatable).
+	AutomationFeasibility float64
+	// AutomationQuality in [0,1]: the expected success rate of the best
+	// available automated alternative (accuracy of defaults/auto-decisions).
+	AutomationQuality float64
+	// BehaviorPredictability in [0,1]: how concentrated user choices are
+	// when the task involves choosing a secret or pattern.
+	BehaviorPredictability float64
+	// PredictabilityMatters reports whether an attacker could exploit that
+	// predictability.
+	PredictabilityMatters bool
+}
+
+// HasCommunication reports whether the task has an associated triggering
+// communication at all.
+func (t HumanTask) HasCommunication() bool { return t.Communication.ID != "" }
+
+// Validate checks the task.
+func (t HumanTask) Validate() error {
+	if t.ID == "" {
+		return fmt.Errorf("core: task has empty ID")
+	}
+	if t.HasCommunication() {
+		if err := t.Communication.Validate(); err != nil {
+			return fmt.Errorf("core: task %s: %w", t.ID, err)
+		}
+	}
+	if err := t.Environment.Validate(); err != nil {
+		return fmt.Errorf("core: task %s: %w", t.ID, err)
+	}
+	if t.Task.Steps > 0 {
+		if err := t.Task.Validate(); err != nil {
+			return fmt.Errorf("core: task %s: %w", t.ID, err)
+		}
+	}
+	if err := t.Population.Validate(); err != nil {
+		return fmt.Errorf("core: task %s: %w", t.ID, err)
+	}
+	for i, th := range t.Threats {
+		if err := th.Validate(); err != nil {
+			return fmt.Errorf("core: task %s threat %d: %w", t.ID, i, err)
+		}
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"ComplianceCost", t.ComplianceCost},
+		{"SituationNovelty", t.SituationNovelty},
+		{"AutomationFeasibility", t.AutomationFeasibility},
+		{"AutomationQuality", t.AutomationQuality},
+		{"BehaviorPredictability", t.BehaviorPredictability},
+	} {
+		if f.v < 0 || f.v > 1 || math.IsNaN(f.v) {
+			return fmt.Errorf("core: task %s: %s = %v out of [0,1]", t.ID, f.name, f.v)
+		}
+	}
+	if t.ApplyDelayDays < 0 {
+		return fmt.Errorf("core: task %s: ApplyDelayDays = %v negative", t.ID, t.ApplyDelayDays)
+	}
+	return nil
+}
+
+// SystemSpec is the declarative description of a secure system's human
+// dependencies, the input to the checklist analyzer and the four-step
+// process.
+type SystemSpec struct {
+	// Name labels the system in reports.
+	Name string
+	// Tasks are the system's security-critical human tasks.
+	Tasks []HumanTask
+}
+
+// Validate checks the spec and the uniqueness of task IDs.
+func (s SystemSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("core: system spec has empty name")
+	}
+	if len(s.Tasks) == 0 {
+		return fmt.Errorf("core: system %s has no human tasks", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, t := range s.Tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("core: system %s: duplicate task ID %q", s.Name, t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return nil
+}
+
+// TaskByID returns the task with the given ID.
+func (s SystemSpec) TaskByID(id string) (HumanTask, error) {
+	for _, t := range s.Tasks {
+		if t.ID == id {
+			return t, nil
+		}
+	}
+	return HumanTask{}, fmt.Errorf("core: system %s: no task %q", s.Name, id)
+}

@@ -1,0 +1,525 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hitl/internal/agent"
+	"hitl/internal/comms"
+	"hitl/internal/gems"
+	"hitl/internal/password"
+	"hitl/internal/phishing"
+	"hitl/internal/population"
+	"hitl/internal/predict"
+	"hitl/internal/report"
+	"hitl/internal/stimuli"
+)
+
+// E1WarningEffectiveness reproduces the §3.1 warning-effectiveness shape:
+// active warnings protect most users, passive warnings almost none.
+func E1WarningEffectiveness(cfg Config) (*Output, error) {
+	n := cfg.n(4000)
+	results, err := phishing.CompareConditions(cfg.Seed, n, phishing.StandardConditions())
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Warning effectiveness by design (one phishing encounter per subject)",
+		"Condition", "Heed rate [95% CI]", "Top failure stage", "Failure share")
+	fig := report.NewFigure("Heed rate by warning design")
+	series := report.NewSeries("")
+	metrics := map[string]float64{}
+	for _, r := range results {
+		stage, _, ok := r.Run.TopFailureStage()
+		stageName, share := "-", 0.0
+		if ok {
+			stageName = stage.String()
+			share = r.Run.FailureShare(stage)
+		}
+		t.Add(r.Condition, r.Run.Heed.String(), stageName, report.Pct(share))
+		series.Add(r.Condition, r.HeedRate())
+		metrics["heed_"+r.Condition] = r.HeedRate()
+	}
+	fig.AddSeries(series)
+	return &Output{
+		ID:    "E1",
+		Title: "Anti-phishing warning effectiveness (§3.1; Egelman et al. CHI'08, Wu et al. CHI'06)",
+		PaperShape: "firefox-active ≈ 0.8 > ie-active ≈ 0.5 ≫ ie-passive ≈ 0.1 ≥ toolbar; " +
+			"passive failures concentrate at attention/delivery, active failures downstream",
+		Tables:  []*report.Table{t},
+		Figures: []*report.Figure{fig},
+		Metrics: metrics,
+	}, nil
+}
+
+// E2PhishingMitigations runs the §3.1 mitigation ablation on the IE active
+// warning: distinct look, explanation, training, and all combined.
+func E2PhishingMitigations(cfg Config) (*Output, error) {
+	n := cfg.n(4000)
+	base := phishing.StandardConditions()[1] // ie-active
+	conds := []phishing.Condition{
+		base,
+		phishing.WithDistinctLook(base),
+		phishing.WithExplanation(base),
+		phishing.WithTraining(base),
+		phishing.WithTraining(phishing.WithExplanation(phishing.WithDistinctLook(base))),
+	}
+	results, err := phishing.CompareConditions(cfg.Seed, n, conds)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("§3.1 mitigation ablation (IE active warning baseline)",
+		"Condition", "Heed rate [95% CI]", "Lift vs baseline")
+	metrics := map[string]float64{}
+	baseRate := results[0].HeedRate()
+	for _, r := range results {
+		t.Add(r.Condition, r.Run.Heed.String(),
+			fmt.Sprintf("%+.1f pp", (r.HeedRate()-baseRate)*100))
+		metrics["heed_"+r.Condition] = r.HeedRate()
+	}
+	return &Output{
+		ID:         "E2",
+		Title:      "Anti-phishing warning mitigations (§3.1 failure mitigation)",
+		PaperShape: "distinct look, explanation of why, and training each raise heeding; combined is best",
+		Tables:     []*report.Table{t},
+		Metrics:    metrics,
+	}, nil
+}
+
+// E3PasswordCompliance reproduces the §3.2 compliance shapes: reuse grows
+// with portfolio size (Gaw & Felten), expiry worsens coping (Adams &
+// Sasse), and memory (capability) is the binding failure.
+func E3PasswordCompliance(cfg Config) (*Output, error) {
+	n := cfg.n(2000)
+	base := password.Scenario{
+		Policy: password.StrongPolicy(), Accounts: 15, DurationDays: 365,
+		N: n, Seed: cfg.Seed,
+	}
+
+	sizes := []int{2, 5, 10, 20, 35, 50}
+	bySize, err := password.PortfolioSweep(base, sizes)
+	if err != nil {
+		return nil, err
+	}
+	t1 := report.NewTable("Compliance vs portfolio size (strong policy)",
+		"Accounts", "Compliance", "Mean reuse", "Write-down rate", "Resets/yr")
+	figReuse := report.NewFigure("Password reuse vs number of accounts")
+	s := report.NewSeries("")
+	metrics := map[string]float64{}
+	for i, m := range bySize {
+		t1.Addf(sizes[i], report.Pct(m.ComplianceRate), m.MeanReuseFraction,
+			report.Pct(m.WriteDownRate), m.MeanResetsPerYear)
+		s.Add(fmt.Sprintf("%d accounts", sizes[i]), m.MeanReuseFraction)
+		metrics[fmt.Sprintf("reuse_at_%d", sizes[i])] = m.MeanReuseFraction
+		metrics[fmt.Sprintf("compliance_at_%d", sizes[i])] = m.ComplianceRate
+	}
+	figReuse.AddSeries(s)
+
+	expiries := []int{0, 180, 90, 30}
+	byExpiry, err := password.ExpirySweep(base, expiries)
+	if err != nil {
+		return nil, err
+	}
+	t2 := report.NewTable("Compliance vs mandatory expiry (strong policy, 15 accounts)",
+		"Expiry (days)", "Compliance", "Mean reuse", "Resets/yr")
+	for i, m := range byExpiry {
+		label := fmt.Sprint(expiries[i])
+		if expiries[i] == 0 {
+			label = "never"
+		}
+		t2.Addf(label, report.Pct(m.ComplianceRate), m.MeanReuseFraction, m.MeanResetsPerYear)
+		metrics[fmt.Sprintf("compliance_expiry_%d", expiries[i])] = m.ComplianceRate
+		metrics[fmt.Sprintf("resets_expiry_%d", expiries[i])] = m.MeanResetsPerYear
+	}
+
+	// Failure-stage attribution for the headline configuration.
+	m15, err := base.Run()
+	if err != nil {
+		return nil, err
+	}
+	t3 := report.NewTable("Failure root causes (strong policy, 15 accounts)",
+		"Stage", "Share of failures")
+	for _, st := range m15.Run.SortedStages() {
+		t3.Add(st.String(), report.Pct(m15.Run.FailureShare(st)))
+	}
+	if stage, _, ok := m15.Run.TopFailureStage(); ok {
+		metrics["top_failure_is_capabilities"] = b2f(stage == agent.StageCapabilities)
+	}
+
+	return &Output{
+		ID:    "E3",
+		Title: "Password policy compliance (§3.2; Gaw & Felten, Adams & Sasse)",
+		PaperShape: "reuse grows with portfolio size; shorter expiry worsens coping and forgetting; " +
+			"the most critical failure is a capabilities (memory) failure",
+		Tables:  []*report.Table{t1, t2, t3},
+		Figures: []*report.Figure{figReuse},
+		Metrics: metrics,
+	}, nil
+}
+
+// E4PasswordMitigations runs the §3.2 mitigation ablation: SSO, vault,
+// strength meter, rationale training, and all combined.
+func E4PasswordMitigations(cfg Config) (*Output, error) {
+	n := cfg.n(2000)
+	mk := func(name string, tools password.Tools, seedOff int64) (string, password.Scenario) {
+		return name, password.Scenario{
+			Policy: password.StrongPolicy(), Accounts: 15, DurationDays: 365,
+			Tools: tools, N: n, Seed: cfg.Seed + seedOff,
+		}
+	}
+	type arm struct {
+		name string
+		sc   password.Scenario
+	}
+	var arms []arm
+	for _, a := range []struct {
+		name  string
+		tools password.Tools
+	}{
+		{"baseline", password.Tools{}},
+		{"sso", password.Tools{SSO: true}},
+		{"vault", password.Tools{Vault: true}},
+		{"strength-meter", password.Tools{StrengthMeter: true}},
+		{"rationale-training", password.Tools{RationaleTraining: true}},
+		{"all", password.Tools{SSO: true, Vault: true, StrengthMeter: true, RationaleTraining: true}},
+	} {
+		name, sc := mk(a.name, a.tools, int64(len(arms))*15013)
+		arms = append(arms, arm{name, sc})
+	}
+	t := report.NewTable("§3.2 mitigation ablation (strong policy, 15 accounts)",
+		"Tools", "Compliance", "Mean reuse", "Write-down", "Strength (bits)")
+	metrics := map[string]float64{}
+	for _, a := range arms {
+		m, err := a.sc.Run()
+		if err != nil {
+			return nil, fmt.Errorf("arm %s: %w", a.name, err)
+		}
+		t.Addf(a.name, report.Pct(m.ComplianceRate), m.MeanReuseFraction,
+			report.Pct(m.WriteDownRate), m.MeanStrengthBits)
+		metrics["compliance_"+a.name] = m.ComplianceRate
+		metrics["bits_"+a.name] = m.MeanStrengthBits
+	}
+	// Rationale training targets motivation, which only shows once the
+	// capability failure is not binding (§3.2: "Motivation failures may
+	// become less of an issue if the capability failure can be addressed").
+	t2 := report.NewTable("Rationale training at a small portfolio (2 accounts: capability not binding)",
+		"Tools", "Compliance")
+	for _, a := range []struct {
+		name  string
+		tools password.Tools
+	}{
+		{"baseline-small", password.Tools{}},
+		{"rationale-training-small", password.Tools{RationaleTraining: true}},
+	} {
+		sc := password.Scenario{
+			Policy: password.StrongPolicy(), Accounts: 2, DurationDays: 365,
+			Tools: a.tools, N: n, Seed: cfg.Seed + 7103,
+		}
+		m, err := sc.Run()
+		if err != nil {
+			return nil, fmt.Errorf("arm %s: %w", a.name, err)
+		}
+		t2.Add(a.name, report.Pct(m.ComplianceRate))
+		metrics["compliance_"+a.name] = m.ComplianceRate
+	}
+
+	return &Output{
+		ID:    "E4",
+		Title: "Password policy mitigations (§3.2 failure mitigation)",
+		PaperShape: "SSO and vaults fix the capability failure; meters raise effective strength; " +
+			"rationale training fixes motivation once capability is not binding",
+		Tables:  []*report.Table{t, t2},
+		Metrics: metrics,
+	}, nil
+}
+
+// E5Predictability reproduces the §2.4 predictability results: biased
+// choice distributions slash the informed attacker's work.
+func E5Predictability(cfg Config) (*Output, error) {
+	n := cfg.n(5000)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := report.NewTable("Behavior predictability (§2.4)",
+		"Choice model", "Entropy (bits)", "Uniform (bits)", "Median-work reduction", "Informed attack success", "Blind attack success")
+	metrics := map[string]float64{}
+
+	addModel := func(name string, weights []float64, budget int) error {
+		a, err := predict.Analyze(weights)
+		if err != nil {
+			return err
+		}
+		atk, err := predict.SimulateAttack(rng, weights, n, budget)
+		if err != nil {
+			return err
+		}
+		t.Addf(name, a.EntropyBits, a.UniformEntropyBits,
+			fmt.Sprintf("%.0fx", a.MedianWorkReduction),
+			report.Pct(atk.InformedSuccess), report.Pct(atk.BlindSuccess))
+		metrics["median_reduction_"+name] = a.MedianWorkReduction
+		metrics["informed_"+name] = atk.InformedSuccess
+		metrics["blind_"+name] = atk.BlindSuccess
+		return nil
+	}
+
+	faces := predict.FaceModel{Faces: 36, Groups: 4, OwnGroupBias: 0.7, AttractivenessSkew: 0.8}
+	fw, err := faces.Distribution(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := addModel("faces-biased (Davis)", fw, 4); err != nil {
+		return nil, err
+	}
+	facesU := predict.FaceModel{Faces: 36, Groups: 4}
+	fu, err := facesU.Distribution(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := addModel("faces-uniform (design intent)", fu, 4); err != nil {
+		return nil, err
+	}
+	hs := predict.HotSpotModel{Cells: 400, HotSpots: 10, HotMass: 0.6}
+	hw, err := hs.Distribution()
+	if err != nil {
+		return nil, err
+	}
+	if err := addModel("click-hotspots (Thorpe)", hw, 10); err != nil {
+		return nil, err
+	}
+	mn := predict.MnemonicModel{FamousPhrases: 1000, PersonalPhrases: 500000, FamousMass: 0.65}
+	mw, err := mn.Distribution()
+	if err != nil {
+		return nil, err
+	}
+	if err := addModel("mnemonic-phrases (Kuo)", mw, 1000); err != nil {
+		return nil, err
+	}
+	// Mitigation: dictionary policy over the mnemonic head (§2.4).
+	banned, err := predict.DictionaryPolicy(mw, 1000)
+	if err != nil {
+		return nil, err
+	}
+	if err := addModel("mnemonic+dictionary-check", banned, 1000); err != nil {
+		return nil, err
+	}
+
+	// Multi-click view: a 5-click graphical password over the hot-spot
+	// image. Entropies add per click; the tuple attacker exploits the
+	// hot-spot product structure.
+	seq, err := predict.AnalyzeSequence(hw, 5)
+	if err != nil {
+		return nil, err
+	}
+	seqAtk, err := predict.SimulateSequenceAttack(rng, hw, 5, n, 100000)
+	if err != nil {
+		return nil, err
+	}
+	t2 := report.NewTable("5-click graphical password over the hot-spot image",
+		"Metric", "Value")
+	t2.Addf("total entropy (bits)", seq.EntropyBits)
+	t2.Addf("uniform entropy (bits)", seq.UniformEntropyBits)
+	t2.Addf("informed 100k-tuple attack success", report.Pct(seqAtk.InformedSuccess))
+	t2.Addf("blind 100k-tuple attack success", report.Pct(seqAtk.BlindSuccess))
+	metrics["seq_entropy"] = seq.EntropyBits
+	metrics["seq_uniform_entropy"] = seq.UniformEntropyBits
+	metrics["seq_informed"] = seqAtk.InformedSuccess
+	metrics["seq_blind"] = seqAtk.BlindSuccess
+
+	return &Output{
+		ID:    "E5",
+		Title: "Predictable behavior cuts attacker work (§2.4; Davis, Thorpe & van Oorschot, Kuo)",
+		PaperShape: "attackers knowing the choice distribution need orders of magnitude fewer guesses; " +
+			"prohibiting dictionary choices restores most of the entropy",
+		Tables:  []*report.Table{t, t2},
+		Metrics: metrics,
+	}, nil
+}
+
+// E6Habituation reproduces the §2.3.1/§2.3.5 dynamics: noticing decays
+// with repeated exposure (passive indicators), and false positives erode
+// heeding of even blocking warnings.
+func E6Habituation(cfg Config) (*Output, error) {
+	n := cfg.n(3000)
+	pop := population.GeneralPublic()
+
+	// Notice probability vs exposure count, mean-field.
+	figNotice := report.NewFigure("Notice probability vs prior exposures (mean member)")
+	metrics := map[string]float64{}
+	for _, c := range []comms.Communication{comms.IEPassiveWarning(), comms.ToolbarPassiveIndicator(), comms.FirefoxActiveWarning()} {
+		s := report.NewSeries(c.ID)
+		enc := agent.Encounter{Comm: c, Env: stimuli.Busy(), HazardPresent: true}
+		for _, exp := range []int{0, 2, 5, 10, 20} {
+			rr := agent.NewReceiver(pop.MeanProfile())
+			rr.AddExposures(c.ID, exp)
+			p := rr.PNotice(enc)
+			s.Add(fmt.Sprintf("exposure %2d", exp), p)
+			metrics[fmt.Sprintf("notice_%s_exp%d", c.ID, exp)] = p
+		}
+		figNotice.AddSeries(s)
+	}
+
+	// Heed rate vs experienced false alarms, Monte Carlo.
+	figTrust := report.NewFigure("Heed rate vs prior false alarms (firefox-active)")
+	s := report.NewSeries("")
+	for _, fps := range []int{0, 2, 5, 10} {
+		heeded := 0
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(fps)))
+		for i := 0; i < n; i++ {
+			r := agent.NewReceiver(pop.Sample(rng))
+			r.AddFalseAlarms("phishing", fps)
+			enc := agent.Encounter{
+				Comm: comms.FirefoxActiveWarning(), Env: stimuli.Busy(),
+				HazardPresent: true, Task: gems.LeaveSuspiciousSite(),
+			}
+			ar, err := r.Process(rng, enc)
+			if err != nil {
+				return nil, err
+			}
+			if ar.Heeded {
+				heeded++
+			}
+		}
+		rate := float64(heeded) / float64(n)
+		s.Add(fmt.Sprintf("%2d false alarms", fps), rate)
+		metrics[fmt.Sprintf("heed_after_%d_fps", fps)] = rate
+	}
+	figTrust.AddSeries(s)
+
+	return &Output{
+		ID:    "E6",
+		Title: "Habituation and trust erosion (§2.3.1, §2.3.5)",
+		PaperShape: "passive-indicator noticing decays with exposure while blocking warnings keep interrupting; " +
+			"false positives erode heeding of all similar warnings",
+		Figures: []*report.Figure{figNotice, figTrust},
+		Metrics: metrics,
+	}, nil
+}
+
+// E7PassiveIndicator reproduces the Whalen & Inkpen SSL-lock finding: most
+// users never attend to passive chrome indicators.
+func E7PassiveIndicator(cfg Config) (*Output, error) {
+	n := cfg.n(4000)
+	pop := population.GeneralPublic()
+	t := report.NewTable("SSL lock indicator attention (§2.3.1; Whalen & Inkpen GI'05)",
+		"Context", "Notice rate [95% CI]")
+	metrics := map[string]float64{}
+	for i, ctx := range []struct {
+		name   string
+		env    stimuli.Environment
+		primed bool
+	}{
+		{"quiet, unprimed", stimuli.Quiet(), false},
+		{"busy (primary task), unprimed", stimuli.Busy(), false},
+		{"busy, primed (told to look)", stimuli.Busy(), true},
+	} {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*31013))
+		noticed := 0
+		for s := 0; s < n; s++ {
+			r := agent.NewReceiver(pop.Sample(rng))
+			enc := agent.Encounter{
+				Comm: comms.SSLLockIndicator(), Env: ctx.env,
+				HazardPresent: true, Primed: ctx.primed,
+			}
+			ar, err := r.Process(rng, enc)
+			if err != nil {
+				return nil, err
+			}
+			passedAttention := false
+			for _, c := range ar.Trace {
+				if c.Stage == agent.StageAttentionSwitch && c.Passed {
+					passedAttention = true
+				}
+			}
+			if passedAttention {
+				noticed++
+			}
+		}
+		rate := float64(noticed) / float64(n)
+		t.Add(ctx.name, fmt.Sprintf("%.3f", rate))
+		key := "notice_" + map[int]string{0: "quiet", 1: "busy", 2: "primed"}[i]
+		metrics[key] = rate
+	}
+	return &Output{
+		ID:         "E7",
+		Title:      "Passive indicator attention (§2.3.1)",
+		PaperShape: "most users do not even attempt to look at the lock icon; priming helps but does not saturate",
+		Tables:     []*report.Table{t},
+		Metrics:    metrics,
+	}, nil
+}
+
+// E8GulfsAndGEMS reproduces the §2.4 behavior-stage results: error-class
+// mixes per task and the effect of cue/feedback mitigations.
+func E8GulfsAndGEMS(cfg Config) (*Output, error) {
+	n := cfg.n(6000)
+	pop := population.GeneralPublic()
+	prof := pop.MeanProfile()
+	t := report.NewTable("GEMS error mix by task (§2.4)",
+		"Task", "Success", "Mistake", "Lapse", "Slip", "Exec gulf", "Eval gulf")
+	metrics := map[string]float64{}
+
+	addTask := func(name string, task gems.Task, seedOff int64) error {
+		rng := rand.New(rand.NewSource(cfg.Seed + seedOff))
+		rates, err := gems.Rates(rng, task, prof, n)
+		if err != nil {
+			return err
+		}
+		t.Addf(name,
+			report.Pct(rates[gems.NoError]), report.Pct(rates[gems.Mistake]),
+			report.Pct(rates[gems.Lapse]), report.Pct(rates[gems.Slip]),
+			report.Pct(rates[gems.ExecutionGulf]), report.Pct(rates[gems.EvaluationGulf]))
+		for _, c := range gems.Classes() {
+			metrics[name+"_"+c.String()] = rates[c]
+		}
+		return nil
+	}
+
+	smart := gems.SmartcardInsertion()
+	if err := addTask("smartcard", smart, 1); err != nil {
+		return nil, err
+	}
+	mitigated := gems.WithBetterFeedback(gems.WithBetterCues(smart, 0.9), 0.9)
+	if err := addTask("smartcard+cues+feedback", mitigated, 2); err != nil {
+		return nil, err
+	}
+	if err := addTask("xp-file-permissions", gems.WindowsFilePermissions(), 3); err != nil {
+		return nil, err
+	}
+	if err := addTask("attachment-judgment", gems.AttachmentJudgment(), 4); err != nil {
+		return nil, err
+	}
+	if err := addTask("leave-suspicious-site", gems.LeaveSuspiciousSite(), 5); err != nil {
+		return nil, err
+	}
+
+	gulf := report.NewTable("Norman gulfs by task (mean member)",
+		"Task", "Gulf of execution", "Gulf of evaluation")
+	for _, row := range []struct {
+		name string
+		task gems.Task
+	}{
+		{"smartcard", smart},
+		{"smartcard+cues+feedback", mitigated},
+		{"xp-file-permissions", gems.WindowsFilePermissions()},
+		{"leave-suspicious-site", gems.LeaveSuspiciousSite()},
+	} {
+		ge := gems.GulfOfExecution(row.task, prof)
+		gv := gems.GulfOfEvaluation(row.task, prof)
+		gulf.Addf(row.name, ge, gv)
+		metrics["gexec_"+row.name] = ge
+		metrics["geval_"+row.name] = gv
+	}
+
+	return &Output{
+		ID:    "E8",
+		Title: "Gulfs of execution/evaluation and GEMS errors (§2.4; Piazzalunga, Maxion & Reeder)",
+		PaperShape: "smartcard failures are gulf-dominated and cues/feedback fix them; " +
+			"XP permissions fail in evaluation; the known-sender plan fails as mistakes; heeding warnings fails safely",
+		Tables:  []*report.Table{t, gulf},
+		Metrics: metrics,
+	}, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,477 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// small is the reduced subject count used to keep the suite fast; shape
+// assertions use wide bands accordingly.
+var small = Config{Seed: 20080124, N: 1200}
+
+func TestRegistryCoversDesignIndex(t *testing.T) {
+	want := []string{"T1", "F1", "F2", "F3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", small); err == nil {
+		t.Error("unknown experiment: want error")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	o, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Metrics["components"] != 15 || o.Metrics["groups"] != 9 {
+		t.Errorf("metrics = %v", o.Metrics)
+	}
+	txt := renderToString(t, o)
+	for _, must := range []string{"Attention switch", "Knowledge transfer", "Habituation", "GEMS"} {
+		if !strings.Contains(txt, must) {
+			t.Errorf("Table 1 render missing %q", must)
+		}
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	o, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Metrics["stages"] != 11 {
+		t.Errorf("stages = %v", o.Metrics["stages"])
+	}
+	txt := renderToString(t, o)
+	if !strings.Contains(txt, "communication impediments") {
+		t.Error("figure 1 render missing impediments node")
+	}
+}
+
+func TestFigure2ProcessNarrative(t *testing.T) {
+	o, err := Figure2(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Metrics["passes"] < 1 {
+		t.Fatal("no passes")
+	}
+	// Pass 1 must find failures and apply mitigations that help.
+	if o.Metrics["pass1_findings"] == 0 {
+		t.Error("pass 1 found no failures for the IE passive warning")
+	}
+	before, after := o.Metrics["pass1_reliability_before"], o.Metrics["pass1_reliability_after"]
+	if !(after > before) {
+		t.Errorf("pass 1 mitigations should raise reliability: %.3f -> %.3f", before, after)
+	}
+	if after-before < 0.2 {
+		t.Errorf("mitigating a passive warning should help a lot: +%.3f", after-before)
+	}
+}
+
+func TestFigure3Differential(t *testing.T) {
+	o, err := Figure3(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := o.Metrics["unrepresentable_fraction"]
+	if frac <= 0 {
+		t.Error("some injected root causes must be unrepresentable in C-HIP")
+	}
+	txt := renderToString(t, o)
+	if !strings.Contains(txt, "NO (component missing from C-HIP)") {
+		t.Error("differential table must show C-HIP gaps")
+	}
+	// The spoof and missing-tools scenarios drive the gap.
+	if !strings.Contains(txt, "attacker spoofs the indicator") {
+		t.Error("missing spoof scenario")
+	}
+}
+
+func TestE1Shape(t *testing.T) {
+	o, err := E1WarningEffectiveness(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := o.Metrics["heed_firefox-active"]
+	iea := o.Metrics["heed_ie-active"]
+	iep := o.Metrics["heed_ie-passive"]
+	tb := o.Metrics["heed_toolbar-passive"]
+	if !(ff > iea && iea > iep && iep >= tb) {
+		t.Errorf("E1 ordering violated: %.3f %.3f %.3f %.3f", ff, iea, iep, tb)
+	}
+	if ff/maxf(iep, 1e-9) < 3 {
+		t.Errorf("active/passive gap too small: %.3f vs %.3f", ff, iep)
+	}
+}
+
+func TestE2AllMitigationsHelp(t *testing.T) {
+	o, err := E2PhishingMitigations(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := o.Metrics["heed_ie-active"]
+	for k, v := range o.Metrics {
+		if k == "heed_ie-active" {
+			continue
+		}
+		if v <= base {
+			t.Errorf("%s (%.3f) should beat the baseline (%.3f)", k, v, base)
+		}
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	o, err := E3PasswordCompliance(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Metrics["reuse_at_50"] <= o.Metrics["reuse_at_2"] {
+		t.Error("reuse must grow with portfolio size")
+	}
+	if o.Metrics["compliance_at_50"] >= o.Metrics["compliance_at_2"] {
+		t.Error("compliance must fall with portfolio size")
+	}
+	if o.Metrics["compliance_expiry_30"] > o.Metrics["compliance_expiry_0"] {
+		t.Error("30-day expiry must not beat no expiry")
+	}
+	if o.Metrics["resets_expiry_30"] <= o.Metrics["resets_expiry_0"] {
+		t.Error("short expiry must cause more forgotten passwords")
+	}
+	if o.Metrics["top_failure_is_capabilities"] != 1 {
+		t.Error("capabilities must be the top failure at 15 accounts")
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	o, err := E4PasswordMitigations(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := o.Metrics["compliance_baseline"]
+	for _, tool := range []string{"sso", "vault", "all"} {
+		if o.Metrics["compliance_"+tool] <= base {
+			t.Errorf("%s compliance (%.3f) should beat baseline (%.3f)",
+				tool, o.Metrics["compliance_"+tool], base)
+		}
+	}
+	// At 15 accounts capability binds, so rationale training alone cannot
+	// help; at 2 accounts it must.
+	if o.Metrics["compliance_rationale-training"] < base {
+		t.Error("rationale training should never hurt")
+	}
+	if o.Metrics["compliance_rationale-training-small"] <= o.Metrics["compliance_baseline-small"] {
+		t.Errorf("rationale training must help when capability is not binding: %.3f vs %.3f",
+			o.Metrics["compliance_rationale-training-small"], o.Metrics["compliance_baseline-small"])
+	}
+	if o.Metrics["bits_strength-meter"] <= o.Metrics["bits_baseline"] {
+		t.Error("strength meter must raise effective bits")
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	o, err := E5Predictability(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Metrics["median_reduction_faces-biased (Davis)"] < 2 {
+		t.Error("biased face choice must at least halve median work")
+	}
+	if o.Metrics["median_reduction_faces-uniform (design intent)"] > 1.5 {
+		t.Error("uniform face choice must give no real advantage")
+	}
+	if o.Metrics["median_reduction_click-hotspots (Thorpe)"] < 10 {
+		t.Error("hot spots must slash median work by >= 10x")
+	}
+	if o.Metrics["informed_mnemonic-phrases (Kuo)"] < 0.5 {
+		t.Error("phrase dictionary must crack most mnemonic users")
+	}
+	if o.Metrics["informed_mnemonic+dictionary-check"] >= o.Metrics["informed_mnemonic-phrases (Kuo)"] {
+		t.Error("dictionary check must cut the informed attacker's success")
+	}
+	// Multi-click: hot spots cost entropy per click, and the tuple attacker
+	// dominates a blind one.
+	if o.Metrics["seq_entropy"] >= o.Metrics["seq_uniform_entropy"] {
+		t.Error("hot-spot sequence must lose entropy vs uniform")
+	}
+	if o.Metrics["seq_informed"] <= 10*o.Metrics["seq_blind"]+0.001 {
+		t.Errorf("sequence attacker advantage too small: %.4f vs %.4f",
+			o.Metrics["seq_informed"], o.Metrics["seq_blind"])
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	o, err := E6Habituation(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Passive noticing decays with exposure.
+	if o.Metrics["notice_ie-passive_exp20"] >= o.Metrics["notice_ie-passive_exp0"] {
+		t.Error("passive noticing must decay with exposure")
+	}
+	// Blocking warnings keep being noticed.
+	if o.Metrics["notice_firefox-active_exp20"] < 0.9 {
+		t.Error("blocking warnings must stay noticed")
+	}
+	// False positives erode heeding monotonically (within noise).
+	if o.Metrics["heed_after_10_fps"] >= o.Metrics["heed_after_0_fps"] {
+		t.Error("false positives must erode heeding")
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	o, err := E7PassiveIndicator(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Metrics["notice_quiet"] > 0.3 {
+		t.Errorf("most users must not notice the SSL lock, got %.3f", o.Metrics["notice_quiet"])
+	}
+	if o.Metrics["notice_busy"] >= o.Metrics["notice_quiet"]+0.05 {
+		t.Error("busy context must not raise lock noticing")
+	}
+	if o.Metrics["notice_primed"] <= o.Metrics["notice_busy"] {
+		t.Error("priming must raise noticing")
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	o, err := E8GulfsAndGEMS(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Metrics["smartcard+cues+feedback_no-error"] <= o.Metrics["smartcard_no-error"] {
+		t.Error("cues+feedback must raise smartcard success")
+	}
+	if o.Metrics["xp-file-permissions_evaluation-gulf"] <= o.Metrics["xp-file-permissions_execution-gulf"] {
+		t.Error("XP permissions must fail mostly in evaluation")
+	}
+	if o.Metrics["attachment-judgment_mistake"] <= o.Metrics["attachment-judgment_slip"] {
+		t.Error("attachment judgment must fail as mistakes")
+	}
+	if o.Metrics["leave-suspicious-site_no-error"] < 0.9 {
+		t.Error("heeding a warning must fail safely (high success)")
+	}
+	if o.Metrics["gexec_smartcard+cues+feedback"] >= o.Metrics["gexec_smartcard"] {
+		t.Error("cues must shrink the execution gulf")
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	o, err := E9DesignPatterns(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Metrics["stack_after"] <= o.Metrics["stack_before"]+0.3 {
+		t.Errorf("stacked catalog must transform the weak system: %.3f -> %.3f",
+			o.Metrics["stack_before"], o.Metrics["stack_after"])
+	}
+	if o.Metrics["stack_patterns"] < 5 {
+		t.Errorf("expected many applicable patterns, got %v", o.Metrics["stack_patterns"])
+	}
+	// Polymorphism defeats habituation at high exposure counts.
+	if o.Metrics["notice_ie-passive-polymorphic_exp20"] <= 2*o.Metrics["notice_ie-passive_exp20"] {
+		t.Errorf("polymorphic design should hold noticing at exposure 20: %.3f vs static %.3f",
+			o.Metrics["notice_ie-passive-polymorphic_exp20"], o.Metrics["notice_ie-passive_exp20"])
+	}
+	if o.Metrics["heed_polymorphic_exp20"] <= o.Metrics["heed_static_exp20"] {
+		t.Error("polymorphic warning must out-heed the static one after habituation")
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	o, err := E10MemoryDynamics(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(o.Metrics["recall_day1"] > o.Metrics["recall_day30"] &&
+		o.Metrics["recall_day30"] > o.Metrics["recall_day365"]) {
+		t.Error("forgetting curve must decay")
+	}
+	if o.Metrics["spaced_day60"] <= o.Metrics["massed_day60"] {
+		t.Error("spacing effect must hold")
+	}
+	if o.Metrics["recall_fan19"] >= o.Metrics["recall_fan0"] {
+		t.Error("fan effect must hold")
+	}
+	if o.Metrics["availability_gap7"] <= o.Metrics["availability_gap365"] {
+		t.Error("tighter cadence must keep knowledge more available")
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	o, err := E11TrustedPath(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := o.Metrics["heed_none"]
+	if base < 0.5 {
+		t.Fatalf("no-attack baseline %.3f too low", base)
+	}
+	if o.Metrics["heed_spoof"] != 0 {
+		t.Errorf("full spoof must zero out protection, got %.3f", o.Metrics["heed_spoof"])
+	}
+	if o.Metrics["heed_block"] > 0.2*base {
+		t.Errorf("blocking must collapse protection: %.3f vs baseline %.3f",
+			o.Metrics["heed_block"], base)
+	}
+	for _, k := range []string{"spoof", "block", "obscure"} {
+		plain := o.Metrics["heed_"+k]
+		hard := o.Metrics["heed_"+k+"_hardened"]
+		if hard <= plain {
+			t.Errorf("trusted path must recover from %s: %.3f vs %.3f", k, hard, plain)
+		}
+		if hard < 0.8*base {
+			t.Errorf("trusted path under %s should approach baseline: %.3f vs %.3f", k, hard, base)
+		}
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	o, err := E12ModelAblations(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heuristic path carries a large share of active-warning heeding:
+	// without it the Firefox rate falls well below the study band.
+	if o.Metrics["no-heuristic-path_ff"] >= o.Metrics["full-model_ff"]-0.05 {
+		t.Errorf("heuristic path should be load-bearing for active warnings: %.3f vs %.3f",
+			o.Metrics["no-heuristic-path_ff"], o.Metrics["full-model_ff"])
+	}
+	// Habituation carries the exposure decay.
+	if o.Metrics["no-habituation_iep_hab10"] <= 2*o.Metrics["full-model_iep_hab10"] {
+		t.Errorf("habituation ablation should freeze the exposure decay: %.3f vs %.3f",
+			o.Metrics["no-habituation_iep_hab10"], o.Metrics["full-model_iep_hab10"])
+	}
+	// FP erosion carries the trust decay.
+	if o.Metrics["no-fp-erosion_ff_fp10"] <= o.Metrics["full-model_ff_fp10"]+0.05 {
+		t.Errorf("fp-erosion ablation should restore heeding after false alarms: %.3f vs %.3f",
+			o.Metrics["no-fp-erosion_ff_fp10"], o.Metrics["full-model_ff_fp10"])
+	}
+	// The dismissal race suppresses passive-warning delivery.
+	if o.Metrics["no-dismissal-race_iep"] <= o.Metrics["full-model_iep"] {
+		t.Errorf("removing the dismissal race should raise ie-passive heeding: %.3f vs %.3f",
+			o.Metrics["no-dismissal-race_iep"], o.Metrics["full-model_iep"])
+	}
+}
+
+func TestE13Shape(t *testing.T) {
+	o, err := E13ActivenessTradeoff(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Metrics["false_alarms_active"] <= o.Metrics["false_alarms_passive"] {
+		t.Error("the active noisy warning must generate more experienced false alarms")
+	}
+	if o.Metrics["severe_heed_noisy_active"] >= o.Metrics["severe_heed_noisy_passive"] {
+		t.Errorf("§2.1 contamination: active noisy sibling must hurt the severe warning: %.3f vs %.3f",
+			o.Metrics["severe_heed_noisy_active"], o.Metrics["severe_heed_noisy_passive"])
+	}
+	if o.Metrics["severe_heed_noisy_passive"] > o.Metrics["severe_heed_fresh"]+0.05 {
+		t.Error("passive condition should not exceed fresh users")
+	}
+	gap := o.Metrics["severe_heed_noisy_passive"] - o.Metrics["severe_heed_noisy_active"]
+	if gap < 0.05 {
+		t.Errorf("contamination effect too small: %.3f", gap)
+	}
+}
+
+func TestE14Shape(t *testing.T) {
+	o, err := E14PasswordStrings(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Metrics["bits_random"] <= 1.5*o.Metrics["bits_word+digits"] {
+		t.Errorf("random strings should dwarf word constructions: %.1f vs %.1f",
+			o.Metrics["bits_random"], o.Metrics["bits_word+digits"])
+	}
+	if o.Metrics["bits_leet-word"]-o.Metrics["bits_word+digits"] > 2.5 {
+		t.Errorf("leet should buy ~1 bit, got +%.1f",
+			o.Metrics["bits_leet-word"]-o.Metrics["bits_word+digits"])
+	}
+	if o.Metrics["rejected_word+digits"] < 0.9 {
+		t.Errorf("dictionary check should reject word styles, got %.2f", o.Metrics["rejected_word+digits"])
+	}
+	if o.Metrics["rejected_random"] > 0.1 {
+		t.Errorf("dictionary check should pass random strings, got %.2f", o.Metrics["rejected_random"])
+	}
+	// The phrase dictionary catches the famous-phrase share of mnemonics.
+	if o.Metrics["rejected_mnemonic"] < 0.35 || o.Metrics["rejected_mnemonic"] > 0.75 {
+		t.Errorf("dictionary check should reject roughly the famous-phrase share (~55%%) of mnemonics, got %.2f",
+			o.Metrics["rejected_mnemonic"])
+	}
+	// Novices lean on word+digits far more than experts.
+	if o.Metrics["wordstyle_novices"] <= o.Metrics["wordstyle_experts"] {
+		t.Error("novices should use word+digits more than experts")
+	}
+}
+
+func TestE15Shape(t *testing.T) {
+	o, err := E15AntivirusAutomation(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Metrics["auto_infection_rate"] >= o.Metrics["prompt_infection_rate"] {
+		t.Errorf("automation must beat per-detection prompts: %.3f vs %.3f",
+			o.Metrics["auto_infection_rate"], o.Metrics["prompt_infection_rate"])
+	}
+	if o.Metrics["prompt_infection_rate"] < 0.2 {
+		t.Errorf("prompt design should fail often: %.3f", o.Metrics["prompt_infection_rate"])
+	}
+	if o.Metrics["heed_last"] >= o.Metrics["heed_first"] {
+		t.Errorf("a month of false alarms must erode heeding: first %.3f, last %.3f",
+			o.Metrics["heed_first"], o.Metrics["heed_last"])
+	}
+	if o.Metrics["automated_on_pass"] != 1 {
+		t.Errorf("near-perfect AV automation should be adopted on pass 1, got %v",
+			o.Metrics["automated_on_pass"])
+	}
+}
+
+func TestRunAllRendersEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite is slow")
+	}
+	outs, err := RunAll(Config{Seed: 7, N: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(Registry()) {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	for _, o := range outs {
+		txt := renderToString(t, o)
+		if len(txt) < 100 {
+			t.Errorf("%s renders almost nothing", o.ID)
+		}
+		if len(o.Tables)+len(o.Figures) == 0 {
+			t.Errorf("%s has no exhibits", o.ID)
+		}
+	}
+}
+
+func renderToString(t *testing.T, o *Output) string {
+	t.Helper()
+	var b strings.Builder
+	if err := o.WriteText(&b); err != nil {
+		t.Fatalf("render %s: %v", o.ID, err)
+	}
+	return b.String()
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hitl/internal/agent"
+	"hitl/internal/comms"
+	"hitl/internal/gems"
+	"hitl/internal/population"
+	"hitl/internal/report"
+	"hitl/internal/sim"
+	"hitl/internal/stimuli"
+)
+
+// E11TrustedPath quantifies the §2.2/§4 interference analysis: semantic
+// attacks on the warning channel (spoof, block, obscure, delay per Ye et
+// al.) versus a trusted-path hardening that makes indicators unspoofable
+// and delivery fail-closed.
+func E11TrustedPath(cfg Config) (*Output, error) {
+	n := cfg.n(3000)
+	pop := population.GeneralPublic()
+	warning := comms.FirefoxActiveWarning()
+
+	attacks := []stimuli.Interference{
+		{Kind: stimuli.None, Description: "no attack"},
+		{Kind: stimuli.Spoof, Strength: 0.9, Description: "picture-in-picture spoof"},
+		{Kind: stimuli.Block, Strength: 0.9, Description: "warning suppressed"},
+		{Kind: stimuli.Obscure, Strength: 0.8, Description: "overlay obscures warning"},
+		{Kind: stimuli.Delay, Strength: 0.8, Description: "warning delayed"},
+		{Kind: stimuli.TechFailure, Strength: 0.6, Description: "blocklist not loaded"},
+	}
+	// Trusted path: attacker interference capped at residual strength.
+	const hardenedResidual = 0.15
+
+	heedUnder := func(att stimuli.Interference, seedOff int64) (float64, error) {
+		runner := sim.Runner{Seed: cfg.Seed + seedOff, N: n}
+		res, err := runner.Run(func(rng *rand.Rand, i int) (sim.Outcome, error) {
+			r := agent.NewReceiver(pop.Sample(rng))
+			ar, err := r.Process(rng, agent.Encounter{
+				Comm: warning, Env: stimuli.Busy(),
+				Interference:  att,
+				HazardPresent: true,
+				Task:          gems.LeaveSuspiciousSite(),
+			})
+			if err != nil {
+				return sim.Outcome{}, err
+			}
+			return sim.FromAgentResult(ar), nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.HeedRate(), nil
+	}
+
+	t := report.NewTable("Semantic attacks on the warning channel vs trusted-path hardening",
+		"Attack", "Heed rate (unhardened)", "Heed rate (trusted path)", "Recovered")
+	metrics := map[string]float64{}
+	var baseline float64
+	for i, att := range attacks {
+		plain, err := heedUnder(att, int64(i)*101)
+		if err != nil {
+			return nil, err
+		}
+		hardened := att
+		if hardened.Kind != stimuli.None && hardened.Strength > hardenedResidual {
+			hardened.Strength = hardenedResidual
+		}
+		hard, err := heedUnder(hardened, int64(i)*101+50)
+		if err != nil {
+			return nil, err
+		}
+		if att.Kind == stimuli.None {
+			baseline = plain
+		}
+		recovered := "-"
+		if baseline > 0 && att.Kind != stimuli.None {
+			recovered = report.Pct((hard - plain) / baseline)
+		}
+		t.Add(att.Description, fmt.Sprintf("%.3f", plain), fmt.Sprintf("%.3f", hard), recovered)
+		metrics["heed_"+att.Kind.String()] = plain
+		metrics["heed_"+att.Kind.String()+"_hardened"] = hard
+	}
+	return &Output{
+		ID:    "E11",
+		Title: "Interference and trusted paths (§2.2, §4; Ye et al.)",
+		PaperShape: "spoofing and blocking collapse protection entirely; trusted-path hardening " +
+			"restores heed rates to near the no-attack baseline",
+		Tables:  []*report.Table{t},
+		Metrics: metrics,
+		Notes: []string{
+			"spoof at full strength deceives every subject into trusting attacker content (heed = 0)",
+		},
+	}, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hitl/internal/password"
+	"hitl/internal/population"
+	"hitl/internal/report"
+	"hitl/internal/stats"
+)
+
+// E14PasswordStrings audits concrete password strings: for each
+// construction style users actually adopt, generate policy-passing
+// attempts, estimate effective entropy against an informed attacker, and
+// measure what a dictionary check rejects. This grounds E3/E4's aggregate
+// strength numbers in real strings and closes the loop with §2.4's
+// dictionary-prohibition advice.
+func E14PasswordStrings(cfg Config) (*Output, error) {
+	n := cfg.n(2000)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pol := password.Policy{Name: "enterprise", MinLength: 12, RequiredClasses: 3}
+	checked := pol
+	checked.Name = "enterprise+dictionary"
+	checked.DictionaryCheck = true
+
+	styles := []password.Style{
+		password.StyleWordDigits, password.StyleLeetWord,
+		password.StyleMnemonic, password.StyleRandom,
+	}
+	t := report.NewTable("Concrete password strings by construction style (12 chars, 3 classes)",
+		"Style", "Mean effective bits [95% CI]", "Nominal bits", "Rejected by dictionary check", "Example")
+	metrics := map[string]float64{}
+	for _, style := range styles {
+		bits := make([]float64, 0, n)
+		rejected := 0
+		example := ""
+		for i := 0; i < n; i++ {
+			pw, err := password.Generate(rng, pol, style)
+			if err != nil {
+				return nil, err
+			}
+			if example == "" {
+				example = pw
+			}
+			bits = append(bits, password.EstimateBits(pw))
+			if checked.Complies(pw) != nil {
+				rejected++
+			}
+		}
+		mean, half := stats.MeanCI(bits)
+		rejRate := float64(rejected) / float64(n)
+		t.Add(style.String(),
+			fmt.Sprintf("%.1f ± %.1f", mean, half),
+			report.FormatFloat(pol.TheoreticalBits()),
+			report.Pct(rejRate),
+			example)
+		metrics["bits_"+style.String()] = mean
+		metrics["rejected_"+style.String()] = rejRate
+	}
+
+	// Style mix by population: who constructs what.
+	t2 := report.NewTable("Construction-style mix by population (StyleFor disposition mapping)",
+		"Population", "word+digits", "leet-word", "mnemonic", "random (vault users)")
+	for _, spec := range []population.Spec{population.Novices(), population.GeneralPublic(), population.Experts()} {
+		counts := map[password.Style]int{}
+		const m = 3000
+		for i := 0; i < m; i++ {
+			prof := spec.Sample(rng)
+			// A third of experts run vaults; nobody else does by default.
+			hasVault := prof.TechExpertise > 0.8 && rng.Float64() < 0.4
+			counts[password.StyleFor(prof.TechExpertise, prof.ComplianceTendency, hasVault)]++
+		}
+		t2.Add(spec.Name,
+			report.Pct(float64(counts[password.StyleWordDigits])/m),
+			report.Pct(float64(counts[password.StyleLeetWord])/m),
+			report.Pct(float64(counts[password.StyleMnemonic])/m),
+			report.Pct(float64(counts[password.StyleRandom])/m))
+		metrics["wordstyle_"+spec.Name] = float64(counts[password.StyleWordDigits]) / m
+	}
+
+	return &Output{
+		ID:    "E14",
+		Title: "Concrete password audit (§3.2 + §2.4 dictionary prohibition)",
+		PaperShape: "human constructions score far below nominal entropy (leet buys ~1 bit); " +
+			"dictionary checks reject word-based styles and famous-phrase mnemonics while random strings pass",
+		Tables:  []*report.Table{t, t2},
+		Metrics: metrics,
+	}, nil
+}

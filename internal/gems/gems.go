@@ -1,0 +1,363 @@
+// Package gems implements the behavior stage of the human-in-the-loop
+// framework (§2.4): James Reason's Generic Error-Modeling System —
+// mistakes, lapses, and slips — together with Don Norman's action cycle and
+// its gulfs of execution and evaluation.
+//
+// Given a task design (number of steps, quality of cues, feedback, control
+// layout, plan soundness) and a performer profile, the package computes the
+// probability that an intended security action completes successfully, and
+// when it does not, which error class caused the failure. The §3.2 and
+// smartcard examples drive these models directly.
+package gems
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hitl/internal/population"
+)
+
+// ErrorClass is the GEMS taxonomy of human error, plus the two
+// Norman gulfs that describe interface-induced failure.
+type ErrorClass int
+
+// Error classes.
+const (
+	// NoError: the action completed as intended.
+	NoError ErrorClass = iota
+	// Mistake: the action plan itself cannot achieve the goal (e.g. judging
+	// an attachment safe because the sender is known).
+	Mistake
+	// Lapse: a planned step was forgotten or skipped.
+	Lapse
+	// Slip: a step was executed incorrectly (wrong button, wrong menu item).
+	Slip
+	// ExecutionGulf: the user cannot discover how to execute the intended
+	// action (Norman's Gulf of Execution; e.g. cannot find the update menu).
+	ExecutionGulf
+	// EvaluationGulf: the action was performed but the user cannot tell
+	// whether it succeeded (Norman's Gulf of Evaluation; e.g. effective
+	// Windows file permissions).
+	EvaluationGulf
+)
+
+// String names the error class.
+func (e ErrorClass) String() string {
+	switch e {
+	case NoError:
+		return "no-error"
+	case Mistake:
+		return "mistake"
+	case Lapse:
+		return "lapse"
+	case Slip:
+		return "slip"
+	case ExecutionGulf:
+		return "execution-gulf"
+	case EvaluationGulf:
+		return "evaluation-gulf"
+	default:
+		return fmt.Sprintf("ErrorClass(%d)", int(e))
+	}
+}
+
+// Classes lists every error class including NoError.
+func Classes() []ErrorClass {
+	return []ErrorClass{NoError, Mistake, Lapse, Slip, ExecutionGulf, EvaluationGulf}
+}
+
+// Task describes the design of a security-critical task the user must
+// perform once they intend to act. All float fields are in [0, 1].
+type Task struct {
+	// Name labels the task in traces.
+	Name string
+	// Steps is the number of discrete actions the task requires.
+	Steps int
+	// CueQuality is how well the interface guides the user through the
+	// sequence (affordances, wizards, printed arrows on a smartcard).
+	// High cue quality narrows the gulf of execution and prevents lapses.
+	CueQuality float64
+	// FeedbackQuality is how clearly the system shows whether the action
+	// succeeded. High feedback narrows the gulf of evaluation.
+	FeedbackQuality float64
+	// ControlClarity is how distinguishable and well-labelled the controls
+	// are; low clarity invites slips.
+	ControlClarity float64
+	// PlanSoundness is how reliably the "obvious" plan for the task
+	// actually achieves the security goal; low soundness invites mistakes
+	// (the known-sender heuristic for attachments).
+	PlanSoundness float64
+	// CognitiveDemand and PhysicalDemand scale difficulty against the
+	// performer's skills.
+	CognitiveDemand float64
+	PhysicalDemand  float64
+}
+
+// Validate checks ranges.
+func (t Task) Validate() error {
+	if t.Steps < 1 {
+		return fmt.Errorf("gems: task %q needs >= 1 step, got %d", t.Name, t.Steps)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"CueQuality", t.CueQuality},
+		{"FeedbackQuality", t.FeedbackQuality},
+		{"ControlClarity", t.ControlClarity},
+		{"PlanSoundness", t.PlanSoundness},
+		{"CognitiveDemand", t.CognitiveDemand},
+		{"PhysicalDemand", t.PhysicalDemand},
+	} {
+		if f.v < 0 || f.v > 1 || math.IsNaN(f.v) {
+			return fmt.Errorf("gems: task %q: %s = %v out of [0,1]", t.Name, f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// ActionStage is one of Norman's seven stages of action.
+type ActionStage int
+
+// Norman's seven stages, in cycle order.
+const (
+	FormGoal ActionStage = iota
+	FormIntention
+	SpecifyAction
+	ExecuteAction
+	PerceiveState
+	InterpretState
+	EvaluateOutcome
+)
+
+// String names the action stage.
+func (s ActionStage) String() string {
+	switch s {
+	case FormGoal:
+		return "form-goal"
+	case FormIntention:
+		return "form-intention"
+	case SpecifyAction:
+		return "specify-action"
+	case ExecuteAction:
+		return "execute-action"
+	case PerceiveState:
+		return "perceive-state"
+	case InterpretState:
+		return "interpret-state"
+	case EvaluateOutcome:
+		return "evaluate-outcome"
+	default:
+		return fmt.Sprintf("ActionStage(%d)", int(s))
+	}
+}
+
+// ActionCycle lists the seven stages in order. Stages FormIntention through
+// ExecuteAction span the gulf of execution; PerceiveState through
+// EvaluateOutcome span the gulf of evaluation.
+func ActionCycle() []ActionStage {
+	return []ActionStage{FormGoal, FormIntention, SpecifyAction, ExecuteAction,
+		PerceiveState, InterpretState, EvaluateOutcome}
+}
+
+// GulfOfExecution returns the size of the gap between the user's intention
+// and the mechanisms the task provides to act on it, in [0, 1]. It shrinks
+// with cue quality and the performer's expertise and self-efficacy.
+func GulfOfExecution(t Task, p population.Profile) float64 {
+	gap := 0.55*(1-t.CueQuality) + 0.25*t.CognitiveDemand - 0.25*p.Expertise() - 0.1*p.SelfEfficacy
+	return clamp01(gap)
+}
+
+// GulfOfEvaluation returns the size of the gap between the system's state
+// and the user's ability to tell whether their action worked, in [0, 1].
+func GulfOfEvaluation(t Task, p population.Profile) float64 {
+	gap := 0.7*(1-t.FeedbackQuality) + 0.15*t.CognitiveDemand - 0.2*p.Expertise()
+	return clamp01(gap)
+}
+
+// Attempt is the result of one attempted execution of a task.
+type Attempt struct {
+	// Class is NoError on success, else the error class that caused failure.
+	Class ErrorClass
+	// Stage is the Norman action stage where the attempt failed (or
+	// EvaluateOutcome on success).
+	Stage ActionStage
+	// Completed reports whether the security goal was achieved. Note that a
+	// user can fall into the evaluation gulf (cannot verify the result) and
+	// still have Completed true: the action worked, they just can't tell.
+	Completed bool
+	// Verified reports whether the user could confirm the outcome.
+	Verified bool
+}
+
+// Perform simulates one attempt at the task by a performer. The rng drives
+// all stochastic choices; pass a deterministic source for reproducibility.
+func Perform(rng *rand.Rand, t Task, p population.Profile) (Attempt, error) {
+	if err := t.Validate(); err != nil {
+		return Attempt{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Attempt{}, err
+	}
+
+	// Mistake: the plan itself is wrong. Expertise helps spot bad plans.
+	pMistake := clamp01((1 - t.PlanSoundness) * (1 - 0.7*p.Expertise()))
+	if rng.Float64() < pMistake {
+		return Attempt{Class: Mistake, Stage: FormIntention}, nil
+	}
+
+	// Gulf of execution: user cannot find out how to act at all.
+	gexec := GulfOfExecution(t, p)
+	if rng.Float64() < gexec*0.5 {
+		return Attempt{Class: ExecutionGulf, Stage: SpecifyAction}, nil
+	}
+
+	// Per-step lapses and slips across the task's steps.
+	perStepLapse := clamp01(0.02+0.08*(1-t.CueQuality)) * (1 - 0.4*p.MemoryCapacity)
+	perStepSlip := clamp01(0.01+0.07*(1-t.ControlClarity)+0.05*t.PhysicalDemand) * (1 - 0.4*p.MotorSkill)
+	for s := 0; s < t.Steps; s++ {
+		if rng.Float64() < perStepLapse {
+			return Attempt{Class: Lapse, Stage: ExecuteAction}, nil
+		}
+		if rng.Float64() < perStepSlip {
+			return Attempt{Class: Slip, Stage: ExecuteAction}, nil
+		}
+	}
+
+	// The action completed. Gulf of evaluation decides verifiability.
+	geval := GulfOfEvaluation(t, p)
+	if rng.Float64() < geval {
+		return Attempt{Class: EvaluationGulf, Stage: InterpretState, Completed: true}, nil
+	}
+	return Attempt{Class: NoError, Stage: EvaluateOutcome, Completed: true, Verified: true}, nil
+}
+
+// Rates estimates the distribution over error classes for a task and
+// performer by Monte Carlo with n attempts. The returned map has an entry
+// for every class (possibly zero).
+func Rates(rng *rand.Rand, t Task, p population.Profile, n int) (map[ErrorClass]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gems: need >= 1 attempt, got %d", n)
+	}
+	counts := make(map[ErrorClass]int, 6)
+	for i := 0; i < n; i++ {
+		a, err := Perform(rng, t, p)
+		if err != nil {
+			return nil, err
+		}
+		counts[a.Class]++
+	}
+	out := make(map[ErrorClass]float64, 6)
+	for _, c := range Classes() {
+		out[c] = float64(counts[c]) / float64(n)
+	}
+	return out, nil
+}
+
+// Mitigation presets for the design advice in §2.4.
+
+// WithBetterCues returns a copy of t with cue quality raised to at least q:
+// "provide cues to guide users through the sequence of steps and prevent
+// lapses".
+func WithBetterCues(t Task, q float64) Task {
+	if t.CueQuality < q {
+		t.CueQuality = q
+	}
+	return t
+}
+
+// WithBetterFeedback returns a copy of t with feedback quality raised to at
+// least q: "provide relevant feedback so that users can determine whether
+// their actions have resulted in the desired outcome".
+func WithBetterFeedback(t Task, q float64) Task {
+	if t.FeedbackQuality < q {
+		t.FeedbackQuality = q
+	}
+	return t
+}
+
+// WithFewerSteps returns a copy of t reduced to at most n steps: "minimize
+// the number of steps necessary to complete the task".
+func WithFewerSteps(t Task, n int) Task {
+	if n >= 1 && t.Steps > n {
+		t.Steps = n
+	}
+	return t
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Preset tasks used by the case studies and benches.
+
+// SmartcardInsertion models the Piazzalunga et al. smartcard usability case
+// (§2.4): users could not figure out how to insert the card (execution
+// gulf) nor tell when it was seated (evaluation gulf).
+func SmartcardInsertion() Task {
+	return Task{
+		Name:            "smartcard-insertion",
+		Steps:           2,
+		CueQuality:      0.2, // no visual cues on the card
+		FeedbackQuality: 0.15,
+		ControlClarity:  0.6,
+		PlanSoundness:   0.95,
+		CognitiveDemand: 0.3,
+		PhysicalDemand:  0.4,
+	}
+}
+
+// WindowsFilePermissions models the Maxion & Reeder XP file-permissions
+// case (§2.4): setting permissions is feasible but determining the
+// *effective* result is very hard (deep evaluation gulf).
+func WindowsFilePermissions() Task {
+	return Task{
+		Name:            "xp-file-permissions",
+		Steps:           5,
+		CueQuality:      0.45,
+		FeedbackQuality: 0.1,
+		ControlClarity:  0.5,
+		PlanSoundness:   0.8,
+		CognitiveDemand: 0.7,
+		PhysicalDemand:  0.05,
+	}
+}
+
+// LeaveSuspiciousSite models the behavior step of heeding an anti-phishing
+// warning (§3.1): close the window or navigate away — short, well-cued,
+// hard to get wrong, which is why heeded warnings "fail safely".
+func LeaveSuspiciousSite() Task {
+	return Task{
+		Name:            "leave-suspicious-site",
+		Steps:           1,
+		CueQuality:      0.9,
+		FeedbackQuality: 0.9,
+		ControlClarity:  0.9,
+		PlanSoundness:   0.95,
+		CognitiveDemand: 0.1,
+		PhysicalDemand:  0.05,
+	}
+}
+
+// AttachmentJudgment models the naive evaluate-the-sender plan for email
+// attachments (§2.4's canonical mistake): the plan fails when a friend's
+// machine is infected.
+func AttachmentJudgment() Task {
+	return Task{
+		Name:            "attachment-judgment",
+		Steps:           1,
+		CueQuality:      0.5,
+		FeedbackQuality: 0.3,
+		ControlClarity:  0.8,
+		PlanSoundness:   0.35,
+		CognitiveDemand: 0.5,
+		PhysicalDemand:  0.05,
+	}
+}

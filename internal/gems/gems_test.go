@@ -1,0 +1,275 @@
+package gems
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hitl/internal/population"
+)
+
+func averagePerformer() population.Profile {
+	return population.Profile{
+		Age: 35, Education: 0.5, TechExpertise: 0.5, SecurityKnowledge: 0.3,
+		MemoryCapacity: 0.5, VisualAcuity: 0.8, MotorSkill: 0.8,
+		RiskPerception: 0.5, TrustInSecurityUI: 0.6, SelfEfficacy: 0.5,
+		PrimaryTaskFocus: 0.7, ComplianceTendency: 0.5,
+	}
+}
+
+func expertPerformer() population.Profile {
+	p := averagePerformer()
+	p.TechExpertise = 0.95
+	p.SecurityKnowledge = 0.9
+	p.SelfEfficacy = 0.9
+	p.MemoryCapacity = 0.7
+	return p
+}
+
+func TestErrorClassStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Classes() {
+		s := c.String()
+		if s == "" || strings.HasPrefix(s, "ErrorClass(") {
+			t.Errorf("class %d unnamed", int(c))
+		}
+		if seen[s] {
+			t.Errorf("duplicate class name %q", s)
+		}
+		seen[s] = true
+	}
+	if len(Classes()) != 6 {
+		t.Errorf("Classes() has %d entries, want 6", len(Classes()))
+	}
+}
+
+func TestActionCycle(t *testing.T) {
+	cycle := ActionCycle()
+	if len(cycle) != 7 {
+		t.Fatalf("action cycle has %d stages, want 7", len(cycle))
+	}
+	if cycle[0] != FormGoal || cycle[3] != ExecuteAction || cycle[6] != EvaluateOutcome {
+		t.Errorf("cycle order wrong: %v", cycle)
+	}
+	for _, s := range cycle {
+		if str := s.String(); str == "" || strings.HasPrefix(str, "ActionStage(") {
+			t.Errorf("stage %d unnamed", int(s))
+		}
+	}
+}
+
+func TestTaskValidate(t *testing.T) {
+	for _, task := range []Task{SmartcardInsertion(), WindowsFilePermissions(),
+		LeaveSuspiciousSite(), AttachmentJudgment()} {
+		if err := task.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", task.Name, err)
+		}
+	}
+	bad := SmartcardInsertion()
+	bad.Steps = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero steps: want error")
+	}
+	bad = SmartcardInsertion()
+	bad.CueQuality = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range cue quality: want error")
+	}
+	bad = SmartcardInsertion()
+	bad.PlanSoundness = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN plan soundness: want error")
+	}
+}
+
+func TestGulfBounds(t *testing.T) {
+	f := func(cue, fb, cog float64) bool {
+		task := Task{
+			Name: "q", Steps: 1,
+			CueQuality:      math.Abs(math.Mod(cue, 1)),
+			FeedbackQuality: math.Abs(math.Mod(fb, 1)),
+			CognitiveDemand: math.Abs(math.Mod(cog, 1)),
+			ControlClarity:  0.5, PlanSoundness: 0.9,
+		}
+		p := averagePerformer()
+		ge := GulfOfExecution(task, p)
+		gv := GulfOfEvaluation(task, p)
+		return ge >= 0 && ge <= 1 && gv >= 0 && gv <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGulfsShrinkWithDesign(t *testing.T) {
+	p := averagePerformer()
+	base := SmartcardInsertion()
+	cued := WithBetterCues(base, 0.9)
+	if GulfOfExecution(cued, p) >= GulfOfExecution(base, p) {
+		t.Error("better cues must shrink the execution gulf")
+	}
+	fed := WithBetterFeedback(base, 0.9)
+	if GulfOfEvaluation(fed, p) >= GulfOfEvaluation(base, p) {
+		t.Error("better feedback must shrink the evaluation gulf")
+	}
+}
+
+func TestGulfsShrinkWithExpertise(t *testing.T) {
+	base := WindowsFilePermissions()
+	if GulfOfExecution(base, expertPerformer()) >= GulfOfExecution(base, averagePerformer()) {
+		t.Error("expertise must shrink the execution gulf")
+	}
+	if GulfOfEvaluation(base, expertPerformer()) >= GulfOfEvaluation(base, averagePerformer()) {
+		t.Error("expertise must shrink the evaluation gulf")
+	}
+}
+
+func TestPerformValidatesInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := SmartcardInsertion()
+	bad.Steps = 0
+	if _, err := Perform(rng, bad, averagePerformer()); err == nil {
+		t.Error("invalid task: want error")
+	}
+	p := averagePerformer()
+	p.MotorSkill = 2
+	if _, err := Perform(rng, LeaveSuspiciousSite(), p); err == nil {
+		t.Error("invalid profile: want error")
+	}
+}
+
+func TestPerformDeterministic(t *testing.T) {
+	t1, _ := Perform(rand.New(rand.NewSource(5)), SmartcardInsertion(), averagePerformer())
+	t2, _ := Perform(rand.New(rand.NewSource(5)), SmartcardInsertion(), averagePerformer())
+	if t1 != t2 {
+		t.Errorf("same seed produced different attempts: %+v vs %+v", t1, t2)
+	}
+}
+
+func TestRatesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rates, err := Rates(rng, WindowsFilePermissions(), averagePerformer(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range rates {
+		if r < 0 || r > 1 {
+			t.Errorf("rate out of range: %v", r)
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("rates sum to %v, want 1", sum)
+	}
+	if _, err := Rates(rng, LeaveSuspiciousSite(), averagePerformer(), 0); err == nil {
+		t.Error("n=0: want error")
+	}
+}
+
+func TestLeaveSiteFailsSafely(t *testing.T) {
+	// §3.1: "All users in the study who understood the warnings and decided
+	// to heed them were able to do so successfully."
+	rng := rand.New(rand.NewSource(3))
+	rates, err := Rates(rng, LeaveSuspiciousSite(), averagePerformer(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[NoError] < 0.9 {
+		t.Errorf("leaving a suspicious site should nearly always succeed, got %v", rates[NoError])
+	}
+}
+
+func TestSmartcardGulfsDominant(t *testing.T) {
+	// Piazzalunga: users struggle to insert the card (execution gulf) and
+	// to tell when it's seated (evaluation gulf).
+	rng := rand.New(rand.NewSource(4))
+	rates, err := Rates(rng, SmartcardInsertion(), averagePerformer(), 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gulfShare := rates[ExecutionGulf] + rates[EvaluationGulf]
+	if gulfShare < 0.4 {
+		t.Errorf("smartcard failures should be gulf-dominated, gulf share = %v (rates %v)", gulfShare, rates)
+	}
+}
+
+func TestFilePermissionsEvaluationGulf(t *testing.T) {
+	// Maxion & Reeder: the binding problem is determining effective
+	// permissions — evaluation, not execution.
+	rng := rand.New(rand.NewSource(5))
+	rates, err := Rates(rng, WindowsFilePermissions(), averagePerformer(), 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates[EvaluationGulf] <= rates[ExecutionGulf] {
+		t.Errorf("XP permissions should fail mostly in evaluation: eval %v vs exec %v",
+			rates[EvaluationGulf], rates[ExecutionGulf])
+	}
+	if rates[EvaluationGulf] < 0.3 {
+		t.Errorf("evaluation gulf rate %v too small for XP permissions", rates[EvaluationGulf])
+	}
+}
+
+func TestAttachmentJudgmentMistakes(t *testing.T) {
+	// The known-sender heuristic is a plan failure: mistakes dominate.
+	rng := rand.New(rand.NewSource(6))
+	rates, err := Rates(rng, AttachmentJudgment(), averagePerformer(), 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []ErrorClass{Lapse, Slip, ExecutionGulf} {
+		if rates[Mistake] <= rates[other] {
+			t.Errorf("mistakes (%v) should dominate %v (%v)", rates[Mistake], other, rates[other])
+		}
+	}
+}
+
+func TestExpertiseReducesMistakes(t *testing.T) {
+	avg, _ := Rates(rand.New(rand.NewSource(7)), AttachmentJudgment(), averagePerformer(), 8000)
+	exp, _ := Rates(rand.New(rand.NewSource(7)), AttachmentJudgment(), expertPerformer(), 8000)
+	if exp[Mistake] >= avg[Mistake] {
+		t.Errorf("experts should mistake less: expert %v vs average %v", exp[Mistake], avg[Mistake])
+	}
+}
+
+func TestMitigationsImproveSuccess(t *testing.T) {
+	base := SmartcardInsertion()
+	mitigated := WithBetterFeedback(WithBetterCues(base, 0.9), 0.9)
+	b, _ := Rates(rand.New(rand.NewSource(8)), base, averagePerformer(), 8000)
+	m, _ := Rates(rand.New(rand.NewSource(8)), mitigated, averagePerformer(), 8000)
+	if m[NoError] <= b[NoError] {
+		t.Errorf("mitigated design should verify-succeed more: %v vs %v", m[NoError], b[NoError])
+	}
+}
+
+func TestWithFewerStepsReducesLapses(t *testing.T) {
+	long := Task{Name: "long", Steps: 12, CueQuality: 0.3, FeedbackQuality: 0.8,
+		ControlClarity: 0.5, PlanSoundness: 0.95, CognitiveDemand: 0.3}
+	short := WithFewerSteps(long, 3)
+	if short.Steps != 3 {
+		t.Fatalf("WithFewerSteps: steps = %d, want 3", short.Steps)
+	}
+	l, _ := Rates(rand.New(rand.NewSource(9)), long, averagePerformer(), 8000)
+	s, _ := Rates(rand.New(rand.NewSource(9)), short, averagePerformer(), 8000)
+	if s[Lapse] >= l[Lapse] {
+		t.Errorf("fewer steps should reduce lapses: %v vs %v", s[Lapse], l[Lapse])
+	}
+	// Invalid n leaves the task unchanged.
+	if WithFewerSteps(long, 0).Steps != 12 {
+		t.Error("WithFewerSteps(0) should be a no-op")
+	}
+}
+
+func TestMitigationHelpersIdempotentUpward(t *testing.T) {
+	t0 := Task{Name: "x", Steps: 1, CueQuality: 0.95, FeedbackQuality: 0.95,
+		ControlClarity: 0.5, PlanSoundness: 0.9}
+	if WithBetterCues(t0, 0.5).CueQuality != 0.95 {
+		t.Error("WithBetterCues must never lower quality")
+	}
+	if WithBetterFeedback(t0, 0.5).FeedbackQuality != 0.95 {
+		t.Error("WithBetterFeedback must never lower quality")
+	}
+}

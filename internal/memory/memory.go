@@ -1,0 +1,285 @@
+// Package memory implements an activation-based human memory substrate for
+// the framework's knowledge-retention component (§2.3.3): ACT-R-style
+// base-level learning with power-law decay, retrieval thresholds with
+// logistic noise, the spacing effect (distributed practice outlives massed
+// practice), and associative interference (similar items compete — the fan
+// effect that makes "many similar passwords" worse than their count
+// suggests).
+//
+// The substrate backs the refresher-cadence experiment (how often must
+// training recur before the forgetting curve erases it?) and provides a
+// finer-grained alternative to the agent package's closed-form retention
+// curve.
+package memory
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Model holds the memory-equation parameters.
+type Model struct {
+	// Decay is the power-law decay exponent d in the base-level activation
+	// equation A = ln Σ (t - t_i)^-d. ACT-R's canonical value is 0.5.
+	Decay float64
+	// Threshold is the retrieval threshold τ: activation at which recall
+	// succeeds half the time.
+	Threshold float64
+	// Noise is the logistic noise scale s in P = 1/(1+exp(-(A-τ)/s)).
+	Noise float64
+	// InterferenceWeight scales the fan-effect penalty ln(1+similar).
+	InterferenceWeight float64
+	// AbilityWeight scales how strongly an individual's memory capacity
+	// (population trait in [0,1], 0.5 = average) shifts activation.
+	AbilityWeight float64
+}
+
+// DefaultModel returns parameters that produce human-plausible curves:
+// ~90% recall a day after a single study, ~50% after two weeks, with the
+// spacing effect visible over months.
+func DefaultModel() Model {
+	return Model{
+		Decay:              0.5,
+		Threshold:          -1.1,
+		Noise:              0.35,
+		InterferenceWeight: 0.25,
+		AbilityWeight:      1.0,
+	}
+}
+
+// Validate checks parameter sanity.
+func (m Model) Validate() error {
+	if m.Decay <= 0 || m.Decay >= 1 {
+		return fmt.Errorf("memory: decay %v out of (0,1)", m.Decay)
+	}
+	if m.Noise <= 0 {
+		return fmt.Errorf("memory: noise %v must be positive", m.Noise)
+	}
+	if m.InterferenceWeight < 0 || m.AbilityWeight < 0 {
+		return fmt.Errorf("memory: negative weights")
+	}
+	return nil
+}
+
+// Item is one memorized piece of knowledge with its practice history.
+type Item struct {
+	// ID names the item.
+	ID string
+	// Practices are the virtual days at which the item was studied or
+	// successfully used, ascending.
+	Practices []float64
+	// Strength scales how well each practice encoded (interactive training
+	// encodes better than skimming); 1 is a normal exposure.
+	Strength float64
+}
+
+// Store tracks a person's memorized items under a model.
+type Store struct {
+	model Model
+	// Ability is the person's memory capacity in [0,1]; 0.5 is average.
+	ability float64
+	items   map[string]*Item
+}
+
+// NewStore creates a store for a person with the given memory ability
+// (population.Profile.MemoryCapacity) under the model.
+func NewStore(m Model, ability float64) (*Store, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if ability < 0 || ability > 1 || math.IsNaN(ability) {
+		return nil, fmt.Errorf("memory: ability %v out of [0,1]", ability)
+	}
+	return &Store{model: m, ability: ability, items: make(map[string]*Item)}, nil
+}
+
+// Practice records a study/use event for an item at the given virtual day,
+// creating the item if needed. Strength defaults to 1 when <= 0. Events
+// must not predate earlier ones for the same item.
+func (s *Store) Practice(id string, day, strength float64) error {
+	if id == "" {
+		return fmt.Errorf("memory: empty item id")
+	}
+	if day < 0 || math.IsNaN(day) {
+		return fmt.Errorf("memory: invalid day %v", day)
+	}
+	if strength <= 0 {
+		strength = 1
+	}
+	it, ok := s.items[id]
+	if !ok {
+		it = &Item{ID: id, Strength: strength}
+		s.items[id] = it
+	}
+	if n := len(it.Practices); n > 0 && day < it.Practices[n-1] {
+		return fmt.Errorf("memory: practice at day %v predates last event %v for %q",
+			day, it.Practices[n-1], id)
+	}
+	it.Practices = append(it.Practices, day)
+	// Later practices can strengthen encoding (e.g. a refresher that is
+	// more interactive); keep the max.
+	if strength > it.Strength {
+		it.Strength = strength
+	}
+	return nil
+}
+
+// Items returns the stored item IDs, sorted.
+func (s *Store) Items() []string {
+	out := make([]string, 0, len(s.items))
+	for id := range s.items {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Activation returns the item's base-level activation at the given day,
+// including ability shift and the fan-effect penalty for `similar` other
+// items competing on the same cue. It returns -Inf for unknown items or
+// items with no practice before the day.
+func (s *Store) Activation(id string, day float64, similar int) float64 {
+	it, ok := s.items[id]
+	if !ok {
+		return math.Inf(-1)
+	}
+	var sum float64
+	for _, t := range it.Practices {
+		age := day - t
+		if age <= 0 {
+			// Practices at or after the probe day do not contribute;
+			// clamp very recent ones to avoid infinite activation.
+			continue
+		}
+		if age < 1.0/24 {
+			age = 1.0 / 24 // within the last hour: cap the boost
+		}
+		sum += math.Pow(age, -s.model.Decay)
+	}
+	if sum == 0 {
+		return math.Inf(-1)
+	}
+	a := math.Log(sum) + math.Log(it.Strength)
+	a += s.model.AbilityWeight * (s.ability - 0.5)
+	if similar > 0 {
+		a -= s.model.InterferenceWeight * math.Log(1+float64(similar))
+	}
+	return a
+}
+
+// PRecall returns the probability of successful recall at the day, with
+// `similar` interfering items.
+func (s *Store) PRecall(id string, day float64, similar int) float64 {
+	a := s.Activation(id, day, similar)
+	if math.IsInf(a, -1) {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-(a-s.model.Threshold)/s.model.Noise))
+}
+
+// Recall samples a recall attempt; a successful recall is itself a
+// practice event (retrieval practice strengthens memory).
+func (s *Store) Recall(rng *rand.Rand, id string, day float64, similar int) (bool, error) {
+	if rng == nil {
+		return false, fmt.Errorf("memory: nil rng")
+	}
+	p := s.PRecall(id, day, similar)
+	if rng.Float64() >= p {
+		return false, nil
+	}
+	if err := s.Practice(id, day, 0); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Schedule is a practice schedule: study days for one item.
+type Schedule []float64
+
+// Massed returns n practices packed into a single day.
+func Massed(day float64, n int) Schedule {
+	out := make(Schedule, n)
+	for i := range out {
+		out[i] = day + float64(i)*0.01
+	}
+	return out
+}
+
+// Spaced returns n practices separated by gap days, starting at day.
+func Spaced(day, gap float64, n int) Schedule {
+	out := make(Schedule, n)
+	for i := range out {
+		out[i] = day + float64(i)*gap
+	}
+	return out
+}
+
+// RetentionAfter applies the schedule to a fresh store and returns the
+// recall probability at probe day (no interference).
+func RetentionAfter(m Model, ability float64, sched Schedule, probeDay float64) (float64, error) {
+	st, err := NewStore(m, ability)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range sched {
+		if err := st.Practice("item", d, 1); err != nil {
+			return 0, err
+		}
+	}
+	return st.PRecall("item", probeDay, 0), nil
+}
+
+// CadencePoint is one refresher-cadence evaluation.
+type CadencePoint struct {
+	// GapDays is the interval between refreshers.
+	GapDays float64
+	// MeanAvailability is the average recall probability over the horizon,
+	// sampled daily after the initial training.
+	MeanAvailability float64
+	// Sessions is how many training sessions the cadence consumed.
+	Sessions int
+}
+
+// CadenceSweep evaluates refresher cadences: for each gap, train at day 0
+// and every gap days, and average daily recall probability over
+// horizonDays. This is the §2.3.3 question "how often must training recur
+// before the forgetting curve erases it", with cost measured in sessions.
+func CadenceSweep(m Model, ability float64, gaps []float64, horizonDays float64) ([]CadencePoint, error) {
+	if horizonDays <= 0 {
+		return nil, fmt.Errorf("memory: horizon %v must be positive", horizonDays)
+	}
+	if len(gaps) == 0 {
+		return nil, fmt.Errorf("memory: no gaps to sweep")
+	}
+	out := make([]CadencePoint, 0, len(gaps))
+	for _, gap := range gaps {
+		if gap <= 0 {
+			return nil, fmt.Errorf("memory: gap %v must be positive", gap)
+		}
+		st, err := NewStore(m, ability)
+		if err != nil {
+			return nil, err
+		}
+		sessions := 0
+		for d := 0.0; d < horizonDays; d += gap {
+			if err := st.Practice("skill", d, 1); err != nil {
+				return nil, err
+			}
+			sessions++
+		}
+		var sum float64
+		days := 0
+		for d := 1.0; d <= horizonDays; d++ {
+			sum += st.PRecall("skill", d, 0)
+			days++
+		}
+		out = append(out, CadencePoint{
+			GapDays:          gap,
+			MeanAvailability: sum / float64(days),
+			Sessions:         sessions,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,37 @@
+package password
+
+import "testing"
+
+// FuzzEstimateBits checks the strength estimator never panics and never
+// returns a negative or absurd score.
+func FuzzEstimateBits(f *testing.F) {
+	f.Add("")
+	f.Add("password")
+	f.Add("Dr@g0n2024!")
+	f.Add("Tbontbtitq99!")
+	f.Add("xK9#mQ2$vL7!")
+	f.Add("\x00\x80\xff")
+	f.Add("ππππππππ")
+	f.Fuzz(func(t *testing.T, pw string) {
+		bits := EstimateBits(pw)
+		if bits < 0 {
+			t.Fatalf("negative bits %v for %q", bits, pw)
+		}
+		// ~8 bits/byte is the absolute ceiling for any string.
+		if bits > float64(len(pw))*8+16 {
+			t.Fatalf("bits %v exceed ceiling for %q (%d bytes)", bits, pw, len(pw))
+		}
+	})
+}
+
+// FuzzComplies checks the policy checker never panics on arbitrary
+// candidate strings.
+func FuzzComplies(f *testing.F) {
+	f.Add("Sunshine2024!")
+	f.Add("")
+	f.Add("\xffbad")
+	f.Fuzz(func(t *testing.T, pw string) {
+		_ = StrongPolicy().Complies(pw)
+		_ = BasicPolicy().Complies(pw)
+	})
+}

@@ -1,0 +1,270 @@
+package password
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestClassCount(t *testing.T) {
+	cases := []struct {
+		pw   string
+		want int
+	}{
+		{"abc", 1},
+		{"Abc", 2},
+		{"Abc1", 3},
+		{"Abc1!", 4},
+		{"12345", 1},
+		{"", 0},
+	}
+	for _, c := range cases {
+		if got := ClassCount(c.pw); got != c.want {
+			t.Errorf("ClassCount(%q) = %d, want %d", c.pw, got, c.want)
+		}
+	}
+}
+
+func TestComplies(t *testing.T) {
+	p := StrongPolicy() // 12 chars, 3 classes, dictionary check
+	if err := p.Complies("xK9#mQ2$vL7!"); err != nil {
+		t.Errorf("strong random password rejected: %v", err)
+	}
+	if err := p.Complies("short1A"); err == nil {
+		t.Error("too-short password accepted")
+	}
+	if err := p.Complies("alllowercaseonly"); err == nil {
+		t.Error("single-class password accepted")
+	}
+	if err := p.Complies("Sunshine2024!"); err == nil {
+		t.Error("dictionary word passed the dictionary check")
+	}
+	if err := p.Complies("Sun$hine2024!"); err == nil {
+		t.Error("leet-mutated dictionary word passed the dictionary check")
+	}
+	lax := BasicPolicy()
+	if err := lax.Complies("sunshine"); err != nil {
+		t.Errorf("basic policy should accept a bare word: %v", err)
+	}
+}
+
+func TestContainedDictionaryWord(t *testing.T) {
+	if w := containedDictionaryWord("xK9#mQ2$vL7!"); w != "" {
+		t.Errorf("random string matched %q", w)
+	}
+	if w := containedDictionaryWord("MyDragon99"); w != "dragon" {
+		t.Errorf("got %q, want dragon", w)
+	}
+	if w := containedDictionaryWord("Dr@g0n42"); w != "dragon" {
+		t.Errorf("leet normalization failed: got %q", w)
+	}
+}
+
+func TestEstimateBitsOrdering(t *testing.T) {
+	// The estimator must rank constructions the way an informed attacker
+	// experiences them.
+	word := EstimateBits("Dragon12!")
+	leet := EstimateBits("Dr@g0n12!")
+	rng := rand.New(rand.NewSource(1))
+	random, err := Generate(rng, Policy{Name: "p", MinLength: 9, RequiredClasses: 4}, StyleRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := EstimateBits(random)
+	t.Logf("bits: word=%0.1f leet=%0.1f random=%0.1f (%s)", word, leet, rnd, random)
+	if !(word <= leet+1.5) {
+		t.Errorf("leet should add at most ~1 bit: %0.1f vs %0.1f", leet, word)
+	}
+	if rnd < 2*word {
+		t.Errorf("same-length random password should dwarf a dictionary password: %0.1f vs %0.1f", rnd, word)
+	}
+	if EstimateBits("") != 0 {
+		t.Error("empty password must score 0")
+	}
+}
+
+func TestEstimateBitsDigitsCapped(t *testing.T) {
+	// "password2024" should not be credited 13 bits for the year.
+	year := EstimateBits("password2024")
+	bare := EstimateBits("password")
+	if year-bare > 13 {
+		t.Errorf("year suffix credited too much: %0.1f vs %0.1f", year, bare)
+	}
+	if year <= bare {
+		t.Error("digits must still add something")
+	}
+}
+
+func TestGenerateSatisfiesPolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	policies := []Policy{
+		BasicPolicy(),
+		{Name: "mid", MinLength: 10, RequiredClasses: 3},
+		{Name: "max", MinLength: 16, RequiredClasses: 4},
+	}
+	for _, p := range policies {
+		for _, style := range []Style{StyleWordDigits, StyleLeetWord, StyleMnemonic, StyleRandom} {
+			for i := 0; i < 200; i++ {
+				pw, err := Generate(rng, p, style)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", p.Name, style, err)
+				}
+				if len(pw) < p.MinLength {
+					t.Fatalf("%s/%s: %q too short", p.Name, style, pw)
+				}
+				if ClassCount(pw) < p.RequiredClasses {
+					t.Fatalf("%s/%s: %q has %d classes, want %d",
+						p.Name, style, pw, ClassCount(pw), p.RequiredClasses)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := Generate(nil, BasicPolicy(), StyleRandom); err == nil {
+		t.Error("nil rng: want error")
+	}
+	if _, err := Generate(rng, Policy{}, StyleRandom); err == nil {
+		t.Error("invalid policy: want error")
+	}
+	if _, err := Generate(rng, BasicPolicy(), Style(99)); err == nil {
+		t.Error("unknown style: want error")
+	}
+}
+
+func TestDictionaryCheckRejectsGeneratedWordStyles(t *testing.T) {
+	// The point of dictionary checks: typical human constructions fail.
+	rng := rand.New(rand.NewSource(4))
+	p := StrongPolicy()
+	rejectedWord, rejectedLeet := 0, 0
+	const n = 300
+	for i := 0; i < n; i++ {
+		pw, err := Generate(rng, p, StyleWordDigits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Complies(pw) != nil {
+			rejectedWord++
+		}
+		pw, err = Generate(rng, p, StyleLeetWord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Complies(pw) != nil {
+			rejectedLeet++
+		}
+	}
+	if rejectedWord < n*9/10 {
+		t.Errorf("dictionary check should reject word+digits: %d/%d", rejectedWord, n)
+	}
+	if rejectedLeet < n*9/10 {
+		t.Errorf("dictionary check should see through leet: %d/%d", rejectedLeet, n)
+	}
+	// Random passwords sail through.
+	accepted := 0
+	for i := 0; i < n; i++ {
+		pw, err := Generate(rng, p, StyleRandom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Complies(pw) == nil {
+			accepted++
+		}
+	}
+	if accepted < n*9/10 {
+		t.Errorf("random passwords should pass: %d/%d", accepted, n)
+	}
+}
+
+func TestGeneratedStrengthOrdering(t *testing.T) {
+	// Mean estimated bits must rank: word+digits <= leet < mnemonic < random.
+	rng := rand.New(rand.NewSource(5))
+	p := Policy{Name: "mid", MinLength: 12, RequiredClasses: 3}
+	mean := func(style Style) float64 {
+		var sum float64
+		const n = 500
+		for i := 0; i < n; i++ {
+			pw, err := Generate(rng, p, style)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += EstimateBits(pw)
+		}
+		return sum / n
+	}
+	word := mean(StyleWordDigits)
+	leet := mean(StyleLeetWord)
+	mn := mean(StyleMnemonic)
+	rd := mean(StyleRandom)
+	t.Logf("mean bits: word=%0.1f leet=%0.1f mnemonic=%0.1f random=%0.1f", word, leet, mn, rd)
+	if !(word <= leet+1 && leet < mn && mn < rd) {
+		t.Errorf("strength ordering violated: %0.1f, %0.1f, %0.1f, %0.1f", word, leet, mn, rd)
+	}
+	if leet-word > 2.5 {
+		t.Errorf("leet should buy almost nothing against an informed attacker: +%0.1f bits", leet-word)
+	}
+}
+
+func TestStyleFor(t *testing.T) {
+	if StyleFor(0.2, 0.3, false) != StyleWordDigits {
+		t.Error("novices use word+digits")
+	}
+	if StyleFor(0.5, 0.3, false) != StyleLeetWord {
+		t.Error("mid-expertise users use leet")
+	}
+	if StyleFor(0.9, 0.8, false) != StyleMnemonic {
+		t.Error("savvy compliant users use mnemonics")
+	}
+	if StyleFor(0.1, 0.1, true) != StyleRandom {
+		t.Error("vault users get random passwords")
+	}
+	for _, s := range []Style{StyleWordDigits, StyleLeetWord, StyleMnemonic, StyleRandom} {
+		if strings.HasPrefix(s.String(), "Style(") {
+			t.Errorf("style %d unnamed", int(s))
+		}
+	}
+}
+
+// Property: EstimateBits is nonnegative and grows (weakly) under append.
+func TestEstimateBitsProperties(t *testing.T) {
+	f := func(raw string) bool {
+		pw := strings.Map(func(r rune) rune {
+			if r < 32 || r > 126 {
+				return -1
+			}
+			return r
+		}, raw)
+		if pw == "" {
+			return true
+		}
+		b := EstimateBits(pw)
+		if b < 0 {
+			return false
+		}
+		longer := EstimateBits(pw + "q")
+		return longer >= b-12 // peeling can reshuffle segments slightly; never collapse
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Generate never emits non-printable runes.
+func TestGeneratePrintable(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		pw, err := Generate(rng, StrongPolicy(), Style(i%4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range pw {
+			if !unicode.IsPrint(r) || r > 126 {
+				t.Fatalf("non-printable rune %q in %q", r, pw)
+			}
+		}
+	}
+}

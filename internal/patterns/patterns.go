@@ -1,0 +1,444 @@
+// Package patterns implements the paper's §5 future work: "more specific
+// guidelines and design patterns for mitigating human threats by
+// automating security-critical human tasks and better supporting humans as
+// they perform these tasks."
+//
+// Each Pattern is a named, reusable design move with an intent, the
+// framework components (Table 1 rows) it addresses, an applicability
+// predicate over a HumanTask, and a transformation that applies the
+// pattern to the task's declarative spec. Recommend selects patterns from
+// a checklist report; Evaluate measures each pattern's mean-field
+// reliability delta so designers can rank them.
+package patterns
+
+import (
+	"fmt"
+	"sort"
+
+	"hitl/internal/core"
+	"hitl/internal/gems"
+)
+
+// Category groups patterns by strategy, mirroring the paper's §5 triad:
+// get humans out of the loop, make tasks usable, or teach.
+type Category int
+
+// Pattern categories.
+const (
+	// Automation removes or shrinks the human decision.
+	Automation Category = iota
+	// CommunicationDesign reshapes the triggering communication.
+	CommunicationDesign
+	// AttentionManagement protects the attention channel.
+	AttentionManagement
+	// Hardening protects delivery against interference.
+	Hardening
+	// TaskSupport redesigns the behavior itself.
+	TaskSupport
+	// TrainingIncentives teaches and motivates.
+	TrainingIncentives
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case Automation:
+		return "automation"
+	case CommunicationDesign:
+		return "communication-design"
+	case AttentionManagement:
+		return "attention-management"
+	case Hardening:
+		return "hardening"
+	case TaskSupport:
+		return "task-support"
+	case TrainingIncentives:
+		return "training-incentives"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Pattern is one named design pattern.
+type Pattern struct {
+	// Name is the pattern's identifier (kebab-case).
+	Name string
+	// Category groups it by strategy.
+	Category Category
+	// Intent is the one-sentence problem/solution statement.
+	Intent string
+	// Addresses lists the Table 1 components the pattern improves.
+	Addresses []core.ComponentID
+	// Reference points at the paper section or cited work motivating it.
+	Reference string
+	// Applicable reports whether applying the pattern to the task would
+	// change anything.
+	Applicable func(core.HumanTask) bool
+	// Apply returns a copy of the task with the pattern applied. It must
+	// be a no-op (returning the input) when not Applicable.
+	Apply func(core.HumanTask) core.HumanTask
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Catalog returns the full pattern catalog. The returned slice is freshly
+// allocated; patterns themselves are immutable values.
+func Catalog() []Pattern {
+	return []Pattern{
+		{
+			Name:      "safe-defaults",
+			Category:  Automation,
+			Intent:    "replace a user decision with a well-chosen default so the secure outcome needs no action",
+			Addresses: []core.ComponentID{core.CompCommunication, core.CompMotivation, core.CompCapabilities},
+			Reference: "§3 task automation; Ross, 'Firefox and the Worry-Free Web'",
+			Applicable: func(t core.HumanTask) bool {
+				return t.AutomationFeasibility >= 0.5 && t.AutomationQuality < 0.9
+			},
+			Apply: func(t core.HumanTask) core.HumanTask {
+				if t.AutomationFeasibility >= 0.5 && t.AutomationQuality < 0.9 {
+					t.AutomationQuality = 0.9
+				}
+				return t
+			},
+		},
+		{
+			Name:      "forced-path",
+			Category:  CommunicationDesign,
+			Intent:    "block the primary task until the user makes an explicit choice, so the warning cannot be missed",
+			Addresses: []core.ComponentID{core.CompAttentionSwitch, core.CompCommunication},
+			Reference: "§3.1: the Firefox blocking warning",
+			Applicable: func(t core.HumanTask) bool {
+				return t.HasCommunication() && !t.Communication.Design.BlocksPrimaryTask &&
+					t.Communication.Hazard.Severity >= 0.5
+			},
+			Apply: func(t core.HumanTask) core.HumanTask {
+				d := &t.Communication.Design
+				if t.HasCommunication() && !d.BlocksPrimaryTask && t.Communication.Hazard.Severity >= 0.5 {
+					d.BlocksPrimaryTask = true
+					d.Activeness = maxf(d.Activeness, 0.9)
+					d.Salience = maxf(d.Salience, 0.85)
+					d.DismissedByPrimaryTask = false
+					d.DelaySeconds = 0
+				}
+				return t
+			},
+		},
+		{
+			Name:      "distinctive-warning",
+			Category:  CommunicationDesign,
+			Intent:    "make critical warnings look unlike routine dialogs so they are not dismissed as familiar noise",
+			Addresses: []core.ComponentID{core.CompComprehension, core.CompAttitudesBeliefs},
+			Reference: "§3.1 mitigation: 'making it look less similar to non-critical warnings'",
+			Applicable: func(t core.HumanTask) bool {
+				return t.HasCommunication() && t.Communication.Design.LookAlike > 0.15
+			},
+			Apply: func(t core.HumanTask) core.HumanTask {
+				if t.HasCommunication() {
+					t.Communication.Design.LookAlike = minf(t.Communication.Design.LookAlike, 0.1)
+				}
+				return t
+			},
+		},
+		{
+			Name:      "plain-language",
+			Category:  CommunicationDesign,
+			Intent:    "write for non-experts: short jargon-free sentences, familiar symbols, unambiguous risk statements",
+			Addresses: []core.ComponentID{core.CompComprehension, core.CompDemographics},
+			Reference: "§2.3.2; Hancock et al. 2006",
+			Applicable: func(t core.HumanTask) bool {
+				return t.HasCommunication() && t.Communication.Design.Clarity < 0.85
+			},
+			Apply: func(t core.HumanTask) core.HumanTask {
+				if t.HasCommunication() {
+					t.Communication.Design.Clarity = maxf(t.Communication.Design.Clarity, 0.85)
+				}
+				return t
+			},
+		},
+		{
+			Name:      "actionable-instructions",
+			Category:  CommunicationDesign,
+			Intent:    "tell the user exactly what to do to avoid the hazard, inside the communication itself",
+			Addresses: []core.ComponentID{core.CompKnowledgeAcquisition},
+			Reference: "§2.3.2: 'a good warning will include specific instructions'",
+			Applicable: func(t core.HumanTask) bool {
+				return t.HasCommunication() && t.Communication.Design.InstructionSpecificity < 0.85
+			},
+			Apply: func(t core.HumanTask) core.HumanTask {
+				if t.HasCommunication() {
+					d := &t.Communication.Design
+					d.InstructionSpecificity = maxf(d.InstructionSpecificity, 0.85)
+				}
+				return t
+			},
+		},
+		{
+			Name:      "rationale-disclosure",
+			Category:  CommunicationDesign,
+			Intent:    "explain why the communication fired and what is at risk, so users can make an informed choice",
+			Addresses: []core.ComponentID{core.CompAttitudesBeliefs, core.CompMotivation},
+			Reference: "§3.1 mitigation: warnings 'did not explain why'; §3.2 rationale training",
+			Applicable: func(t core.HumanTask) bool {
+				return t.HasCommunication() && t.Communication.Design.Explanation < 0.7
+			},
+			Apply: func(t core.HumanTask) core.HumanTask {
+				if t.HasCommunication() {
+					t.Communication.Design.Explanation = maxf(t.Communication.Design.Explanation, 0.7)
+				}
+				return t
+			},
+		},
+		{
+			Name:      "polymorphic-warning",
+			Category:  AttentionManagement,
+			Intent:    "vary the warning's appearance across exposures so habituation cannot build on a stable stimulus",
+			Addresses: []core.ComponentID{core.CompAttentionSwitch, core.CompAttentionMaintenance},
+			Reference: "§2.3.1 habituation",
+			Applicable: func(t core.HumanTask) bool {
+				return t.HasCommunication() && !t.Communication.Design.Polymorphic &&
+					t.Communication.Hazard.EncounterRate > 1
+			},
+			Apply: func(t core.HumanTask) core.HumanTask {
+				if t.HasCommunication() && t.Communication.Hazard.EncounterRate > 1 {
+					t.Communication.Design.Polymorphic = true
+				}
+				return t
+			},
+		},
+		{
+			Name:      "attention-funnel",
+			Category:  AttentionManagement,
+			Intent:    "consolidate competing indicators so the one that matters is not lost in chrome clutter",
+			Addresses: []core.ComponentID{core.CompEnvironmentalStimuli, core.CompAttentionSwitch},
+			Reference: "§2.2: passive indicators compete with each other for attention",
+			Applicable: func(t core.HumanTask) bool {
+				return t.Environment.CompetingIndicators > 1
+			},
+			Apply: func(t core.HumanTask) core.HumanTask {
+				if t.Environment.CompetingIndicators > 1 {
+					t.Environment.CompetingIndicators = 1
+				}
+				return t
+			},
+		},
+		{
+			Name:      "trusted-path",
+			Category:  Hardening,
+			Intent:    "render the indicator unspoofable and its delivery unblockable (fail closed on technology failure)",
+			Addresses: []core.ComponentID{core.CompInterference},
+			Reference: "§2.2; Ye et al., 'Trusted paths for browsers'",
+			Applicable: func(t core.HumanTask) bool {
+				for _, th := range t.Threats {
+					if th.Strength > 0.2 {
+						return true
+					}
+				}
+				return false
+			},
+			Apply: func(t core.HumanTask) core.HumanTask {
+				// Copy the threat slice so the input task is untouched.
+				t.Threats = append(t.Threats[:0:0], t.Threats...)
+				for i := range t.Threats {
+					if t.Threats[i].Strength > 0.2 {
+						t.Threats[i].Strength *= 0.15
+					}
+				}
+				return t
+			},
+		},
+		{
+			Name:      "secret-offloading",
+			Category:  TaskSupport,
+			Intent:    "move memory and precision demands into tools (vaults, single sign-on, wizards) the user drives",
+			Addresses: []core.ComponentID{core.CompCapabilities, core.CompMotivation},
+			Reference: "§3.2 mitigation: single sign-on, password vaults",
+			Applicable: func(t core.HumanTask) bool {
+				return t.Task.Steps > 0 && t.Task.CognitiveDemand > 0.4 || t.ComplianceCost > 0.3
+			},
+			Apply: func(t core.HumanTask) core.HumanTask {
+				if t.Task.Steps > 0 {
+					t.Task.CognitiveDemand = minf(t.Task.CognitiveDemand, 0.4)
+				}
+				t.ComplianceCost = minf(t.ComplianceCost, 0.3)
+				return t
+			},
+		},
+		{
+			Name:      "guided-sequence",
+			Category:  TaskSupport,
+			Intent:    "cue each step and minimize the step count so lapses and the execution gulf cannot occur",
+			Addresses: []core.ComponentID{core.CompBehavior},
+			Reference: "§2.4: 'provide cues to guide users through the sequence of steps'",
+			Applicable: func(t core.HumanTask) bool {
+				return t.Task.Steps > 0 && (t.Task.CueQuality < 0.85 || t.Task.Steps > 3)
+			},
+			Apply: func(t core.HumanTask) core.HumanTask {
+				if t.Task.Steps > 0 {
+					t.Task = gems.WithFewerSteps(gems.WithBetterCues(t.Task, 0.85), 3)
+				}
+				return t
+			},
+		},
+		{
+			Name:      "outcome-feedback",
+			Category:  TaskSupport,
+			Intent:    "confirm the result of every security action so users can tell whether it worked",
+			Addresses: []core.ComponentID{core.CompBehavior},
+			Reference: "§2.4: gulf of evaluation; Piazzalunga reader feedback",
+			Applicable: func(t core.HumanTask) bool {
+				return t.Task.Steps > 0 && t.Task.FeedbackQuality < 0.85
+			},
+			Apply: func(t core.HumanTask) core.HumanTask {
+				if t.Task.Steps > 0 {
+					t.Task = gems.WithBetterFeedback(t.Task, 0.85)
+				}
+				return t
+			},
+		},
+		{
+			Name:      "just-in-time-training",
+			Category:  TrainingIncentives,
+			Intent:    "teach at the teachable moment with interactive material, correcting mental models in context",
+			Addresses: []core.ComponentID{core.CompKnowledgeExperience, core.CompComprehension, core.CompKnowledgeRetention, core.CompKnowledgeTransfer},
+			Reference: "§3.1 mitigation; Kumaraguru et al., Sheng et al. (Anti-Phishing Phil)",
+			Applicable: func(t core.HumanTask) bool {
+				return t.Population.AccurateModelFraction() < 0.7 ||
+					(t.HasCommunication() && t.Communication.Design.Interactivity < 0.7 && t.ApplyDelayDays > 0)
+			},
+			Apply: func(t core.HumanTask) core.HumanTask {
+				if t.Population.AccurateModelBase < 0.7 {
+					t.Population.AccurateModelBase = 0.7
+				}
+				if t.HasCommunication() && t.ApplyDelayDays > 0 {
+					d := &t.Communication.Design
+					d.Interactivity = maxf(d.Interactivity, 0.7)
+				}
+				return t
+			},
+		},
+		{
+			Name:      "refresher-cadence",
+			Category:  TrainingIncentives,
+			Intent:    "schedule reminders so knowledge is re-activated before the forgetting curve erases it",
+			Addresses: []core.ComponentID{core.CompKnowledgeRetention},
+			Reference: "§2.3.3 knowledge retention",
+			Applicable: func(t core.HumanTask) bool {
+				return t.ApplyDelayDays > 30
+			},
+			Apply: func(t core.HumanTask) core.HumanTask {
+				if t.ApplyDelayDays > 30 {
+					t.ApplyDelayDays = 30
+				}
+				return t
+			},
+		},
+		{
+			Name:      "unpredictability-enforcement",
+			Category:  TaskSupport,
+			Intent:    "reject the predictable choices (dictionary words, hot-spots) an informed attacker would try first",
+			Addresses: []core.ComponentID{core.CompBehavior},
+			Reference: "§2.4: 'prohibit passwords that contain dictionary words'",
+			Applicable: func(t core.HumanTask) bool {
+				return t.PredictabilityMatters && t.BehaviorPredictability > 0.2
+			},
+			Apply: func(t core.HumanTask) core.HumanTask {
+				if t.PredictabilityMatters {
+					t.BehaviorPredictability = minf(t.BehaviorPredictability, 0.2)
+				}
+				return t
+			},
+		},
+	}
+}
+
+// ByName returns the named pattern.
+func ByName(name string) (Pattern, error) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Pattern{}, fmt.Errorf("patterns: unknown pattern %q", name)
+}
+
+// Recommendation pairs a pattern with its measured effect on one task.
+type Recommendation struct {
+	Pattern Pattern
+	TaskID  string
+	// Before and After are mean-field reliability estimates around applying
+	// just this pattern.
+	Before, After float64
+}
+
+// Delta is the reliability gain.
+func (r Recommendation) Delta() float64 { return r.After - r.Before }
+
+// Recommend selects applicable patterns for every task in the spec whose
+// addressed components carry findings of at least minSeverity, evaluates
+// each pattern in isolation, and returns recommendations sorted by
+// descending reliability gain.
+func Recommend(spec core.SystemSpec, rep *core.Report, minSeverity core.Severity) ([]Recommendation, error) {
+	if rep == nil {
+		return nil, fmt.Errorf("patterns: nil report")
+	}
+	var out []Recommendation
+	for _, task := range spec.Tasks {
+		flagged := map[core.ComponentID]bool{}
+		for _, f := range rep.FindingsFor(task.ID) {
+			if f.Severity >= minSeverity {
+				flagged[f.Component] = true
+			}
+		}
+		if len(flagged) == 0 {
+			continue
+		}
+		before, err := core.EstimateReliability(task)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range Catalog() {
+			touches := false
+			for _, c := range p.Addresses {
+				if flagged[c] {
+					touches = true
+					break
+				}
+			}
+			if !touches || !p.Applicable(task) {
+				continue
+			}
+			after, err := core.EstimateReliability(p.Apply(task))
+			if err != nil {
+				return nil, fmt.Errorf("patterns: %s on %s: %w", p.Name, task.ID, err)
+			}
+			out = append(out, Recommendation{Pattern: p, TaskID: task.ID, Before: before, After: after})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Delta() > out[j].Delta() })
+	return out, nil
+}
+
+// ApplyAll applies every applicable pattern from the list to the task, in
+// the given order, returning the transformed task and the names applied.
+func ApplyAll(task core.HumanTask, ps []Pattern) (core.HumanTask, []string) {
+	var applied []string
+	for _, p := range ps {
+		if p.Applicable(task) {
+			task = p.Apply(task)
+			applied = append(applied, p.Name)
+		}
+	}
+	return task, applied
+}

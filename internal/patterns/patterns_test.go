@@ -1,0 +1,266 @@
+package patterns
+
+import (
+	"strings"
+	"testing"
+
+	"hitl/internal/comms"
+	"hitl/internal/core"
+	"hitl/internal/gems"
+	"hitl/internal/population"
+	"hitl/internal/stimuli"
+)
+
+func weakTask() core.HumanTask {
+	return core.HumanTask{
+		ID:            "heed-warning",
+		Description:   "heed the passive warning",
+		Communication: comms.IEPassiveWarning(),
+		Environment: stimuli.Environment{
+			Distraction: 0.5, PrimaryTaskPressure: 0.8, CompetingIndicators: 4,
+		},
+		Task:       gems.SmartcardInsertion(),
+		Population: population.Novices(),
+		Threats: []stimuli.Interference{
+			{Kind: stimuli.Spoof, Strength: 0.7},
+		},
+		ComplianceCost:         0.5,
+		ApplyDelayDays:         60,
+		AutomationFeasibility:  0.6,
+		AutomationQuality:      0.7,
+		BehaviorPredictability: 0.7,
+		PredictabilityMatters:  true,
+	}
+}
+
+func TestCatalogWellFormed(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 12 {
+		t.Fatalf("catalog has %d patterns, want >= 12", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, p := range cat {
+		if p.Name == "" || p.Intent == "" || p.Reference == "" {
+			t.Errorf("pattern %q missing metadata", p.Name)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate pattern name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if len(p.Addresses) == 0 {
+			t.Errorf("pattern %s addresses no components", p.Name)
+		}
+		if p.Applicable == nil || p.Apply == nil {
+			t.Errorf("pattern %s missing functions", p.Name)
+		}
+		if s := p.Category.String(); strings.HasPrefix(s, "Category(") {
+			t.Errorf("pattern %s has unnamed category", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("forced-path")
+	if err != nil || p.Name != "forced-path" {
+		t.Errorf("ByName failed: %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown pattern: want error")
+	}
+}
+
+func TestEveryApplicablePatternKeepsTaskValid(t *testing.T) {
+	task := weakTask()
+	for _, p := range Catalog() {
+		if !p.Applicable(task) {
+			continue
+		}
+		out := p.Apply(task)
+		if err := out.Validate(); err != nil {
+			t.Errorf("pattern %s produced invalid task: %v", p.Name, err)
+		}
+	}
+}
+
+func TestApplyIsNoOpWhenNotApplicable(t *testing.T) {
+	task := weakTask()
+	for _, p := range Catalog() {
+		once := p.Apply(task)
+		if p.Applicable(once) {
+			// A second application must change nothing further.
+			twice := p.Apply(once)
+			r1, err := core.EstimateReliability(once)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := core.EstimateReliability(twice)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1 != r2 {
+				t.Errorf("pattern %s is not idempotent: %.4f vs %.4f", p.Name, r1, r2)
+			}
+		}
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	task := weakTask()
+	origStrength := task.Threats[0].Strength
+	p, err := ByName("trusted-path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Apply(task)
+	if task.Threats[0].Strength != origStrength {
+		t.Error("trusted-path mutated the input task's threats")
+	}
+	if out.Threats[0].Strength >= origStrength {
+		t.Error("trusted-path did not weaken the threat in the output")
+	}
+}
+
+func TestPatternsImproveReliability(t *testing.T) {
+	task := weakTask()
+	before, err := core.EstimateReliability(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patterns that act on the mean-field estimate should individually not
+	// hurt, and several should help substantially.
+	helped := 0
+	for _, p := range Catalog() {
+		if !p.Applicable(task) {
+			continue
+		}
+		after, err := core.EstimateReliability(p.Apply(task))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after < before-1e-9 {
+			t.Errorf("pattern %s lowered reliability: %.4f -> %.4f", p.Name, before, after)
+		}
+		if after > before+0.01 {
+			helped++
+		}
+	}
+	// With a multiplicative pipeline, isolated fixes off the bottleneck
+	// barely move the product; at least the bottleneck fix (forced-path,
+	// which rescues attention) must help materially.
+	if helped < 1 {
+		t.Errorf("expected the bottleneck pattern to materially help, got %d helpers", helped)
+	}
+}
+
+func TestRecommendRanksByGain(t *testing.T) {
+	task := weakTask()
+	spec := core.SystemSpec{Name: "s", Tasks: []core.HumanTask{task}}
+	rep, err := core.Analyze(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Recommend(spec, rep, core.SeverityMedium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 4 {
+		t.Fatalf("expected several recommendations for a weak task, got %d", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Delta() > recs[i-1].Delta()+1e-12 {
+			t.Fatal("recommendations not sorted by descending gain")
+		}
+	}
+	// The top recommendation should be a material improvement.
+	if recs[0].Delta() < 0.05 {
+		t.Errorf("top recommendation gains only %.4f", recs[0].Delta())
+	}
+	// Every recommendation addresses a flagged component.
+	for _, r := range recs {
+		if r.TaskID != task.ID {
+			t.Errorf("recommendation for unexpected task %q", r.TaskID)
+		}
+	}
+}
+
+func TestRecommendNilReport(t *testing.T) {
+	if _, err := Recommend(core.SystemSpec{}, nil, core.SeverityLow); err == nil {
+		t.Error("nil report: want error")
+	}
+}
+
+func TestRecommendSkipsCleanTasks(t *testing.T) {
+	// A task with no medium+ findings gets no recommendations.
+	task := weakTask()
+	spec := core.SystemSpec{Name: "s", Tasks: []core.HumanTask{task}}
+	rep := &core.Report{System: "s"} // empty findings
+	recs, err := Recommend(spec, rep, core.SeverityMedium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("expected no recommendations without findings, got %d", len(recs))
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	task := weakTask()
+	before, err := core.EstimateReliability(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, applied := ApplyAll(task, Catalog())
+	if len(applied) < 5 {
+		t.Fatalf("expected many patterns to apply, got %v", applied)
+	}
+	after, err := core.EstimateReliability(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ApplyAll: reliability %.3f -> %.3f via %v", before, after, applied)
+	if after < before+0.3 {
+		t.Errorf("full pattern stack should transform a weak task: %.3f -> %.3f", before, after)
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("ApplyAll produced invalid task: %v", err)
+	}
+}
+
+func TestPolymorphicPatternSlowsHabituation(t *testing.T) {
+	task := weakTask()
+	p, err := ByName("polymorphic-warning")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Applicable(task) {
+		t.Skip("polymorphic pattern not applicable (encounter rate too low)")
+	}
+	out := p.Apply(task)
+	if !out.Communication.Design.Polymorphic {
+		t.Error("pattern must set Polymorphic")
+	}
+}
+
+func TestSafeDefaultsRaisesAutomationQuality(t *testing.T) {
+	task := weakTask()
+	p, err := ByName("safe-defaults")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Applicable(task) {
+		t.Fatal("safe-defaults should apply to a 0.7-quality automatable task")
+	}
+	out := p.Apply(task)
+	if out.AutomationQuality < 0.9 {
+		t.Errorf("automation quality = %v, want >= 0.9", out.AutomationQuality)
+	}
+	// With safe defaults in place, the Figure 2 process should automate.
+	spec := core.SystemSpec{Name: "s", Tasks: []core.HumanTask{out}}
+	res, err := core.RunProcess(spec, core.ProcessOptions{MaxPasses: 2, TargetReliability: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Automated) == 0 {
+		t.Log("process kept the human; acceptable if mitigated reliability beat 0.9")
+	}
+}

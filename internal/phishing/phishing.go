@@ -1,0 +1,381 @@
+// Package phishing implements the paper's first case study (§3.1): browser
+// anti-phishing warnings. It provides the four warning conditions the cited
+// studies compare (Firefox active, IE active, IE passive, passive toolbar),
+// a single-encounter lab study that reproduces the Egelman et al. heed-rate
+// shape, a longitudinal campaign simulation with false positives and
+// habituation, and the §3.1 mitigation ablations (distinct look,
+// explanation of why, anti-phishing training).
+package phishing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hitl/internal/agent"
+	"hitl/internal/comms"
+	"hitl/internal/gems"
+	"hitl/internal/population"
+	"hitl/internal/sim"
+	"hitl/internal/stimuli"
+)
+
+// Condition is one experimental arm: a warning design plus optional
+// pre-training and interference.
+type Condition struct {
+	// Name labels the condition in tables.
+	Name string
+	// Warning is the communication under test.
+	Warning comms.Communication
+	// PreTrained gives every subject interactive anti-phishing training
+	// before the encounter.
+	PreTrained bool
+	// Interference optionally attacks the delivery.
+	Interference stimuli.Interference
+}
+
+// StandardConditions returns the four §3.1 warning conditions in
+// effectiveness order (per the studies): Firefox active, IE active,
+// IE passive, passive toolbar.
+func StandardConditions() []Condition {
+	return []Condition{
+		{Name: "firefox-active", Warning: comms.FirefoxActiveWarning()},
+		{Name: "ie-active", Warning: comms.IEActiveWarning()},
+		{Name: "ie-passive", Warning: comms.IEPassiveWarning()},
+		{Name: "toolbar-passive", Warning: comms.ToolbarPassiveIndicator()},
+	}
+}
+
+// Study configures a single-encounter lab study: each subject, drawn fresh
+// from the population, receives one phishing email and one warning.
+type Study struct {
+	// Population describes the subjects; defaults to the general public.
+	Population population.Spec
+	// Env is the encounter environment; defaults to Busy (subjects have a
+	// primary task, as in the studies).
+	Env stimuli.Environment
+	// Condition is the experimental arm.
+	Condition Condition
+	// N is the number of subjects.
+	N int
+	// Seed makes the study reproducible.
+	Seed int64
+}
+
+func (s *Study) setDefaults() {
+	if s.Population.Name == "" {
+		s.Population = population.GeneralPublic()
+	}
+	if s.Env == (stimuli.Environment{}) {
+		s.Env = stimuli.Busy()
+	}
+	if s.N == 0 {
+		s.N = 2000
+	}
+}
+
+// StudyResult aggregates a study arm.
+type StudyResult struct {
+	Condition string
+	// Run is the raw simulation result (heed rate, failure histogram).
+	Run *sim.Result
+}
+
+// HeedRate is the fraction of subjects protected from the phish.
+func (r StudyResult) HeedRate() float64 { return r.Run.HeedRate() }
+
+// Run executes the study.
+func (s Study) Run() (StudyResult, error) {
+	(&s).setDefaults()
+	if err := s.Condition.Warning.Validate(); err != nil {
+		return StudyResult{}, fmt.Errorf("phishing: %w", err)
+	}
+	runner := sim.Runner{Seed: s.Seed, N: s.N}
+	res, err := runner.Run(func(rng *rand.Rand, i int) (sim.Outcome, error) {
+		prof := s.Population.Sample(rng)
+		r := agent.NewReceiver(prof)
+		if s.Condition.PreTrained {
+			r.Train(s.Condition.Warning.Topic, agent.Skill{
+				Level: 0.85, Interactivity: 0.85, AcquiredDay: 0,
+			})
+		}
+		enc := agent.Encounter{
+			Comm:          s.Condition.Warning,
+			Env:           s.Env,
+			Interference:  s.Condition.Interference,
+			HazardPresent: true,
+			Task:          gems.LeaveSuspiciousSite(),
+		}
+		ar, err := r.Process(rng, enc)
+		if err != nil {
+			return sim.Outcome{}, err
+		}
+		return sim.FromAgentResult(ar), nil
+	})
+	if err != nil {
+		return StudyResult{}, err
+	}
+	return StudyResult{Condition: s.Condition.Name, Run: res}, nil
+}
+
+// CompareConditions runs the same study over multiple conditions with
+// derived seeds and returns results in input order.
+func CompareConditions(seed int64, n int, conds []Condition) ([]StudyResult, error) {
+	if len(conds) == 0 {
+		return nil, fmt.Errorf("phishing: no conditions")
+	}
+	out := make([]StudyResult, len(conds))
+	for i, c := range conds {
+		st := Study{Condition: c, N: n, Seed: seed + int64(i)*7919}
+		res, err := st.Run()
+		if err != nil {
+			return nil, fmt.Errorf("phishing: condition %s: %w", c.Name, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// Mitigation variants for the §3.1 ablation (E2).
+
+// WithDistinctLook returns the condition with the warning made visually
+// distinct from routine browser warnings ("making it look less similar to
+// non-critical warnings").
+func WithDistinctLook(c Condition) Condition {
+	c.Name = c.Name + "+distinct"
+	c.Warning.Design.LookAlike = 0.08
+	return c
+}
+
+// WithExplanation returns the condition with the warning explaining why the
+// site is suspicious and what is at risk.
+func WithExplanation(c Condition) Condition {
+	c.Name = c.Name + "+why"
+	if c.Warning.Design.Explanation < 0.8 {
+		c.Warning.Design.Explanation = 0.8
+	}
+	if c.Warning.Design.InstructionSpecificity < 0.8 {
+		c.Warning.Design.InstructionSpecificity = 0.8
+	}
+	return c
+}
+
+// WithTraining returns the condition with subjects pre-trained by
+// interactive anti-phishing training (Anti-Phishing Phil style).
+func WithTraining(c Condition) Condition {
+	c.Name = c.Name + "+training"
+	c.PreTrained = true
+	return c
+}
+
+// Campaign is a longitudinal simulation: each subject handles a stream of
+// emails over many days; phishing emails trigger the warning with the
+// detector's true-positive rate, legitimate emails occasionally trigger
+// false positives, and habituation and trust erosion accumulate.
+type Campaign struct {
+	// Population describes the subjects; defaults to the general public.
+	Population population.Spec
+	// Env is the environment; defaults to Busy.
+	Env stimuli.Environment
+	// Warning is the warning design in use.
+	Warning comms.Communication
+	// Days is the campaign length; one email-handling session per day.
+	Days int
+	// PhishPerDay and LegitPerDay are expected email counts.
+	PhishPerDay float64
+	LegitPerDay float64
+	// DetectorTPR is the probability the warning fires on a phish;
+	// DetectorFPR the probability it fires on a legitimate email.
+	DetectorTPR float64
+	DetectorFPR float64
+	// N subjects, Seed for reproducibility.
+	N    int
+	Seed int64
+}
+
+func (c *Campaign) setDefaults() {
+	if c.Population.Name == "" {
+		c.Population = population.GeneralPublic()
+	}
+	if c.Env == (stimuli.Environment{}) {
+		c.Env = stimuli.Busy()
+	}
+	if c.Days == 0 {
+		c.Days = 30
+	}
+	if c.PhishPerDay == 0 {
+		c.PhishPerDay = 0.2
+	}
+	if c.LegitPerDay == 0 {
+		c.LegitPerDay = 10
+	}
+	if c.DetectorTPR == 0 {
+		c.DetectorTPR = 0.9
+	}
+	if c.N == 0 {
+		c.N = 1000
+	}
+}
+
+// Validate checks campaign parameters.
+func (c Campaign) Validate() error {
+	if c.Days < 1 || c.N < 1 {
+		return fmt.Errorf("phishing: campaign needs Days >= 1 and N >= 1")
+	}
+	if c.PhishPerDay < 0 || c.LegitPerDay < 0 {
+		return fmt.Errorf("phishing: negative email rates")
+	}
+	if c.DetectorTPR < 0 || c.DetectorTPR > 1 || c.DetectorFPR < 0 || c.DetectorFPR > 1 {
+		return fmt.Errorf("phishing: detector rates out of [0,1]")
+	}
+	return c.Warning.Validate()
+}
+
+// CampaignMetrics summarizes a campaign run.
+type CampaignMetrics struct {
+	// Run is the per-subject aggregate: Heeded means the subject was never
+	// successfully phished.
+	Run *sim.Result
+	// MeanPhishEncounters and MeanFalseAlarms are per-subject averages.
+	MeanPhishEncounters float64
+	MeanFalseAlarms     float64
+	// VictimRate is the fraction of subjects phished at least once.
+	VictimRate float64
+	// PerEncounterVictimRate is the fraction of phishing encounters that
+	// succeeded, across all subjects. Unlike VictimRate it does not
+	// saturate over long campaigns.
+	PerEncounterVictimRate float64
+}
+
+// Run executes the campaign.
+func (c Campaign) Run() (CampaignMetrics, error) {
+	(&c).setDefaults()
+	if err := c.Validate(); err != nil {
+		return CampaignMetrics{}, err
+	}
+	runner := sim.Runner{Seed: c.Seed, N: c.N}
+	res, err := runner.Run(func(rng *rand.Rand, i int) (sim.Outcome, error) {
+		prof := c.Population.Sample(rng)
+		r := agent.NewReceiver(prof)
+		phished := false
+		phishSeen, phishedCount, falseAlarms := 0, 0, 0
+		var firstFailure agent.Stage = agent.StageNone
+		for day := 0; day < c.Days; day++ {
+			// Legitimate emails that false-positive the warning.
+			nLegit := poisson(rng, c.LegitPerDay)
+			for e := 0; e < nLegit; e++ {
+				if rng.Float64() >= c.DetectorFPR {
+					continue
+				}
+				enc := agent.Encounter{
+					Comm: c.Warning, Env: c.Env,
+					HazardPresent: false, Day: float64(day),
+					Task: gems.LeaveSuspiciousSite(),
+				}
+				if _, err := r.Process(rng, enc); err != nil {
+					return sim.Outcome{}, err
+				}
+				falseAlarms++
+			}
+			// Phishing emails.
+			nPhish := poisson(rng, c.PhishPerDay)
+			for e := 0; e < nPhish; e++ {
+				phishSeen++
+				if rng.Float64() >= c.DetectorTPR {
+					// Warning never fires: the user faces the phish alone.
+					if !selfDetects(rng, r, float64(day)) {
+						phished = true
+						phishedCount++
+					}
+					continue
+				}
+				enc := agent.Encounter{
+					Comm: c.Warning, Env: c.Env,
+					HazardPresent: true, Day: float64(day),
+					Task: gems.LeaveSuspiciousSite(),
+				}
+				ar, err := r.Process(rng, enc)
+				if err != nil {
+					return sim.Outcome{}, err
+				}
+				if !ar.Heeded {
+					phished = true
+					phishedCount++
+					if firstFailure == agent.StageNone {
+						firstFailure = ar.FailedStage
+					}
+				}
+			}
+		}
+		out := sim.Outcome{
+			Heeded:      !phished,
+			FailedStage: firstFailure,
+			Values: map[string]float64{
+				"phish_seen":    float64(phishSeen),
+				"phished_count": float64(phishedCount),
+				"false_alarms":  float64(falseAlarms),
+			},
+		}
+		if phished && firstFailure == agent.StageNone {
+			// Phished only via detector misses; attribute to delivery:
+			// the communication never arrived.
+			out.FailedStage = agent.StageDelivery
+		}
+		return out, nil
+	})
+	if err != nil {
+		return CampaignMetrics{}, err
+	}
+	m := CampaignMetrics{Run: res, VictimRate: 1 - res.HeedRate()}
+	if mean, _, err := res.MeanValue("phish_seen"); err == nil {
+		m.MeanPhishEncounters = mean
+	}
+	if mean, _, err := res.MeanValue("false_alarms"); err == nil {
+		m.MeanFalseAlarms = mean
+	}
+	var seen, hits float64
+	for _, v := range res.Values["phish_seen"] {
+		seen += v
+	}
+	for _, v := range res.Values["phished_count"] {
+		hits += v
+	}
+	if seen > 0 {
+		m.PerEncounterVictimRate = hits / seen
+	}
+	return m, nil
+}
+
+// selfDetects models a user spotting a phish without any warning: rare for
+// naive users, more likely with accurate mental models and training.
+func selfDetects(rng *rand.Rand, r *agent.Receiver, day float64) bool {
+	p := 0.05
+	if r.HasAccurateModel("phishing") {
+		p += 0.25
+	}
+	if s, ok := r.SkillFor("phishing"); ok {
+		p += 0.4 * s.Level
+	}
+	_ = day
+	return rng.Float64() < p
+}
+
+// poisson samples a Poisson count via Knuth's method; fine for small means.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package population models the "personal variables" component of the
+// human-in-the-loop framework (§2.3.4): demographics and personal
+// characteristics, knowledge and experience, plus the dispositional parts of
+// intentions (§2.3.5) and capabilities (§2.3.6) that a receiver brings to a
+// security communication before any processing happens.
+//
+// Populations are described declaratively by a Spec (trait distributions and
+// an expert fraction) and sampled deterministically from a caller-supplied
+// *rand.Rand, so every experiment is reproducible for a given seed.
+package population
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Profile is one simulated receiver's static traits. All float fields are
+// normalized to [0, 1] unless noted.
+type Profile struct {
+	// Age in years; affects acuity and familiarity defaults in samplers,
+	// but stage models read the normalized traits, not Age directly.
+	Age int
+	// Education is general educational attainment.
+	Education float64
+	// TechExpertise is general computing fluency.
+	TechExpertise float64
+	// SecurityKnowledge is security-specific knowledge and experience
+	// (§2.3.4 "knowledge and experience").
+	SecurityKnowledge float64
+	// AccurateMentalModel reports whether the person holds an accurate
+	// mental model of the threat class at hand (e.g. understands what
+	// phishing is). Inaccurate models drive the misinterpretation failures
+	// of §3.1. Training can set this at runtime.
+	AccurateMentalModel bool
+	// MemoryCapacity is the capability to memorize and retain arbitrary
+	// strings (§2.3.6; binding constraint for password policies).
+	MemoryCapacity float64
+	// VisualAcuity covers perceptual capability (small fonts, low-contrast
+	// passive indicators); stands in for the framework's disabilities
+	// factor.
+	VisualAcuity float64
+	// MotorSkill covers physical capability (clicking small targets,
+	// inserting smartcards correctly).
+	MotorSkill float64
+	// RiskPerception is how seriously the person takes security hazards
+	// (§2.3.5 attitudes and beliefs).
+	RiskPerception float64
+	// TrustInSecurityUI is baseline belief that security communications are
+	// accurate and worth heeding.
+	TrustInSecurityUI float64
+	// SelfEfficacy is belief in one's ability to complete recommended
+	// actions successfully.
+	SelfEfficacy float64
+	// PrimaryTaskFocus is how strongly the person privileges the primary
+	// task over security interruptions (§2.3.5 motivation: conflicting
+	// goals).
+	PrimaryTaskFocus float64
+	// ComplianceTendency is dispositional rule-following; drives policy
+	// compliance independent of understanding.
+	ComplianceTendency float64
+}
+
+// Validate checks all normalized fields are within [0, 1] and Age is sane.
+func (p Profile) Validate() error {
+	if p.Age < 0 || p.Age > 130 {
+		return fmt.Errorf("population: age %d out of range", p.Age)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Education", p.Education},
+		{"TechExpertise", p.TechExpertise},
+		{"SecurityKnowledge", p.SecurityKnowledge},
+		{"MemoryCapacity", p.MemoryCapacity},
+		{"VisualAcuity", p.VisualAcuity},
+		{"MotorSkill", p.MotorSkill},
+		{"RiskPerception", p.RiskPerception},
+		{"TrustInSecurityUI", p.TrustInSecurityUI},
+		{"SelfEfficacy", p.SelfEfficacy},
+		{"PrimaryTaskFocus", p.PrimaryTaskFocus},
+		{"ComplianceTendency", p.ComplianceTendency},
+	} {
+		if f.v < 0 || f.v > 1 || math.IsNaN(f.v) {
+			return fmt.Errorf("population: %s = %v out of [0,1]", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// Expertise is a convenience blend of technical and security knowledge used
+// by comprehension models.
+func (p Profile) Expertise() float64 {
+	return 0.4*p.TechExpertise + 0.6*p.SecurityKnowledge
+}
+
+// Trait is a distribution over a single normalized trait: a mean and spread
+// for a truncated normal on [0, 1].
+type Trait struct {
+	Mean, SD float64
+}
+
+// sample draws from the trait's truncated normal.
+func (t Trait) sample(rng *rand.Rand) float64 {
+	return TruncNormal(rng, t.Mean, t.SD)
+}
+
+// TruncNormal samples a normal(mean, sd) clamped to [0, 1].
+func TruncNormal(rng *rand.Rand, mean, sd float64) float64 {
+	v := rng.NormFloat64()*sd + mean
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Spec declaratively describes a user population.
+type Spec struct {
+	// Name labels the population in reports.
+	Name string
+	// AgeMin and AgeMax bound uniformly-sampled ages.
+	AgeMin, AgeMax int
+	// Traits for the general (non-expert) members.
+	Education          Trait
+	TechExpertise      Trait
+	SecurityKnowledge  Trait
+	MemoryCapacity     Trait
+	VisualAcuity       Trait
+	MotorSkill         Trait
+	RiskPerception     Trait
+	TrustInSecurityUI  Trait
+	SelfEfficacy       Trait
+	PrimaryTaskFocus   Trait
+	ComplianceTendency Trait
+	// ExpertFraction is the fraction of members sampled as security
+	// experts: their TechExpertise and SecurityKnowledge are drawn from a
+	// high band and they hold accurate mental models.
+	ExpertFraction float64
+	// AccurateModelBase is the probability a non-expert holds an accurate
+	// mental model of the threat, before any training.
+	AccurateModelBase float64
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("population: spec has empty name")
+	}
+	if s.AgeMin < 0 || s.AgeMax < s.AgeMin {
+		return fmt.Errorf("population: %s: bad age range [%d, %d]", s.Name, s.AgeMin, s.AgeMax)
+	}
+	if s.ExpertFraction < 0 || s.ExpertFraction > 1 {
+		return fmt.Errorf("population: %s: expert fraction %v out of [0,1]", s.Name, s.ExpertFraction)
+	}
+	if s.AccurateModelBase < 0 || s.AccurateModelBase > 1 {
+		return fmt.Errorf("population: %s: accurate-model base %v out of [0,1]", s.Name, s.AccurateModelBase)
+	}
+	for _, tr := range []struct {
+		name string
+		t    Trait
+	}{
+		{"Education", s.Education},
+		{"TechExpertise", s.TechExpertise},
+		{"SecurityKnowledge", s.SecurityKnowledge},
+		{"MemoryCapacity", s.MemoryCapacity},
+		{"VisualAcuity", s.VisualAcuity},
+		{"MotorSkill", s.MotorSkill},
+		{"RiskPerception", s.RiskPerception},
+		{"TrustInSecurityUI", s.TrustInSecurityUI},
+		{"SelfEfficacy", s.SelfEfficacy},
+		{"PrimaryTaskFocus", s.PrimaryTaskFocus},
+		{"ComplianceTendency", s.ComplianceTendency},
+	} {
+		if tr.t.Mean < 0 || tr.t.Mean > 1 || tr.t.SD < 0 || math.IsNaN(tr.t.Mean) || math.IsNaN(tr.t.SD) {
+			return fmt.Errorf("population: %s: trait %s has invalid distribution %+v", s.Name, tr.name, tr.t)
+		}
+	}
+	return nil
+}
+
+// MeanProfile returns the deterministic "average member" of the population:
+// every trait at its distribution mean, age at the midpoint, and the mental
+// model accurate only if most members' would be. The checklist analyzer
+// uses it for mean-field reliability estimates.
+func (s Spec) MeanProfile() Profile {
+	return Profile{
+		Age:                 (s.AgeMin + s.AgeMax) / 2,
+		Education:           s.Education.Mean,
+		TechExpertise:       s.TechExpertise.Mean,
+		SecurityKnowledge:   s.SecurityKnowledge.Mean,
+		AccurateMentalModel: s.ExpertFraction+s.AccurateModelBase*(1-s.ExpertFraction) >= 0.5,
+		MemoryCapacity:      s.MemoryCapacity.Mean,
+		VisualAcuity:        s.VisualAcuity.Mean,
+		MotorSkill:          s.MotorSkill.Mean,
+		RiskPerception:      s.RiskPerception.Mean,
+		TrustInSecurityUI:   s.TrustInSecurityUI.Mean,
+		SelfEfficacy:        s.SelfEfficacy.Mean,
+		PrimaryTaskFocus:    s.PrimaryTaskFocus.Mean,
+		ComplianceTendency:  s.ComplianceTendency.Mean,
+	}
+}
+
+// AccurateModelFraction is the expected fraction of members holding an
+// accurate mental model before training.
+func (s Spec) AccurateModelFraction() float64 {
+	return s.ExpertFraction + s.AccurateModelBase*(1-s.ExpertFraction)
+}
+
+// Sample draws a single profile from the spec.
+func (s Spec) Sample(rng *rand.Rand) Profile {
+	p := Profile{
+		Age:                s.AgeMin + rng.Intn(s.AgeMax-s.AgeMin+1),
+		Education:          s.Education.sample(rng),
+		TechExpertise:      s.TechExpertise.sample(rng),
+		SecurityKnowledge:  s.SecurityKnowledge.sample(rng),
+		MemoryCapacity:     s.MemoryCapacity.sample(rng),
+		VisualAcuity:       s.VisualAcuity.sample(rng),
+		MotorSkill:         s.MotorSkill.sample(rng),
+		RiskPerception:     s.RiskPerception.sample(rng),
+		TrustInSecurityUI:  s.TrustInSecurityUI.sample(rng),
+		SelfEfficacy:       s.SelfEfficacy.sample(rng),
+		PrimaryTaskFocus:   s.PrimaryTaskFocus.sample(rng),
+		ComplianceTendency: s.ComplianceTendency.sample(rng),
+	}
+	if rng.Float64() < s.ExpertFraction {
+		p.TechExpertise = TruncNormal(rng, 0.9, 0.05)
+		p.SecurityKnowledge = TruncNormal(rng, 0.85, 0.08)
+		p.SelfEfficacy = TruncNormal(rng, 0.85, 0.08)
+		p.AccurateMentalModel = true
+	} else {
+		p.AccurateMentalModel = rng.Float64() < s.AccurateModelBase
+	}
+	return p
+}
+
+// SampleN draws n profiles.
+func (s Spec) SampleN(rng *rand.Rand, n int) []Profile {
+	out := make([]Profile, n)
+	for i := range out {
+		out[i] = s.Sample(rng)
+	}
+	return out
+}
+
+// GeneralPublic describes a broad consumer population: wide spread of
+// knowledge, little security expertise, mostly inaccurate mental models of
+// threats like phishing ("many of whom have little or no knowledge about
+// phishing", §3.1).
+func GeneralPublic() Spec {
+	return Spec{
+		Name:               "general-public",
+		AgeMin:             18,
+		AgeMax:             80,
+		Education:          Trait{Mean: 0.55, SD: 0.2},
+		TechExpertise:      Trait{Mean: 0.45, SD: 0.2},
+		SecurityKnowledge:  Trait{Mean: 0.25, SD: 0.15},
+		MemoryCapacity:     Trait{Mean: 0.45, SD: 0.15},
+		VisualAcuity:       Trait{Mean: 0.8, SD: 0.15},
+		MotorSkill:         Trait{Mean: 0.8, SD: 0.12},
+		RiskPerception:     Trait{Mean: 0.45, SD: 0.2},
+		TrustInSecurityUI:  Trait{Mean: 0.6, SD: 0.15},
+		SelfEfficacy:       Trait{Mean: 0.5, SD: 0.18},
+		PrimaryTaskFocus:   Trait{Mean: 0.7, SD: 0.15},
+		ComplianceTendency: Trait{Mean: 0.55, SD: 0.18},
+		ExpertFraction:     0.03,
+		AccurateModelBase:  0.25,
+	}
+}
+
+// Enterprise describes an organizational workforce: moderately trained,
+// under strong primary-task pressure, with some compliance culture (§3.2:
+// "complete novice through security expert", depending on organization).
+func Enterprise() Spec {
+	s := GeneralPublic()
+	s.Name = "enterprise"
+	s.AgeMin, s.AgeMax = 22, 65
+	s.Education = Trait{Mean: 0.7, SD: 0.15}
+	s.TechExpertise = Trait{Mean: 0.55, SD: 0.18}
+	s.SecurityKnowledge = Trait{Mean: 0.4, SD: 0.18}
+	s.PrimaryTaskFocus = Trait{Mean: 0.8, SD: 0.1}
+	s.ComplianceTendency = Trait{Mean: 0.65, SD: 0.15}
+	s.ExpertFraction = 0.08
+	s.AccurateModelBase = 0.4
+	return s
+}
+
+// Experts describes a security-savvy population, useful as a contrast
+// condition (§2.3.4: experts comprehend more but second-guess warnings).
+func Experts() Spec {
+	s := GeneralPublic()
+	s.Name = "experts"
+	s.TechExpertise = Trait{Mean: 0.9, SD: 0.05}
+	s.SecurityKnowledge = Trait{Mean: 0.85, SD: 0.08}
+	s.RiskPerception = Trait{Mean: 0.7, SD: 0.12}
+	s.SelfEfficacy = Trait{Mean: 0.85, SD: 0.08}
+	s.TrustInSecurityUI = Trait{Mean: 0.5, SD: 0.15} // experts second-guess
+	s.ExpertFraction = 1
+	s.AccurateModelBase = 1
+	return s
+}
+
+// Novices describes users with minimal computing background.
+func Novices() Spec {
+	s := GeneralPublic()
+	s.Name = "novices"
+	s.TechExpertise = Trait{Mean: 0.2, SD: 0.1}
+	s.SecurityKnowledge = Trait{Mean: 0.1, SD: 0.08}
+	s.SelfEfficacy = Trait{Mean: 0.35, SD: 0.15}
+	s.ExpertFraction = 0
+	s.AccurateModelBase = 0.08
+	return s
+}

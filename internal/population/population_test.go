@@ -1,0 +1,172 @@
+package population
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hitl/internal/stats"
+)
+
+func TestPresetSpecsValid(t *testing.T) {
+	for _, s := range []Spec{GeneralPublic(), Enterprise(), Experts(), Novices()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestSpecValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }},
+		{"age range", func(s *Spec) { s.AgeMax = s.AgeMin - 1 }},
+		{"expert fraction", func(s *Spec) { s.ExpertFraction = 1.5 }},
+		{"model base", func(s *Spec) { s.AccurateModelBase = -0.1 }},
+		{"trait mean", func(s *Spec) { s.Education.Mean = 2 }},
+		{"trait sd", func(s *Spec) { s.MemoryCapacity.SD = -1 }},
+		{"trait NaN", func(s *Spec) { s.RiskPerception.Mean = math.NaN() }},
+	}
+	for _, tc := range cases {
+		s := GeneralPublic()
+		tc.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestSampleProfilesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, spec := range []Spec{GeneralPublic(), Enterprise(), Experts(), Novices()} {
+		for i := 0; i < 500; i++ {
+			p := spec.Sample(rng)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s sample %d invalid: %v (profile %+v)", spec.Name, i, err, p)
+			}
+			if p.Age < spec.AgeMin || p.Age > spec.AgeMax {
+				t.Fatalf("%s: age %d outside [%d, %d]", spec.Name, p.Age, spec.AgeMin, spec.AgeMax)
+			}
+		}
+	}
+}
+
+func TestProfileValidateErrors(t *testing.T) {
+	p := Profile{Age: 30, Education: 0.5, VisualAcuity: 0.5}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	p.Age = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative age: want error")
+	}
+	p.Age = 30
+	p.SelfEfficacy = 1.4
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range trait: want error")
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	a := GeneralPublic().SampleN(rand.New(rand.NewSource(42)), 50)
+	b := GeneralPublic().SampleN(rand.New(rand.NewSource(42)), 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs across identical seeds", i)
+		}
+	}
+	c := GeneralPublic().SampleN(rand.New(rand.NewSource(43)), 50)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical populations")
+	}
+}
+
+func TestPopulationOrderings(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 3000
+	meanKnow := func(spec Spec) float64 {
+		ps := spec.SampleN(rng, n)
+		xs := make([]float64, n)
+		for i, p := range ps {
+			xs[i] = p.SecurityKnowledge
+		}
+		return stats.Mean(xs)
+	}
+	nov := meanKnow(Novices())
+	gen := meanKnow(GeneralPublic())
+	ent := meanKnow(Enterprise())
+	exp := meanKnow(Experts())
+	if !(nov < gen && gen < ent && ent < exp) {
+		t.Errorf("security knowledge ordering violated: novices %.3f, public %.3f, enterprise %.3f, experts %.3f",
+			nov, gen, ent, exp)
+	}
+}
+
+func TestExpertMentalModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ps := Experts().SampleN(rng, 500)
+	for i, p := range ps {
+		if !p.AccurateMentalModel {
+			t.Fatalf("expert %d lacks accurate mental model", i)
+		}
+	}
+	// Novices mostly lack accurate models.
+	ps = Novices().SampleN(rng, 2000)
+	accurate := 0
+	for _, p := range ps {
+		if p.AccurateMentalModel {
+			accurate++
+		}
+	}
+	frac := float64(accurate) / float64(len(ps))
+	if frac > 0.2 {
+		t.Errorf("novice accurate-model fraction = %v, want <= 0.2", frac)
+	}
+}
+
+func TestExpertiseBlend(t *testing.T) {
+	p := Profile{TechExpertise: 1, SecurityKnowledge: 0}
+	if e := p.Expertise(); !(e > 0 && e < 0.5) {
+		t.Errorf("tech-only expertise = %v, want in (0, 0.5)", e)
+	}
+	p = Profile{TechExpertise: 1, SecurityKnowledge: 1}
+	if e := p.Expertise(); math.Abs(e-1) > 1e-12 {
+		t.Errorf("full expertise = %v, want 1", e)
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	f := func(seed int64, mean, sd float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := math.Abs(math.Mod(mean, 1))
+		s := math.Abs(math.Mod(sd, 0.5))
+		v := TruncNormal(rng, m, s)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncNormalCentering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += TruncNormal(rng, 0.5, 0.1)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("TruncNormal(0.5, 0.1) mean = %v, want ~0.5", mean)
+	}
+}

@@ -1,0 +1,519 @@
+// Package predict implements the behavior-predictability analysis of §2.4:
+// when users perform security actions successfully but choose predictably,
+// an attacker who knows the choice distribution needs far fewer guesses.
+//
+// It provides generative choice models for the studies the paper cites —
+// face-based graphical passwords where users prefer attractive faces of
+// their own race (Davis et al.), click-based graphical passwords with
+// hot-spots (Thorpe & van Oorschot), and mnemonic-phrase passwords built
+// from famous phrases (Kuo et al.) — plus entropy/guessing analysis and a
+// Monte Carlo attacker that quantifies the guess-count reduction.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hitl/internal/stats"
+)
+
+// Analysis summarizes how predictable a choice distribution is and how much
+// an informed attacker gains from knowing it.
+type Analysis struct {
+	// Choices is the size of the choice space.
+	Choices int
+	// EntropyBits is the Shannon entropy of the actual choice distribution.
+	EntropyBits float64
+	// UniformEntropyBits is log2(Choices), the entropy if users chose
+	// uniformly (the designer's intent).
+	UniformEntropyBits float64
+	// GuessEntropy is the expected number of guesses for an attacker who
+	// knows the distribution and guesses in decreasing-probability order.
+	GuessEntropy float64
+	// UniformGuessEntropy is the expected guesses against uniform choice,
+	// (Choices+1)/2.
+	UniformGuessEntropy float64
+	// Alpha25 and Alpha50 are the numbers of top guesses needed to succeed
+	// with probability 0.25 and 0.5 respectively.
+	Alpha25, Alpha50 int
+	// GuessReduction is UniformGuessEntropy / GuessEntropy: how many times
+	// fewer guesses the informed attacker needs on average. Note that the
+	// mean is dominated by the hard tail; MedianWorkReduction is the
+	// headline number for "hot-spot"-style findings.
+	GuessReduction float64
+	// MedianWorkReduction is ceil(Choices/2) / Alpha50: how many times
+	// fewer guesses the informed attacker needs to crack half the users.
+	MedianWorkReduction float64
+}
+
+// Analyze computes the predictability analysis for a choice distribution
+// given as nonnegative weights (normalized internally).
+func Analyze(weights []float64) (Analysis, error) {
+	if len(weights) == 0 {
+		return Analysis{}, fmt.Errorf("predict: empty distribution")
+	}
+	h, err := stats.Entropy(weights)
+	if err != nil {
+		return Analysis{}, fmt.Errorf("predict: %w", err)
+	}
+	g, err := stats.GuessEntropy(weights)
+	if err != nil {
+		return Analysis{}, fmt.Errorf("predict: %w", err)
+	}
+	a25, err := stats.AlphaWorkFactor(weights, 0.25)
+	if err != nil {
+		return Analysis{}, fmt.Errorf("predict: %w", err)
+	}
+	a50, err := stats.AlphaWorkFactor(weights, 0.5)
+	if err != nil {
+		return Analysis{}, fmt.Errorf("predict: %w", err)
+	}
+	n := len(weights)
+	uniformG := float64(n+1) / 2
+	red := math.Inf(1)
+	if g > 0 {
+		red = uniformG / g
+	}
+	return Analysis{
+		Choices:             n,
+		EntropyBits:         h,
+		UniformEntropyBits:  math.Log2(float64(n)),
+		GuessEntropy:        g,
+		UniformGuessEntropy: uniformG,
+		Alpha25:             a25,
+		Alpha50:             a50,
+		GuessReduction:      red,
+		MedianWorkReduction: math.Ceil(float64(n)/2) / float64(a50),
+	}, nil
+}
+
+// SequenceAnalysis extends Analyze to passwords made of k independent
+// choices from the same distribution (e.g. a click-based graphical password
+// of k click points). Entropies add; guess counts exponentiate.
+type SequenceAnalysis struct {
+	Single Analysis
+	// K is the sequence length.
+	K int
+	// EntropyBits is the total entropy of the k-sequence.
+	EntropyBits float64
+	// UniformEntropyBits is the total entropy under uniform choice.
+	UniformEntropyBits float64
+	// LogGuessReduction is log2 of the guess-count reduction for the full
+	// sequence (reported in log space because the raw factor overflows for
+	// realistic k and choice-space sizes).
+	LogGuessReduction float64
+}
+
+// AnalyzeSequence analyzes a k-length sequence of independent draws.
+func AnalyzeSequence(weights []float64, k int) (SequenceAnalysis, error) {
+	if k < 1 {
+		return SequenceAnalysis{}, fmt.Errorf("predict: sequence length %d < 1", k)
+	}
+	single, err := Analyze(weights)
+	if err != nil {
+		return SequenceAnalysis{}, err
+	}
+	return SequenceAnalysis{
+		Single:             single,
+		K:                  k,
+		EntropyBits:        single.EntropyBits * float64(k),
+		UniformEntropyBits: single.UniformEntropyBits * float64(k),
+		LogGuessReduction:  float64(k) * math.Log2(single.GuessReduction),
+	}, nil
+}
+
+// FaceModel generates the face-based graphical password choice distribution
+// of Davis et al.: the choice space is a grid of faces partitioned into
+// demographic groups; users prefer faces of their own group and more
+// attractive faces.
+type FaceModel struct {
+	// Faces is the total number of faces offered per round.
+	Faces int
+	// Groups is the number of demographic groups the faces split into.
+	Groups int
+	// OwnGroupBias in [0,1]: fraction of choice mass concentrated on the
+	// user's own group (0 = no bias, group membership ignored).
+	OwnGroupBias float64
+	// AttractivenessSkew >= 0 controls how strongly mass concentrates on
+	// the most attractive faces within a group (0 = uniform within group).
+	AttractivenessSkew float64
+}
+
+// Validate checks the model's parameters.
+func (m FaceModel) Validate() error {
+	if m.Faces < 1 || m.Groups < 1 || m.Groups > m.Faces {
+		return fmt.Errorf("predict: face model needs 1 <= groups (%d) <= faces (%d)", m.Groups, m.Faces)
+	}
+	if m.OwnGroupBias < 0 || m.OwnGroupBias > 1 || math.IsNaN(m.OwnGroupBias) {
+		return fmt.Errorf("predict: own-group bias %v out of [0,1]", m.OwnGroupBias)
+	}
+	if m.AttractivenessSkew < 0 || math.IsNaN(m.AttractivenessSkew) {
+		return fmt.Errorf("predict: attractiveness skew %v negative", m.AttractivenessSkew)
+	}
+	return nil
+}
+
+// Distribution returns the choice weights over faces for a user belonging
+// to group userGroup. Faces are assigned to groups round-robin (face i is
+// in group i mod Groups) and face i's attractiveness rank within its group
+// decreases with i, so weight within a group decays geometrically with the
+// attractiveness skew.
+func (m FaceModel) Distribution(userGroup int) ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if userGroup < 0 || userGroup >= m.Groups {
+		return nil, fmt.Errorf("predict: user group %d out of [0, %d)", userGroup, m.Groups)
+	}
+	w := make([]float64, m.Faces)
+	rankInGroup := make([]int, m.Groups)
+	for i := 0; i < m.Faces; i++ {
+		g := i % m.Groups
+		rank := rankInGroup[g]
+		rankInGroup[g]++
+		// Geometric attractiveness decay within the group.
+		attract := math.Pow(1/(1+m.AttractivenessSkew), float64(rank))
+		groupMass := (1 - m.OwnGroupBias) / float64(m.Groups)
+		if g == userGroup {
+			groupMass += m.OwnGroupBias
+		}
+		w[i] = groupMass * attract
+	}
+	return w, nil
+}
+
+// HotSpotModel generates the click-point distribution of Thorpe & van
+// Oorschot: a background image divided into cells, with a small number of
+// popular "hot spots" that attract a disproportionate share of clicks.
+type HotSpotModel struct {
+	// Cells is the number of clickable cells.
+	Cells int
+	// HotSpots is the number of popular cells.
+	HotSpots int
+	// HotMass in [0,1] is the total probability mass on the hot spots.
+	HotMass float64
+}
+
+// Validate checks the model's parameters.
+func (m HotSpotModel) Validate() error {
+	if m.Cells < 1 || m.HotSpots < 0 || m.HotSpots > m.Cells {
+		return fmt.Errorf("predict: hot-spot model needs 0 <= hotspots (%d) <= cells (%d)", m.HotSpots, m.Cells)
+	}
+	if m.HotMass < 0 || m.HotMass > 1 || math.IsNaN(m.HotMass) {
+		return fmt.Errorf("predict: hot mass %v out of [0,1]", m.HotMass)
+	}
+	if m.HotSpots == 0 && m.HotMass > 0 {
+		return fmt.Errorf("predict: hot mass %v with zero hot spots", m.HotMass)
+	}
+	return nil
+}
+
+// Distribution returns click weights over cells: the first HotSpots cells
+// share HotMass (decaying geometrically by popularity), the rest share the
+// remainder uniformly.
+func (m HotSpotModel) Distribution() ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	w := make([]float64, m.Cells)
+	if m.HotSpots > 0 && m.HotMass > 0 {
+		// Geometric split of HotMass across hot spots (ratio 0.7).
+		const ratio = 0.7
+		total := (1 - math.Pow(ratio, float64(m.HotSpots))) / (1 - ratio)
+		for i := 0; i < m.HotSpots; i++ {
+			w[i] = m.HotMass * math.Pow(ratio, float64(i)) / total
+		}
+	}
+	cold := m.Cells - m.HotSpots
+	if cold > 0 {
+		share := (1 - m.HotMass) / float64(cold)
+		for i := m.HotSpots; i < m.Cells; i++ {
+			w[i] = share
+		}
+	}
+	return w, nil
+}
+
+// MnemonicModel generates the mnemonic-phrase password distribution of Kuo
+// et al.: users advised to build passwords from phrases often pick
+// well-known phrases (song lyrics, movie quotes) that an attacker can
+// enumerate in a phrase dictionary.
+type MnemonicModel struct {
+	// FamousPhrases is the size of the attacker-enumerable phrase pool.
+	FamousPhrases int
+	// PersonalPhrases is the size of the effectively-unguessable long tail
+	// of personal phrases.
+	PersonalPhrases int
+	// FamousMass in [0,1] is the fraction of users who pick famous phrases.
+	FamousMass float64
+}
+
+// Validate checks the model's parameters.
+func (m MnemonicModel) Validate() error {
+	if m.FamousPhrases < 0 || m.PersonalPhrases < 0 || m.FamousPhrases+m.PersonalPhrases < 1 {
+		return fmt.Errorf("predict: mnemonic model needs a nonempty phrase space")
+	}
+	if m.FamousMass < 0 || m.FamousMass > 1 || math.IsNaN(m.FamousMass) {
+		return fmt.Errorf("predict: famous mass %v out of [0,1]", m.FamousMass)
+	}
+	if m.FamousPhrases == 0 && m.FamousMass > 0 {
+		return fmt.Errorf("predict: famous mass %v with zero famous phrases", m.FamousMass)
+	}
+	return nil
+}
+
+// Distribution returns weights over the phrase space: famous phrases first
+// (Zipf-like decay), then the uniform personal tail.
+func (m MnemonicModel) Distribution() ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.FamousPhrases + m.PersonalPhrases
+	w := make([]float64, n)
+	if m.FamousPhrases > 0 && m.FamousMass > 0 {
+		// Zipf weights 1/(i+1) over famous phrases.
+		var z float64
+		for i := 0; i < m.FamousPhrases; i++ {
+			z += 1 / float64(i+1)
+		}
+		for i := 0; i < m.FamousPhrases; i++ {
+			w[i] = m.FamousMass / float64(i+1) / z
+		}
+	}
+	if m.PersonalPhrases > 0 {
+		share := (1 - m.FamousMass) / float64(m.PersonalPhrases)
+		for i := m.FamousPhrases; i < n; i++ {
+			w[i] = share
+		}
+	}
+	return w, nil
+}
+
+// AttackResult reports a simulated guessing attack.
+type AttackResult struct {
+	// Users is the number of simulated victims.
+	Users int
+	// GuessBudget is the attacker's per-victim guess limit.
+	GuessBudget int
+	// InformedSuccess is the fraction cracked by an attacker who knows the
+	// choice distribution and guesses most-likely-first.
+	InformedSuccess float64
+	// BlindSuccess is the fraction cracked by an attacker guessing in an
+	// arbitrary fixed order (equivalent to random guessing without
+	// replacement against any distribution's support).
+	BlindSuccess float64
+	// Advantage is InformedSuccess / BlindSuccess (Inf if blind is zero and
+	// informed positive, 1 if both zero).
+	Advantage float64
+}
+
+// SimulateAttack samples `users` secrets from the weights and attacks each
+// with `budget` guesses, comparing a distribution-aware attacker against a
+// blind one. The blind attacker's ordering is a random permutation drawn
+// once per victim.
+func SimulateAttack(rng *rand.Rand, weights []float64, users, budget int) (AttackResult, error) {
+	if users < 1 || budget < 1 {
+		return AttackResult{}, fmt.Errorf("predict: need users >= 1 and budget >= 1, got %d, %d", users, budget)
+	}
+	n := len(weights)
+	if n == 0 {
+		return AttackResult{}, fmt.Errorf("predict: empty distribution")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return AttackResult{}, fmt.Errorf("predict: negative or NaN weight %v", w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return AttackResult{}, fmt.Errorf("predict: zero-mass distribution")
+	}
+
+	// Informed attacker's guess order: indices by decreasing weight.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+	informedRank := make([]int, n) // secret index -> informed guess rank
+	for rank, idx := range order {
+		informedRank[idx] = rank
+	}
+
+	// Cumulative weights for sampling secrets.
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+
+	informed, blind := 0, 0
+	for u := 0; u < users; u++ {
+		x := rng.Float64()
+		secret := sort.SearchFloat64s(cum, x)
+		if secret >= n {
+			secret = n - 1
+		}
+		if informedRank[secret] < budget {
+			informed++
+		}
+		// Blind attacker: the secret is cracked iff its position in a
+		// random permutation is within budget; equivalently with
+		// probability budget/n.
+		if rng.Intn(n) < budget {
+			blind++
+		}
+	}
+	res := AttackResult{
+		Users:           users,
+		GuessBudget:     budget,
+		InformedSuccess: float64(informed) / float64(users),
+		BlindSuccess:    float64(blind) / float64(users),
+	}
+	switch {
+	case res.BlindSuccess > 0:
+		res.Advantage = res.InformedSuccess / res.BlindSuccess
+	case res.InformedSuccess > 0:
+		res.Advantage = math.Inf(1)
+	default:
+		res.Advantage = 1
+	}
+	return res, nil
+}
+
+// DictionaryPolicy mitigates predictability by prohibiting the most common
+// choices (§2.4: "prohibit passwords that contain dictionary words"). It
+// returns a copy of weights with the top `banned` most likely choices
+// zeroed, renormalized over the rest.
+func DictionaryPolicy(weights []float64, banned int) ([]float64, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("predict: empty distribution")
+	}
+	if banned < 0 || banned >= n {
+		return nil, fmt.Errorf("predict: banned count %d out of [0, %d)", banned, n)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+	out := append([]float64(nil), weights...)
+	for i := 0; i < banned; i++ {
+		out[order[i]] = 0
+	}
+	var rest float64
+	for _, w := range out {
+		rest += w
+	}
+	if rest == 0 {
+		return nil, fmt.Errorf("predict: banning %d choices removed all probability mass", banned)
+	}
+	return out, nil
+}
+
+// SimulateSequenceAttack extends SimulateAttack to secrets made of k
+// independent draws from the same distribution (e.g. a click-based
+// graphical password of k click points). The informed attacker guesses
+// k-tuples in decreasing joint-probability order, which for independent
+// positions means trying all combinations of each position's top
+// candidates; the budget is a total number of k-tuple guesses.
+//
+// To keep the search tractable the attacker enumerates tuples over each
+// position's top-m candidates where m^k >= budget; this matches how real
+// guessers prioritize (hot-spot products dominate the joint distribution).
+func SimulateSequenceAttack(rng *rand.Rand, weights []float64, k, users, budget int) (AttackResult, error) {
+	if k < 1 {
+		return AttackResult{}, fmt.Errorf("predict: sequence length %d < 1", k)
+	}
+	if users < 1 || budget < 1 {
+		return AttackResult{}, fmt.Errorf("predict: need users >= 1 and budget >= 1, got %d, %d", users, budget)
+	}
+	n := len(weights)
+	if n == 0 {
+		return AttackResult{}, fmt.Errorf("predict: empty distribution")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return AttackResult{}, fmt.Errorf("predict: negative or NaN weight %v", w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return AttackResult{}, fmt.Errorf("predict: zero-mass distribution")
+	}
+
+	// Per-position rank of each secret index under the informed ordering.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+	rank := make([]int, n)
+	for r, idx := range order {
+		rank[idx] = r
+	}
+
+	// The attacker covers all tuples whose every position-rank is < m.
+	m := int(math.Ceil(math.Pow(float64(budget), 1/float64(k))))
+	if m > n {
+		m = n
+	}
+
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	sample := func() int {
+		x := rng.Float64()
+		idx := sort.SearchFloat64s(cum, x)
+		if idx >= n {
+			idx = n - 1
+		}
+		return idx
+	}
+
+	totalSpace := math.Pow(float64(n), float64(k))
+	pBlind := math.Min(1, float64(budget)/totalSpace)
+
+	informed, blind := 0, 0
+	for u := 0; u < users; u++ {
+		cracked := true
+		for pos := 0; pos < k; pos++ {
+			if rank[sample()] >= m {
+				cracked = false
+				// Still need to draw the remaining positions to keep the
+				// stream aligned? Not necessary: draws are independent.
+				break
+			}
+		}
+		if cracked {
+			informed++
+		}
+		if rng.Float64() < pBlind {
+			blind++
+		}
+	}
+	res := AttackResult{
+		Users:           users,
+		GuessBudget:     budget,
+		InformedSuccess: float64(informed) / float64(users),
+		BlindSuccess:    float64(blind) / float64(users),
+	}
+	switch {
+	case res.BlindSuccess > 0:
+		res.Advantage = res.InformedSuccess / res.BlindSuccess
+	case res.InformedSuccess > 0:
+		res.Advantage = math.Inf(1)
+	default:
+		res.Advantage = 1
+	}
+	return res, nil
+}

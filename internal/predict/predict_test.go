@@ -1,0 +1,426 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func uniform(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func TestAnalyzeUniform(t *testing.T) {
+	a, err := Analyze(uniform(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.EntropyBits-4) > 1e-9 {
+		t.Errorf("uniform-16 entropy = %v, want 4", a.EntropyBits)
+	}
+	if math.Abs(a.EntropyBits-a.UniformEntropyBits) > 1e-9 {
+		t.Error("uniform distribution should match uniform entropy")
+	}
+	if math.Abs(a.GuessEntropy-8.5) > 1e-9 {
+		t.Errorf("uniform-16 guess entropy = %v, want 8.5", a.GuessEntropy)
+	}
+	if math.Abs(a.GuessReduction-1) > 1e-9 {
+		t.Errorf("uniform guess reduction = %v, want 1", a.GuessReduction)
+	}
+}
+
+func TestAnalyzeSkewed(t *testing.T) {
+	w := make([]float64, 100)
+	w[0] = 0.9
+	for i := 1; i < 100; i++ {
+		w[i] = 0.1 / 99
+	}
+	a, err := Analyze(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EntropyBits >= a.UniformEntropyBits {
+		t.Error("skewed entropy must be below uniform")
+	}
+	if a.GuessReduction < 5 {
+		t.Errorf("strong skew should cut guesses substantially, got %vx", a.GuessReduction)
+	}
+	if a.Alpha25 != 1 || a.Alpha50 != 1 {
+		t.Errorf("90%% head: alpha work factors should be 1, got %d, %d", a.Alpha25, a.Alpha50)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Error("empty: want error")
+	}
+	if _, err := Analyze([]float64{0, 0}); err == nil {
+		t.Error("zero mass: want error")
+	}
+	if _, err := Analyze([]float64{-1, 1}); err == nil {
+		t.Error("negative: want error")
+	}
+}
+
+func TestAnalyzeSequence(t *testing.T) {
+	w := uniform(32)
+	sa, err := AnalyzeSequence(w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sa.EntropyBits-25) > 1e-9 {
+		t.Errorf("5x uniform-32 entropy = %v, want 25", sa.EntropyBits)
+	}
+	if math.Abs(sa.LogGuessReduction) > 1e-9 {
+		t.Errorf("uniform sequence log reduction = %v, want 0", sa.LogGuessReduction)
+	}
+	if _, err := AnalyzeSequence(w, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+}
+
+func TestFaceModelValidate(t *testing.T) {
+	ok := FaceModel{Faces: 9, Groups: 3, OwnGroupBias: 0.5, AttractivenessSkew: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := []FaceModel{
+		{Faces: 0, Groups: 1},
+		{Faces: 4, Groups: 5},
+		{Faces: 4, Groups: 2, OwnGroupBias: 1.5},
+		{Faces: 4, Groups: 2, AttractivenessSkew: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: want error for %+v", i, m)
+		}
+	}
+	if _, err := ok.Distribution(5); err == nil {
+		t.Error("user group out of range: want error")
+	}
+}
+
+func TestFaceModelBiasConcentrates(t *testing.T) {
+	// Davis et al.: knowing race/gender substantially reduces guesses.
+	unbiased := FaceModel{Faces: 36, Groups: 4, OwnGroupBias: 0, AttractivenessSkew: 0}
+	biased := FaceModel{Faces: 36, Groups: 4, OwnGroupBias: 0.7, AttractivenessSkew: 0.8}
+	wu, err := unbiased.Distribution(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := biased.Distribution(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	au, _ := Analyze(wu)
+	ab, _ := Analyze(wb)
+	if math.Abs(au.GuessReduction-1) > 1e-9 {
+		t.Errorf("unbiased face choice should be uniform, reduction %v", au.GuessReduction)
+	}
+	if ab.GuessReduction < 2 {
+		t.Errorf("own-group + attractiveness bias should at least halve guesses, got %vx", ab.GuessReduction)
+	}
+	if ab.EntropyBits >= au.EntropyBits {
+		t.Error("biased choice must lose entropy")
+	}
+}
+
+func TestFaceModelOwnGroupMass(t *testing.T) {
+	m := FaceModel{Faces: 8, Groups: 2, OwnGroupBias: 0.6, AttractivenessSkew: 0}
+	w, err := m.Distribution(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var own, other, total float64
+	for i, v := range w {
+		total += v
+		if i%2 == 1 {
+			own += v
+		} else {
+			other += v
+		}
+	}
+	if own/total < 0.7 {
+		t.Errorf("own-group mass fraction = %v, want >= 0.7 with bias 0.6", own/total)
+	}
+}
+
+func TestHotSpotModel(t *testing.T) {
+	m := HotSpotModel{Cells: 400, HotSpots: 10, HotMass: 0.6}
+	w, err := m.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot, all float64
+	for i, v := range w {
+		all += v
+		if i < 10 {
+			hot += v
+		}
+	}
+	if math.Abs(all-1) > 1e-9 {
+		t.Errorf("weights sum to %v, want 1", all)
+	}
+	if math.Abs(hot-0.6) > 1e-9 {
+		t.Errorf("hot mass = %v, want 0.6", hot)
+	}
+	// Hot spots decay by popularity.
+	if !(w[0] > w[1] && w[1] > w[2]) {
+		t.Error("hot spots must decay in popularity")
+	}
+	a, _ := Analyze(w)
+	if a.MedianWorkReduction < 10 {
+		t.Errorf("hot spots should slash the median guess work, got %vx", a.MedianWorkReduction)
+	}
+	if a.Alpha50 > 10 {
+		t.Errorf("half the users should fall to the hot spots: alpha50 = %d", a.Alpha50)
+	}
+	if a.GuessReduction <= 1 {
+		t.Errorf("mean guess reduction should still exceed 1, got %vx", a.GuessReduction)
+	}
+}
+
+func TestHotSpotValidate(t *testing.T) {
+	bad := []HotSpotModel{
+		{Cells: 0},
+		{Cells: 10, HotSpots: 11},
+		{Cells: 10, HotSpots: 2, HotMass: 1.2},
+		{Cells: 10, HotSpots: 0, HotMass: 0.5},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: want error for %+v", i, m)
+		}
+	}
+	// No hot spots at all is a valid uniform image.
+	ok := HotSpotModel{Cells: 10}
+	w, err := ok.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Analyze(w)
+	if math.Abs(a.GuessReduction-1) > 1e-9 {
+		t.Errorf("no hot spots should be uniform, reduction %v", a.GuessReduction)
+	}
+}
+
+func TestMnemonicModel(t *testing.T) {
+	// Kuo et al.: a phrase dictionary catches a disproportionate share.
+	m := MnemonicModel{FamousPhrases: 1000, PersonalPhrases: 1_000_000, FamousMass: 0.65}
+	w, err := m.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An attacker trying just the famous-phrase dictionary gets ~65%.
+	if a.Alpha50 > 1000 {
+		t.Errorf("alpha50 = %d, want within the famous dictionary (1000)", a.Alpha50)
+	}
+	if a.MedianWorkReduction < 100 {
+		t.Errorf("phrase dictionary should give orders-of-magnitude advantage, got %vx", a.MedianWorkReduction)
+	}
+}
+
+func TestMnemonicValidate(t *testing.T) {
+	bad := []MnemonicModel{
+		{},
+		{FamousPhrases: 0, PersonalPhrases: 10, FamousMass: 0.5},
+		{FamousPhrases: 5, PersonalPhrases: 5, FamousMass: 1.5},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: want error for %+v", i, m)
+		}
+	}
+}
+
+func TestSimulateAttack(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := HotSpotModel{Cells: 1000, HotSpots: 10, HotMass: 0.7}
+	w, err := m.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateAttack(rng, w, 5000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InformedSuccess < 0.6 {
+		t.Errorf("informed attacker with budget=hotspots should crack ~70%%, got %v", res.InformedSuccess)
+	}
+	if res.BlindSuccess > 0.03 {
+		t.Errorf("blind attacker should crack ~1%%, got %v", res.BlindSuccess)
+	}
+	if res.Advantage < 10 {
+		t.Errorf("informed advantage = %vx, want >= 10x", res.Advantage)
+	}
+}
+
+func TestSimulateAttackUniformNoAdvantage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	res, err := SimulateAttack(rng, uniform(100), 20000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Advantage > 1.3 || res.Advantage < 0.7 {
+		t.Errorf("uniform choice should give no informed advantage, got %vx", res.Advantage)
+	}
+}
+
+func TestSimulateAttackErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := SimulateAttack(rng, uniform(5), 0, 1); err == nil {
+		t.Error("zero users: want error")
+	}
+	if _, err := SimulateAttack(rng, uniform(5), 1, 0); err == nil {
+		t.Error("zero budget: want error")
+	}
+	if _, err := SimulateAttack(rng, nil, 1, 1); err == nil {
+		t.Error("empty distribution: want error")
+	}
+	if _, err := SimulateAttack(rng, []float64{0, 0}, 1, 1); err == nil {
+		t.Error("zero mass: want error")
+	}
+	if _, err := SimulateAttack(rng, []float64{-1, 2}, 1, 1); err == nil {
+		t.Error("negative weight: want error")
+	}
+}
+
+func TestDictionaryPolicy(t *testing.T) {
+	m := MnemonicModel{FamousPhrases: 100, PersonalPhrases: 10000, FamousMass: 0.6}
+	w, err := m.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := Analyze(w)
+	banned, err := DictionaryPolicy(w, 100) // ban the whole famous dictionary
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Analyze(banned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.GuessReduction >= before.GuessReduction {
+		t.Errorf("banning dictionary choices must cut the attacker's advantage: %v -> %v",
+			before.GuessReduction, after.GuessReduction)
+	}
+	if math.Abs(after.GuessReduction-1) > 0.1 {
+		t.Errorf("after banning the entire head, choice should be near uniform, got %vx", after.GuessReduction)
+	}
+}
+
+func TestDictionaryPolicyErrors(t *testing.T) {
+	if _, err := DictionaryPolicy(nil, 0); err == nil {
+		t.Error("empty: want error")
+	}
+	if _, err := DictionaryPolicy(uniform(5), 5); err == nil {
+		t.Error("ban all: want error")
+	}
+	if _, err := DictionaryPolicy(uniform(5), -1); err == nil {
+		t.Error("negative ban: want error")
+	}
+	w := []float64{1, 0, 0}
+	if _, err := DictionaryPolicy(w, 1); err == nil {
+		t.Error("banning removes all mass: want error")
+	}
+}
+
+// Property: informed guess entropy never exceeds the uniform baseline, the
+// alpha work factors are ordered and within range, and entropy never
+// exceeds the uniform bound.
+func TestPredictabilityProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		for i, r := range raw {
+			w[i] = math.Abs(math.Mod(r, 100))
+		}
+		a, err := Analyze(w)
+		if err != nil {
+			return true
+		}
+		if a.GuessEntropy > a.UniformGuessEntropy+1e-9 {
+			return false
+		}
+		if a.EntropyBits > a.UniformEntropyBits+1e-9 {
+			return false
+		}
+		if a.Alpha25 < 1 || a.Alpha50 < a.Alpha25 || a.Alpha50 > a.Choices {
+			return false
+		}
+		return a.MedianWorkReduction >= 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateSequenceAttack(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := HotSpotModel{Cells: 400, HotSpots: 10, HotMass: 0.6}
+	w, err := m.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 3-click password; the attacker gets 1000 tuple guesses (covers the
+	// top-10 hot spots per position: 10^3 = 1000).
+	res, err := SimulateSequenceAttack(rng, w, 3, 5000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each click lands in the hot spots with p=0.6, so a 3-click secret is
+	// fully hot with p=0.216 — the informed attacker's success floor.
+	if res.InformedSuccess < 0.15 || res.InformedSuccess > 0.3 {
+		t.Errorf("informed success %.3f, want ~0.216", res.InformedSuccess)
+	}
+	// Blind coverage is 1000/400^3 — essentially zero.
+	if res.BlindSuccess > 0.01 {
+		t.Errorf("blind success %.3f, want ~0", res.BlindSuccess)
+	}
+	if !(res.Advantage > 100 || math.IsInf(res.Advantage, 1)) {
+		t.Errorf("advantage %v, want enormous", res.Advantage)
+	}
+}
+
+func TestSimulateSequenceAttackUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	res, err := SimulateSequenceAttack(rng, uniform(50), 2, 20000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 guesses cover the top-10 per position = 100 tuples of 2500:
+	// informed = blind = 4%.
+	if res.InformedSuccess < 0.02 || res.InformedSuccess > 0.07 {
+		t.Errorf("uniform informed success %.3f, want ~0.04", res.InformedSuccess)
+	}
+	if res.Advantage > 2.5 {
+		t.Errorf("uniform sequence advantage %v, want ~1", res.Advantage)
+	}
+}
+
+func TestSimulateSequenceAttackErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := SimulateSequenceAttack(rng, uniform(5), 0, 10, 10); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := SimulateSequenceAttack(rng, nil, 2, 10, 10); err == nil {
+		t.Error("empty distribution: want error")
+	}
+	if _, err := SimulateSequenceAttack(rng, uniform(5), 2, 0, 10); err == nil {
+		t.Error("zero users: want error")
+	}
+	if _, err := SimulateSequenceAttack(rng, []float64{0, 0}, 2, 10, 10); err == nil {
+		t.Error("zero mass: want error")
+	}
+}

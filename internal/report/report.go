@@ -1,0 +1,322 @@
+// Package report renders experiment output: aligned ASCII tables, CSV, and
+// text "figures" (labelled numeric series with unicode bar charts). The
+// experiment harness uses it to regenerate every table and figure from the
+// paper in a form that can be diffed and pasted into EXPERIMENTS.md.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a simple column-aligned table with a title, a header row, and
+// data rows. Cells are strings; use Addf or FormatFloat helpers for numbers.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row. Rows shorter than the header are padded with empty
+// cells; longer rows are kept as-is (their extra cells widen the table).
+func (t *Table) Add(cells ...string) {
+	row := append([]string(nil), cells...)
+	for len(row) < len(t.Header) {
+		row = append(row, "")
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Addf appends a row, applying fmt.Sprint to each value. Float64 values are
+// formatted with 3 decimal places; use Add with pre-formatted strings for
+// custom formatting.
+func (t *Table) Addf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, FormatFloat(v))
+		case float32:
+			row = append(row, FormatFloat(float64(v)))
+		case string:
+			row = append(row, v)
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.Add(row...)
+}
+
+// FormatFloat renders a float with 3 decimals, dropping them for integral
+// values of large magnitude and using scientific notation for extremes.
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v != 0 && (math.Abs(v) >= 1e7 || math.Abs(v) < 1e-3):
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	case v == math.Trunc(v) && math.Abs(v) >= 1000:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	}
+}
+
+// columnWidths computes the display width of each column.
+func (t *Table) columnWidths() []int {
+	n := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	w := make([]int, n)
+	update := func(row []string) {
+		for i, c := range row {
+			if l := utf8.RuneCountInString(c); l > w[i] {
+				w[i] = l
+			}
+		}
+	}
+	update(t.Header)
+	for _, r := range t.Rows {
+		update(r)
+	}
+	return w
+}
+
+// WriteText renders the table in aligned plain text.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := t.columnWidths()
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", utf8.RuneCountInString(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		var total int
+		for i, wd := range widths {
+			if i > 0 {
+				total += 2
+			}
+			total += wd
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table as text.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.WriteText(&b) // strings.Builder never errors
+	return b.String()
+}
+
+// WriteCSV renders the table as CSV (header row first, no title).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.Header) > 0 {
+		if err := cw.Write(t.Header); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMarkdown renders the table as a GitHub-flavored Markdown table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	if len(t.Header) > 0 {
+		b.WriteString("| ")
+		for i, h := range t.Header {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(esc(h))
+		}
+		b.WriteString(" |\n|")
+		b.WriteString(strings.Repeat("---|", len(t.Header)))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		b.WriteString("| ")
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteString(" |\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is a named numeric series for text figures: a sequence of
+// (label, value) points rendered as a horizontal bar chart.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one labelled value in a Series.
+type Point struct {
+	Label string
+	Value float64
+}
+
+// NewSeries creates an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends a labelled point and returns the series for chaining.
+func (s *Series) Add(label string, value float64) *Series {
+	s.Points = append(s.Points, Point{Label: label, Value: value})
+	return s
+}
+
+// Values returns the point values in order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// barRunes is the scale used for bar rendering.
+const barMax = 40
+
+// Figure is a titled collection of series, rendered as horizontal bars on a
+// shared scale so different series are visually comparable.
+type Figure struct {
+	Title  string
+	Series []*Series
+	// Unit, if set, is appended to the printed values (e.g. "%").
+	Unit string
+}
+
+// NewFigure creates a figure with the given title.
+func NewFigure(title string) *Figure { return &Figure{Title: title} }
+
+// AddSeries appends a series to the figure and returns the figure.
+func (f *Figure) AddSeries(s *Series) *Figure {
+	f.Series = append(f.Series, s)
+	return f
+}
+
+// WriteText renders the figure as horizontal bar charts.
+func (f *Figure) WriteText(w io.Writer) error {
+	var b strings.Builder
+	if f.Title != "" {
+		b.WriteString(f.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", utf8.RuneCountInString(f.Title)))
+		b.WriteByte('\n')
+	}
+	// Shared max across all series for comparability.
+	var max float64
+	labelW := 0
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if v := math.Abs(p.Value); v > max {
+				max = v
+			}
+			if l := utf8.RuneCountInString(p.Label); l > labelW {
+				labelW = l
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	for _, s := range f.Series {
+		if s.Name != "" {
+			fmt.Fprintf(&b, "-- %s --\n", s.Name)
+		}
+		for _, p := range s.Points {
+			n := int(math.Round(math.Abs(p.Value) / max * barMax))
+			if n > barMax {
+				n = barMax
+			}
+			fmt.Fprintf(&b, "%-*s | %s %s%s\n",
+				labelW, p.Label, strings.Repeat("#", n), FormatFloat(p.Value), f.Unit)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the figure as text.
+func (f *Figure) String() string {
+	var b strings.Builder
+	_ = f.WriteText(&b)
+	return b.String()
+}
+
+// Pct formats a fraction in [0,1] as a percentage string like "42.5%".
+func Pct(frac float64) string {
+	return strconv.FormatFloat(frac*100, 'f', 1, 64) + "%"
+}
+
+// WriteCSV renders the figure's series as rows of (series, label, value),
+// so text figures can be re-plotted by external tooling.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "label", "value"}); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if err := cw.Write([]string{s.Name, p.Label, FormatFloat(p.Value)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

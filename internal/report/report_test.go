@@ -1,0 +1,187 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("Demo", "name", "rate")
+	tb.Add("firefox-active", "0.90")
+	tb.Add("ie-passive", "0.13")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "firefox-active") || !strings.Contains(out, "0.13") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, underline, header, separator, 2 rows
+	if len(lines) != 6 {
+		t.Errorf("got %d lines, want 6:\n%s", len(lines), out)
+	}
+	// Columns align: both data rows have the "rate" column starting at the
+	// same offset.
+	idx1 := strings.Index(lines[4], "0.90")
+	idx2 := strings.Index(lines[5], "0.13")
+	if idx1 != idx2 {
+		t.Errorf("column misaligned: %d vs %d\n%s", idx1, idx2, out)
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.Add("only-one")
+	if len(tb.Rows[0]) != 3 {
+		t.Errorf("row not padded: %v", tb.Rows[0])
+	}
+}
+
+func TestTableAddf(t *testing.T) {
+	tb := NewTable("", "x", "y", "z", "w")
+	tb.Addf("s", 0.5, 42, float32(0.25))
+	want := []string{"s", "0.500", "42", "0.250"}
+	for i, w := range want {
+		if tb.Rows[0][i] != w {
+			t.Errorf("cell %d = %q, want %q", i, tb.Rows[0][i], w)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0.5, "0.500"},
+		{1234, "1234"},
+		{12.25, "12.250"},
+		{1e9, "1e+09"},
+		{5e-4, "0.0005"},
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{0, "0.000"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.Add("1", "2")
+	tb.Add("with,comma", "x")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[2][0] != "with,comma" {
+		t.Errorf("comma cell round-trip failed: %q", recs[2][0])
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Title", "a|b", "c")
+	tb.Add("x|y", "z")
+	var buf bytes.Buffer
+	if err := tb.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "### Title") {
+		t.Error("missing markdown title")
+	}
+	if !strings.Contains(out, `a\|b`) || !strings.Contains(out, `x\|y`) {
+		t.Errorf("pipe not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "|---|---|") {
+		t.Errorf("missing separator row:\n%s", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("s").Add("a", 1).Add("b", 2)
+	vals := s.Values()
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Errorf("Values = %v", vals)
+	}
+}
+
+func TestFigureText(t *testing.T) {
+	f := NewFigure("Notice rate").
+		AddSeries(NewSeries("active").Add("exposure 1", 0.9).Add("exposure 5", 0.6)).
+		AddSeries(NewSeries("passive").Add("exposure 1", 0.3))
+	f.Unit = ""
+	out := f.String()
+	if !strings.Contains(out, "Notice rate") || !strings.Contains(out, "-- active --") {
+		t.Errorf("missing structure:\n%s", out)
+	}
+	// The 0.9 bar must be longer than the 0.3 bar (shared scale).
+	var bar09, bar03 int
+	for _, line := range strings.Split(out, "\n") {
+		n := strings.Count(line, "#")
+		if strings.Contains(line, "0.900") {
+			bar09 = n
+		}
+		if strings.Contains(line, "0.300") {
+			bar03 = n
+		}
+	}
+	if bar09 <= bar03 {
+		t.Errorf("bars not proportional: 0.9 -> %d hashes, 0.3 -> %d hashes\n%s", bar09, bar03, out)
+	}
+}
+
+func TestFigureAllZero(t *testing.T) {
+	f := NewFigure("zeros").AddSeries(NewSeries("").Add("a", 0))
+	out := f.String() // must not divide by zero
+	if !strings.Contains(out, "0.000") {
+		t.Errorf("unexpected render:\n%s", out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.425); got != "42.5%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(1); got != "100.0%" {
+		t.Errorf("Pct(1) = %q", got)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := NewFigure("fig").
+		AddSeries(NewSeries("a").Add("x", 1).Add("y", 0.5)).
+		AddSeries(NewSeries("b").Add("x", 2))
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d rows, want header + 3", len(recs))
+	}
+	if recs[1][0] != "a" || recs[1][1] != "x" || recs[1][2] != "1.000" {
+		t.Errorf("row = %v", recs[1])
+	}
+	if recs[3][0] != "b" {
+		t.Errorf("row = %v", recs[3])
+	}
+}

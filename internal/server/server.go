@@ -1,0 +1,361 @@
+// Package server exposes the hitl library over a JSON HTTP API, so that
+// non-Go tooling (dashboards, CI checks, design linters) can submit system
+// specs for checklist analysis, run the mitigation process, ask for design
+// patterns, and regenerate experiments.
+//
+// Endpoints (all JSON):
+//
+//	GET  /v1/healthz          liveness probe
+//	GET  /v1/components       the Table 1 component registry
+//	GET  /v1/patterns         the §5 design-pattern catalog (metadata)
+//	GET  /v1/experiments      the experiment registry
+//	POST /v1/analyze          SystemSpec -> findings + reliability
+//	POST /v1/process          SystemSpec -> Figure 2 process result
+//	POST /v1/recommend        SystemSpec -> gain-ranked pattern advice
+//	POST /v1/experiments/run  {id, seed, n} -> metrics + rendered text
+//
+// Requests are size-limited and run with a per-request subject-count cap so
+// a single call cannot monopolize the process.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"hitl/internal/core"
+	"hitl/internal/experiments"
+	"hitl/internal/patterns"
+)
+
+// Config bounds the server's work.
+type Config struct {
+	// MaxBodyBytes caps request bodies; default 1 MiB.
+	MaxBodyBytes int64
+	// MaxSubjects caps the per-arm subject count for experiment runs;
+	// default 20000.
+	MaxSubjects int
+	// MaxProcessPasses caps the Figure 2 iteration count; default 4.
+	MaxProcessPasses int
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxSubjects == 0 {
+		c.MaxSubjects = 20000
+	}
+	if c.MaxProcessPasses == 0 {
+		c.MaxProcessPasses = 4
+	}
+}
+
+// Server is the HTTP handler set.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+}
+
+// New creates a server with the config.
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/components", s.handleComponents)
+	s.mux.HandleFunc("/v1/patterns", s.handlePatterns)
+	s.mux.HandleFunc("/v1/experiments", s.handleExperimentList)
+	s.mux.HandleFunc("/v1/experiments/run", s.handleExperimentRun)
+	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/v1/process", s.handleProcess)
+	s.mux.HandleFunc("/v1/recommend", s.handleRecommend)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorBody is the error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // response already committed; nothing useful to do on error
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// decodeSpec reads a SystemSpec request body.
+func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (core.SystemSpec, bool) {
+	var spec core.SystemSpec
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return spec, false
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return spec, false
+	}
+	if err := spec.Validate(); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return spec, false
+	}
+	return spec, true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	type componentDTO struct {
+		ID        int      `json:"id"`
+		Group     string   `json:"group"`
+		Name      string   `json:"name"`
+		Questions []string `json:"questions"`
+		Factors   []string `json:"factors"`
+	}
+	var out []componentDTO
+	for _, c := range core.Components() {
+		out = append(out, componentDTO{
+			ID: int(c.ID), Group: c.Group, Name: c.Name,
+			Questions: c.Questions, Factors: c.Factors,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	type patternDTO struct {
+		Name      string   `json:"name"`
+		Category  string   `json:"category"`
+		Intent    string   `json:"intent"`
+		Addresses []string `json:"addresses"`
+		Reference string   `json:"reference"`
+	}
+	var out []patternDTO
+	for _, p := range patterns.Catalog() {
+		dto := patternDTO{
+			Name: p.Name, Category: p.Category.String(),
+			Intent: p.Intent, Reference: p.Reference,
+		}
+		for _, c := range p.Addresses {
+			dto.Addresses = append(dto.Addresses, c.String())
+		}
+		out = append(out, dto)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// findingDTO serializes a checklist finding with names, not enum ints.
+type findingDTO struct {
+	Task           string  `json:"task"`
+	Component      string  `json:"component"`
+	Severity       string  `json:"severity"`
+	Issue          string  `json:"issue"`
+	Recommendation string  `json:"recommendation"`
+	Estimate       float64 `json:"estimate,omitempty"`
+}
+
+func toFindingDTOs(fs []core.Finding) []findingDTO {
+	out := make([]findingDTO, len(fs))
+	for i, f := range fs {
+		out[i] = findingDTO{
+			Task: f.TaskID, Component: f.Component.String(),
+			Severity: f.Severity.String(), Issue: f.Issue,
+			Recommendation: f.Recommendation, Estimate: f.Estimate,
+		}
+	}
+	return out
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	spec, ok := s.decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	rep, err := core.Analyze(spec)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"system":      rep.System,
+		"findings":    toFindingDTOs(rep.Findings),
+		"reliability": rep.Reliability,
+		"maxSeverity": rep.MaxSeverity().String(),
+	})
+}
+
+func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
+	spec, ok := s.decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	opts := core.ProcessOptions{}
+	if p := r.URL.Query().Get("passes"); p != "" {
+		if _, err := fmt.Sscanf(p, "%d", &opts.MaxPasses); err != nil || opts.MaxPasses < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid passes %q", p))
+			return
+		}
+	}
+	if opts.MaxPasses > s.cfg.MaxProcessPasses {
+		opts.MaxPasses = s.cfg.MaxProcessPasses
+	}
+	res, err := core.RunProcess(spec, opts)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	type passDTO struct {
+		Number      int                       `json:"number"`
+		Identified  []string                  `json:"identified"`
+		Automation  []core.AutomationDecision `json:"automation"`
+		Findings    []findingDTO              `json:"findings,omitempty"`
+		Mitigations []map[string]any          `json:"mitigations,omitempty"`
+	}
+	var pd []passDTO
+	for _, p := range res.Passes {
+		d := passDTO{Number: p.Number, Identified: p.Identified, Automation: p.Automation}
+		if p.Analysis != nil {
+			d.Findings = toFindingDTOs(p.Analysis.Findings)
+		}
+		for _, m := range p.Mitigations {
+			d.Mitigations = append(d.Mitigations, map[string]any{
+				"task": m.TaskID, "component": m.Component.String(),
+				"action": m.Action, "before": m.Before, "after": m.After,
+			})
+		}
+		pd = append(pd, d)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"passes":           pd,
+		"finalReliability": res.FinalReliability,
+		"automated":        res.Automated,
+	})
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	spec, ok := s.decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	rep, err := core.Analyze(spec)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	recs, err := patterns.Recommend(spec, rep, core.SeverityMedium)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	type recDTO struct {
+		Pattern string  `json:"pattern"`
+		Task    string  `json:"task"`
+		Intent  string  `json:"intent"`
+		Before  float64 `json:"before"`
+		After   float64 `json:"after"`
+		Delta   float64 `json:"delta"`
+	}
+	out := make([]recDTO, len(recs))
+	for i, rc := range recs {
+		out[i] = recDTO{
+			Pattern: rc.Pattern.Name, Task: rc.TaskID, Intent: rc.Pattern.Intent,
+			Before: rc.Before, After: rc.After, Delta: rc.Delta(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	type expDTO struct {
+		ID   string `json:"id"`
+		Name string `json:"name"`
+	}
+	var out []expDTO
+	for _, e := range experiments.Registry() {
+		out = append(out, expDTO{ID: e.ID, Name: e.Name})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// experimentRunRequest is the POST /v1/experiments/run body.
+type experimentRunRequest struct {
+	ID   string `json:"id"`
+	Seed int64  `json:"seed"`
+	N    int    `json:"n"`
+}
+
+func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var req experimentRunRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.ID == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing experiment id"))
+		return
+	}
+	if req.N < 0 || req.N > s.cfg.MaxSubjects {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("n=%d out of [0, %d]", req.N, s.cfg.MaxSubjects))
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 20080124
+	}
+	out, err := experiments.Run(req.ID, experiments.Config{Seed: req.Seed, N: req.N})
+	if err != nil {
+		status := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "unknown experiment") {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	var text strings.Builder
+	if err := out.WriteText(&text); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":         out.ID,
+		"title":      out.Title,
+		"paperShape": out.PaperShape,
+		"metrics":    out.Metrics,
+		"notes":      out.Notes,
+		"text":       text.String(),
+	})
+}

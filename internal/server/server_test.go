@@ -1,0 +1,318 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hitl/internal/comms"
+	"hitl/internal/core"
+	"hitl/internal/gems"
+	"hitl/internal/population"
+	"hitl/internal/stimuli"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(Config{}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func exampleSpec() core.SystemSpec {
+	return core.SystemSpec{
+		Name: "browser-anti-phishing",
+		Tasks: []core.HumanTask{{
+			ID:                    "heed-phishing-warning",
+			Description:           "heed the warning and leave the site",
+			Communication:         comms.IEPassiveWarning(),
+			Environment:           stimuli.Busy(),
+			Task:                  gems.LeaveSuspiciousSite(),
+			Population:            population.GeneralPublic(),
+			AutomationFeasibility: 0.8,
+			AutomationQuality:     0.9,
+		}},
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody(t *testing.T, resp *http.Response, dst any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]string
+	decodeBody(t, resp, &body)
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("healthz: %d %v", resp.StatusCode, body)
+	}
+}
+
+func TestComponentsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/components")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var comps []map[string]any
+	decodeBody(t, resp, &comps)
+	if len(comps) != 15 {
+		t.Errorf("got %d components, want 15", len(comps))
+	}
+	// POST is rejected.
+	resp2 := postJSON(t, ts.URL+"/v1/components", map[string]any{})
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST components: %d, want 405", resp2.StatusCode)
+	}
+}
+
+func TestPatternsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/patterns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ps []struct {
+		Name      string   `json:"name"`
+		Category  string   `json:"category"`
+		Addresses []string `json:"addresses"`
+	}
+	decodeBody(t, resp, &ps)
+	if len(ps) < 12 {
+		t.Errorf("got %d patterns", len(ps))
+	}
+	for _, p := range ps {
+		if p.Name == "" || p.Category == "" || len(p.Addresses) == 0 {
+			t.Errorf("incomplete pattern DTO: %+v", p)
+		}
+	}
+}
+
+func TestAnalyzeEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/analyze", exampleSpec())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d", resp.StatusCode)
+	}
+	var body struct {
+		System   string `json:"system"`
+		Findings []struct {
+			Component string `json:"component"`
+			Severity  string `json:"severity"`
+		} `json:"findings"`
+		Reliability map[string]float64 `json:"reliability"`
+		MaxSeverity string             `json:"maxSeverity"`
+	}
+	decodeBody(t, resp, &body)
+	if body.System != "browser-anti-phishing" {
+		t.Errorf("system = %q", body.System)
+	}
+	if len(body.Findings) == 0 {
+		t.Error("no findings for a passive warning")
+	}
+	if body.Findings[0].Component == "" || body.Findings[0].Severity == "" {
+		t.Error("findings must serialize names, not ints")
+	}
+	if rel, ok := body.Reliability["heed-phishing-warning"]; !ok || rel > 0.3 {
+		t.Errorf("reliability = %v", body.Reliability)
+	}
+}
+
+func TestAnalyzeRejectsBadInput(t *testing.T) {
+	ts := newTestServer(t)
+	// Not JSON.
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON: %d, want 400", resp.StatusCode)
+	}
+	// Unknown fields.
+	resp, err = http.Post(ts.URL+"/v1/analyze", "application/json",
+		strings.NewReader(`{"Name":"x","Bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: %d, want 400", resp.StatusCode)
+	}
+	// Valid JSON, invalid spec.
+	spec := exampleSpec()
+	spec.Tasks[0].ComplianceCost = 5
+	resp = postJSON(t, ts.URL+"/v1/analyze", spec)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("invalid spec: %d, want 422", resp.StatusCode)
+	}
+	// GET is rejected.
+	resp, err = http.Get(ts.URL + "/v1/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET analyze: %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestAnalyzeBodyLimit(t *testing.T) {
+	ts := httptest.NewServer(New(Config{MaxBodyBytes: 64}))
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/v1/analyze", exampleSpec())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestProcessEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/process?passes=2", exampleSpec())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("process status %d", resp.StatusCode)
+	}
+	var body struct {
+		Passes []struct {
+			Number      int              `json:"number"`
+			Mitigations []map[string]any `json:"mitigations"`
+		} `json:"passes"`
+		Automated map[string]int `json:"automated"`
+	}
+	decodeBody(t, resp, &body)
+	if len(body.Passes) == 0 {
+		t.Fatal("no passes")
+	}
+	if len(body.Passes[0].Mitigations) == 0 {
+		t.Error("pass 1 should mitigate the passive warning")
+	}
+	// Invalid passes param.
+	resp = postJSON(t, ts.URL+"/v1/process?passes=zero", exampleSpec())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad passes: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRecommendEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/recommend", exampleSpec())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recommend status %d", resp.StatusCode)
+	}
+	var recs []struct {
+		Pattern string  `json:"pattern"`
+		Delta   float64 `json:"delta"`
+	}
+	decodeBody(t, resp, &recs)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations for a weak system")
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Delta > recs[i-1].Delta+1e-9 {
+			t.Fatal("recommendations not sorted by gain")
+		}
+	}
+}
+
+func TestExperimentEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []struct {
+		ID string `json:"id"`
+	}
+	decodeBody(t, resp, &list)
+	if len(list) < 14 {
+		t.Errorf("experiment registry has %d entries", len(list))
+	}
+	// Run a cheap one.
+	resp = postJSON(t, ts.URL+"/v1/experiments/run",
+		experimentRunRequest{ID: "T1", Seed: 1, N: 50})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run T1: %d", resp.StatusCode)
+	}
+	var out struct {
+		ID      string             `json:"id"`
+		Metrics map[string]float64 `json:"metrics"`
+		Text    string             `json:"text"`
+	}
+	decodeBody(t, resp, &out)
+	if out.ID != "T1" || out.Metrics["components"] != 15 || !strings.Contains(out.Text, "Attention switch") {
+		t.Errorf("unexpected T1 payload: %+v", out.ID)
+	}
+	// Unknown ID -> 404.
+	resp = postJSON(t, ts.URL+"/v1/experiments/run", experimentRunRequest{ID: "E99"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown experiment: %d, want 404", resp.StatusCode)
+	}
+	// Oversized N -> 400.
+	resp = postJSON(t, ts.URL+"/v1/experiments/run", experimentRunRequest{ID: "T1", N: 10_000_000})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized n: %d, want 400", resp.StatusCode)
+	}
+	// Missing ID -> 400.
+	resp = postJSON(t, ts.URL+"/v1/experiments/run", experimentRunRequest{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing id: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	// The wire format must round-trip a full spec without loss.
+	spec := exampleSpec()
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back core.SystemSpec
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped spec invalid: %v", err)
+	}
+	a, err := core.EstimateReliability(spec.Tasks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.EstimateReliability(back.Tasks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("reliability differs after round-trip: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,251 @@
+// Package sim is the Monte Carlo engine behind every experiment: it runs N
+// simulated subjects through a scenario function, each with an independent,
+// deterministically-derived random stream, optionally across worker
+// goroutines, and aggregates outcomes into rates, stage-failure histograms,
+// and named metric summaries.
+//
+// Determinism: subject i's stream is seeded with splitmix64(seed, i), so
+// results are bit-identical for a given seed regardless of worker count or
+// scheduling. Virtual time is explicit (days as float64); nothing reads the
+// wall clock.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"hitl/internal/agent"
+	"hitl/internal/gems"
+	"hitl/internal/stats"
+)
+
+// Outcome is what one simulated subject produced.
+type Outcome struct {
+	// Heeded reports whether the subject performed the desired security
+	// behavior (scenario-defined).
+	Heeded bool
+	// FailedStage is the framework stage at which the subject failed;
+	// agent.StageNone for heeded subjects.
+	FailedStage agent.Stage
+	// ErrorClass is the GEMS class for behavior-stage events.
+	ErrorClass gems.ErrorClass
+	// Spoofed and HeuristicPath carry through the agent flags.
+	Spoofed       bool
+	HeuristicPath bool
+	// Values holds scenario-specific named metrics (e.g. "passwords_reused").
+	Values map[string]float64
+}
+
+// FromAgentResult converts an agent pipeline result into an Outcome.
+func FromAgentResult(r agent.Result) Outcome {
+	return Outcome{
+		Heeded:        r.Heeded,
+		FailedStage:   r.FailedStage,
+		ErrorClass:    r.ErrorClass,
+		Spoofed:       r.Spoofed,
+		HeuristicPath: r.HeuristicPath,
+	}
+}
+
+// SubjectFunc simulates one subject. The rng is private to the subject;
+// subject indexes run 0..N-1.
+type SubjectFunc func(rng *rand.Rand, subject int) (Outcome, error)
+
+// Result aggregates a run.
+type Result struct {
+	// N is the number of subjects simulated.
+	N int
+	// Heed is the heed/compliance proportion.
+	Heed stats.Proportion
+	// StageFailures counts failures by framework stage.
+	StageFailures map[agent.Stage]int
+	// ErrorClasses counts behavior-stage GEMS classes among all subjects.
+	ErrorClasses map[gems.ErrorClass]int
+	// Spoofed and Heuristic count subjects with those flags.
+	Spoofed   int
+	Heuristic int
+	// Values holds every observation of each named metric, in subject
+	// order.
+	Values map[string][]float64
+}
+
+// HeedRate is the fraction of subjects who heeded.
+func (r *Result) HeedRate() float64 { return r.Heed.Rate() }
+
+// FailureShare returns the fraction of *failures* attributed to the stage
+// (0 if there were no failures).
+func (r *Result) FailureShare(s agent.Stage) float64 {
+	failures := r.N - r.Heed.Successes
+	if failures == 0 {
+		return 0
+	}
+	return float64(r.StageFailures[s]) / float64(failures)
+}
+
+// TopFailureStage returns the stage with the most failures and its count.
+// The boolean is false when there were no failures.
+func (r *Result) TopFailureStage() (agent.Stage, int, bool) {
+	best := agent.StageNone
+	bestN := 0
+	for _, s := range agent.Stages() {
+		if n := r.StageFailures[s]; n > bestN {
+			best, bestN = s, n
+		}
+	}
+	return best, bestN, bestN > 0
+}
+
+// MeanValue returns the mean and 95% CI half-width of a named metric.
+// It returns an error when the metric was never recorded.
+func (r *Result) MeanValue(key string) (mean, half float64, err error) {
+	xs, ok := r.Values[key]
+	if !ok || len(xs) == 0 {
+		return 0, 0, fmt.Errorf("sim: metric %q not recorded", key)
+	}
+	mean, half = stats.MeanCI(xs)
+	return mean, half, nil
+}
+
+// splitmix64 derives a well-mixed per-subject seed from (seed, i).
+func splitmix64(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// SubjectRand returns the deterministic random stream for subject i of a
+// run seeded with seed. Exposed so scenarios can pre-sample population
+// profiles consistently with Run.
+func SubjectRand(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(splitmix64(seed, i)))
+}
+
+// Runner configures a Monte Carlo run.
+type Runner struct {
+	// Seed is the master seed; subject streams derive from it.
+	Seed int64
+	// N is the number of subjects.
+	N int
+	// Workers is the parallelism; 0 means GOMAXPROCS. Results are
+	// deterministic regardless of Workers.
+	Workers int
+}
+
+// Run executes f for every subject and aggregates the outcomes.
+func (ru Runner) Run(f SubjectFunc) (*Result, error) {
+	if ru.N < 1 {
+		return nil, fmt.Errorf("sim: need N >= 1 subjects, got %d", ru.N)
+	}
+	if f == nil {
+		return nil, fmt.Errorf("sim: nil subject function")
+	}
+	workers := ru.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > ru.N {
+		workers = ru.N
+	}
+
+	outs := make([]Outcome, ru.N)
+	errs := make([]error, ru.N)
+	var wg sync.WaitGroup
+	next := make(chan int, ru.N)
+	for i := 0; i < ru.N; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rng := SubjectRand(ru.Seed, i)
+				outs[i], errs[i] = f(rng, i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: subject %d: %w", i, err)
+		}
+	}
+
+	res := &Result{
+		N:             ru.N,
+		StageFailures: make(map[agent.Stage]int),
+		ErrorClasses:  make(map[gems.ErrorClass]int),
+		Values:        make(map[string][]float64),
+	}
+	res.Heed.Trials = ru.N
+	for _, o := range outs {
+		if o.Heeded {
+			res.Heed.Successes++
+		} else {
+			res.StageFailures[o.FailedStage]++
+		}
+		res.ErrorClasses[o.ErrorClass]++
+		if o.Spoofed {
+			res.Spoofed++
+		}
+		if o.HeuristicPath {
+			res.Heuristic++
+		}
+		for k, v := range o.Values {
+			res.Values[k] = append(res.Values[k], v)
+		}
+	}
+	return res, nil
+}
+
+// SweepPoint is one parameter setting's aggregated result.
+type SweepPoint struct {
+	// Param is the swept parameter value.
+	Param float64
+	// Label is an optional display label for the point.
+	Label string
+	// Result is the aggregated run at this setting.
+	Result *Result
+}
+
+// Sweep runs the runner once per parameter value, building the scenario
+// via build. Each point uses a distinct derived seed so points are
+// independent but the whole sweep is reproducible.
+func (ru Runner) Sweep(params []float64, build func(param float64) SubjectFunc) ([]SweepPoint, error) {
+	if len(params) == 0 {
+		return nil, fmt.Errorf("sim: empty parameter sweep")
+	}
+	if build == nil {
+		return nil, fmt.Errorf("sim: nil scenario constructor")
+	}
+	points := make([]SweepPoint, len(params))
+	for i, p := range params {
+		sub := ru
+		sub.Seed = splitmix64(ru.Seed, 1_000_003+i)
+		res, err := sub.Run(build(p))
+		if err != nil {
+			return nil, fmt.Errorf("sim: sweep point %v: %w", p, err)
+		}
+		points[i] = SweepPoint{Param: p, Result: res}
+	}
+	return points, nil
+}
+
+// SortedStages returns the stages observed in the result's failure
+// histogram, in pipeline order.
+func (r *Result) SortedStages() []agent.Stage {
+	var out []agent.Stage
+	for _, s := range agent.Stages() {
+		if r.StageFailures[s] > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

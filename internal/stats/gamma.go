@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// regularizedGammaP computes P(a, x), the regularized lower incomplete
+// gamma function, by series expansion (x < a+1) or continued fraction
+// (x >= a+1). Standard Numerical-Recipes-style implementation, accurate to
+// ~1e-12 over the ranges used here.
+func regularizedGammaP(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return 0, fmt.Errorf("stats: invalid gamma arguments a=%v x=%v", a, x)
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	if x < a+1 {
+		// Series representation.
+		ap := a
+		sum := 1.0 / a
+		del := sum
+		for n := 0; n < 500; n++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				lg, _ := math.Lgamma(a)
+				return sum * math.Exp(-x+a*math.Log(x)-lg), nil
+			}
+		}
+		return 0, errors.New("stats: gamma series failed to converge")
+	}
+	// Continued fraction for Q(a, x), then P = 1 - Q.
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			lg, _ := math.Lgamma(a)
+			q := math.Exp(-x+a*math.Log(x)-lg) * h
+			return 1 - q, nil
+		}
+	}
+	return 0, errors.New("stats: gamma continued fraction failed to converge")
+}
+
+// ChiSquarePValue returns the upper-tail p-value of a chi-square statistic
+// with df degrees of freedom: P(X >= chi).
+func ChiSquarePValue(chi float64, df int) (float64, error) {
+	if df < 1 {
+		return 0, fmt.Errorf("stats: chi-square df %d < 1", df)
+	}
+	if chi < 0 || math.IsNaN(chi) {
+		return 0, fmt.Errorf("stats: invalid chi-square statistic %v", chi)
+	}
+	p, err := regularizedGammaP(float64(df)/2, chi/2)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - p, nil
+}
+
+// TwoProportionChiSquare runs a chi-square test of homogeneity on k
+// binomial proportions (success/trial pairs), returning the statistic,
+// degrees of freedom, and p-value. It errors when fewer than two groups
+// are given or any group has zero trials.
+func TwoProportionChiSquare(groups []Proportion) (chi float64, df int, p float64, err error) {
+	if len(groups) < 2 {
+		return 0, 0, 0, errors.New("stats: need >= 2 groups")
+	}
+	var totalS, totalN int
+	for _, g := range groups {
+		if g.Trials <= 0 {
+			return 0, 0, 0, errors.New("stats: group with zero trials")
+		}
+		if g.Successes < 0 || g.Successes > g.Trials {
+			return 0, 0, 0, fmt.Errorf("stats: invalid proportion %+v", g)
+		}
+		totalS += g.Successes
+		totalN += g.Trials
+	}
+	pool := float64(totalS) / float64(totalN)
+	if pool == 0 || pool == 1 {
+		// No variation at all: the test statistic is 0 by convention.
+		return 0, len(groups) - 1, 1, nil
+	}
+	for _, g := range groups {
+		n := float64(g.Trials)
+		expS := n * pool
+		expF := n * (1 - pool)
+		dS := float64(g.Successes) - expS
+		dF := float64(g.Trials-g.Successes) - expF
+		chi += dS*dS/expS + dF*dF/expF
+	}
+	df = len(groups) - 1
+	p, err = ChiSquarePValue(chi, df)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return chi, df, p, nil
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChiSquarePValueKnownValues(t *testing.T) {
+	cases := []struct {
+		chi  float64
+		df   int
+		want float64
+		tol  float64
+	}{
+		{3.841, 1, 0.05, 1e-3},    // classic 95% critical value, df=1
+		{5.991, 2, 0.05, 1e-3},    // df=2
+		{10.0, 2, 0.006738, 1e-5}, // exp(-5)
+		{0, 1, 1.0, 1e-12},
+		{2.706, 1, 0.10, 1e-3},
+		{23.685, 14, 0.05, 1e-3},
+	}
+	for _, c := range cases {
+		got, err := ChiSquarePValue(c.chi, c.df)
+		if err != nil {
+			t.Fatalf("chi=%v df=%d: %v", c.chi, c.df, err)
+		}
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("ChiSquarePValue(%v, %d) = %v, want %v", c.chi, c.df, got, c.want)
+		}
+	}
+}
+
+func TestChiSquarePValueErrors(t *testing.T) {
+	if _, err := ChiSquarePValue(1, 0); err == nil {
+		t.Error("df=0: want error")
+	}
+	if _, err := ChiSquarePValue(-1, 1); err == nil {
+		t.Error("negative statistic: want error")
+	}
+	if _, err := ChiSquarePValue(math.NaN(), 1); err == nil {
+		t.Error("NaN statistic: want error")
+	}
+}
+
+func TestChiSquarePValueMonotone(t *testing.T) {
+	prev := 1.1
+	for chi := 0.0; chi <= 30; chi += 0.5 {
+		p, err := ChiSquarePValue(chi, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > prev {
+			t.Fatalf("p-value must fall as chi grows: chi=%v p=%v prev=%v", chi, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("p-value %v out of [0,1]", p)
+		}
+		prev = p
+	}
+}
+
+func TestTwoProportionChiSquare(t *testing.T) {
+	// Identical groups: statistic ~0, p ~1.
+	chi, df, p, err := TwoProportionChiSquare([]Proportion{
+		{Successes: 50, Trials: 100},
+		{Successes: 50, Trials: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi > 1e-9 || df != 1 || p < 0.99 {
+		t.Errorf("identical groups: chi=%v df=%d p=%v", chi, df, p)
+	}
+	// Wildly different groups: tiny p.
+	_, _, p, err = TwoProportionChiSquare([]Proportion{
+		{Successes: 90, Trials: 100},
+		{Successes: 10, Trials: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("p = %v for a 90%% vs 10%% split, want tiny", p)
+	}
+	// Textbook 2x2 check: 30/100 vs 45/100 gives chi ≈ 4.8, p ≈ 0.028.
+	chi, _, p, err = TwoProportionChiSquare([]Proportion{
+		{Successes: 30, Trials: 100},
+		{Successes: 45, Trials: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(chi-4.8) > 0.01 {
+		t.Errorf("chi = %v, want ~4.8", chi)
+	}
+	if math.Abs(p-0.0285) > 0.002 {
+		t.Errorf("p = %v, want ~0.0285", p)
+	}
+}
+
+func TestTwoProportionChiSquareEdge(t *testing.T) {
+	if _, _, _, err := TwoProportionChiSquare([]Proportion{{Successes: 1, Trials: 2}}); err == nil {
+		t.Error("single group: want error")
+	}
+	if _, _, _, err := TwoProportionChiSquare([]Proportion{{Successes: 1, Trials: 0}, {Successes: 1, Trials: 2}}); err == nil {
+		t.Error("zero trials: want error")
+	}
+	if _, _, _, err := TwoProportionChiSquare([]Proportion{{Successes: 5, Trials: 2}, {Successes: 1, Trials: 2}}); err == nil {
+		t.Error("successes > trials: want error")
+	}
+	// All-success groups: no variation, p = 1 by convention.
+	_, _, p, err := TwoProportionChiSquare([]Proportion{
+		{Successes: 10, Trials: 10}, {Successes: 20, Trials: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("no-variation p = %v, want 1", p)
+	}
+}

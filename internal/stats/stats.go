@@ -1,0 +1,376 @@
+// Package stats provides the small statistical toolkit used by the hitl
+// simulator and experiment harness: summary statistics, binomial confidence
+// intervals, histograms, Shannon entropy, chi-square goodness of fit, and
+// simple linear trend fitting.
+//
+// Everything in this package is deterministic; random sampling lives in the
+// callers (internal/sim, internal/population) so that experiments remain
+// reproducible for a given seed.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one observation.
+var ErrEmpty = errors.New("stats: empty data")
+
+// Mean returns the arithmetic mean of xs, or 0 if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs.
+// It returns 0 when xs has fewer than two elements.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs, or 0 if xs is empty.
+// xs is not modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns an error if xs is empty
+// or q is out of range.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if len(cp) == 1 {
+		return cp[0], nil
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo], nil
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac, nil
+}
+
+// Proportion is an observed binomial proportion: Successes out of Trials.
+type Proportion struct {
+	Successes int
+	Trials    int
+}
+
+// Rate returns the point estimate Successes/Trials, or 0 for zero trials.
+func (p Proportion) Rate() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// z95 is the two-sided 95% normal critical value.
+const z95 = 1.959963984540054
+
+// WilsonCI returns the 95% Wilson score interval for the proportion.
+// The Wilson interval behaves sensibly near 0 and 1 and for small n,
+// which matters for rare failure modes in small simulated populations.
+func (p Proportion) WilsonCI() (lo, hi float64) {
+	n := float64(p.Trials)
+	if n == 0 {
+		return 0, 1
+	}
+	phat := p.Rate()
+	z := z95
+	denom := 1 + z*z/n
+	center := (phat + z*z/(2*n)) / denom
+	half := z * math.Sqrt(phat*(1-phat)/n+z*z/(4*n*n)) / denom
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// String formats the proportion as "p [lo, hi] (k/n)".
+func (p Proportion) String() string {
+	lo, hi := p.WilsonCI()
+	return fmt.Sprintf("%.3f [%.3f, %.3f] (%d/%d)", p.Rate(), lo, hi, p.Successes, p.Trials)
+}
+
+// MeanCI returns the mean of xs and the half-width of its 95% normal
+// confidence interval. The half-width is 0 when xs has fewer than two
+// elements.
+func MeanCI(xs []float64) (mean, half float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	se := StdDev(xs) / math.Sqrt(float64(len(xs)))
+	return mean, z95 * se
+}
+
+// Histogram counts observations into equal-width bins over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	total    int
+}
+
+// NewHistogram creates a histogram with n equal-width bins spanning
+// [min, max]. It returns an error if n < 1 or min >= max.
+func NewHistogram(min, max float64, n int) (*Histogram, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stats: histogram needs >= 1 bin, got %d", n)
+	}
+	if !(min < max) {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", min, max)
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, n)}, nil
+}
+
+// Add records one observation. Values outside [Min, Max] are clamped into
+// the first or last bin so that totals remain conserved.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	idx := int(float64(n) * (x - h.Min) / (h.Max - h.Min))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Fractions returns the per-bin fraction of all observations.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// Entropy returns the Shannon entropy, in bits, of a discrete distribution
+// given as nonnegative weights (they need not sum to 1; they are
+// normalized). Zero weights contribute nothing. It returns an error when all
+// weights are zero or any weight is negative.
+func Entropy(weights []float64) (float64, error) {
+	var sum float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return 0, fmt.Errorf("stats: negative or NaN weight %v", w)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return 0, ErrEmpty
+	}
+	var h float64
+	for _, w := range weights {
+		// p can be 0 even for w > 0 when sum overflowed to +Inf.
+		p := w / sum
+		if p <= 0 {
+			continue
+		}
+		h -= p * math.Log2(p)
+	}
+	return h, nil
+}
+
+// GuessEntropy returns the expected number of sequential guesses, E[G],
+// needed to find a value drawn from the distribution when the attacker
+// guesses outcomes in decreasing-probability order (Massey's guessing
+// entropy, in guesses rather than bits). Weights are normalized as in
+// Entropy.
+func GuessEntropy(weights []float64) (float64, error) {
+	var sum float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return 0, fmt.Errorf("stats: negative or NaN weight %v", w)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return 0, ErrEmpty
+	}
+	cp := append([]float64(nil), weights...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(cp)))
+	var g float64
+	for i, w := range cp {
+		g += float64(i+1) * (w / sum)
+	}
+	return g, nil
+}
+
+// AlphaWorkFactor returns the minimum number of highest-probability guesses
+// an attacker must try to succeed with probability at least alpha
+// (the alpha-work-factor of Pliam). It returns an error for alpha outside
+// (0, 1] or an empty/zero distribution.
+func AlphaWorkFactor(weights []float64, alpha float64) (int, error) {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		return 0, fmt.Errorf("stats: alpha %v out of (0,1]", alpha)
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return 0, fmt.Errorf("stats: negative or NaN weight %v", w)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return 0, ErrEmpty
+	}
+	cp := append([]float64(nil), weights...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(cp)))
+	var acc float64
+	for i, w := range cp {
+		acc += w / sum
+		if acc >= alpha-1e-12 {
+			return i + 1, nil
+		}
+	}
+	return len(cp), nil
+}
+
+// ChiSquare returns the chi-square statistic of observed counts against
+// expected proportions (normalized). It returns an error if the slices
+// differ in length, are empty, or expected mass is zero where observations
+// exist.
+func ChiSquare(observed []int, expected []float64) (float64, error) {
+	if len(observed) != len(expected) {
+		return 0, fmt.Errorf("stats: chi-square length mismatch %d vs %d", len(observed), len(expected))
+	}
+	if len(observed) == 0 {
+		return 0, ErrEmpty
+	}
+	var n int
+	for _, o := range observed {
+		if o < 0 {
+			return 0, fmt.Errorf("stats: negative observed count %d", o)
+		}
+		n += o
+	}
+	var esum float64
+	for _, e := range expected {
+		if e < 0 || math.IsNaN(e) {
+			return 0, fmt.Errorf("stats: negative or NaN expected weight %v", e)
+		}
+		esum += e
+	}
+	if esum == 0 {
+		return 0, errors.New("stats: zero expected mass")
+	}
+	var chi float64
+	for i, o := range observed {
+		exp := expected[i] / esum * float64(n)
+		if exp == 0 {
+			if o != 0 {
+				return 0, fmt.Errorf("stats: bin %d has observations but zero expectation", i)
+			}
+			continue
+		}
+		d := float64(o) - exp
+		chi += d * d / exp
+	}
+	return chi, nil
+}
+
+// LinearTrend fits y = a + b*x by least squares and returns the intercept a
+// and slope b. It returns an error when fewer than two points are given or
+// all x are identical.
+func LinearTrend(x, y []float64) (a, b float64, err error) {
+	if len(x) != len(y) {
+		return 0, 0, fmt.Errorf("stats: trend length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, 0, ErrEmpty
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return 0, 0, errors.New("stats: degenerate x values")
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	return a, b, nil
+}
+
+// Clamp01 bounds x into [0, 1]. NaN clamps to 0.
+func Clamp01(x float64) float64 {
+	if math.IsNaN(x) || x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Logit returns log(p/(1-p)) with p clamped away from 0 and 1 so the result
+// is always finite.
+func Logit(p float64) float64 {
+	const eps = 1e-9
+	p = Clamp01(p)
+	if p < eps {
+		p = eps
+	}
+	if p > 1-eps {
+		p = 1 - eps
+	}
+	return math.Log(p / (1 - p))
+}
+
+// Sigmoid is the logistic function, the inverse of Logit.
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

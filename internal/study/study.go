@@ -1,0 +1,345 @@
+// Package study generates synthetic user studies. The paper's process
+// leans on user studies at two points — "user studies can provide
+// empirical evidence as to which failures occur in practice" (failure
+// identification) and "user studies can help designers evaluate the
+// effectiveness of their failure mitigation efforts" — and when empirical
+// data is unavailable, "the framework can suggest areas where user studies
+// are needed".
+//
+// A Design assigns subjects to between-subjects arms (communication
+// variants), runs each subject once through the receiver pipeline, and
+// records a per-subject trace row exactly as a lab study would: noticed,
+// read, comprehended, knew what to do, believed, was motivated, was
+// capable, heeded, and the failing stage. Datasets round-trip through CSV
+// and come with a chi-square homogeneity test over heed rates, so the
+// study can be "analyzed" the way its real counterparts were.
+package study
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"hitl/internal/agent"
+	"hitl/internal/comms"
+	"hitl/internal/gems"
+	"hitl/internal/population"
+	"hitl/internal/stats"
+	"hitl/internal/stimuli"
+)
+
+// Arm is one between-subjects condition.
+type Arm struct {
+	// Name labels the arm.
+	Name string
+	// Comm is the communication shown.
+	Comm comms.Communication
+	// Interference optionally attacks this arm's delivery.
+	Interference stimuli.Interference
+	// PreTrained gives subjects interactive topic training first.
+	PreTrained bool
+}
+
+// Design is a between-subjects study design.
+type Design struct {
+	// Name labels the study.
+	Name string
+	// Arms are the conditions; subjects are assigned round-robin after a
+	// seeded shuffle, approximating random assignment.
+	Arms []Arm
+	// Population describes the subject pool; defaults to the general
+	// public.
+	Population population.Spec
+	// Env is the lab environment; defaults to Busy (subjects work on a
+	// primary task, as in the cited studies).
+	Env stimuli.Environment
+	// Primed tells subjects to watch for security indicators (as Wu et al.
+	// did); defaults false.
+	Primed bool
+	// N is the total number of subjects across arms.
+	N int
+	// Seed drives sampling and assignment.
+	Seed int64
+}
+
+// Validate checks the design.
+func (d Design) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("study: design has empty name")
+	}
+	if len(d.Arms) < 1 {
+		return fmt.Errorf("study: design %s has no arms", d.Name)
+	}
+	seen := map[string]bool{}
+	for _, a := range d.Arms {
+		if a.Name == "" {
+			return fmt.Errorf("study: design %s has an unnamed arm", d.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("study: design %s: duplicate arm %q", d.Name, a.Name)
+		}
+		seen[a.Name] = true
+		if err := a.Comm.Validate(); err != nil {
+			return fmt.Errorf("study: arm %s: %w", a.Name, err)
+		}
+		if err := a.Interference.Validate(); err != nil {
+			return fmt.Errorf("study: arm %s: %w", a.Name, err)
+		}
+	}
+	if d.N < len(d.Arms) {
+		return fmt.Errorf("study: design %s: N=%d smaller than arm count %d", d.Name, d.N, len(d.Arms))
+	}
+	return nil
+}
+
+// Record is one subject's study row.
+type Record struct {
+	Subject   int
+	Condition string
+	// Coarse demographics, as a study would report.
+	Age       int
+	Expertise float64
+	// Stage outcomes. Later fields are false whenever an earlier stage
+	// failed (the subject never got there), matching how studies code
+	// dependent measures.
+	Noticed      bool
+	Read         bool
+	Comprehended bool
+	KnewWhatToDo bool
+	Believed     bool
+	Motivated    bool
+	Capable      bool
+	Heeded       bool
+	// FailedStage is the framework root cause ("none" when heeded).
+	FailedStage string
+}
+
+// Dataset is the study output.
+type Dataset struct {
+	Design  string
+	Records []Record
+}
+
+// Run executes the study.
+func (d Design) Run() (*Dataset, error) {
+	if d.Population.Name == "" {
+		d.Population = population.GeneralPublic()
+	}
+	if d.Env == (stimuli.Environment{}) {
+		d.Env = stimuli.Busy()
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(d.Seed))
+	// Random assignment: shuffle arm indices across subjects.
+	assign := make([]int, d.N)
+	for i := range assign {
+		assign[i] = i % len(d.Arms)
+	}
+	rng.Shuffle(len(assign), func(i, j int) { assign[i], assign[j] = assign[j], assign[i] })
+
+	ds := &Dataset{Design: d.Name, Records: make([]Record, 0, d.N)}
+	for subj := 0; subj < d.N; subj++ {
+		arm := d.Arms[assign[subj]]
+		prof := d.Population.Sample(rng)
+		r := agent.NewReceiver(prof)
+		if arm.PreTrained {
+			r.Train(arm.Comm.Topic, agent.Skill{Level: 0.85, Interactivity: 0.85})
+		}
+		res, err := r.Process(rng, agent.Encounter{
+			Comm:          arm.Comm,
+			Env:           d.Env,
+			Interference:  arm.Interference,
+			HazardPresent: true,
+			Primed:        d.Primed,
+			Task:          gems.LeaveSuspiciousSite(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("study: subject %d: %w", subj, err)
+		}
+		rec := Record{
+			Subject:     subj,
+			Condition:   arm.Name,
+			Age:         prof.Age,
+			Expertise:   prof.Expertise(),
+			Heeded:      res.Heeded,
+			FailedStage: res.FailedStage.String(),
+		}
+		for _, c := range res.Trace {
+			if !c.Passed {
+				continue
+			}
+			switch c.Stage {
+			case agent.StageAttentionSwitch:
+				rec.Noticed = true
+			case agent.StageAttentionMaintenance:
+				rec.Read = true
+			case agent.StageComprehension:
+				rec.Comprehended = true
+			case agent.StageKnowledgeAcquisition:
+				rec.KnewWhatToDo = true
+			case agent.StageAttitudesBeliefs:
+				rec.Believed = true
+			case agent.StageMotivation:
+				rec.Motivated = true
+			case agent.StageCapabilities:
+				rec.Capable = true
+			}
+		}
+		ds.Records = append(ds.Records, rec)
+	}
+	return ds, nil
+}
+
+// Conditions returns the distinct condition names in the dataset, sorted.
+func (ds *Dataset) Conditions() []string {
+	seen := map[string]bool{}
+	for _, r := range ds.Records {
+		seen[r.Condition] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rate returns the proportion of records in the condition for which the
+// metric is true.
+func (ds *Dataset) Rate(condition string, metric func(Record) bool) stats.Proportion {
+	var p stats.Proportion
+	for _, r := range ds.Records {
+		if r.Condition != condition {
+			continue
+		}
+		p.Trials++
+		if metric(r) {
+			p.Successes++
+		}
+	}
+	return p
+}
+
+// HeedTest runs a chi-square homogeneity test of heed rates across all
+// conditions, answering the study's primary question: do the conditions
+// differ?
+func (ds *Dataset) HeedTest() (chi float64, df int, p float64, err error) {
+	conds := ds.Conditions()
+	if len(conds) < 2 {
+		return 0, 0, 0, fmt.Errorf("study: need >= 2 conditions, have %d", len(conds))
+	}
+	groups := make([]stats.Proportion, len(conds))
+	for i, c := range conds {
+		groups[i] = ds.Rate(c, func(r Record) bool { return r.Heeded })
+	}
+	return stats.TwoProportionChiSquare(groups)
+}
+
+// csvHeader is the canonical column order.
+var csvHeader = []string{
+	"subject", "condition", "age", "expertise",
+	"noticed", "read", "comprehended", "knew_what_to_do",
+	"believed", "motivated", "capable", "heeded", "failed_stage",
+}
+
+// WriteCSV emits the dataset with a header row.
+func (ds *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	b := strconv.FormatBool
+	for _, r := range ds.Records {
+		row := []string{
+			strconv.Itoa(r.Subject), r.Condition, strconv.Itoa(r.Age),
+			strconv.FormatFloat(r.Expertise, 'f', 4, 64),
+			b(r.Noticed), b(r.Read), b(r.Comprehended), b(r.KnewWhatToDo),
+			b(r.Believed), b(r.Motivated), b(r.Capable), b(r.Heeded),
+			r.FailedStage,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV. The design name is not
+// stored in the CSV; pass it explicitly.
+func ReadCSV(r io.Reader, designName string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("study: reading CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("study: empty CSV")
+	}
+	if len(rows[0]) != len(csvHeader) {
+		return nil, fmt.Errorf("study: header has %d columns, want %d", len(rows[0]), len(csvHeader))
+	}
+	for i, h := range csvHeader {
+		if rows[0][i] != h {
+			return nil, fmt.Errorf("study: column %d is %q, want %q", i, rows[0][i], h)
+		}
+	}
+	ds := &Dataset{Design: designName, Records: make([]Record, 0, len(rows)-1)}
+	for i, row := range rows[1:] {
+		rec, err := parseRecord(row)
+		if err != nil {
+			return nil, fmt.Errorf("study: row %d: %w", i+2, err)
+		}
+		ds.Records = append(ds.Records, rec)
+	}
+	return ds, nil
+}
+
+func parseRecord(row []string) (Record, error) {
+	var rec Record
+	var err error
+	if rec.Subject, err = strconv.Atoi(row[0]); err != nil {
+		return rec, fmt.Errorf("subject: %w", err)
+	}
+	rec.Condition = row[1]
+	if rec.Age, err = strconv.Atoi(row[2]); err != nil {
+		return rec, fmt.Errorf("age: %w", err)
+	}
+	if rec.Expertise, err = strconv.ParseFloat(row[3], 64); err != nil {
+		return rec, fmt.Errorf("expertise: %w", err)
+	}
+	bools := []*bool{
+		&rec.Noticed, &rec.Read, &rec.Comprehended, &rec.KnewWhatToDo,
+		&rec.Believed, &rec.Motivated, &rec.Capable, &rec.Heeded,
+	}
+	for j, dst := range bools {
+		v, err := strconv.ParseBool(row[4+j])
+		if err != nil {
+			return rec, fmt.Errorf("%s: %w", csvHeader[4+j], err)
+		}
+		*dst = v
+	}
+	rec.FailedStage = row[12]
+	return rec, nil
+}
+
+// EgelmanReplication returns the ready-made §3.1 study design: the four
+// standard warning conditions, between subjects.
+func EgelmanReplication(n int, seed int64) Design {
+	return Design{
+		Name: "egelman-2008-replication",
+		Arms: []Arm{
+			{Name: "firefox-active", Comm: comms.FirefoxActiveWarning()},
+			{Name: "ie-active", Comm: comms.IEActiveWarning()},
+			{Name: "ie-passive", Comm: comms.IEPassiveWarning()},
+			{Name: "toolbar-passive", Comm: comms.ToolbarPassiveIndicator()},
+		},
+		N:    n,
+		Seed: seed,
+	}
+}

@@ -1,0 +1,234 @@
+package study
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hitl/internal/comms"
+	"hitl/internal/stimuli"
+)
+
+func TestDesignValidate(t *testing.T) {
+	d := EgelmanReplication(400, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("preset design invalid: %v", err)
+	}
+	bad := d
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name: want error")
+	}
+	bad = d
+	bad.Arms = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no arms: want error")
+	}
+	bad = d
+	bad.Arms = append([]Arm{}, d.Arms...)
+	bad.Arms[1].Name = bad.Arms[0].Name
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate arm: want error")
+	}
+	bad = d
+	bad.N = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("N < arms: want error")
+	}
+	bad = EgelmanReplication(400, 1)
+	bad.Arms[0].Comm.ID = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid communication: want error")
+	}
+}
+
+func TestRunProducesBalancedArms(t *testing.T) {
+	ds, err := EgelmanReplication(4000, 7).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) != 4000 {
+		t.Fatalf("got %d records", len(ds.Records))
+	}
+	conds := ds.Conditions()
+	if len(conds) != 4 {
+		t.Fatalf("conditions = %v", conds)
+	}
+	for _, c := range conds {
+		p := ds.Rate(c, func(Record) bool { return true })
+		if p.Trials != 1000 {
+			t.Errorf("arm %s has %d subjects, want 1000", c, p.Trials)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := EgelmanReplication(500, 3).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EgelmanReplication(500, 3).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Records, b.Records) {
+		t.Error("study not reproducible for identical seeds")
+	}
+}
+
+func TestStageFieldsAreConsistent(t *testing.T) {
+	ds, err := EgelmanReplication(2000, 11).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ds.Records {
+		// Dependent coding: you cannot read what you did not notice, or
+		// heed without being capable (unless the heuristic path decided).
+		if r.Read && !r.Noticed {
+			t.Fatalf("record %d read without noticing", r.Subject)
+		}
+		if r.Comprehended && !r.Read {
+			t.Fatalf("record %d comprehended without reading", r.Subject)
+		}
+		if r.Heeded && r.FailedStage != "none" {
+			t.Fatalf("record %d heeded but failed at %s", r.Subject, r.FailedStage)
+		}
+		if !r.Heeded && r.FailedStage == "none" {
+			t.Fatalf("record %d unheeded without a failed stage", r.Subject)
+		}
+	}
+}
+
+func TestStudyReproducesEffect(t *testing.T) {
+	ds, err := EgelmanReplication(4000, 13).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	heed := func(c string) float64 {
+		return ds.Rate(c, func(r Record) bool { return r.Heeded }).Rate()
+	}
+	if !(heed("firefox-active") > heed("ie-active") && heed("ie-active") > heed("ie-passive")) {
+		t.Errorf("study heed ordering violated: ff=%.3f iea=%.3f iep=%.3f",
+			heed("firefox-active"), heed("ie-active"), heed("ie-passive"))
+	}
+	// Noticing separates active from passive.
+	noticed := func(c string) float64 {
+		return ds.Rate(c, func(r Record) bool { return r.Noticed }).Rate()
+	}
+	if noticed("firefox-active") < 0.9 {
+		t.Errorf("blocking warning noticing %.3f too low", noticed("firefox-active"))
+	}
+	if noticed("toolbar-passive") > 0.3 {
+		t.Errorf("toolbar noticing %.3f too high", noticed("toolbar-passive"))
+	}
+	// The primary test comes out strongly significant.
+	chi, df, p, err := ds.HeedTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df != 3 {
+		t.Errorf("df = %d, want 3", df)
+	}
+	if p > 1e-10 {
+		t.Errorf("chi=%.1f p=%v, want overwhelming significance", chi, p)
+	}
+}
+
+func TestNullStudyIsInsignificant(t *testing.T) {
+	// Two identical arms should usually NOT reach significance.
+	d := Design{
+		Name: "null",
+		Arms: []Arm{
+			{Name: "a", Comm: comms.FirefoxActiveWarning()},
+			{Name: "b", Comm: comms.FirefoxActiveWarning()},
+		},
+		N: 2000, Seed: 17,
+	}
+	ds, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, p, err := ds.HeedTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("null comparison significant at p=%v (unlucky seeds possible but suspicious)", p)
+	}
+}
+
+func TestInterferenceArm(t *testing.T) {
+	d := Design{
+		Name: "spoof-study",
+		Arms: []Arm{
+			{Name: "genuine", Comm: comms.FirefoxActiveWarning()},
+			{Name: "spoofed", Comm: comms.FirefoxActiveWarning(),
+				Interference: stimuli.Interference{Kind: stimuli.Spoof, Strength: 1}},
+		},
+		N: 1000, Seed: 23,
+	}
+	ds, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := ds.Rate("spoofed", func(r Record) bool { return r.Heeded }).Rate(); r != 0 {
+		t.Errorf("spoofed arm heed rate %.3f, want 0", r)
+	}
+	if r := ds.Rate("genuine", func(r Record) bool { return r.Heeded }).Rate(); r < 0.5 {
+		t.Errorf("genuine arm heed rate %.3f too low", r)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds, err := EgelmanReplication(200, 29).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, ds.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Design != ds.Design || len(back.Records) != len(ds.Records) {
+		t.Fatalf("round-trip lost records: %d vs %d", len(back.Records), len(ds.Records))
+	}
+	for i := range ds.Records {
+		a, b := ds.Records[i], back.Records[i]
+		// Expertise is rounded to 4 decimals in CSV.
+		a.Expertise, b.Expertise = 0, 0
+		if a != b {
+			t.Fatalf("record %d differs after round-trip:\n%+v\n%+v", i, ds.Records[i], back.Records[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "x"); err == nil {
+		t.Error("empty: want error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n"), "x"); err == nil {
+		t.Error("wrong header width: want error")
+	}
+	hdr := strings.Join(csvHeader, ",")
+	if _, err := ReadCSV(strings.NewReader(hdr+"\nnotanint,a,30,0.5,true,true,true,true,true,true,true,true,none\n"), "x"); err == nil {
+		t.Error("bad subject: want error")
+	}
+	badHdr := strings.Replace(hdr, "condition", "cond", 1)
+	if _, err := ReadCSV(strings.NewReader(badHdr+"\n"), "x"); err == nil {
+		t.Error("wrong header name: want error")
+	}
+	if _, err := ReadCSV(strings.NewReader(hdr+"\n1,a,30,0.5,true,true,true,true,true,true,true,maybe,none\n"), "x"); err == nil {
+		t.Error("bad bool: want error")
+	}
+}
+
+func TestHeedTestNeedsTwoConditions(t *testing.T) {
+	ds := &Dataset{Design: "x", Records: []Record{{Condition: "only", Heeded: true}}}
+	if _, _, _, err := ds.HeedTest(); err == nil {
+		t.Error("single condition: want error")
+	}
+}
