@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples fmt cover clean
+.PHONY: all ci build vet test race bench experiments examples fmt cover clean
 
 all: build vet test
+
+# ci mirrors .github/workflows/ci.yml: vet plus the race detector, which
+# guards the sim cancellation path and the atomic metrics counters.
+ci: build vet race
 
 build:
 	$(GO) build ./...

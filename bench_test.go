@@ -1,6 +1,7 @@
 package hitl
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -31,7 +32,7 @@ func benchExperiment(b *testing.B, id string, metricKeys ...string) {
 	var err error
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		out, err = experiments.Run(id, cfg)
+		out, err = experiments.Run(context.Background(), id, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -233,7 +234,7 @@ func BenchmarkSimEngine(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		runner := sim.Runner{Seed: int64(i), N: 1000}
-		_, err := runner.Run(func(rng *rand.Rand, _ int) (sim.Outcome, error) {
+		_, err := runner.Run(context.Background(), func(rng *rand.Rand, _ int) (sim.Outcome, error) {
 			r := agent.NewReceiver(spec.Sample(rng))
 			ar, err := r.Process(rng, enc)
 			if err != nil {
@@ -252,7 +253,7 @@ func BenchmarkPhishingStudy(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		st := phishing.Study{Condition: phishing.StandardConditions()[0], N: 500, Seed: int64(i)}
-		if _, err := st.Run(); err != nil {
+		if _, err := st.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -266,7 +267,7 @@ func BenchmarkPasswordScenario(b *testing.B) {
 			Policy: password.StrongPolicy(), Accounts: 15, DurationDays: 365,
 			N: 500, Seed: int64(i),
 		}
-		if _, err := sc.Run(); err != nil {
+		if _, err := sc.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"hitl/internal/experiments"
 )
@@ -32,17 +35,22 @@ func main() {
 		return
 	}
 
+	// ^C / SIGTERM cancels in-flight Monte Carlo work instead of leaving it
+	// to run to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := experiments.Config{Seed: *seed, N: *n}
 	var outs []*experiments.Output
 	if *ids == "" {
-		all, err := experiments.RunAll(cfg)
+		all, err := experiments.RunAll(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
 		outs = all
 	} else {
 		for _, id := range strings.Split(*ids, ",") {
-			o, err := experiments.Run(strings.TrimSpace(id), cfg)
+			o, err := experiments.Run(ctx, strings.TrimSpace(id), cfg)
 			if err != nil {
 				fatal(err)
 			}

@@ -2,11 +2,16 @@
 //
 // Usage:
 //
-//	hitl-serve [-addr :8080]
+//	hitl-serve [-addr :8080] [-drain 15s]
 //
-// Endpoints: GET /v1/healthz, /v1/components, /v1/patterns,
+// Endpoints: GET /v1/healthz, /v1/metrics, /v1/components, /v1/patterns,
 // /v1/experiments; POST /v1/analyze, /v1/process, /v1/recommend,
 // /v1/experiments/run. See internal/server for payload shapes.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// connections, lets in-flight requests drain for up to -drain, then exits.
+// Requests whose clients disconnect are cancelled mid-run via their request
+// context and surface as HTTP 499 in the access log and /v1/metrics.
 //
 // Example:
 //
@@ -15,28 +20,75 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hitl/internal/server"
 )
 
+// serve runs srv on ln until ctx is cancelled, then shuts it down
+// gracefully, waiting up to drain for in-flight requests to complete.
+// It returns nil on a clean drain and the shutdown error otherwise.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	// On cancellation only the accept loop stops immediately; in-flight
+	// requests keep their own lifetimes so they can finish (or be client-
+	// cancelled) inside the drain window.
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Drain deadline exceeded: force-close lingering connections.
+		_ = srv.Close()
+		return err
+	}
+	return <-errc
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           server.New(server.Config{}),
 		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      120 * time.Second, // experiment runs can take a while
 		IdleTimeout:       60 * time.Second,
 	}
-	log.Printf("hitl-serve listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		log.Fatal(err)
 	}
+	log.Printf("hitl-serve listening on %s", ln.Addr())
+	if err := serve(ctx, srv, ln, *drain); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("hitl-serve drained; bye")
 }

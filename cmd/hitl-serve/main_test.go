@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestServeDrainsInFlightRequests verifies the graceful-shutdown path:
+// cancelling the serve context while a request is in flight lets that
+// request complete inside the drain window instead of cutting it off.
+func TestServeDrainsInFlightRequests(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var served atomic.Int64
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		served.Add(1)
+		w.Write([]byte("slow ok"))
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(ctx, srv, ln, 10*time.Second) }()
+
+	respCh := make(chan *http.Response, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			errCh <- err
+			return
+		}
+		respCh <- resp
+	}()
+
+	<-started
+	cancel() // SIGTERM analogue: stop accepting, drain in-flight work
+
+	// New connections are refused once shutdown begins, while the in-flight
+	// request is still pending; give the listener a moment to close.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := http.Get("http://" + ln.Addr().String() + "/new")
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting connections after shutdown began")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	close(release)
+	select {
+	case resp := <-respCh:
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || string(body) != "slow ok" {
+			t.Errorf("drained request: %d %q", resp.StatusCode, body)
+		}
+	case err := <-errCh:
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request did not complete during drain")
+	}
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Errorf("serve returned %v after clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+	if served.Load() != 1 {
+		t.Errorf("served %d requests, want 1", served.Load())
+	}
+}
+
+// TestServeForceClosesAfterDrainDeadline verifies the drain deadline is a
+// deadline: a request that outlives it gets cut off and serve reports the
+// shutdown error.
+func TestServeForceClosesAfterDrainDeadline(t *testing.T) {
+	started := make(chan struct{})
+	block := make(chan struct{}) // never closed; the handler hangs forever
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(ctx, srv, ln, 50*time.Millisecond) }()
+
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/hang")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	<-started
+	cancel()
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Error("serve returned nil; want drain-deadline error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after the drain deadline")
+	}
+}

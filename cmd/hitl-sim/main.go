@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"hitl/internal/comms"
 	"hitl/internal/password"
@@ -46,6 +49,9 @@ func main() {
 		fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	switch *scenario {
 	case "phishing-study":
 		conds := phishing.StandardConditions()
@@ -54,7 +60,7 @@ func main() {
 				conds[i] = phishing.WithTraining(conds[i])
 			}
 		}
-		results, err := phishing.CompareConditions(*seed, *n, conds)
+		results, err := phishing.CompareConditions(ctx, *seed, *n, conds)
 		if err != nil {
 			fatal(err)
 		}
@@ -80,7 +86,7 @@ func main() {
 			Days: *days, DetectorTPR: *tpr, DetectorFPR: *fpr,
 			N: *n, Seed: *seed,
 		}
-		m, err := c.Run()
+		m, err := c.Run(ctx)
 		if err != nil {
 			fatal(err)
 		}
@@ -106,7 +112,7 @@ func main() {
 			N: *n, Seed: *seed,
 		}
 		sc.Policy.ExpiryDays = *expiry
-		m, err := sc.Run()
+		m, err := sc.Run(ctx)
 		if err != nil {
 			fatal(err)
 		}

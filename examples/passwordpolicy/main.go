@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. Checklist diagnosis of the policy-as-communication.
 	spec := hitl.SystemSpec{
 		Name: "org-password-policy",
@@ -55,7 +57,7 @@ func main() {
 		Policy: hitl.StrongPasswordPolicy(), Accounts: 15, DurationDays: 365,
 		N: 4000, Seed: 32,
 	}
-	m, err := base.Run()
+	m, err := base.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,7 +72,7 @@ func main() {
 	// 3. Sweeps.
 	fmt.Println("\nReuse vs portfolio size (Gaw & Felten shape):")
 	sizes := []int{2, 5, 10, 20, 35, 50}
-	bySize, err := password.PortfolioSweep(base, sizes)
+	bySize, err := password.PortfolioSweep(ctx, base, sizes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,7 +83,7 @@ func main() {
 
 	fmt.Println("\nExpiry effect (Adams & Sasse shape):")
 	expiries := []int{0, 180, 90, 30}
-	byExp, err := password.ExpirySweep(base, expiries)
+	byExp, err := password.ExpirySweep(ctx, base, expiries)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,7 +111,7 @@ func main() {
 		sc := base
 		sc.Tools = arm.tools
 		sc.Seed = 33
-		mm, err := sc.Run()
+		mm, err := sc.Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,9 +22,10 @@ import (
 func main() {
 	const n = 5000
 	const seed = 2008
+	ctx := context.Background()
 
 	// 1–2. The four standard conditions.
-	results, err := hitl.ComparePhishingConditions(seed, n, hitl.StandardPhishingConditions())
+	results, err := hitl.ComparePhishingConditions(ctx, seed, n, hitl.StandardPhishingConditions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +48,7 @@ func main() {
 		phishing.WithTraining(base),
 		phishing.WithTraining(phishing.WithExplanation(phishing.WithDistinctLook(base))),
 	}
-	ablation, err := hitl.ComparePhishingConditions(seed+1, n, conds)
+	ablation, err := hitl.ComparePhishingConditions(ctx, seed+1, n, conds)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,7 +96,7 @@ func main() {
 			Warning: hitl.FirefoxActiveWarning(), Days: 60,
 			DetectorTPR: 0.95, DetectorFPR: fpr, N: 2000, Seed: seed + 7,
 		}
-		m, err := c.Run()
+		m, err := c.Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

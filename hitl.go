@@ -37,6 +37,7 @@
 package hitl
 
 import (
+	"context"
 	"io"
 
 	"hitl/internal/agent"
@@ -328,9 +329,10 @@ type PhishingCampaign = phishing.Campaign
 // StandardPhishingConditions returns the four §3.1 warning conditions.
 func StandardPhishingConditions() []PhishingCondition { return phishing.StandardConditions() }
 
-// ComparePhishingConditions runs a study arm per condition.
-func ComparePhishingConditions(seed int64, n int, conds []PhishingCondition) ([]phishing.StudyResult, error) {
-	return phishing.CompareConditions(seed, n, conds)
+// ComparePhishingConditions runs a study arm per condition. Cancellation
+// via ctx aborts the in-flight Monte Carlo work and returns ctx.Err().
+func ComparePhishingConditions(ctx context.Context, seed int64, n int, conds []PhishingCondition) ([]phishing.StudyResult, error) {
+	return phishing.CompareConditions(ctx, seed, n, conds)
 }
 
 // PasswordPolicy is an organizational password policy (§3.2).

@@ -2,6 +2,7 @@ package hitl
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -128,7 +129,7 @@ func TestFacadeGulfs(t *testing.T) {
 }
 
 func TestFacadeCaseStudies(t *testing.T) {
-	results, err := ComparePhishingConditions(5, 800, StandardPhishingConditions())
+	results, err := ComparePhishingConditions(context.Background(), 5, 800, StandardPhishingConditions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestFacadeCaseStudies(t *testing.T) {
 	sc := PasswordScenario{
 		Policy: StrongPasswordPolicy(), Accounts: 10, DurationDays: 365, N: 500, Seed: 6,
 	}
-	m, err := sc.Run()
+	m, err := sc.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -18,7 +19,7 @@ import (
 // false-positive trust erosion, and the delivery race — and shows which
 // reproduced study shapes each mechanism carries. This is the ablation
 // index DESIGN.md promises for the design choices behind the calibration.
-func E12ModelAblations(cfg Config) (*Output, error) {
+func E12ModelAblations(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(3000)
 	pop := population.GeneralPublic()
 
@@ -41,7 +42,7 @@ func E12ModelAblations(cfg Config) (*Output, error) {
 
 	heedWith := func(model *agent.Model, c comms.Communication, exposures, falseAlarms int, seedOff int64) (float64, error) {
 		runner := sim.Runner{Seed: cfg.Seed + seedOff, N: n}
-		res, err := runner.Run(func(rng *rand.Rand, i int) (sim.Outcome, error) {
+		res, err := runner.Run(ctx, func(rng *rand.Rand, i int) (sim.Outcome, error) {
 			r := agent.NewReceiver(pop.Sample(rng))
 			r.Model = model
 			r.AddExposures(c.ID, exposures)
@@ -110,7 +111,7 @@ func E12ModelAblations(cfg Config) (*Output, error) {
 // severe one ("users start ignoring not only these warnings, but also
 // similar warnings about more severe hazards"); demoting it to a passive
 // notice, as §2.1 advises, protects the severe warning's effectiveness.
-func E13ActivenessTradeoff(cfg Config) (*Output, error) {
+func E13ActivenessTradeoff(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(3000)
 	pop := population.GeneralPublic()
 
@@ -144,7 +145,7 @@ func E13ActivenessTradeoff(cfg Config) (*Output, error) {
 	run := func(noisyActive bool, seedOff int64) (severeHeed float64, fpSeen float64, err error) {
 		noisy := makeNoisy(noisyActive)
 		runner := sim.Runner{Seed: cfg.Seed + seedOff, N: n}
-		res, err := runner.Run(func(rng *rand.Rand, i int) (sim.Outcome, error) {
+		res, err := runner.Run(ctx, func(rng *rand.Rand, i int) (sim.Outcome, error) {
 			r := agent.NewReceiver(pop.Sample(rng))
 			// 30 days of the noisy warning firing, mostly as false alarms.
 			fps := 0
@@ -190,7 +191,7 @@ func E13ActivenessTradeoff(cfg Config) (*Output, error) {
 		return nil, err
 	}
 	freshRunner := sim.Runner{Seed: cfg.Seed + 13, N: n}
-	fresh, err := freshRunner.Run(func(rng *rand.Rand, i int) (sim.Outcome, error) {
+	fresh, err := freshRunner.Run(ctx, func(rng *rand.Rand, i int) (sim.Outcome, error) {
 		r := agent.NewReceiver(pop.Sample(rng))
 		ar, err := r.Process(rng, agent.Encounter{
 			Comm: severe, Env: stimuli.Busy(), HazardPresent: true,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -42,7 +43,7 @@ func avPrompt() comms.Communication {
 // prompt-per-detection (fresh and after a month of habituating prompts and
 // false alarms) against automatic quarantine, and runs the Figure 2
 // process on the prompt design to watch it choose automation.
-func E15AntivirusAutomation(cfg Config) (*Output, error) {
+func E15AntivirusAutomation(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(2000)
 	pop := population.GeneralPublic()
 	prompt := avPrompt()
@@ -53,7 +54,7 @@ func E15AntivirusAutomation(cfg Config) (*Output, error) {
 	// Per-subject month with prompts: infections accumulate when the user
 	// mishandles a real detection.
 	runner := sim.Runner{Seed: cfg.Seed + 1, N: n}
-	promptRes, err := runner.Run(func(rng *rand.Rand, i int) (sim.Outcome, error) {
+	promptRes, err := runner.Run(ctx, func(rng *rand.Rand, i int) (sim.Outcome, error) {
 		r := agent.NewReceiver(pop.Sample(rng))
 		infections, real := 0, 0
 		firstHeeded, lastHeeded := -1, -1

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -84,7 +85,7 @@ func figure2Spec() core.SystemSpec {
 // Figure2 runs the four-step process on the §3.1 system and reports each
 // pass: identification, automation decisions, top findings, mitigations,
 // and the reliability trajectory.
-func Figure2(cfg Config) (*Output, error) {
+func Figure2(ctx context.Context, cfg Config) (*Output, error) {
 	spec := figure2Spec()
 	res, err := core.RunProcess(spec, core.ProcessOptions{MaxPasses: 2, TargetReliability: 0.95})
 	if err != nil {
@@ -213,7 +214,7 @@ func figure3Scenarios() []figure3Scenario {
 
 // Figure3 compares root-cause attribution under the framework vs the C-HIP
 // baseline over injected-failure scenarios.
-func Figure3(cfg Config) (*Output, error) {
+func Figure3(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(1500)
 	t := report.NewTable("Figure 3 comparison: framework vs C-HIP attribution",
 		"Scenario", "True root cause (framework)", "Share", "C-HIP files under", "C-HIP representable?")
@@ -222,7 +223,7 @@ func Figure3(cfg Config) (*Output, error) {
 		runner := sim.Runner{Seed: cfg.Seed + int64(si)*7907, N: n}
 		enc := sc.build()
 		pop := sc.pop
-		res, err := runner.Run(func(rng *rand.Rand, i int) (sim.Outcome, error) {
+		res, err := runner.Run(ctx, func(rng *rand.Rand, i int) (sim.Outcome, error) {
 			r := agent.NewReceiver(pop.Sample(rng))
 			ar, err := r.Process(rng, enc)
 			if err != nil {

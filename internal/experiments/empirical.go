@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -17,9 +18,9 @@ import (
 
 // E1WarningEffectiveness reproduces the §3.1 warning-effectiveness shape:
 // active warnings protect most users, passive warnings almost none.
-func E1WarningEffectiveness(cfg Config) (*Output, error) {
+func E1WarningEffectiveness(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(4000)
-	results, err := phishing.CompareConditions(cfg.Seed, n, phishing.StandardConditions())
+	results, err := phishing.CompareConditions(ctx, cfg.Seed, n, phishing.StandardConditions())
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +54,7 @@ func E1WarningEffectiveness(cfg Config) (*Output, error) {
 
 // E2PhishingMitigations runs the §3.1 mitigation ablation on the IE active
 // warning: distinct look, explanation, training, and all combined.
-func E2PhishingMitigations(cfg Config) (*Output, error) {
+func E2PhishingMitigations(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(4000)
 	base := phishing.StandardConditions()[1] // ie-active
 	conds := []phishing.Condition{
@@ -63,7 +64,7 @@ func E2PhishingMitigations(cfg Config) (*Output, error) {
 		phishing.WithTraining(base),
 		phishing.WithTraining(phishing.WithExplanation(phishing.WithDistinctLook(base))),
 	}
-	results, err := phishing.CompareConditions(cfg.Seed, n, conds)
+	results, err := phishing.CompareConditions(ctx, cfg.Seed, n, conds)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +89,7 @@ func E2PhishingMitigations(cfg Config) (*Output, error) {
 // E3PasswordCompliance reproduces the §3.2 compliance shapes: reuse grows
 // with portfolio size (Gaw & Felten), expiry worsens coping (Adams &
 // Sasse), and memory (capability) is the binding failure.
-func E3PasswordCompliance(cfg Config) (*Output, error) {
+func E3PasswordCompliance(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(2000)
 	base := password.Scenario{
 		Policy: password.StrongPolicy(), Accounts: 15, DurationDays: 365,
@@ -96,7 +97,7 @@ func E3PasswordCompliance(cfg Config) (*Output, error) {
 	}
 
 	sizes := []int{2, 5, 10, 20, 35, 50}
-	bySize, err := password.PortfolioSweep(base, sizes)
+	bySize, err := password.PortfolioSweep(ctx, base, sizes)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +116,7 @@ func E3PasswordCompliance(cfg Config) (*Output, error) {
 	figReuse.AddSeries(s)
 
 	expiries := []int{0, 180, 90, 30}
-	byExpiry, err := password.ExpirySweep(base, expiries)
+	byExpiry, err := password.ExpirySweep(ctx, base, expiries)
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +133,7 @@ func E3PasswordCompliance(cfg Config) (*Output, error) {
 	}
 
 	// Failure-stage attribution for the headline configuration.
-	m15, err := base.Run()
+	m15, err := base.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +159,7 @@ func E3PasswordCompliance(cfg Config) (*Output, error) {
 
 // E4PasswordMitigations runs the §3.2 mitigation ablation: SSO, vault,
 // strength meter, rationale training, and all combined.
-func E4PasswordMitigations(cfg Config) (*Output, error) {
+func E4PasswordMitigations(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(2000)
 	mk := func(name string, tools password.Tools, seedOff int64) (string, password.Scenario) {
 		return name, password.Scenario{
@@ -189,7 +190,7 @@ func E4PasswordMitigations(cfg Config) (*Output, error) {
 		"Tools", "Compliance", "Mean reuse", "Write-down", "Strength (bits)")
 	metrics := map[string]float64{}
 	for _, a := range arms {
-		m, err := a.sc.Run()
+		m, err := a.sc.Run(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("arm %s: %w", a.name, err)
 		}
@@ -214,7 +215,7 @@ func E4PasswordMitigations(cfg Config) (*Output, error) {
 			Policy: password.StrongPolicy(), Accounts: 2, DurationDays: 365,
 			Tools: a.tools, N: n, Seed: cfg.Seed + 7103,
 		}
-		m, err := sc.Run()
+		m, err := sc.Run(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("arm %s: %w", a.name, err)
 		}
@@ -234,7 +235,7 @@ func E4PasswordMitigations(cfg Config) (*Output, error) {
 
 // E5Predictability reproduces the §2.4 predictability results: biased
 // choice distributions slash the informed attacker's work.
-func E5Predictability(cfg Config) (*Output, error) {
+func E5Predictability(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(5000)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	t := report.NewTable("Behavior predictability (§2.4)",
@@ -335,7 +336,7 @@ func E5Predictability(cfg Config) (*Output, error) {
 // E6Habituation reproduces the §2.3.1/§2.3.5 dynamics: noticing decays
 // with repeated exposure (passive indicators), and false positives erode
 // heeding of even blocking warnings.
-func E6Habituation(cfg Config) (*Output, error) {
+func E6Habituation(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(3000)
 	pop := population.GeneralPublic()
 
@@ -394,7 +395,7 @@ func E6Habituation(cfg Config) (*Output, error) {
 
 // E7PassiveIndicator reproduces the Whalen & Inkpen SSL-lock finding: most
 // users never attend to passive chrome indicators.
-func E7PassiveIndicator(cfg Config) (*Output, error) {
+func E7PassiveIndicator(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(4000)
 	pop := population.GeneralPublic()
 	t := report.NewTable("SSL lock indicator attention (§2.3.1; Whalen & Inkpen GI'05)",
@@ -447,7 +448,7 @@ func E7PassiveIndicator(cfg Config) (*Output, error) {
 
 // E8GulfsAndGEMS reproduces the §2.4 behavior-stage results: error-class
 // mixes per task and the effect of cue/feedback mitigations.
-func E8GulfsAndGEMS(cfg Config) (*Output, error) {
+func E8GulfsAndGEMS(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(6000)
 	pop := population.GeneralPublic()
 	prof := pop.MeanProfile()

@@ -7,6 +7,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -97,18 +99,22 @@ func (c Config) n(def int) int {
 	return def
 }
 
+// ErrUnknown reports a request for an experiment ID that is not in the
+// registry. Callers should test for it with errors.Is.
+var ErrUnknown = errors.New("unknown experiment")
+
 // Runner is one experiment entry in the registry.
 type Runner struct {
 	ID   string
 	Name string
-	Run  func(Config) (*Output, error)
+	Run  func(context.Context, Config) (*Output, error)
 }
 
 // Registry lists every experiment in DESIGN.md order.
 func Registry() []Runner {
 	return []Runner{
-		{"T1", "Table 1: framework components", func(c Config) (*Output, error) { return Table1() }},
-		{"F1", "Figure 1: framework structure", func(c Config) (*Output, error) { return Figure1() }},
+		{"T1", "Table 1: framework components", func(context.Context, Config) (*Output, error) { return Table1() }},
+		{"F1", "Figure 1: framework structure", func(context.Context, Config) (*Output, error) { return Figure1() }},
 		{"F2", "Figure 2: threat identification & mitigation process", Figure2},
 		{"F3", "Figure 3: C-HIP vs framework attribution", Figure3},
 		{"E1", "Warning effectiveness (Egelman/Wu shapes)", E1WarningEffectiveness},
@@ -129,21 +135,23 @@ func Registry() []Runner {
 	}
 }
 
-// Run executes one experiment by ID.
-func Run(id string, cfg Config) (*Output, error) {
+// Run executes one experiment by ID. Unknown IDs yield an error wrapping
+// ErrUnknown; a canceled ctx yields an error wrapping ctx.Err().
+func Run(ctx context.Context, id string, cfg Config) (*Output, error) {
 	for _, r := range Registry() {
 		if r.ID == id {
-			return r.Run(cfg)
+			return r.Run(ctx, cfg)
 		}
 	}
-	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	return nil, fmt.Errorf("experiments: %w %q", ErrUnknown, id)
 }
 
-// RunAll executes the whole suite in order.
-func RunAll(cfg Config) ([]*Output, error) {
+// RunAll executes the whole suite in order, stopping at the first error
+// (including ctx cancellation).
+func RunAll(ctx context.Context, cfg Config) ([]*Output, error) {
 	var outs []*Output
 	for _, r := range Registry() {
-		o, err := r.Run(cfg)
+		o, err := r.Run(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", r.ID, err)
 		}

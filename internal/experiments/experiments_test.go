@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -23,8 +25,20 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if _, err := Run("nope", small); err == nil {
-		t.Error("unknown experiment: want error")
+	_, err := Run(context.Background(), "nope", small)
+	if err == nil {
+		t.Fatal("unknown experiment: want error")
+	}
+	if !errors.Is(err, ErrUnknown) {
+		t.Errorf("error %v does not wrap ErrUnknown", err)
+	}
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, "E1", small); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled run: err = %v, want context.Canceled", err)
 	}
 }
 
@@ -59,7 +73,7 @@ func TestFigure1(t *testing.T) {
 }
 
 func TestFigure2ProcessNarrative(t *testing.T) {
-	o, err := Figure2(small)
+	o, err := Figure2(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +94,7 @@ func TestFigure2ProcessNarrative(t *testing.T) {
 }
 
 func TestFigure3Differential(t *testing.T) {
-	o, err := Figure3(small)
+	o, err := Figure3(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +113,7 @@ func TestFigure3Differential(t *testing.T) {
 }
 
 func TestE1Shape(t *testing.T) {
-	o, err := E1WarningEffectiveness(small)
+	o, err := E1WarningEffectiveness(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +130,7 @@ func TestE1Shape(t *testing.T) {
 }
 
 func TestE2AllMitigationsHelp(t *testing.T) {
-	o, err := E2PhishingMitigations(small)
+	o, err := E2PhishingMitigations(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +146,7 @@ func TestE2AllMitigationsHelp(t *testing.T) {
 }
 
 func TestE3Shape(t *testing.T) {
-	o, err := E3PasswordCompliance(small)
+	o, err := E3PasswordCompliance(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +168,7 @@ func TestE3Shape(t *testing.T) {
 }
 
 func TestE4Shape(t *testing.T) {
-	o, err := E4PasswordMitigations(small)
+	o, err := E4PasswordMitigations(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +194,7 @@ func TestE4Shape(t *testing.T) {
 }
 
 func TestE5Shape(t *testing.T) {
-	o, err := E5Predictability(small)
+	o, err := E5Predictability(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +225,7 @@ func TestE5Shape(t *testing.T) {
 }
 
 func TestE6Shape(t *testing.T) {
-	o, err := E6Habituation(small)
+	o, err := E6Habituation(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +244,7 @@ func TestE6Shape(t *testing.T) {
 }
 
 func TestE7Shape(t *testing.T) {
-	o, err := E7PassiveIndicator(small)
+	o, err := E7PassiveIndicator(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +260,7 @@ func TestE7Shape(t *testing.T) {
 }
 
 func TestE8Shape(t *testing.T) {
-	o, err := E8GulfsAndGEMS(small)
+	o, err := E8GulfsAndGEMS(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +282,7 @@ func TestE8Shape(t *testing.T) {
 }
 
 func TestE9Shape(t *testing.T) {
-	o, err := E9DesignPatterns(small)
+	o, err := E9DesignPatterns(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +304,7 @@ func TestE9Shape(t *testing.T) {
 }
 
 func TestE10Shape(t *testing.T) {
-	o, err := E10MemoryDynamics(small)
+	o, err := E10MemoryDynamics(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +324,7 @@ func TestE10Shape(t *testing.T) {
 }
 
 func TestE11Shape(t *testing.T) {
-	o, err := E11TrustedPath(small)
+	o, err := E11TrustedPath(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +352,7 @@ func TestE11Shape(t *testing.T) {
 }
 
 func TestE12Shape(t *testing.T) {
-	o, err := E12ModelAblations(small)
+	o, err := E12ModelAblations(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +380,7 @@ func TestE12Shape(t *testing.T) {
 }
 
 func TestE13Shape(t *testing.T) {
-	o, err := E13ActivenessTradeoff(small)
+	o, err := E13ActivenessTradeoff(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,7 +401,7 @@ func TestE13Shape(t *testing.T) {
 }
 
 func TestE14Shape(t *testing.T) {
-	o, err := E14PasswordStrings(small)
+	o, err := E14PasswordStrings(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,7 +431,7 @@ func TestE14Shape(t *testing.T) {
 }
 
 func TestE15Shape(t *testing.T) {
-	o, err := E15AntivirusAutomation(small)
+	o, err := E15AntivirusAutomation(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,7 +456,7 @@ func TestRunAllRendersEverything(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full suite is slow")
 	}
-	outs, err := RunAll(Config{Seed: 7, N: 400})
+	outs, err := RunAll(context.Background(), Config{Seed: 7, N: 400})
 	if err != nil {
 		t.Fatal(err)
 	}

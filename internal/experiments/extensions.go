@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -20,7 +21,7 @@ import (
 // by reliability gain on a weak system, verify the stacked catalog
 // transforms it, and show the polymorphic-warning pattern defeating
 // habituation in a longitudinal setting.
-func E9DesignPatterns(cfg Config) (*Output, error) {
+func E9DesignPatterns(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(3000)
 
 	weak := core.HumanTask{
@@ -104,7 +105,7 @@ func E9DesignPatterns(cfg Config) (*Output, error) {
 	// Monte Carlo confirmation: heed rate on the 20th exposure.
 	heedAt := func(c comms.Communication, seedOff int64) (float64, error) {
 		runner := sim.Runner{Seed: cfg.Seed + seedOff, N: n}
-		res, err := runner.Run(func(rng *rand.Rand, i int) (sim.Outcome, error) {
+		res, err := runner.Run(ctx, func(rng *rand.Rand, i int) (sim.Outcome, error) {
 			r := agent.NewReceiver(population.GeneralPublic().Sample(rng))
 			r.AddExposures(c.ID, 20)
 			ar, err := r.Process(rng, agent.Encounter{
@@ -146,7 +147,7 @@ func E9DesignPatterns(cfg Config) (*Output, error) {
 // E10MemoryDynamics exercises the activation-based memory substrate:
 // the forgetting curve, the spacing effect, interference (fan effect), and
 // the refresher-cadence sweep for security training (§2.3.3).
-func E10MemoryDynamics(cfg Config) (*Output, error) {
+func E10MemoryDynamics(ctx context.Context, cfg Config) (*Output, error) {
 	m := memory.DefaultModel()
 	metrics := map[string]float64{}
 

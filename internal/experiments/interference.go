@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -17,7 +18,7 @@ import (
 // attacks on the warning channel (spoof, block, obscure, delay per Ye et
 // al.) versus a trusted-path hardening that makes indicators unspoofable
 // and delivery fail-closed.
-func E11TrustedPath(cfg Config) (*Output, error) {
+func E11TrustedPath(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(3000)
 	pop := population.GeneralPublic()
 	warning := comms.FirefoxActiveWarning()
@@ -35,7 +36,7 @@ func E11TrustedPath(cfg Config) (*Output, error) {
 
 	heedUnder := func(att stimuli.Interference, seedOff int64) (float64, error) {
 		runner := sim.Runner{Seed: cfg.Seed + seedOff, N: n}
-		res, err := runner.Run(func(rng *rand.Rand, i int) (sim.Outcome, error) {
+		res, err := runner.Run(ctx, func(rng *rand.Rand, i int) (sim.Outcome, error) {
 			r := agent.NewReceiver(pop.Sample(rng))
 			ar, err := r.Process(rng, agent.Encounter{
 				Comm: warning, Env: stimuli.Busy(),

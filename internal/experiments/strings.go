@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -16,7 +17,7 @@ import (
 // measure what a dictionary check rejects. This grounds E3/E4's aggregate
 // strength numbers in real strings and closes the loop with §2.4's
 // dictionary-prohibition advice.
-func E14PasswordStrings(cfg Config) (*Output, error) {
+func E14PasswordStrings(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(2000)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	pol := password.Policy{Name: "enterprise", MinLength: 12, RequiredClasses: 3}

@@ -10,6 +10,7 @@
 package password
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -193,8 +194,9 @@ func (p Policy) TheoreticalBits() float64 {
 	return float64(p.MinLength) * math.Log2(charset)
 }
 
-// Run executes the scenario.
-func (s Scenario) Run() (Metrics, error) {
+// Run executes the scenario. Cancellation via ctx aborts the underlying
+// Monte Carlo run and returns ctx.Err().
+func (s Scenario) Run(ctx context.Context) (Metrics, error) {
 	(&s).setDefaults()
 	if err := s.Validate(); err != nil {
 		return Metrics{}, err
@@ -209,7 +211,7 @@ func (s Scenario) Run() (Metrics, error) {
 	cost := 0.4 * s.Policy.complianceCost(s.Accounts, s.Tools)
 
 	runner := sim.Runner{Seed: s.Seed, N: s.N}
-	res, err := runner.Run(func(rng *rand.Rand, i int) (sim.Outcome, error) {
+	res, err := runner.Run(ctx, func(rng *rand.Rand, i int) (sim.Outcome, error) {
 		prof := s.Population.Sample(rng)
 		r := agent.NewReceiver(prof)
 
@@ -455,7 +457,7 @@ func poissonF(rng *rand.Rand, mean float64) float64 {
 
 // PortfolioSweep runs the scenario across portfolio sizes, returning one
 // metrics point per size (the Gaw & Felten reuse curve).
-func PortfolioSweep(base Scenario, sizes []int) ([]Metrics, error) {
+func PortfolioSweep(ctx context.Context, base Scenario, sizes []int) ([]Metrics, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("password: empty sweep")
 	}
@@ -464,7 +466,7 @@ func PortfolioSweep(base Scenario, sizes []int) ([]Metrics, error) {
 		sc := base
 		sc.Accounts = n
 		sc.Seed = base.Seed + int64(i)*104729
-		m, err := sc.Run()
+		m, err := sc.Run(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("password: sweep size %d: %w", n, err)
 		}
@@ -474,7 +476,7 @@ func PortfolioSweep(base Scenario, sizes []int) ([]Metrics, error) {
 }
 
 // ExpirySweep runs the scenario across expiry settings (0 = never).
-func ExpirySweep(base Scenario, expiries []int) ([]Metrics, error) {
+func ExpirySweep(ctx context.Context, base Scenario, expiries []int) ([]Metrics, error) {
 	if len(expiries) == 0 {
 		return nil, fmt.Errorf("password: empty sweep")
 	}
@@ -483,7 +485,7 @@ func ExpirySweep(base Scenario, expiries []int) ([]Metrics, error) {
 		sc := base
 		sc.Policy.ExpiryDays = e
 		sc.Seed = base.Seed + int64(i)*130363
-		m, err := sc.Run()
+		m, err := sc.Run(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("password: sweep expiry %d: %w", e, err)
 		}

@@ -1,6 +1,7 @@
 package password
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -78,7 +79,7 @@ func TestComplianceCostOrdering(t *testing.T) {
 }
 
 func TestRunProducesMetrics(t *testing.T) {
-	m, err := baseScenario().Run()
+	m, err := baseScenario().Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestWidespreadNoncomplianceUnderStrongPolicy(t *testing.T) {
 	// §3.2: "In practice, people tend not to comply fully with password
 	// policies" — with 15 accounts and a strict policy, full compliance
 	// should be the exception.
-	m, err := baseScenario().Run()
+	m, err := baseScenario().Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestWidespreadNoncomplianceUnderStrongPolicy(t *testing.T) {
 func TestCapabilityIsTopFailure(t *testing.T) {
 	// The paper's diagnosis: "The most critical failure appears to be a
 	// capabilities failure."
-	m, err := baseScenario().Run()
+	m, err := baseScenario().Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestCapabilityIsTopFailure(t *testing.T) {
 
 func TestReuseGrowsWithPortfolio(t *testing.T) {
 	// Gaw & Felten: password reuse rises as people accumulate accounts.
-	ms, err := PortfolioSweep(baseScenario(), []int{2, 5, 10, 25, 50})
+	ms, err := PortfolioSweep(context.Background(), baseScenario(), []int{2, 5, 10, 25, 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestReuseGrowsWithPortfolio(t *testing.T) {
 func TestExpiryHurts(t *testing.T) {
 	// Adams & Sasse: frequent mandatory changes push users into
 	// noncompliant coping.
-	ms, err := ExpirySweep(baseScenario(), []int{0, 180, 90, 30})
+	ms, err := ExpirySweep(context.Background(), baseScenario(), []int{0, 180, 90, 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,21 +174,21 @@ func TestExpiryHurts(t *testing.T) {
 }
 
 func TestSSOAndVaultMitigateCapability(t *testing.T) {
-	base, err := baseScenario().Run()
+	base, err := baseScenario().Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	sso := baseScenario()
 	sso.Tools.SSO = true
 	sso.Seed = 43
-	msso, err := sso.Run()
+	msso, err := sso.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	vault := baseScenario()
 	vault.Tools.Vault = true
 	vault.Seed = 44
-	mvault, err := vault.Run()
+	mvault, err := vault.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestSSOAndVaultMitigateCapability(t *testing.T) {
 	both.Tools.SSO = true
 	both.Tools.Vault = true
 	both.Seed = 45
-	mboth, err := both.Run()
+	mboth, err := both.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,14 +217,14 @@ func TestSSOAndVaultMitigateCapability(t *testing.T) {
 }
 
 func TestStrengthMeterRaisesBits(t *testing.T) {
-	base, err := baseScenario().Run()
+	base, err := baseScenario().Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	meter := baseScenario()
 	meter.Tools.StrengthMeter = true
 	meter.Seed = 46
-	m, err := meter.Run()
+	m, err := meter.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,14 +240,14 @@ func TestMnemonicGuidanceWithoutDictionaryCheckIsWeak(t *testing.T) {
 	guided := baseScenario()
 	guided.Policy.MnemonicGuidance = true
 	guided.Policy.DictionaryCheck = false
-	g, err := guided.Run()
+	g, err := guided.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	checked := guided
 	checked.Policy.DictionaryCheck = true
 	checked.Seed = 47
-	c, err := checked.Run()
+	c, err := checked.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,14 +261,14 @@ func TestRationaleTrainingHelpsMotivation(t *testing.T) {
 	base := baseScenario()
 	base.Accounts = 2 // small portfolio so capability is not binding
 	base.N = 4000
-	b, err := base.Run()
+	b, err := base.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	trained := base
 	trained.Tools.RationaleTraining = true
 	trained.Seed = 48
-	tr, err := trained.Run()
+	tr, err := trained.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,11 +280,11 @@ func TestRationaleTrainingHelpsMotivation(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
-	a, err := baseScenario().Run()
+	a, err := baseScenario().Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := baseScenario().Run()
+	b, err := baseScenario().Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,10 +294,10 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestSweepErrors(t *testing.T) {
-	if _, err := PortfolioSweep(baseScenario(), nil); err == nil {
+	if _, err := PortfolioSweep(context.Background(), baseScenario(), nil); err == nil {
 		t.Error("empty portfolio sweep: want error")
 	}
-	if _, err := ExpirySweep(baseScenario(), nil); err == nil {
+	if _, err := ExpirySweep(context.Background(), baseScenario(), nil); err == nil {
 		t.Error("empty expiry sweep: want error")
 	}
 }

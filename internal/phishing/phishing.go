@@ -8,6 +8,7 @@
 package phishing
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -84,14 +85,15 @@ type StudyResult struct {
 // HeedRate is the fraction of subjects protected from the phish.
 func (r StudyResult) HeedRate() float64 { return r.Run.HeedRate() }
 
-// Run executes the study.
-func (s Study) Run() (StudyResult, error) {
+// Run executes the study. Cancellation via ctx aborts the underlying
+// Monte Carlo run and returns ctx.Err().
+func (s Study) Run(ctx context.Context) (StudyResult, error) {
 	(&s).setDefaults()
 	if err := s.Condition.Warning.Validate(); err != nil {
 		return StudyResult{}, fmt.Errorf("phishing: %w", err)
 	}
 	runner := sim.Runner{Seed: s.Seed, N: s.N}
-	res, err := runner.Run(func(rng *rand.Rand, i int) (sim.Outcome, error) {
+	res, err := runner.Run(ctx, func(rng *rand.Rand, i int) (sim.Outcome, error) {
 		prof := s.Population.Sample(rng)
 		r := agent.NewReceiver(prof)
 		if s.Condition.PreTrained {
@@ -120,14 +122,14 @@ func (s Study) Run() (StudyResult, error) {
 
 // CompareConditions runs the same study over multiple conditions with
 // derived seeds and returns results in input order.
-func CompareConditions(seed int64, n int, conds []Condition) ([]StudyResult, error) {
+func CompareConditions(ctx context.Context, seed int64, n int, conds []Condition) ([]StudyResult, error) {
 	if len(conds) == 0 {
 		return nil, fmt.Errorf("phishing: no conditions")
 	}
 	out := make([]StudyResult, len(conds))
 	for i, c := range conds {
 		st := Study{Condition: c, N: n, Seed: seed + int64(i)*7919}
-		res, err := st.Run()
+		res, err := st.Run(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("phishing: condition %s: %w", c.Name, err)
 		}
@@ -247,14 +249,15 @@ type CampaignMetrics struct {
 	PerEncounterVictimRate float64
 }
 
-// Run executes the campaign.
-func (c Campaign) Run() (CampaignMetrics, error) {
+// Run executes the campaign. Cancellation via ctx aborts the underlying
+// Monte Carlo run and returns ctx.Err().
+func (c Campaign) Run(ctx context.Context) (CampaignMetrics, error) {
 	(&c).setDefaults()
 	if err := c.Validate(); err != nil {
 		return CampaignMetrics{}, err
 	}
 	runner := sim.Runner{Seed: c.Seed, N: c.N}
-	res, err := runner.Run(func(rng *rand.Rand, i int) (sim.Outcome, error) {
+	res, err := runner.Run(ctx, func(rng *rand.Rand, i int) (sim.Outcome, error) {
 		prof := c.Population.Sample(rng)
 		r := agent.NewReceiver(prof)
 		phished := false

@@ -1,6 +1,7 @@
 package phishing
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestStandardConditionsValid(t *testing.T) {
 }
 
 func TestStudyReproducesEgelmanShape(t *testing.T) {
-	results, err := CompareConditions(1234, 3000, StandardConditions())
+	results, err := CompareConditions(context.Background(), 1234, 3000, StandardConditions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestStudyFailureStagesDiffer(t *testing.T) {
 	// The framework's point: the *root causes* differ by design. Passive
 	// warnings fail at attention switch/delivery; active warnings fail
 	// downstream (comprehension, beliefs, behavior).
-	results, err := CompareConditions(99, 3000, StandardConditions())
+	results, err := CompareConditions(context.Background(), 99, 3000, StandardConditions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestMitigationsImproveHeedRates(t *testing.T) {
 	base := StandardConditions()[1] // ie-active: look-alike, weak explanation
 	all := WithTraining(WithExplanation(WithDistinctLook(base)))
 	conds := []Condition{base, WithDistinctLook(base), WithExplanation(base), WithTraining(base), all}
-	results, err := CompareConditions(77, 4000, conds)
+	results, err := CompareConditions(context.Background(), 77, 4000, conds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestStudyWithInterference(t *testing.T) {
 	attacked := base
 	attacked.Name = "firefox+spoofed"
 	attacked.Interference = stimuli.Interference{Kind: stimuli.Spoof, Strength: 1}
-	results, err := CompareConditions(5, 2000, []Condition{base, attacked})
+	results, err := CompareConditions(context.Background(), 5, 2000, []Condition{base, attacked})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,11 +140,11 @@ func TestStudyWithInterference(t *testing.T) {
 }
 
 func TestStudyDeterministic(t *testing.T) {
-	a, err := Study{Condition: StandardConditions()[0], N: 500, Seed: 3}.Run()
+	a, err := Study{Condition: StandardConditions()[0], N: 500, Seed: 3}.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Study{Condition: StandardConditions()[0], N: 500, Seed: 3}.Run()
+	b, err := Study{Condition: StandardConditions()[0], N: 500, Seed: 3}.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,12 +154,12 @@ func TestStudyDeterministic(t *testing.T) {
 }
 
 func TestCompareConditionsErrors(t *testing.T) {
-	if _, err := CompareConditions(1, 10, nil); err == nil {
+	if _, err := CompareConditions(context.Background(), 1, 10, nil); err == nil {
 		t.Error("no conditions: want error")
 	}
 	bad := StandardConditions()[0]
 	bad.Warning.ID = ""
-	if _, err := CompareConditions(1, 10, []Condition{bad}); err == nil {
+	if _, err := CompareConditions(context.Background(), 1, 10, []Condition{bad}); err == nil {
 		t.Error("invalid warning: want error")
 	}
 }
@@ -188,11 +189,11 @@ func TestCampaignFalsePositivesErodeProtection(t *testing.T) {
 	noisy := base
 	noisy.DetectorFPR = 0.05 // a false alarm every couple of days
 	noisy.Seed = 22
-	quiet, err := base.Run()
+	quiet, err := base.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	loud, err := noisy.Run()
+	loud, err := noisy.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,11 +218,11 @@ func TestCampaignBetterDetectorProtects(t *testing.T) {
 	strong := weak
 	strong.DetectorTPR = 0.99
 	strong.Seed = 32
-	w, err := weak.Run()
+	w, err := weak.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := strong.Run()
+	s, err := strong.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The metrics layer is dependency-free on purpose: the module has no
+// third-party imports, so the exposition format is produced by hand. It
+// follows the Prometheus text format (version 0.0.4) closely enough for any
+// standard scraper:
+//
+//	hitl_http_requests_total{route,method,code}   counter
+//	hitl_http_request_errors_total{route}         counter (status >= 400)
+//	hitl_http_in_flight_requests                  gauge
+//	hitl_http_request_duration_seconds            histogram, per route
+//
+// All hot-path updates are atomic; map growth (new method/code pairs) takes
+// a mutex but happens at most once per distinct pair per endpoint.
+
+// latencyBuckets are the histogram upper bounds in seconds. Requests range
+// from sub-millisecond registry reads to multi-second experiment runs, so
+// the buckets span 1ms..60s.
+var latencyBuckets = []float64{
+	0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// endpointMetrics accumulates one route's counters and latency histogram.
+type endpointMetrics struct {
+	route string
+
+	mu      sync.Mutex
+	byLabel map[string]*atomic.Int64 // "METHOD code" -> request count
+
+	errors    atomic.Int64
+	buckets   []atomic.Int64 // len(latencyBuckets)+1; last is +Inf
+	count     atomic.Int64
+	sumMicros atomic.Int64
+}
+
+func newEndpointMetrics(route string) *endpointMetrics {
+	return &endpointMetrics{
+		route:   route,
+		byLabel: make(map[string]*atomic.Int64),
+		buckets: make([]atomic.Int64, len(latencyBuckets)+1),
+	}
+}
+
+// observe records one completed request.
+func (e *endpointMetrics) observe(method string, status int, d time.Duration) {
+	label := fmt.Sprintf("%s %d", method, status)
+	e.mu.Lock()
+	c, ok := e.byLabel[label]
+	if !ok {
+		c = new(atomic.Int64)
+		e.byLabel[label] = c
+	}
+	e.mu.Unlock()
+	c.Add(1)
+	if status >= 400 {
+		e.errors.Add(1)
+	}
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, secs)
+	e.buckets[i].Add(1)
+	e.count.Add(1)
+	e.sumMicros.Add(d.Microseconds())
+}
+
+// metricsRegistry is the process-wide collector behind GET /v1/metrics.
+type metricsRegistry struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+	order     []string // registration order, for stable exposition
+	inFlight  atomic.Int64
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{endpoints: make(map[string]*endpointMetrics)}
+}
+
+// endpoint returns (registering if needed) the collector for a route.
+func (m *metricsRegistry) endpoint(route string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.endpoints[route]; ok {
+		return e
+	}
+	e := newEndpointMetrics(route)
+	m.endpoints[route] = e
+	m.order = append(m.order, route)
+	return e
+}
+
+// writePrometheus renders the whole registry in Prometheus text format.
+func (m *metricsRegistry) writePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	routes := make([]*endpointMetrics, 0, len(m.order))
+	for _, r := range m.order {
+		routes = append(routes, m.endpoints[r])
+	}
+	m.mu.Unlock()
+
+	var b strings.Builder
+	b.WriteString("# HELP hitl_http_in_flight_requests Requests currently being served.\n")
+	b.WriteString("# TYPE hitl_http_in_flight_requests gauge\n")
+	fmt.Fprintf(&b, "hitl_http_in_flight_requests %d\n", m.inFlight.Load())
+
+	b.WriteString("# HELP hitl_http_requests_total Completed requests by route, method, and status code.\n")
+	b.WriteString("# TYPE hitl_http_requests_total counter\n")
+	for _, e := range routes {
+		e.mu.Lock()
+		labels := make([]string, 0, len(e.byLabel))
+		for l := range e.byLabel {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			method, code, _ := strings.Cut(l, " ")
+			fmt.Fprintf(&b, "hitl_http_requests_total{route=%q,method=%q,code=%q} %d\n",
+				e.route, method, code, e.byLabel[l].Load())
+		}
+		e.mu.Unlock()
+	}
+
+	b.WriteString("# HELP hitl_http_request_errors_total Completed requests with status >= 400.\n")
+	b.WriteString("# TYPE hitl_http_request_errors_total counter\n")
+	for _, e := range routes {
+		fmt.Fprintf(&b, "hitl_http_request_errors_total{route=%q} %d\n", e.route, e.errors.Load())
+	}
+
+	b.WriteString("# HELP hitl_http_request_duration_seconds Request latency by route.\n")
+	b.WriteString("# TYPE hitl_http_request_duration_seconds histogram\n")
+	for _, e := range routes {
+		var cum int64
+		for i, le := range latencyBuckets {
+			cum += e.buckets[i].Load()
+			fmt.Fprintf(&b, "hitl_http_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
+				e.route, formatLe(le), cum)
+		}
+		cum += e.buckets[len(latencyBuckets)].Load()
+		fmt.Fprintf(&b, "hitl_http_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n",
+			e.route, cum)
+		fmt.Fprintf(&b, "hitl_http_request_duration_seconds_sum{route=%q} %g\n",
+			e.route, float64(e.sumMicros.Load())/1e6)
+		fmt.Fprintf(&b, "hitl_http_request_duration_seconds_count{route=%q} %d\n",
+			e.route, e.count.Load())
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatLe renders a bucket bound the way Prometheus clients expect
+// (shortest decimal form, no exponent for these magnitudes).
+func formatLe(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+}

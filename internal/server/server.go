@@ -3,9 +3,10 @@
 // specs for checklist analysis, run the mitigation process, ask for design
 // patterns, and regenerate experiments.
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted):
 //
 //	GET  /v1/healthz          liveness probe
+//	GET  /v1/metrics          Prometheus text-format runtime telemetry
 //	GET  /v1/components       the Table 1 component registry
 //	GET  /v1/patterns         the §5 design-pattern catalog (metadata)
 //	GET  /v1/experiments      the experiment registry
@@ -15,20 +16,37 @@
 //	POST /v1/experiments/run  {id, seed, n} -> metrics + rendered text
 //
 // Requests are size-limited and run with a per-request subject-count cap so
-// a single call cannot monopolize the process.
+// a single call cannot monopolize the process. Every response carries an
+// X-Request-ID header (honoring a client-supplied one) that also appears in
+// the structured access log. Handlers run under the request context:
+// a client that disconnects or times out cancels its in-flight Monte Carlo
+// work, reported as HTTP 499 in logs and metrics.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"os"
+	"strconv"
 	"strings"
 
 	"hitl/internal/core"
 	"hitl/internal/experiments"
 	"hitl/internal/patterns"
 )
+
+// statusClientClosedRequest is the non-standard (nginx-convention) status
+// for "the client went away before we finished". It keeps abandoned work
+// distinguishable from real failures in logs and metrics.
+const statusClientClosedRequest = 499
+
+// defaultProcessPasses mirrors core.ProcessOptions' documented default so
+// the handler can report the effective pass count when none was requested.
+const defaultProcessPasses = 2
 
 // Config bounds the server's work.
 type Config struct {
@@ -39,6 +57,8 @@ type Config struct {
 	MaxSubjects int
 	// MaxProcessPasses caps the Figure 2 iteration count; default 4.
 	MaxProcessPasses int
+	// Logger receives structured access logs; default logs to stderr.
+	Logger *slog.Logger
 }
 
 func (c *Config) setDefaults() {
@@ -55,22 +75,29 @@ func (c *Config) setDefaults() {
 
 // Server is the HTTP handler set.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg     Config
+	mux     *http.ServeMux
+	metrics *metricsRegistry
+	log     *slog.Logger
 }
 
 // New creates a server with the config.
 func New(cfg Config) *Server {
 	cfg.setDefaults()
-	s := &Server{cfg: cfg, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/v1/components", s.handleComponents)
-	s.mux.HandleFunc("/v1/patterns", s.handlePatterns)
-	s.mux.HandleFunc("/v1/experiments", s.handleExperimentList)
-	s.mux.HandleFunc("/v1/experiments/run", s.handleExperimentRun)
-	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
-	s.mux.HandleFunc("/v1/process", s.handleProcess)
-	s.mux.HandleFunc("/v1/recommend", s.handleRecommend)
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), metrics: newMetricsRegistry(), log: log}
+	s.route("/v1/healthz", s.handleHealthz, http.MethodGet)
+	s.route("/v1/metrics", s.handleMetrics, http.MethodGet)
+	s.route("/v1/components", s.handleComponents, http.MethodGet)
+	s.route("/v1/patterns", s.handlePatterns, http.MethodGet)
+	s.route("/v1/experiments", s.handleExperimentList, http.MethodGet)
+	s.route("/v1/experiments/run", s.handleExperimentRun, http.MethodPost)
+	s.route("/v1/analyze", s.handleAnalyze, http.MethodPost)
+	s.route("/v1/process", s.handleProcess, http.MethodPost)
+	s.route("/v1/recommend", s.handleRecommend, http.MethodPost)
 	return s
 }
 
@@ -94,13 +121,10 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-// decodeSpec reads a SystemSpec request body.
+// decodeSpec reads a SystemSpec request body. Method enforcement happens
+// in the route middleware.
 func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (core.SystemSpec, bool) {
 	var spec core.SystemSpec
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-		return spec, false
-	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
@@ -119,11 +143,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
-		return
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.writePrometheus(w); err != nil {
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "metrics write failed",
+			slog.String("error", err.Error()))
 	}
+}
+
+func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
 	type componentDTO struct {
 		ID        int      `json:"id"`
 		Group     string   `json:"group"`
@@ -142,10 +170,6 @@ func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
-		return
-	}
 	type patternDTO struct {
 		Name      string   `json:"name"`
 		Category  string   `json:"category"`
@@ -212,17 +236,21 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	opts := core.ProcessOptions{}
+	// strconv.Atoi rejects trailing garbage ("3junk") that Sscanf used to
+	// accept silently.
+	effective := defaultProcessPasses
 	if p := r.URL.Query().Get("passes"); p != "" {
-		if _, err := fmt.Sscanf(p, "%d", &opts.MaxPasses); err != nil || opts.MaxPasses < 1 {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid passes %q", p))
 			return
 		}
+		effective = v
 	}
-	if opts.MaxPasses > s.cfg.MaxProcessPasses {
-		opts.MaxPasses = s.cfg.MaxProcessPasses
+	if effective > s.cfg.MaxProcessPasses {
+		effective = s.cfg.MaxProcessPasses
 	}
-	res, err := core.RunProcess(spec, opts)
+	res, err := core.RunProcess(spec, core.ProcessOptions{MaxPasses: effective})
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
@@ -250,6 +278,7 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"passes":           pd,
+		"effectivePasses":  effective,
 		"finalReliability": res.FinalReliability,
 		"automated":        res.Automated,
 	})
@@ -289,10 +318,6 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
-		return
-	}
 	type expDTO struct {
 		ID   string `json:"id"`
 		Name string `json:"name"`
@@ -312,10 +337,6 @@ type experimentRunRequest struct {
 }
 
 func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-		return
-	}
 	var req experimentRunRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(body)
@@ -336,13 +357,18 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	if req.Seed == 0 {
 		req.Seed = 20080124
 	}
-	out, err := experiments.Run(req.ID, experiments.Config{Seed: req.Seed, N: req.N})
+	// The request context cancels the Monte Carlo workers when the client
+	// disconnects or the server drains, so abandoned runs stop burning CPU.
+	out, err := experiments.Run(r.Context(), req.ID, experiments.Config{Seed: req.Seed, N: req.N})
 	if err != nil {
-		status := http.StatusInternalServerError
-		if strings.Contains(err.Error(), "unknown experiment") {
-			status = http.StatusNotFound
+		switch {
+		case errors.Is(err, experiments.ErrUnknown):
+			writeErr(w, http.StatusNotFound, err)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			writeErr(w, statusClientClosedRequest, err)
+		default:
+			writeErr(w, http.StatusInternalServerError, err)
 		}
-		writeErr(w, status, err)
 		return
 	}
 	var text strings.Builder

@@ -2,7 +2,10 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -15,9 +18,14 @@ import (
 	"hitl/internal/stimuli"
 )
 
+// quietConfig silences access logs in tests.
+func quietConfig() Config {
+	return Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))}
+}
+
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(Config{}))
+	ts := httptest.NewServer(New(quietConfig()))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -88,6 +96,9 @@ func TestComponentsEndpoint(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST components: %d, want 405", resp2.StatusCode)
+	}
+	if allow := resp2.Header.Get("Allow"); allow != "GET" {
+		t.Errorf("405 Allow header = %q, want GET (RFC 9110 §15.5.6)", allow)
 	}
 }
 
@@ -177,14 +188,19 @@ func TestAnalyzeRejectsBadInput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET analyze: %d, want 405", resp.StatusCode)
 	}
+	if allow := resp.Header.Get("Allow"); allow != "POST" {
+		t.Errorf("405 Allow header = %q, want POST", allow)
+	}
+	resp.Body.Close()
 }
 
 func TestAnalyzeBodyLimit(t *testing.T) {
-	ts := httptest.NewServer(New(Config{MaxBodyBytes: 64}))
+	cfg := quietConfig()
+	cfg.MaxBodyBytes = 64
+	ts := httptest.NewServer(New(cfg))
 	defer ts.Close()
 	resp := postJSON(t, ts.URL+"/v1/analyze", exampleSpec())
 	resp.Body.Close()
@@ -314,5 +330,128 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 	}
 	if a != b {
 		t.Errorf("reliability differs after round-trip: %v vs %v", a, b)
+	}
+}
+
+func TestProcessPassesValidation(t *testing.T) {
+	ts := newTestServer(t)
+	// Trailing garbage must be rejected, not silently truncated the way
+	// fmt.Sscanf("%d") used to accept "3junk" as 3.
+	for _, bad := range []string{"3junk", "0x2", "2.5", "-1", "0"} {
+		resp := postJSON(t, ts.URL+"/v1/process?passes="+bad, exampleSpec())
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("passes=%q: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestProcessReportsEffectivePasses(t *testing.T) {
+	ts := newTestServer(t)
+	var body struct {
+		EffectivePasses int `json:"effectivePasses"`
+	}
+	// Requesting more than MaxProcessPasses (default 4) is clamped, and the
+	// clamp is reported instead of being silent.
+	resp := postJSON(t, ts.URL+"/v1/process?passes=99", exampleSpec())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("process status %d", resp.StatusCode)
+	}
+	decodeBody(t, resp, &body)
+	if body.EffectivePasses != 4 {
+		t.Errorf("effectivePasses = %d, want 4 (clamped)", body.EffectivePasses)
+	}
+	// Default (no passes param) reports the default pass budget.
+	resp = postJSON(t, ts.URL+"/v1/process", exampleSpec())
+	decodeBody(t, resp, &body)
+	if body.EffectivePasses != defaultProcessPasses {
+		t.Errorf("effectivePasses = %d, want %d (default)", body.EffectivePasses, defaultProcessPasses)
+	}
+}
+
+func TestExperimentRunClientCancel(t *testing.T) {
+	// A canceled request context (client disconnect) must abort the Monte
+	// Carlo run and surface as 499, not 500 and not a completed run.
+	srv := New(quietConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	raw, _ := json.Marshal(experimentRunRequest{ID: "E1", Seed: 1, N: 5000})
+	req := httptest.NewRequest(http.MethodPost, "/v1/experiments/run", bytes.NewReader(raw)).WithContext(ctx)
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, req)
+	if rr.Code != statusClientClosedRequest {
+		t.Fatalf("canceled run: status %d, want %d; body: %s", rr.Code, statusClientClosedRequest, rr.Body.String())
+	}
+}
+
+func TestRequestIDHeader(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-ID"); len(id) != 16 {
+		t.Errorf("generated X-Request-ID = %q, want 16 hex chars", id)
+	}
+	// A client-supplied ID is honored, so IDs correlate across services.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	req.Header.Set("X-Request-ID", "upstream-7")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-ID"); id != "upstream-7" {
+		t.Errorf("X-Request-ID = %q, want upstream-7", id)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	// Generate traffic: two successes and one 405 error.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp := postJSON(t, ts.URL+"/v1/components", map[string]any{})
+	resp.Body.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content-type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE hitl_http_requests_total counter",
+		`hitl_http_requests_total{route="/v1/healthz",method="GET",code="200"} 2`,
+		`hitl_http_requests_total{route="/v1/components",method="POST",code="405"} 1`,
+		"# TYPE hitl_http_request_errors_total counter",
+		`hitl_http_request_errors_total{route="/v1/components"} 1`,
+		"# TYPE hitl_http_in_flight_requests gauge",
+		"hitl_http_in_flight_requests 1",
+		"# TYPE hitl_http_request_duration_seconds histogram",
+		`hitl_http_request_duration_seconds_bucket{route="/v1/healthz",le="+Inf"} 2`,
+		`hitl_http_request_duration_seconds_count{route="/v1/healthz"} 2`,
+		`hitl_http_request_duration_seconds_sum{route="/v1/healthz"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// Bucket bounds render without exponents and cumulate monotonically.
+	if !strings.Contains(text, `le="0.001"`) || !strings.Contains(text, `le="60"`) {
+		t.Error("metrics output missing expected bucket bounds")
 	}
 }

@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -134,10 +135,22 @@ type Runner struct {
 	// Workers is the parallelism; 0 means GOMAXPROCS. Results are
 	// deterministic regardless of Workers.
 	Workers int
+	// SweepLabeler, when non-nil, formats SweepPoint.Label during Sweep;
+	// the default label is fmt.Sprintf("%g", param).
+	SweepLabeler func(param float64) string
 }
 
 // Run executes f for every subject and aggregates the outcomes.
-func (ru Runner) Run(f SubjectFunc) (*Result, error) {
+//
+// Run honors ctx: each worker checks for cancellation before starting the
+// next subject, so an in-flight run stops within one subject per worker of
+// the cancel and returns ctx.Err() (use errors.Is with context.Canceled or
+// context.DeadlineExceeded to distinguish abandonment from real failures).
+// A nil ctx is treated as context.Background().
+func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if ru.N < 1 {
 		return nil, fmt.Errorf("sim: need N >= 1 subjects, got %d", ru.N)
 	}
@@ -165,12 +178,18 @@ func (ru Runner) Run(f SubjectFunc) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					return
+				}
 				rng := SubjectRand(ru.Seed, i)
 				outs[i], errs[i] = f(rng, i)
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("sim: subject %d: %w", i, err)
@@ -216,8 +235,11 @@ type SweepPoint struct {
 
 // Sweep runs the runner once per parameter value, building the scenario
 // via build. Each point uses a distinct derived seed so points are
-// independent but the whole sweep is reproducible.
-func (ru Runner) Sweep(params []float64, build func(param float64) SubjectFunc) ([]SweepPoint, error) {
+// independent but the whole sweep is reproducible. Point labels come from
+// the runner's SweepLabeler, defaulting to fmt.Sprintf("%g", param).
+// Cancellation via ctx aborts between subjects exactly as in Run; the
+// error then wraps ctx.Err().
+func (ru Runner) Sweep(ctx context.Context, params []float64, build func(param float64) SubjectFunc) ([]SweepPoint, error) {
 	if len(params) == 0 {
 		return nil, fmt.Errorf("sim: empty parameter sweep")
 	}
@@ -228,11 +250,15 @@ func (ru Runner) Sweep(params []float64, build func(param float64) SubjectFunc) 
 	for i, p := range params {
 		sub := ru
 		sub.Seed = splitmix64(ru.Seed, 1_000_003+i)
-		res, err := sub.Run(build(p))
+		res, err := sub.Run(ctx, build(p))
 		if err != nil {
 			return nil, fmt.Errorf("sim: sweep point %v: %w", p, err)
 		}
-		points[i] = SweepPoint{Param: p, Result: res}
+		label := fmt.Sprintf("%g", p)
+		if ru.SweepLabeler != nil {
+			label = ru.SweepLabeler(p)
+		}
+		points[i] = SweepPoint{Param: p, Label: label, Result: res}
 	}
 	return points, nil
 }

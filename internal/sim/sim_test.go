@@ -1,10 +1,14 @@
 package sim
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"reflect"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"hitl/internal/agent"
 	"hitl/internal/comms"
@@ -25,7 +29,7 @@ func coinFlip(p float64) SubjectFunc {
 }
 
 func TestRunBasics(t *testing.T) {
-	res, err := Runner{Seed: 1, N: 10000}.Run(coinFlip(0.3))
+	res, err := Runner{Seed: 1, N: 10000}.Run(context.Background(), coinFlip(0.3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +54,7 @@ func TestRunBasics(t *testing.T) {
 
 func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	run := func(workers int) *Result {
-		res, err := Runner{Seed: 42, N: 2000, Workers: workers}.Run(coinFlip(0.5))
+		res, err := Runner{Seed: 42, N: 2000, Workers: workers}.Run(context.Background(), coinFlip(0.5))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,14 +71,14 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := (Runner{Seed: 1, N: 0}).Run(coinFlip(0.5)); err == nil {
+	if _, err := (Runner{Seed: 1, N: 0}).Run(context.Background(), coinFlip(0.5)); err == nil {
 		t.Error("N=0: want error")
 	}
-	if _, err := (Runner{Seed: 1, N: 5}).Run(nil); err == nil {
+	if _, err := (Runner{Seed: 1, N: 5}).Run(context.Background(), nil); err == nil {
 		t.Error("nil func: want error")
 	}
 	boom := errors.New("boom")
-	_, err := Runner{Seed: 1, N: 5}.Run(func(*rand.Rand, int) (Outcome, error) {
+	_, err := Runner{Seed: 1, N: 5}.Run(context.Background(), func(*rand.Rand, int) (Outcome, error) {
 		return Outcome{}, boom
 	})
 	if !errors.Is(err, boom) {
@@ -83,7 +87,7 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestValuesAggregation(t *testing.T) {
-	res, err := Runner{Seed: 3, N: 100}.Run(func(rng *rand.Rand, i int) (Outcome, error) {
+	res, err := Runner{Seed: 3, N: 100}.Run(context.Background(), func(rng *rand.Rand, i int) (Outcome, error) {
 		return Outcome{
 			Heeded:      true,
 			FailedStage: agent.StageNone,
@@ -124,7 +128,7 @@ func TestFromAgentResult(t *testing.T) {
 
 func TestSweep(t *testing.T) {
 	params := []float64{0.1, 0.5, 0.9}
-	points, err := Runner{Seed: 7, N: 5000}.Sweep(params, func(p float64) SubjectFunc {
+	points, err := Runner{Seed: 7, N: 5000}.Sweep(context.Background(), params, func(p float64) SubjectFunc {
 		return coinFlip(p)
 	})
 	if err != nil {
@@ -142,16 +146,16 @@ func TestSweep(t *testing.T) {
 			t.Errorf("point %v heed rate %v", pt.Param, r)
 		}
 	}
-	if _, err := (Runner{Seed: 7, N: 10}).Sweep(nil, func(float64) SubjectFunc { return coinFlip(0.5) }); err == nil {
+	if _, err := (Runner{Seed: 7, N: 10}).Sweep(context.Background(), nil, func(float64) SubjectFunc { return coinFlip(0.5) }); err == nil {
 		t.Error("empty sweep: want error")
 	}
-	if _, err := (Runner{Seed: 7, N: 10}).Sweep(params, nil); err == nil {
+	if _, err := (Runner{Seed: 7, N: 10}).Sweep(context.Background(), params, nil); err == nil {
 		t.Error("nil builder: want error")
 	}
 }
 
 func TestSweepPointsIndependentSeeds(t *testing.T) {
-	points, err := Runner{Seed: 9, N: 500}.Sweep([]float64{0.5, 0.5}, func(p float64) SubjectFunc {
+	points, err := Runner{Seed: 9, N: 500}.Sweep(context.Background(), []float64{0.5, 0.5}, func(p float64) SubjectFunc {
 		return coinFlip(p)
 	})
 	if err != nil {
@@ -161,7 +165,7 @@ func TestSweepPointsIndependentSeeds(t *testing.T) {
 		t.Log("identical heed counts for identical params is possible but suspicious with different seeds")
 	}
 	// Re-running the whole sweep reproduces it exactly.
-	again, err := Runner{Seed: 9, N: 500}.Sweep([]float64{0.5, 0.5}, func(p float64) SubjectFunc {
+	again, err := Runner{Seed: 9, N: 500}.Sweep(context.Background(), []float64{0.5, 0.5}, func(p float64) SubjectFunc {
 		return coinFlip(p)
 	})
 	if err != nil {
@@ -174,6 +178,85 @@ func TestSweepPointsIndependentSeeds(t *testing.T) {
 	}
 }
 
+func TestRunCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	_, err := Runner{Seed: 1, N: 100}.Run(ctx, func(*rand.Rand, int) (Outcome, error) {
+		called = true
+		return Outcome{Heeded: true}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Error("subject function ran under an already-canceled context")
+	}
+}
+
+func TestRunCancelMidFlight(t *testing.T) {
+	// A context-aware subject function: the first subject cancels the run,
+	// then every subject blocks until cancellation is visible. Run must
+	// return context.Canceled promptly instead of simulating all N.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var simulated atomic.Int64
+	start := time.Now()
+	_, err := Runner{Seed: 1, N: 1_000_000, Workers: 4}.Run(ctx, func(_ *rand.Rand, i int) (Outcome, error) {
+		simulated.Add(1)
+		cancel()
+		<-ctx.Done()
+		return Outcome{Heeded: true}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Each worker finishes at most the subject it was on plus one more it
+	// may have claimed before observing cancellation.
+	if n := simulated.Load(); n > 8 {
+		t.Errorf("simulated %d subjects after cancel, want <= 8", n)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", d)
+	}
+}
+
+func TestSweepLabels(t *testing.T) {
+	params := []float64{0.25, 0.5}
+	points, err := Runner{Seed: 7, N: 50}.Sweep(context.Background(), params, func(p float64) SubjectFunc {
+		return coinFlip(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Label != "0.25" || points[1].Label != "0.5" {
+		t.Errorf("default labels = %q, %q; want %%g formatting", points[0].Label, points[1].Label)
+	}
+	ru := Runner{Seed: 7, N: 50, SweepLabeler: func(p float64) string {
+		return fmt.Sprintf("p=%.0f%%", p*100)
+	}}
+	points, err = ru.Sweep(context.Background(), params, func(p float64) SubjectFunc {
+		return coinFlip(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Label != "p=25%" || points[1].Label != "p=50%" {
+		t.Errorf("custom labels = %q, %q", points[0].Label, points[1].Label)
+	}
+}
+
+func TestSweepCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Runner{Seed: 7, N: 10}.Sweep(ctx, []float64{0.5}, func(p float64) SubjectFunc {
+		return coinFlip(p)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
 // Integration: run the agent pipeline under the sim engine.
 func TestRunAgentScenario(t *testing.T) {
 	spec := population.GeneralPublic()
@@ -183,7 +266,7 @@ func TestRunAgentScenario(t *testing.T) {
 		HazardPresent: true,
 		Task:          gems.LeaveSuspiciousSite(),
 	}
-	res, err := Runner{Seed: 11, N: 3000}.Run(func(rng *rand.Rand, i int) (Outcome, error) {
+	res, err := Runner{Seed: 11, N: 3000}.Run(context.Background(), func(rng *rand.Rand, i int) (Outcome, error) {
 		r := agent.NewReceiver(spec.Sample(rng))
 		ar, err := r.Process(rng, enc)
 		if err != nil {
@@ -203,7 +286,7 @@ func TestRunAgentScenario(t *testing.T) {
 }
 
 func TestSortedStagesOrdered(t *testing.T) {
-	res, err := Runner{Seed: 13, N: 100}.Run(func(rng *rand.Rand, i int) (Outcome, error) {
+	res, err := Runner{Seed: 13, N: 100}.Run(context.Background(), func(rng *rand.Rand, i int) (Outcome, error) {
 		stages := []agent.Stage{agent.StageBehavior, agent.StageDelivery, agent.StageMotivation}
 		return Outcome{FailedStage: stages[i%3]}, nil
 	})
