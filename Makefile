@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench experiments examples fmt cover clean
+.PHONY: all ci build vet test race bench microbench experiments examples fmt cover clean
 
 all: build vet test
 
@@ -22,7 +22,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench emits the engine-throughput artifact (1/4/GOMAXPROCS workers,
+# subject tracing off and on); microbench runs the full go-test benchmarks.
 bench:
+	$(GO) run ./cmd/hitl-bench -out BENCH_sim.json
+
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 experiments:
@@ -42,4 +47,4 @@ cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt BENCH_sim.json

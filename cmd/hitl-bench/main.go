@@ -1,0 +1,156 @@
+// Command hitl-bench measures Monte Carlo engine throughput on the full
+// phishing agent pipeline and writes the results as JSON, so CI can archive
+// a comparable artifact per commit.
+//
+// Usage:
+//
+//	hitl-bench [-out BENCH_sim.json] [-n 50000] [-runs 3] [-seed 1]
+//
+// It times sim.Runner.Run at 1, 4, and GOMAXPROCS workers, each with
+// subject-trace sampling off and on, keeping the best of -runs repetitions
+// per configuration. The top-level trace_overhead_pct compares trace-on vs
+// trace-off at GOMAXPROCS workers and should stay in the low single digits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"hitl/internal/agent"
+	"hitl/internal/comms"
+	"hitl/internal/gems"
+	"hitl/internal/population"
+	"hitl/internal/sim"
+	"hitl/internal/stimuli"
+	"hitl/internal/telemetry"
+)
+
+// result is one (workers, trace) configuration's best observed timing.
+type result struct {
+	Workers        int     `json:"workers"`
+	Trace          bool    `json:"trace"`
+	Seconds        float64 `json:"seconds"`
+	SubjectsPerSec float64 `json:"subjects_per_sec"`
+}
+
+// report is the whole BENCH_sim.json document.
+type report struct {
+	GoVersion        string   `json:"go_version"`
+	GOMAXPROCS       int      `json:"gomaxprocs"`
+	SubjectsPerRun   int      `json:"subjects_per_run"`
+	RunsPerConfig    int      `json:"runs_per_config"`
+	Results          []result `json:"results"`
+	TraceOverheadPct float64  `json:"trace_overhead_pct"`
+}
+
+// pipeline is the standard full-pipeline subject: a fresh general-public
+// receiver facing a blocking Firefox warning, as in the phishing case study.
+func pipeline() sim.SubjectFunc {
+	spec := population.GeneralPublic()
+	enc := agent.Encounter{
+		Comm:          comms.FirefoxActiveWarning(),
+		Env:           stimuli.Busy(),
+		HazardPresent: true,
+		Task:          gems.LeaveSuspiciousSite(),
+	}
+	return func(rng *rand.Rand, _ int) (sim.Outcome, error) {
+		r := agent.NewReceiver(spec.Sample(rng))
+		ar, err := r.Process(rng, enc)
+		if err != nil {
+			return sim.Outcome{}, err
+		}
+		return sim.FromAgentResult(ar), nil
+	}
+}
+
+// bench runs one configuration repeats times and returns the best wall time.
+func bench(seed int64, n, workers, repeats int, trace bool) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < repeats; i++ {
+		ctx := context.Background()
+		if trace {
+			ctx = telemetry.WithRecorder(ctx, telemetry.NewRecorder(64, seed))
+		}
+		start := time.Now()
+		if _, err := (sim.Runner{Seed: seed, N: n, Workers: workers}).Run(ctx, pipeline()); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "output JSON file")
+	n := flag.Int("n", 50_000, "subjects per run")
+	runs := flag.Int("runs", 3, "repetitions per configuration (best is kept)")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	workerSet := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	rep := report{
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		SubjectsPerRun: *n,
+		RunsPerConfig:  *runs,
+	}
+	// Indexed lookup for the overhead computation below.
+	secs := map[[2]bool]float64{} // key: {workers == GOMAXPROCS, trace}
+	for _, w := range workerSet {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		for _, trace := range []bool{false, true} {
+			d, err := bench(*seed, *n, w, *runs, trace)
+			if err != nil {
+				fatal(err)
+			}
+			s := d.Seconds()
+			rep.Results = append(rep.Results, result{
+				Workers: w, Trace: trace,
+				Seconds:        s,
+				SubjectsPerSec: float64(*n) / s,
+			})
+			fmt.Fprintf(os.Stderr, "hitl-bench: workers=%d trace=%v  %8.3fs  %12.0f subjects/s\n",
+				w, trace, s, float64(*n)/s)
+			if w == runtime.GOMAXPROCS(0) {
+				secs[[2]bool{true, trace}] = s
+			}
+		}
+	}
+	if off, on := secs[[2]bool{true, false}], secs[[2]bool{true, true}]; off > 0 {
+		rep.TraceOverheadPct = (on - off) / off * 100
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "hitl-bench: wrote %s (trace overhead %.2f%% at %d workers)\n",
+		*out, rep.TraceOverheadPct, rep.GOMAXPROCS)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hitl-bench:", err)
+	os.Exit(1)
+}

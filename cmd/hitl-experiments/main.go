@@ -4,21 +4,27 @@
 // Usage:
 //
 //	hitl-experiments [-seed N] [-n subjects] [-id T1,E1,...] [-list]
+//	                 [-trace out.jsonl] [-trace-sample K] [-spans out.json]
 //
 // With no -id it runs the full suite in order. Output is plain text,
-// suitable for diffing against EXPERIMENTS.md.
+// suitable for diffing against EXPERIMENTS.md. -trace samples per-subject
+// stage traces across every Monte Carlo run into a JSONL file; -spans dumps
+// the experiment/sweep-point/run/worker-batch span tree as JSON. Neither
+// changes the regenerated numbers.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"hitl/internal/experiments"
+	"hitl/internal/telemetry"
 )
 
 func main() {
@@ -26,6 +32,9 @@ func main() {
 	n := flag.Int("n", 0, "subjects per experimental arm (0 = per-experiment default)")
 	ids := flag.String("id", "", "comma-separated experiment IDs to run (default: all)")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	traceOut := flag.String("trace", "", "write sampled subject traces to this JSONL file")
+	traceSample := flag.Int("trace-sample", 64, "subject traces to sample (with -trace)")
+	spansOut := flag.String("spans", "", "write the telemetry span tree to this JSON file")
 	flag.Parse()
 
 	if *list {
@@ -39,6 +48,17 @@ func main() {
 	// to run to completion.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var rec *telemetry.Recorder
+	if *traceOut != "" {
+		rec = telemetry.NewRecorder(*traceSample, *seed)
+		ctx = telemetry.WithRecorder(ctx, rec)
+	}
+	var tracer *telemetry.Tracer
+	if *spansOut != "" {
+		tracer = telemetry.NewTracer(nil)
+		ctx = telemetry.WithTracer(ctx, tracer)
+	}
 
 	cfg := experiments.Config{Seed: *seed, N: *n}
 	var outs []*experiments.Output
@@ -62,6 +82,33 @@ func main() {
 			fatal(err)
 		}
 	}
+
+	if rec != nil {
+		if err := writeFile(*traceOut, rec.WriteJSONL); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hitl-experiments: wrote %d of %d subject traces to %s\n",
+			len(rec.Traces()), rec.Offered(), *traceOut)
+	}
+	if tracer != nil {
+		if err := writeFile(*spansOut, tracer.WriteJSON); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeFile creates path and streams write into it, reporting the first
+// error from create, write, or close.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

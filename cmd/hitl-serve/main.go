@@ -2,7 +2,11 @@
 //
 // Usage:
 //
-//	hitl-serve [-addr :8080] [-drain 15s]
+//	hitl-serve [-addr :8080] [-drain 15s] [-pprof addr]
+//
+// -pprof exposes net/http/pprof on a separate listener (e.g. -pprof
+// localhost:6060) so profiling never shares the public address; it is off
+// by default.
 //
 // Endpoints: GET /v1/healthz, /v1/metrics, /v1/components, /v1/patterns,
 // /v1/experiments; POST /v1/analyze, /v1/process, /v1/recommend,
@@ -26,6 +30,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -69,7 +74,19 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Du
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The pprof listener is deliberately separate from the API listener
+		// and from its graceful shutdown: it dies with the process.
+		go func() {
+			log.Printf("hitl-serve pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("hitl-serve pprof: %v", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Handler:           server.New(server.Config{}),

@@ -9,12 +9,18 @@
 //
 // Populations: general-public (default), enterprise, experts, novices.
 // Warnings: firefox-active (default), ie-active, ie-passive, toolbar-passive.
+//
+// Telemetry: -trace out.jsonl writes a deterministic sample of per-subject
+// stage traces (one JSON object per line, size set by -trace-sample), and
+// -spans out.json writes the run's span tree. Neither changes the simulated
+// results.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,6 +30,7 @@ import (
 	"hitl/internal/phishing"
 	"hitl/internal/population"
 	"hitl/internal/report"
+	"hitl/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +49,9 @@ func main() {
 	vault := flag.Bool("vault", false, "deploy a password vault")
 	meter := flag.Bool("meter", false, "deploy a strength meter")
 	rationale := flag.Bool("rationale", false, "deploy rationale training")
+	traceOut := flag.String("trace", "", "write sampled subject traces to this JSONL file")
+	traceSample := flag.Int("trace-sample", 64, "subject traces to sample per run (with -trace)")
+	spansOut := flag.String("spans", "", "write the telemetry span tree to this JSON file")
 	flag.Parse()
 
 	popSpec, err := popByName(*pop)
@@ -51,6 +61,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var rec *telemetry.Recorder
+	if *traceOut != "" {
+		rec = telemetry.NewRecorder(*traceSample, *seed)
+		ctx = telemetry.WithRecorder(ctx, rec)
+	}
+	var tracer *telemetry.Tracer
+	if *spansOut != "" {
+		tracer = telemetry.NewTracer(nil)
+		ctx = telemetry.WithTracer(ctx, tracer)
+	}
 
 	switch *scenario {
 	case "phishing-study":
@@ -134,6 +155,29 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown scenario %q", *scenario))
 	}
+
+	if rec != nil {
+		must(writeFile(*traceOut, rec.WriteJSONL))
+		fmt.Fprintf(os.Stderr, "hitl-sim: wrote %d of %d subject traces to %s\n",
+			len(rec.Traces()), rec.Offered(), *traceOut)
+	}
+	if tracer != nil {
+		must(writeFile(*spansOut, tracer.WriteJSON))
+	}
+}
+
+// writeFile creates path and streams write into it, reporting the first
+// error from create, write, or close.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func popByName(name string) (population.Spec, error) {

@@ -427,6 +427,13 @@ type Receiver struct {
 	Profile population.Profile
 	// Model is the coefficient set; nil means DefaultModel().
 	Model *Model
+	// Probe, when non-nil, observes every stage check the instant it is
+	// recorded — the probability sampled against, the outcome, and any
+	// routing note — before Process returns. It is the pipeline's
+	// instrumentation hook: telemetry and live debuggers attach here
+	// without changing how the pipeline samples. A nil Probe costs one
+	// predictable branch per stage.
+	Probe func(Check)
 
 	exposures     map[string]int   // by communication ID
 	falseAlarms   map[string]int   // by topic
@@ -712,9 +719,15 @@ func (r *Receiver) Process(rng *rand.Rand, e Encounter) (Result, error) {
 	(&e).withDefaults()
 
 	res := Result{FailedStage: StageNone, ErrorClass: gems.NoError}
+	observe := func(c Check) {
+		res.Trace = append(res.Trace, c)
+		if r.Probe != nil {
+			r.Probe(c)
+		}
+	}
 	check := func(st Stage, p float64, note string) bool {
 		passed := rng.Float64() < p
-		res.Trace = append(res.Trace, Check{Stage: st, P: p, Passed: passed, Note: note})
+		observe(Check{Stage: st, P: p, Passed: passed, Note: note})
 		return passed
 	}
 	fail := func(st Stage) (Result, error) {
@@ -737,7 +750,7 @@ func (r *Receiver) Process(rng *rand.Rand, e Encounter) (Result, error) {
 	eff := e.Interference.Apply()
 	if eff.Spoofed {
 		res.Spoofed = true
-		res.Trace = append(res.Trace, Check{Stage: StageDelivery, P: 0, Passed: false,
+		observe(Check{Stage: StageDelivery, P: 0, Passed: false,
 			Note: "spoofed by attacker: receiver perceives attacker-controlled indicator"})
 		return fail(StageDelivery)
 	}
@@ -849,7 +862,7 @@ func (r *Receiver) Process(rng *rand.Rand, e Encounter) (Result, error) {
 		return Result{}, fmt.Errorf("agent: behavior stage: %w", err)
 	}
 	res.ErrorClass = attempt.Class
-	res.Trace = append(res.Trace, Check{
+	observe(Check{
 		Stage:  StageBehavior,
 		P:      1,
 		Passed: attempt.Completed,

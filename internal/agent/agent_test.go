@@ -578,3 +578,70 @@ func TestTraceString(t *testing.T) {
 		t.Error("spoof note missing from trace render")
 	}
 }
+
+func TestProbeObservesEveryCheck(t *testing.T) {
+	// The probe must see exactly the checks recorded in Result.Trace, in
+	// order, and attaching it must not change what the pipeline samples.
+	rng := rand.New(rand.NewSource(77))
+	plainRng := rand.New(rand.NewSource(77))
+	enc := warningEncounter(comms.FirefoxActiveWarning())
+
+	plain := NewReceiver(avgProfile())
+	want, err := plain.Process(plainRng, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var probed []Check
+	probedReceiver := NewReceiver(avgProfile())
+	probedReceiver.Probe = func(c Check) { probed = append(probed, c) }
+	got, err := probedReceiver.Process(rng, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Heeded != want.Heeded || got.FailedStage != want.FailedStage {
+		t.Fatalf("probe changed the outcome: %+v vs %+v", got, want)
+	}
+	if len(probed) != len(got.Trace) {
+		t.Fatalf("probe saw %d checks, trace has %d", len(probed), len(got.Trace))
+	}
+	for i := range probed {
+		if probed[i] != got.Trace[i] {
+			t.Errorf("check %d: probe saw %+v, trace has %+v", i, probed[i], got.Trace[i])
+		}
+	}
+}
+
+func TestProbeObservesSpoofAndBehavior(t *testing.T) {
+	// The two checks recorded outside the common check() helper — the
+	// spoofed-delivery sentinel and the GEMS behavior attempt — must also
+	// reach the probe.
+	rng := rand.New(rand.NewSource(5))
+	r := NewReceiver(avgProfile())
+	var stages []Stage
+	r.Probe = func(c Check) { stages = append(stages, c.Stage) }
+	enc := warningEncounter(comms.FirefoxActiveWarning())
+	enc.Interference = stimuli.Interference{Kind: stimuli.Spoof, Strength: 1}
+	if _, err := r.Process(rng, enc); err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 1 || stages[0] != StageDelivery {
+		t.Errorf("spoofed delivery probe saw %v, want [delivery]", stages)
+	}
+
+	// Drive a receiver until a behavior-stage check appears (a subject who
+	// reaches GEMS).
+	sawBehavior := false
+	for seed := int64(0); seed < 50 && !sawBehavior; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewReceiver(avgProfile())
+		r.Probe = func(c Check) { sawBehavior = sawBehavior || c.Stage == StageBehavior }
+		if _, err := r.Process(rng, warningEncounter(comms.FirefoxActiveWarning())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawBehavior {
+		t.Error("no behavior-stage check reached the probe in 50 attempts")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"hitl/internal/report"
+	"hitl/internal/telemetry"
 )
 
 // Output is one experiment's regenerated exhibit.
@@ -136,22 +137,32 @@ func Registry() []Runner {
 }
 
 // Run executes one experiment by ID. Unknown IDs yield an error wrapping
-// ErrUnknown; a canceled ctx yields an error wrapping ctx.Err().
+// ErrUnknown; a canceled ctx yields an error wrapping ctx.Err(). When ctx
+// carries a telemetry.Tracer, the experiment runs under an "experiment"
+// span that parents every sweep-point and run span the engine opens below
+// it.
 func Run(ctx context.Context, id string, cfg Config) (*Output, error) {
 	for _, r := range Registry() {
 		if r.ID == id {
-			return r.Run(ctx, cfg)
+			spanCtx, span := telemetry.StartSpan(ctx, "experiment", telemetry.String("id", id))
+			out, err := r.Run(spanCtx, cfg)
+			if err != nil {
+				span.SetAttr("error", err.Error())
+			}
+			span.End()
+			return out, err
 		}
 	}
 	return nil, fmt.Errorf("experiments: %w %q", ErrUnknown, id)
 }
 
 // RunAll executes the whole suite in order, stopping at the first error
-// (including ctx cancellation).
+// (including ctx cancellation). Each experiment gets its own span, as in
+// Run.
 func RunAll(ctx context.Context, cfg Config) ([]*Output, error) {
 	var outs []*Output
 	for _, r := range Registry() {
-		o, err := r.Run(ctx, cfg)
+		o, err := Run(ctx, r.ID, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", r.ID, err)
 		}

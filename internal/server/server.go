@@ -13,7 +13,9 @@
 //	POST /v1/analyze          SystemSpec -> findings + reliability
 //	POST /v1/process          SystemSpec -> Figure 2 process result
 //	POST /v1/recommend        SystemSpec -> gain-ranked pattern advice
-//	POST /v1/experiments/run  {id, seed, n} -> metrics + rendered text
+//	POST /v1/experiments/run  {id, seed, n} -> metrics + rendered text;
+//	     ?trace_sample=K inlines K sampled per-subject stage traces and
+//	     ?spans=1 inlines the request's telemetry span tree
 //
 // Requests are size-limited and run with a per-request subject-count cap so
 // a single call cannot monopolize the process. Every response carries an
@@ -37,6 +39,7 @@ import (
 	"hitl/internal/core"
 	"hitl/internal/experiments"
 	"hitl/internal/patterns"
+	"hitl/internal/telemetry"
 )
 
 // statusClientClosedRequest is the non-standard (nginx-convention) status
@@ -57,6 +60,9 @@ type Config struct {
 	MaxSubjects int
 	// MaxProcessPasses caps the Figure 2 iteration count; default 4.
 	MaxProcessPasses int
+	// MaxTraceSample caps the ?trace_sample=K reservoir size on experiment
+	// runs, bounding the inline trace payload; default 50.
+	MaxTraceSample int
 	// Logger receives structured access logs; default logs to stderr.
 	Logger *slog.Logger
 }
@@ -70,6 +76,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.MaxProcessPasses == 0 {
 		c.MaxProcessPasses = 4
+	}
+	if c.MaxTraceSample == 0 {
+		c.MaxTraceSample = 50
 	}
 }
 
@@ -147,6 +156,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.metrics.writePrometheus(w); err != nil {
 		s.log.LogAttrs(r.Context(), slog.LevelWarn, "metrics write failed",
+			slog.String("error", err.Error()))
+		return
+	}
+	// Engine telemetry (Monte Carlo counters, stage failures, run-duration
+	// histograms, span summaries) follows the HTTP metrics so one scrape
+	// covers the whole process.
+	if err := telemetry.WriteMetrics(w); err != nil {
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "engine metrics write failed",
 			slog.String("error", err.Error()))
 	}
 }
@@ -357,9 +374,34 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	if req.Seed == 0 {
 		req.Seed = 20080124
 	}
+	// ?trace_sample=K samples up to K per-subject stage traces into the
+	// response (capped by MaxTraceSample); ?spans=1 returns the request's
+	// span tree. Span durations always feed /v1/metrics.
+	traceSample := 0
+	if q := r.URL.Query().Get("trace_sample"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid trace_sample %q", q))
+			return
+		}
+		traceSample = v
+		if traceSample > s.cfg.MaxTraceSample {
+			traceSample = s.cfg.MaxTraceSample
+		}
+	}
+	wantSpans := r.URL.Query().Get("spans") == "1"
+
 	// The request context cancels the Monte Carlo workers when the client
 	// disconnects or the server drains, so abandoned runs stop burning CPU.
-	out, err := experiments.Run(r.Context(), req.ID, experiments.Config{Seed: req.Seed, N: req.N})
+	ctx := r.Context()
+	var rec *telemetry.Recorder
+	if traceSample > 0 {
+		rec = telemetry.NewRecorder(traceSample, req.Seed)
+		ctx = telemetry.WithRecorder(ctx, rec)
+	}
+	tracer := telemetry.NewTracer(nil)
+	ctx = telemetry.WithTracer(ctx, tracer)
+	out, err := experiments.Run(ctx, req.ID, experiments.Config{Seed: req.Seed, N: req.N})
 	if err != nil {
 		switch {
 		case errors.Is(err, experiments.ErrUnknown):
@@ -376,12 +418,19 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"id":         out.ID,
 		"title":      out.Title,
 		"paperShape": out.PaperShape,
 		"metrics":    out.Metrics,
 		"notes":      out.Notes,
 		"text":       text.String(),
-	})
+	}
+	if rec != nil {
+		resp["trace"] = rec.Traces()
+	}
+	if wantSpans {
+		resp["spans"] = tracer.Spans()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

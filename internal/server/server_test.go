@@ -455,3 +455,129 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Error("metrics output missing expected bucket bounds")
 	}
 }
+
+func TestMetricsIncludeEngineSeries(t *testing.T) {
+	ts := newTestServer(t)
+	// Drive the simulation engine so the process-global telemetry counters
+	// are provably populated regardless of test ordering.
+	resp := postJSON(t, ts.URL+"/v1/experiments/run", map[string]any{"id": "E1", "n": 150})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("experiment run status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE hitl_sim_subjects_total counter",
+		"# TYPE hitl_sim_runs_total counter",
+		"# TYPE hitl_sim_stage_failures_total counter",
+		`hitl_sim_stage_failures_total{stage="`,
+		"# TYPE hitl_sim_run_duration_seconds histogram",
+		`hitl_sim_run_duration_seconds_bucket{le="+Inf"}`,
+		"hitl_sim_run_duration_seconds_count",
+		"hitl_sim_run_duration_seconds_sum",
+		"# TYPE hitl_sim_run_subjects_per_second histogram",
+		"# TYPE hitl_sim_active_workers gauge",
+		"# TYPE hitl_sim_last_run_workers gauge",
+		"# TYPE hitl_sim_subject_traces_total counter",
+		"# TYPE hitl_span_duration_seconds summary",
+		`hitl_span_duration_seconds_count{span="experiment"}`,
+		`hitl_span_duration_seconds_count{span="run"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+func TestExperimentRunTraceSample(t *testing.T) {
+	ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/experiments/run?trace_sample=5&spans=1",
+		map[string]any{"id": "E1", "n": 150})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Trace []struct {
+			Subject int `json:"subject"`
+			Checks  []struct {
+				Stage string  `json:"stage"`
+				P     float64 `json:"p"`
+			} `json:"checks"`
+		} `json:"trace"`
+		Spans []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	decodeBody(t, resp, &body)
+	if len(body.Trace) == 0 || len(body.Trace) > 5 {
+		t.Fatalf("got %d inline traces, want 1..5", len(body.Trace))
+	}
+	for _, tr := range body.Trace {
+		if len(tr.Checks) == 0 {
+			t.Errorf("subject %d trace has no stage checks", tr.Subject)
+		}
+		for _, c := range tr.Checks {
+			if c.Stage == "" || c.P < 0 || c.P > 1 {
+				t.Errorf("malformed check %+v", c)
+			}
+		}
+	}
+	sawRun := false
+	for _, s := range body.Spans {
+		if s.Name == "run" {
+			sawRun = true
+		}
+	}
+	if !sawRun {
+		t.Errorf("span tree %v has no run span", body.Spans)
+	}
+
+	// Without the query parameters the response must omit both keys.
+	resp = postJSON(t, ts.URL+"/v1/experiments/run", map[string]any{"id": "E1", "n": 150})
+	var plain map[string]json.RawMessage
+	decodeBody(t, resp, &plain)
+	if _, ok := plain["trace"]; ok {
+		t.Error("trace present without ?trace_sample")
+	}
+	if _, ok := plain["spans"]; ok {
+		t.Error("spans present without ?spans=1")
+	}
+}
+
+func TestExperimentRunTraceSampleClamped(t *testing.T) {
+	ts := newTestServer(t)
+	// Default MaxTraceSample is 50; an absurd request is clamped, not erred.
+	resp := postJSON(t, ts.URL+"/v1/experiments/run?trace_sample=100000",
+		map[string]any{"id": "E1", "n": 150})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Trace []json.RawMessage `json:"trace"`
+	}
+	decodeBody(t, resp, &body)
+	if len(body.Trace) > 50 {
+		t.Errorf("got %d inline traces, want at most the MaxTraceSample default of 50", len(body.Trace))
+	}
+}
+
+func TestExperimentRunInvalidTraceSample(t *testing.T) {
+	ts := newTestServer(t)
+	for _, q := range []string{"trace_sample=0", "trace_sample=-3", "trace_sample=abc"} {
+		resp := postJSON(t, ts.URL+"/v1/experiments/run?"+q, map[string]any{"id": "E1", "n": 50})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("?%s: status = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}

@@ -15,12 +15,14 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"hitl/internal/agent"
 	"hitl/internal/gems"
 	"hitl/internal/stats"
+	"hitl/internal/telemetry"
 )
 
 // Outcome is what one simulated subject produced.
@@ -38,6 +40,12 @@ type Outcome struct {
 	HeuristicPath bool
 	// Values holds scenario-specific named metrics (e.g. "passwords_reused").
 	Values map[string]float64
+	// Trace is the subject's stage-by-stage pipeline trajectory, carried
+	// through from agent.Result so telemetry can sample it. Copying it is a
+	// slice-header copy: the checks were already allocated by the agent.
+	// Scenarios that synthesize outcomes from multiple encounters may leave
+	// it nil.
+	Trace []agent.Check
 }
 
 // FromAgentResult converts an agent pipeline result into an Outcome.
@@ -48,7 +56,39 @@ func FromAgentResult(r agent.Result) Outcome {
 		ErrorClass:    r.ErrorClass,
 		Spoofed:       r.Spoofed,
 		HeuristicPath: r.HeuristicPath,
+		Trace:         r.Trace,
 	}
+}
+
+// subjectTrace converts a completed subject's outcome into a telemetry
+// trace. Only called when a recorder is attached, so untraced runs never
+// pay for the conversion.
+func subjectTrace(seed int64, subject int, o Outcome) telemetry.SubjectTrace {
+	st := telemetry.SubjectTrace{
+		Subject:       subject,
+		Seed:          seed,
+		Heeded:        o.Heeded,
+		HeuristicPath: o.HeuristicPath,
+		Spoofed:       o.Spoofed,
+	}
+	if !o.Heeded {
+		st.FailedStage = o.FailedStage.String()
+	}
+	if o.ErrorClass != gems.NoError {
+		st.ErrorClass = o.ErrorClass.String()
+	}
+	if len(o.Trace) > 0 {
+		st.Checks = make([]telemetry.StageCheck, len(o.Trace))
+		for i, c := range o.Trace {
+			st.Checks[i] = telemetry.StageCheck{
+				Stage:  c.Stage.String(),
+				P:      c.P,
+				Passed: c.Passed,
+				Note:   c.Note,
+			}
+		}
+	}
+	return st
 }
 
 // SubjectFunc simulates one subject. The rng is private to the subject;
@@ -146,7 +186,18 @@ type Runner struct {
 // next subject, so an in-flight run stops within one subject per worker of
 // the cancel and returns ctx.Err() (use errors.Is with context.Canceled or
 // context.DeadlineExceeded to distinguish abandonment from real failures).
+// The first subject error likewise cancels the remaining work — a fatal
+// failure does not let the other workers churn through all N subjects.
 // A nil ctx is treated as context.Background().
+//
+// Telemetry: when ctx carries a telemetry.Tracer, Run opens a "run" span
+// with per-worker "worker-batch" children; when it carries a
+// telemetry.Recorder, every completed subject's stage trajectory is offered
+// to the reservoir. Both are read once per run and short-circuit to nothing
+// when absent, and neither touches the subject random streams: a traced run
+// returns a bit-identical Result to an untraced one. Engine-level counters
+// and histograms (subjects, stage failures, run duration, throughput) are
+// always recorded; they cost a handful of atomic adds per run.
 func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -165,33 +216,81 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 		workers = ru.N
 	}
 
+	spanCtx, span := telemetry.StartSpan(ctx, "run",
+		telemetry.String("n", strconv.Itoa(ru.N)),
+		telemetry.String("workers", strconv.Itoa(workers)),
+		telemetry.String("seed", strconv.FormatInt(ru.Seed, 10)))
+	defer span.End()
+	rec := telemetry.RecorderFromContext(ctx)
+	start := time.Now()
+
+	// runCtx lets the first subject error cancel the remaining work without
+	// affecting the caller's context.
+	runCtx, cancel := context.WithCancel(spanCtx)
+	defer cancel()
+
 	outs := make([]Outcome, ru.N)
 	errs := make([]error, ru.N)
 	var wg sync.WaitGroup
-	next := make(chan int, ru.N)
-	for i := 0; i < ru.N; i++ {
-		next <- i
-	}
-	close(next)
+	// A producer goroutine feeds subject indices so cancellation (caller's
+	// ctx or a fatal subject error) stops the feed immediately instead of
+	// leaving N-i queued indices behind; the buffer only needs to keep the
+	// workers busy.
+	next := make(chan int, workers)
+	go func() {
+		defer close(next)
+		for i := 0; i < ru.N; i++ {
+			select {
+			case next <- i:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			telemetry.WorkerStarted()
+			defer telemetry.WorkerDone()
+			_, wspan := telemetry.StartSpan(runCtx, "worker-batch",
+				telemetry.String("worker", strconv.Itoa(w)))
+			processed := 0
+			defer func() {
+				wspan.SetAttr("subjects", strconv.Itoa(processed))
+				wspan.End()
+			}()
 			for i := range next {
-				if ctx.Err() != nil {
+				if runCtx.Err() != nil {
 					return
 				}
 				rng := SubjectRand(ru.Seed, i)
-				outs[i], errs[i] = f(rng, i)
+				out, err := f(rng, i)
+				if err != nil {
+					errs[i] = err
+					cancel() // fatal: stop the other workers promptly
+					return
+				}
+				outs[i] = out
+				processed++
+				if rec != nil {
+					// Consider defers the Outcome->SubjectTrace conversion
+					// to the rare subjects that win a reservoir slot.
+					rec.Consider(ru.Seed, i, func() telemetry.SubjectTrace {
+						return subjectTrace(ru.Seed, i, out)
+					})
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
+		span.SetAttr("outcome", "canceled")
 		return nil, err
 	}
 	for i, err := range errs {
 		if err != nil {
+			span.SetAttr("outcome", "error")
 			return nil, fmt.Errorf("sim: subject %d: %w", i, err)
 		}
 	}
@@ -220,6 +319,12 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 			res.Values[k] = append(res.Values[k], v)
 		}
 	}
+
+	stageFailures := make(map[string]int, len(res.StageFailures))
+	for s, n := range res.StageFailures {
+		stageFailures[s.String()] = n
+	}
+	telemetry.RecordRun(ru.N, workers, time.Since(start), stageFailures)
 	return res, nil
 }
 
@@ -250,7 +355,10 @@ func (ru Runner) Sweep(ctx context.Context, params []float64, build func(param f
 	for i, p := range params {
 		sub := ru
 		sub.Seed = splitmix64(ru.Seed, 1_000_003+i)
-		res, err := sub.Run(ctx, build(p))
+		pointCtx, span := telemetry.StartSpan(ctx, "sweep-point",
+			telemetry.String("param", fmt.Sprintf("%g", p)))
+		res, err := sub.Run(pointCtx, build(p))
+		span.End()
 		if err != nil {
 			return nil, fmt.Errorf("sim: sweep point %v: %w", p, err)
 		}
@@ -264,7 +372,8 @@ func (ru Runner) Sweep(ctx context.Context, params []float64, build func(param f
 }
 
 // SortedStages returns the stages observed in the result's failure
-// histogram, in pipeline order.
+// histogram, in pipeline order: agent.Stages() already lists the stages in
+// processing order, so filtering it preserves that order without a sort.
 func (r *Result) SortedStages() []agent.Stage {
 	var out []agent.Stage
 	for _, s := range agent.Stages() {
@@ -272,6 +381,5 @@ func (r *Result) SortedStages() []agent.Stage {
 			out = append(out, s)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Engine metrics are process-wide, like expvar: every sim run in the
+// process folds into the same collectors, and the server's /v1/metrics
+// endpoint appends them to its HTTP metrics. All hot-path updates are
+// atomic and happen once per run or once per worker, never per subject.
+
+// atomicFloat is a float64 accumulator built on CAS, for histogram sums.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// histogram is a fixed-bucket atomic histogram.
+type histogram struct {
+	bounds  []float64      // upper bounds; one extra implicit +Inf bucket
+	buckets []atomic.Int64 // len(bounds)+1
+	count   atomic.Int64
+	sum     atomicFloat
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// writeProm renders the histogram in Prometheus text format.
+func (h *histogram) writeProm(b *strings.Builder, name string) {
+	var cum int64
+	for i, le := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatBound(le), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %g\n", name, h.sum.Load())
+	fmt.Fprintf(b, "%s_count %d\n", name, h.count.Load())
+}
+
+// formatBound renders a bucket bound without exponents for the magnitudes
+// used here.
+func formatBound(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// runDurationBounds spans sub-millisecond micro-runs to multi-minute
+// sweeps.
+var runDurationBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// throughputBounds cover subjects/second on a log-ish scale.
+var throughputBounds = []float64{
+	1_000, 5_000, 10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+}
+
+// engine is the process-wide engine-metric state.
+var engine = struct {
+	subjects      atomic.Int64
+	runs          atomic.Int64
+	tracesKept    atomic.Int64
+	activeWorkers atomic.Int64
+	lastWorkers   atomic.Int64
+
+	stageMu       sync.Mutex
+	stageOrder    []string
+	stageFailures map[string]*atomic.Int64
+
+	runDuration *histogram
+	throughput  *histogram
+
+	spanMu    sync.Mutex
+	spanOrder []string
+	spans     map[string]*spanStat
+}{
+	stageFailures: make(map[string]*atomic.Int64),
+	runDuration:   newHistogram(runDurationBounds),
+	throughput:    newHistogram(throughputBounds),
+	spans:         make(map[string]*spanStat),
+}
+
+// spanStat summarizes ended spans of one name for the Prometheus output.
+type spanStat struct {
+	count atomic.Int64
+	sum   atomicFloat
+}
+
+// observeSpan folds one ended span into the process-wide summary.
+func observeSpan(name string, d time.Duration) {
+	engine.spanMu.Lock()
+	st, ok := engine.spans[name]
+	if !ok {
+		st = new(spanStat)
+		engine.spans[name] = st
+		engine.spanOrder = append(engine.spanOrder, name)
+	}
+	engine.spanMu.Unlock()
+	st.count.Add(1)
+	st.sum.Add(d.Seconds())
+}
+
+// WorkerStarted and WorkerDone maintain the live worker-utilization gauge.
+func WorkerStarted() { engine.activeWorkers.Add(1) }
+
+// WorkerDone is the counterpart to WorkerStarted.
+func WorkerDone() { engine.activeWorkers.Add(-1) }
+
+// RecordRun folds one completed Monte Carlo run into the engine metrics:
+// subject and run counters, per-stage failure counters, the run-duration
+// histogram, and the subjects/second throughput histogram.
+func RecordRun(subjects, workers int, d time.Duration, stageFailures map[string]int) {
+	engine.subjects.Add(int64(subjects))
+	engine.runs.Add(1)
+	engine.lastWorkers.Store(int64(workers))
+	engine.runDuration.observe(d.Seconds())
+	if secs := d.Seconds(); secs > 0 {
+		engine.throughput.observe(float64(subjects) / secs)
+	}
+	for stage, n := range stageFailures {
+		if n == 0 {
+			continue
+		}
+		stageCounter(stage).Add(int64(n))
+	}
+}
+
+func stageCounter(stage string) *atomic.Int64 {
+	engine.stageMu.Lock()
+	defer engine.stageMu.Unlock()
+	c, ok := engine.stageFailures[stage]
+	if !ok {
+		c = new(atomic.Int64)
+		engine.stageFailures[stage] = c
+		engine.stageOrder = append(engine.stageOrder, stage)
+	}
+	return c
+}
+
+// WriteMetrics renders every engine metric and the span summaries in
+// Prometheus text format (version 0.0.4). The server appends this to its
+// HTTP metrics on GET /v1/metrics.
+func WriteMetrics(w io.Writer) error {
+	var b strings.Builder
+
+	b.WriteString("# HELP hitl_sim_subjects_total Subjects simulated by the Monte Carlo engine.\n")
+	b.WriteString("# TYPE hitl_sim_subjects_total counter\n")
+	fmt.Fprintf(&b, "hitl_sim_subjects_total %d\n", engine.subjects.Load())
+
+	b.WriteString("# HELP hitl_sim_runs_total Completed Monte Carlo runs.\n")
+	b.WriteString("# TYPE hitl_sim_runs_total counter\n")
+	fmt.Fprintf(&b, "hitl_sim_runs_total %d\n", engine.runs.Load())
+
+	b.WriteString("# HELP hitl_sim_stage_failures_total Subject failures by framework stage.\n")
+	b.WriteString("# TYPE hitl_sim_stage_failures_total counter\n")
+	engine.stageMu.Lock()
+	stages := make([]string, len(engine.stageOrder))
+	copy(stages, engine.stageOrder)
+	engine.stageMu.Unlock()
+	sort.Strings(stages)
+	for _, s := range stages {
+		fmt.Fprintf(&b, "hitl_sim_stage_failures_total{stage=%q} %d\n", s, stageCounter(s).Load())
+	}
+
+	b.WriteString("# HELP hitl_sim_run_duration_seconds Wall time per Monte Carlo run.\n")
+	b.WriteString("# TYPE hitl_sim_run_duration_seconds histogram\n")
+	engine.runDuration.writeProm(&b, "hitl_sim_run_duration_seconds")
+
+	b.WriteString("# HELP hitl_sim_run_subjects_per_second Per-run simulation throughput.\n")
+	b.WriteString("# TYPE hitl_sim_run_subjects_per_second histogram\n")
+	engine.throughput.writeProm(&b, "hitl_sim_run_subjects_per_second")
+
+	b.WriteString("# HELP hitl_sim_active_workers Monte Carlo workers currently running.\n")
+	b.WriteString("# TYPE hitl_sim_active_workers gauge\n")
+	fmt.Fprintf(&b, "hitl_sim_active_workers %d\n", engine.activeWorkers.Load())
+
+	b.WriteString("# HELP hitl_sim_last_run_workers Worker count of the most recent run.\n")
+	b.WriteString("# TYPE hitl_sim_last_run_workers gauge\n")
+	fmt.Fprintf(&b, "hitl_sim_last_run_workers %d\n", engine.lastWorkers.Load())
+
+	b.WriteString("# HELP hitl_sim_subject_traces_total Subject traces admitted to trace reservoirs.\n")
+	b.WriteString("# TYPE hitl_sim_subject_traces_total counter\n")
+	fmt.Fprintf(&b, "hitl_sim_subject_traces_total %d\n", engine.tracesKept.Load())
+
+	b.WriteString("# HELP hitl_span_duration_seconds Time spent in telemetry spans, by span name.\n")
+	b.WriteString("# TYPE hitl_span_duration_seconds summary\n")
+	engine.spanMu.Lock()
+	spanNames := make([]string, len(engine.spanOrder))
+	copy(spanNames, engine.spanOrder)
+	engine.spanMu.Unlock()
+	sort.Strings(spanNames)
+	for _, name := range spanNames {
+		engine.spanMu.Lock()
+		st := engine.spans[name]
+		engine.spanMu.Unlock()
+		fmt.Fprintf(&b, "hitl_span_duration_seconds_sum{span=%q} %g\n", name, st.sum.Load())
+		fmt.Fprintf(&b, "hitl_span_duration_seconds_count{span=%q} %d\n", name, st.count.Load())
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

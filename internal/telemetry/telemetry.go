@@ -1,0 +1,83 @@
+// Package telemetry is the engine's observability layer: hierarchical,
+// context-propagated spans with monotonic timings, reservoir-sampled
+// per-subject stage traces, and process-wide engine metrics exposed in
+// Prometheus text format.
+//
+// The package is dependency-free (stdlib only) and designed so that the
+// instrumented hot paths pay nothing when telemetry is off:
+//
+//   - Spans exist only when a *Tracer has been attached to the context with
+//     WithTracer. Without one, StartSpan returns a nil *Span whose methods
+//     are nil-safe no-ops, and no allocation happens.
+//   - Subject traces are captured only when a *Recorder has been attached
+//     with WithRecorder; callers guard the capture with a nil check.
+//   - Engine metrics are plain atomics updated once per run (not per
+//     subject), so they stay on regardless.
+//
+// Crucially, nothing in this package touches the simulation's random
+// streams: a traced run returns bit-identical results to an untraced one.
+package telemetry
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts time for span measurement so tests can inject a fake.
+// time.Time values from the system clock carry Go's monotonic reading, so
+// span durations are immune to wall-clock adjustments.
+type Clock interface {
+	Now() time.Time
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// SystemClock is the default Clock, backed by time.Now.
+var SystemClock Clock = systemClock{}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+	recorderKey
+)
+
+// WithTracer returns a context that carries the tracer. Spans started under
+// the returned context (and its descendants) are collected by it.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFromContext returns the tracer attached with WithTracer, or nil.
+func TracerFromContext(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// WithRecorder returns a context that carries the subject-trace recorder.
+// The sim engine offers every completed subject to it.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recorderKey, r)
+}
+
+// RecorderFromContext returns the recorder attached with WithRecorder, or
+// nil when subject tracing is off.
+func RecorderFromContext(ctx context.Context) *Recorder {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(recorderKey).(*Recorder)
+	return r
+}
