@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench microbench experiments examples fmt cover clean
+.PHONY: all ci build vet test race bench bench-diff microbench experiments examples fmt cover clean
 
 all: build vet test
 
@@ -23,12 +23,28 @@ race:
 	$(GO) test -race ./...
 
 # bench emits the engine-throughput artifact (1/4/GOMAXPROCS workers,
-# subject tracing off and on); microbench runs the full go-test benchmarks.
+# subject tracing off and on, allocs/op, server cache timings), embedding
+# the committed report as its baseline; microbench runs the full go-test
+# benchmarks.
 bench:
-	$(GO) run ./cmd/hitl-bench -out BENCH_sim.json
+	$(GO) run ./cmd/hitl-bench -baseline BENCH_sim.json -out BENCH_sim.json
 
 microbench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-diff compares the current engine benchmarks against the committed
+# baseline. With benchstat installed it gets a proper statistical
+# comparison of fresh BenchmarkRun samples against bench_baseline.txt;
+# otherwise hitl-bench prints its own configuration-by-configuration diff
+# against the committed BENCH_sim.json.
+bench-diff:
+	@if command -v benchstat >/dev/null 2>&1; then \
+		$(GO) test ./internal/sim/ -run '^$$' -bench BenchmarkRun -benchmem -count 5 > bench_new.txt && \
+		benchstat bench_baseline.txt bench_new.txt && rm -f bench_new.txt; \
+	else \
+		echo "benchstat not found; using hitl-bench -diff against BENCH_sim.json" >&2; \
+		$(GO) run ./cmd/hitl-bench -baseline BENCH_sim.json -diff -out /dev/null; \
+	fi
 
 experiments:
 	$(GO) run ./cmd/hitl-experiments
@@ -46,5 +62,7 @@ fmt:
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
 
+# BENCH_sim.json and bench_baseline.txt are committed artifacts; clean
+# only removes scratch files.
 clean:
-	rm -f cover.out test_output.txt bench_output.txt BENCH_sim.json
+	rm -f cover.out test_output.txt bench_output.txt bench_new.txt

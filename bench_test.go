@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"hitl/internal/agent"
@@ -231,11 +232,14 @@ func BenchmarkSimEngine(b *testing.B) {
 		HazardPresent: true,
 		Task:          gems.LeaveSuspiciousSite(),
 	}
+	pool := sync.Pool{New: func() any { return &agent.Receiver{} }}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		runner := sim.Runner{Seed: int64(i), N: 1000}
 		_, err := runner.Run(context.Background(), func(rng *rand.Rand, _ int) (sim.Outcome, error) {
-			r := agent.NewReceiver(spec.Sample(rng))
+			r := pool.Get().(*agent.Receiver)
+			defer pool.Put(r)
+			r.Reset(spec.Sample(rng))
 			ar, err := r.Process(rng, enc)
 			if err != nil {
 				return sim.Outcome{}, err

@@ -1,23 +1,37 @@
-// Command hitl-bench measures Monte Carlo engine throughput on the full
-// phishing agent pipeline and writes the results as JSON, so CI can archive
-// a comparable artifact per commit.
+// Command hitl-bench measures Monte Carlo engine throughput and allocation
+// cost on the full phishing agent pipeline, plus the HTTP server's
+// deterministic result cache, and writes the results as JSON so CI can
+// archive a comparable artifact per commit.
 //
 // Usage:
 //
 //	hitl-bench [-out BENCH_sim.json] [-n 50000] [-runs 3] [-seed 1]
+//	           [-baseline OLD.json] [-diff]
 //
 // It times sim.Runner.Run at 1, 4, and GOMAXPROCS workers, each with
 // subject-trace sampling off and on, keeping the best of -runs repetitions
-// per configuration. The top-level trace_overhead_pct compares trace-on vs
-// trace-off at GOMAXPROCS workers and should stay in the low single digits.
+// per configuration and recording allocs/op and bytes/op (one op = one full
+// N-subject run) from runtime.MemStats deltas. It then times the server's
+// /v1/experiments/run endpoint cold (cache miss, full Monte Carlo) and warm
+// (cache hit, served from the LRU).
+//
+// -baseline embeds a previous report in the output's "baseline" field;
+// -diff additionally prints a configuration-by-configuration comparison to
+// stderr. The top-level trace_overhead_pct compares trace-on vs trace-off
+// at GOMAXPROCS workers and should stay in the low single digits.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"time"
@@ -26,30 +40,47 @@ import (
 	"hitl/internal/comms"
 	"hitl/internal/gems"
 	"hitl/internal/population"
+	"hitl/internal/server"
 	"hitl/internal/sim"
 	"hitl/internal/stimuli"
 	"hitl/internal/telemetry"
 )
 
-// result is one (workers, trace) configuration's best observed timing.
+// result is one (workers, trace) configuration's best observed run.
 type result struct {
 	Workers        int     `json:"workers"`
 	Trace          bool    `json:"trace"`
 	Seconds        float64 `json:"seconds"`
 	SubjectsPerSec float64 `json:"subjects_per_sec"`
+	// Alloc fields are omitted when absent (reports from before they were
+	// recorded embed cleanly as baselines).
+	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  uint64 `json:"bytes_per_op,omitempty"`
+}
+
+// serverResult is one server-endpoint timing (per request, best of -runs).
+type serverResult struct {
+	Name           string  `json:"name"`
+	Seconds        float64 `json:"seconds"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
 }
 
 // report is the whole BENCH_sim.json document.
 type report struct {
-	GoVersion        string   `json:"go_version"`
-	GOMAXPROCS       int      `json:"gomaxprocs"`
-	SubjectsPerRun   int      `json:"subjects_per_run"`
-	RunsPerConfig    int      `json:"runs_per_config"`
-	Results          []result `json:"results"`
-	TraceOverheadPct float64  `json:"trace_overhead_pct"`
+	GoVersion          string         `json:"go_version"`
+	GOMAXPROCS         int            `json:"gomaxprocs"`
+	SubjectsPerRun     int            `json:"subjects_per_run"`
+	RunsPerConfig      int            `json:"runs_per_config"`
+	Results            []result       `json:"results"`
+	Server             []serverResult `json:"server,omitempty"`
+	ServerCacheSpeedup float64        `json:"server_cache_speedup,omitempty"`
+	TraceOverheadPct   float64        `json:"trace_overhead_pct"`
+	// Baseline carries the previous committed report when -baseline is
+	// given, so one artifact holds the before/after pair.
+	Baseline *report `json:"baseline,omitempty"`
 }
 
-// pipeline is the standard full-pipeline subject: a fresh general-public
+// pipeline is the standard full-pipeline subject: a pooled general-public
 // receiver facing a blocking Firefox warning, as in the phishing case study.
 func pipeline() sim.SubjectFunc {
 	spec := population.GeneralPublic()
@@ -69,24 +100,123 @@ func pipeline() sim.SubjectFunc {
 	}
 }
 
-// bench runs one configuration repeats times and returns the best wall time.
-func bench(seed int64, n, workers, repeats int, trace bool) (time.Duration, error) {
-	best := time.Duration(0)
+// bench runs one configuration repeats times and returns the best wall time
+// plus that run's allocation deltas.
+func bench(seed int64, n, workers, repeats int, trace bool) (best time.Duration, allocs, bytesAlloc uint64, err error) {
+	var ms runtime.MemStats
 	for i := 0; i < repeats; i++ {
 		ctx := context.Background()
 		if trace {
 			ctx = telemetry.WithRecorder(ctx, telemetry.NewRecorder(64, seed))
 		}
+		runtime.ReadMemStats(&ms)
+		startMallocs, startBytes := ms.Mallocs, ms.TotalAlloc
 		start := time.Now()
 		if _, err := (sim.Runner{Seed: seed, N: n, Workers: workers}).Run(ctx, pipeline()); err != nil {
-			return 0, err
+			return 0, 0, 0, err
 		}
 		d := time.Since(start)
+		runtime.ReadMemStats(&ms)
 		if best == 0 || d < best {
 			best = d
+			allocs = ms.Mallocs - startMallocs
+			bytesAlloc = ms.TotalAlloc - startBytes
 		}
 	}
-	return best, nil
+	return best, allocs, bytesAlloc, nil
+}
+
+// benchServer times /v1/experiments/run cold (first request, cache miss)
+// and warm (repeated identical request, cache hit).
+func benchServer(seed int64, n, repeats int) (cold, hit time.Duration, err error) {
+	srv := httptest.NewServer(server.New(server.Config{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}))
+	defer srv.Close()
+	body, _ := json.Marshal(map[string]any{"id": "E1", "seed": seed, "n": n})
+
+	post := func() (time.Duration, error) {
+		start := time.Now()
+		resp, err := http.Post(srv.URL+"/v1/experiments/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("server returned %d", resp.StatusCode)
+		}
+		return time.Since(start), nil
+	}
+
+	if cold, err = post(); err != nil {
+		return 0, 0, err
+	}
+	// Warm: every subsequent identical request is a cache hit; take the
+	// best of a larger sample since each is microseconds.
+	for i := 0; i < repeats*20; i++ {
+		d, err := post()
+		if err != nil {
+			return 0, 0, err
+		}
+		if hit == 0 || d < hit {
+			hit = d
+		}
+	}
+	return cold, hit, nil
+}
+
+// loadBaseline reads a previous report, dropping its own nested baseline so
+// the chain never grows beyond one level.
+func loadBaseline(path string) (*report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	rep.Baseline = nil
+	return &rep, nil
+}
+
+// printDiff writes a per-configuration old-vs-new comparison to stderr.
+func printDiff(old, cur *report) {
+	index := func(r *report) map[[2]any]result {
+		m := map[[2]any]result{}
+		for _, res := range r.Results {
+			m[[2]any{res.Workers, res.Trace}] = res
+		}
+		return m
+	}
+	oldIdx := index(old)
+	fmt.Fprintf(os.Stderr, "hitl-bench: diff vs baseline (go %s, GOMAXPROCS %d)\n",
+		old.GoVersion, old.GOMAXPROCS)
+	for _, res := range cur.Results {
+		prev, ok := oldIdx[[2]any{res.Workers, res.Trace}]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "  workers=%d trace=%v: no baseline entry\n", res.Workers, res.Trace)
+			continue
+		}
+		pct := func(nw, ol float64) float64 {
+			if ol == 0 {
+				return 0
+			}
+			return (nw - ol) / ol * 100
+		}
+		allocDelta := "no baseline"
+		if prev.AllocsPerOp > 0 {
+			allocDelta = fmt.Sprintf("%+6.1f%%", pct(float64(res.AllocsPerOp), float64(prev.AllocsPerOp)))
+		}
+		fmt.Fprintf(os.Stderr,
+			"  workers=%d trace=%-5v  subjects/s %12.0f -> %12.0f (%+6.1f%%)  allocs/op %9d -> %9d (%s)\n",
+			res.Workers, res.Trace,
+			prev.SubjectsPerSec, res.SubjectsPerSec, pct(res.SubjectsPerSec, prev.SubjectsPerSec),
+			prev.AllocsPerOp, res.AllocsPerOp, allocDelta)
+	}
 }
 
 func main() {
@@ -94,7 +224,18 @@ func main() {
 	n := flag.Int("n", 50_000, "subjects per run")
 	runs := flag.Int("runs", 3, "repetitions per configuration (best is kept)")
 	seed := flag.Int64("seed", 1, "seed")
+	baselinePath := flag.String("baseline", "", "previous report to embed as the baseline")
+	diff := flag.Bool("diff", false, "print a comparison against -baseline to stderr")
 	flag.Parse()
+
+	var baseline *report
+	if *baselinePath != "" {
+		b, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		baseline = b
+	}
 
 	workerSet := []int{1, 4, runtime.GOMAXPROCS(0)}
 	seen := map[int]bool{}
@@ -103,6 +244,7 @@ func main() {
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		SubjectsPerRun: *n,
 		RunsPerConfig:  *runs,
+		Baseline:       baseline,
 	}
 	// Indexed lookup for the overhead computation below.
 	secs := map[[2]bool]float64{} // key: {workers == GOMAXPROCS, trace}
@@ -112,7 +254,7 @@ func main() {
 		}
 		seen[w] = true
 		for _, trace := range []bool{false, true} {
-			d, err := bench(*seed, *n, w, *runs, trace)
+			d, allocs, bytesAlloc, err := bench(*seed, *n, w, *runs, trace)
 			if err != nil {
 				fatal(err)
 			}
@@ -121,9 +263,11 @@ func main() {
 				Workers: w, Trace: trace,
 				Seconds:        s,
 				SubjectsPerSec: float64(*n) / s,
+				AllocsPerOp:    allocs,
+				BytesPerOp:     bytesAlloc,
 			})
-			fmt.Fprintf(os.Stderr, "hitl-bench: workers=%d trace=%v  %8.3fs  %12.0f subjects/s\n",
-				w, trace, s, float64(*n)/s)
+			fmt.Fprintf(os.Stderr, "hitl-bench: workers=%d trace=%v  %8.3fs  %12.0f subjects/s  %9d allocs/op  %11d B/op\n",
+				w, trace, s, float64(*n)/s, allocs, bytesAlloc)
 			if w == runtime.GOMAXPROCS(0) {
 				secs[[2]bool{true, trace}] = s
 			}
@@ -131,6 +275,29 @@ func main() {
 	}
 	if off, on := secs[[2]bool{true, false}], secs[[2]bool{true, true}]; off > 0 {
 		rep.TraceOverheadPct = (on - off) / off * 100
+	}
+
+	// The server cache benchmark uses a smaller subject count: the cold
+	// request establishes the full-run cost, the hits should be flat.
+	cold, hit, err := benchServer(*seed, *n/10, *runs)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Server = []serverResult{
+		{Name: "experiments_run_cold", Seconds: cold.Seconds(), RequestsPerSec: 1 / cold.Seconds()},
+		{Name: "experiments_run_cache_hit", Seconds: hit.Seconds(), RequestsPerSec: 1 / hit.Seconds()},
+	}
+	if hit > 0 {
+		rep.ServerCacheSpeedup = cold.Seconds() / hit.Seconds()
+	}
+	fmt.Fprintf(os.Stderr, "hitl-bench: server cold %8.3fs, cache hit %.6fs (%.0fx)\n",
+		cold.Seconds(), hit.Seconds(), rep.ServerCacheSpeedup)
+
+	if *diff {
+		if baseline == nil {
+			fatal(fmt.Errorf("-diff requires -baseline"))
+		}
+		printDiff(baseline, &rep)
 	}
 
 	f, err := os.Create(*out)

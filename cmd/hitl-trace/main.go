@@ -51,6 +51,7 @@ func main() {
 
 	rng := rand.New(rand.NewSource(*seed))
 	r := agent.NewReceiver(spec.Sample(rng))
+	r.CollectTrace = true
 	r.AddExposures(comm.ID, *exposures)
 	r.AddFalseAlarms(comm.Topic, *falseAlarms)
 	if *trained {

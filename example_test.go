@@ -54,6 +54,7 @@ func ExampleAdviseCommunication() {
 func ExampleReceiver_Process() {
 	rng := rand.New(rand.NewSource(1))
 	r := hitl.NewReceiver(hitl.GeneralPublic().MeanProfile())
+	r.CollectTrace = true
 	res, err := r.Process(rng, hitl.Encounter{
 		Comm:          hitl.FirefoxActiveWarning(),
 		Env:           hitl.QuietEnvironment(),

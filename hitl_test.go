@@ -69,6 +69,7 @@ func TestFacadeProcess(t *testing.T) {
 func TestFacadeReceiver(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	r := NewReceiver(GeneralPublic().Sample(rng))
+	r.CollectTrace = true
 	res, err := r.Process(rng, Encounter{
 		Comm:          FirefoxActiveWarning(),
 		Env:           QuietEnvironment(),

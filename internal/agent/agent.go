@@ -27,6 +27,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"hitl/internal/comms"
 	"hitl/internal/gems"
@@ -317,13 +318,13 @@ type Model struct {
 	MotFocusPenalty float64
 
 	// Heuristic (low-information) decision path.
-	HeurBase        float64
-	HeurRisk        float64
-	HeurTrust       float64
-	HeurActiveness  float64
-	HeurSkill       float64 // weight of trained topic skill on heuristic decisions
-	HeurLookPenalty float64
-	HeurFocusPanlty float64
+	HeurBase         float64
+	HeurRisk         float64
+	HeurTrust        float64
+	HeurActiveness   float64
+	HeurSkill        float64 // weight of trained topic skill on heuristic decisions
+	HeurLookPenalty  float64
+	HeurFocusPenalty float64
 
 	// Delivery races.
 	DismissRaceFactor float64 // how aggressively primary-task input dismisses delayed warnings
@@ -390,13 +391,13 @@ func DefaultModel() *Model {
 		MotCostPenalty:  0.55,
 		MotFocusPenalty: 0.15,
 
-		HeurBase:        0.10,
-		HeurRisk:        0.30,
-		HeurTrust:       0.25,
-		HeurActiveness:  0.25,
-		HeurSkill:       0.25,
-		HeurLookPenalty: 0.25,
-		HeurFocusPanlty: 0.20,
+		HeurBase:         0.10,
+		HeurRisk:         0.30,
+		HeurTrust:        0.25,
+		HeurActiveness:   0.25,
+		HeurSkill:        0.25,
+		HeurLookPenalty:  0.25,
+		HeurFocusPenalty: 0.20,
 
 		DismissRaceFactor: 0.60,
 
@@ -434,29 +435,49 @@ type Receiver struct {
 	// without changing how the pipeline samples. A nil Probe costs one
 	// predictable branch per stage.
 	Probe func(Check)
+	// CollectTrace makes Process materialize Result.Trace. Attaching a
+	// Probe implies collection. When both are false/nil, Process records
+	// no checks and the per-subject hot path stays allocation-free; the
+	// sampling sequence is identical either way.
+	CollectTrace bool
 
-	exposures     map[string]int   // by communication ID
-	falseAlarms   map[string]int   // by topic
-	skills        map[string]Skill // by topic
-	accurateModel map[string]bool  // by topic, set by training
+	exposures     map[string]int   // by communication ID, allocated on first write
+	falseAlarms   map[string]int   // by topic, allocated on first write
+	skills        map[string]Skill // by topic, allocated on first write
+	accurateModel map[string]bool  // by topic, set by training, allocated on first write
+
+	scratch []Check // reusable trace buffer; Result.Trace is a copy of it
 }
 
 // NewReceiver creates a receiver with the given profile and default model.
+// Experience-state maps are allocated lazily on first write, so an untouched
+// receiver costs a single allocation.
 func NewReceiver(p population.Profile) *Receiver {
-	return &Receiver{
-		Profile:       p,
-		exposures:     make(map[string]int),
-		falseAlarms:   make(map[string]int),
-		skills:        make(map[string]Skill),
-		accurateModel: make(map[string]bool),
-	}
+	return &Receiver{Profile: p}
 }
+
+// Reset clears the receiver's experience state and installs a new profile,
+// letting scenario loops reuse one receiver (and its map/trace storage)
+// across subjects instead of allocating with NewReceiver each time. Model,
+// Probe, and CollectTrace are left untouched.
+func (r *Receiver) Reset(p population.Profile) {
+	r.Profile = p
+	clear(r.exposures)
+	clear(r.falseAlarms)
+	clear(r.skills)
+	clear(r.accurateModel)
+}
+
+// defaultModel caches one immutable DefaultModel for every receiver whose
+// Model field is nil; callers that perturb coefficients use DefaultModel()
+// to get their own copy.
+var defaultModel = sync.OnceValue(func() *Model { return DefaultModel() })
 
 func (r *Receiver) model() *Model {
 	if r.Model != nil {
 		return r.Model
 	}
-	return DefaultModel()
+	return defaultModel()
 }
 
 // Exposures returns how many times the receiver has noticed the
@@ -486,6 +507,9 @@ func (r *Receiver) HasAccurateModel(topic string) bool {
 // studying habituation without replaying the history.
 func (r *Receiver) AddExposures(commID string, n int) {
 	if n > 0 {
+		if r.exposures == nil {
+			r.exposures = make(map[string]int)
+		}
 		r.exposures[commID] += n
 	}
 }
@@ -494,6 +518,9 @@ func (r *Receiver) AddExposures(commID string, n int) {
 // trust erosion without replaying the history.
 func (r *Receiver) AddFalseAlarms(topic string, n int) {
 	if n > 0 {
+		if r.falseAlarms == nil {
+			r.falseAlarms = make(map[string]int)
+		}
 		r.falseAlarms[topic] += n
 	}
 }
@@ -501,6 +528,12 @@ func (r *Receiver) AddFalseAlarms(topic string, n int) {
 // Train force-installs topic knowledge, as after completing a training
 // communication outside a simulated encounter.
 func (r *Receiver) Train(topic string, s Skill) {
+	if r.skills == nil {
+		r.skills = make(map[string]Skill)
+	}
+	if r.accurateModel == nil {
+		r.accurateModel = make(map[string]bool)
+	}
 	r.skills[topic] = s
 	r.accurateModel[topic] = true
 }
@@ -693,7 +726,7 @@ func (r *Receiver) PHeuristic(e Encounter) float64 {
 		m.HeurActiveness*d.Activeness +
 		m.HeurSkill*r.skillLevel(e.Comm.Topic, e.Day) -
 		m.HeurLookPenalty*d.LookAlike -
-		m.HeurFocusPanlty*r.Profile.PrimaryTaskFocus*(1-d.Activeness)
+		m.HeurFocusPenalty*r.Profile.PrimaryTaskFocus*(1-d.Activeness)
 	return clamp01(p)
 }
 
@@ -711,37 +744,63 @@ func (r *Receiver) PCapable(e Encounter) float64 {
 
 // Process runs one encounter through the pipeline, mutating the receiver's
 // experience state (exposure counts, false alarms, skills) and returning
-// the outcome with a full stage trace.
+// the outcome. Result.Trace is materialized only when CollectTrace is set
+// or a Probe is attached; the sampling sequence — and therefore every
+// other Result field — is identical either way.
 func (r *Receiver) Process(rng *rand.Rand, e Encounter) (Result, error) {
 	if err := e.Validate(); err != nil {
 		return Result{}, err
 	}
 	(&e).withDefaults()
 
+	collect := r.CollectTrace || r.Probe != nil
+	if collect {
+		r.scratch = r.scratch[:0]
+	}
+
 	res := Result{FailedStage: StageNone, ErrorClass: gems.NoError}
-	observe := func(c Check) {
-		res.Trace = append(res.Trace, c)
+	// observe records one stage check. The note is passed as prefix+suffix
+	// so the concatenation is only paid when a trace is collected.
+	observe := func(st Stage, p float64, passed bool, notePre, noteSuf string) {
+		if !collect {
+			return
+		}
+		note := notePre
+		if noteSuf != "" {
+			note += noteSuf
+		}
+		c := Check{Stage: st, P: p, Passed: passed, Note: note}
+		r.scratch = append(r.scratch, c)
 		if r.Probe != nil {
 			r.Probe(c)
 		}
 	}
-	check := func(st Stage, p float64, note string) bool {
+	// finish copies the scratch buffer into Result.Trace: trace consumers
+	// (telemetry sketches, probes' callers) may hold the Result past the
+	// receiver's next Process call, so they must not alias the scratch.
+	finish := func() (Result, error) {
+		if collect && len(r.scratch) > 0 {
+			res.Trace = append([]Check(nil), r.scratch...)
+		}
+		return res, nil
+	}
+	check := func(st Stage, p float64, notePre, noteSuf string) bool {
 		passed := rng.Float64() < p
-		observe(Check{Stage: st, P: p, Passed: passed, Note: note})
+		observe(st, p, passed, notePre, noteSuf)
 		return passed
 	}
 	fail := func(st Stage) (Result, error) {
 		res.Heeded = false
 		res.FailedStage = st
-		return res, nil
+		return finish()
 	}
 	heuristicDecision := func(note string) (Result, error) {
 		res.HeuristicPath = true
 		p := r.PHeuristic(e)
-		if check(StageBehavior, p, "heuristic decision: "+note) {
+		if check(StageBehavior, p, "heuristic decision: ", note) {
 			res.Heeded = true
 			res.FailedStage = StageNone
-			return res, nil
+			return finish()
 		}
 		return fail(StageBehavior)
 	}
@@ -750,11 +809,11 @@ func (r *Receiver) Process(rng *rand.Rand, e Encounter) (Result, error) {
 	eff := e.Interference.Apply()
 	if eff.Spoofed {
 		res.Spoofed = true
-		observe(Check{Stage: StageDelivery, P: 0, Passed: false,
-			Note: "spoofed by attacker: receiver perceives attacker-controlled indicator"})
+		observe(StageDelivery, 0, false,
+			"spoofed by attacker: receiver perceives attacker-controlled indicator", "")
 		return fail(StageDelivery)
 	}
-	if !check(StageDelivery, eff.DeliveredFraction, "interference: "+e.Interference.Kind.String()) {
+	if !check(StageDelivery, eff.DeliveredFraction, "interference: ", e.Interference.Kind.String()) {
 		return fail(StageDelivery)
 	}
 	// Delivery race: delayed communications dismissible by primary-task
@@ -764,16 +823,22 @@ func (r *Receiver) Process(rng *rand.Rand, e Encounter) (Result, error) {
 		delay := e.Comm.Design.DelaySeconds + eff.AddedDelaySeconds
 		m := r.model()
 		pSurvive := 1 - m.DismissRaceFactor*e.Env.PrimaryTaskPressure*math.Min(1, delay/5)
-		if !check(StageDelivery, pSurvive, "dismissal race (delayed, dismissible warning)") {
+		if !check(StageDelivery, pSurvive, "dismissal race (delayed, dismissible warning)", "") {
 			return fail(StageDelivery)
 		}
 	}
 
 	// --- Attention switch. ---
-	noticed := check(StageAttentionSwitch, r.PNotice(e), "")
+	noticed := check(StageAttentionSwitch, r.PNotice(e), "", "")
 	if noticed {
+		if r.exposures == nil {
+			r.exposures = make(map[string]int)
+		}
 		r.exposures[e.Comm.ID]++
 		if !e.HazardPresent {
+			if r.falseAlarms == nil {
+				r.falseAlarms = make(map[string]int)
+			}
 			r.falseAlarms[e.Comm.Topic]++
 		}
 	}
@@ -784,7 +849,7 @@ func (r *Receiver) Process(rng *rand.Rand, e Encounter) (Result, error) {
 	blocking := e.Comm.Design.BlocksPrimaryTask
 
 	// --- Attention maintenance. ---
-	if !check(StageAttentionMaintenance, r.PMaintain(e), "") {
+	if !check(StageAttentionMaintenance, r.PMaintain(e), "", "") {
 		if blocking {
 			// The user must still dispose of the blocker somehow.
 			return heuristicDecision("did not fully read blocking communication")
@@ -798,7 +863,7 @@ func (r *Receiver) Process(rng *rand.Rand, e Encounter) (Result, error) {
 	if !accurate {
 		note = "inaccurate mental model"
 	}
-	if !check(StageComprehension, r.PComprehend(e, accurate), note) {
+	if !check(StageComprehension, r.PComprehend(e, accurate), note, "") {
 		if blocking {
 			return heuristicDecision("did not comprehend blocking communication")
 		}
@@ -806,13 +871,16 @@ func (r *Receiver) Process(rng *rand.Rand, e Encounter) (Result, error) {
 	}
 
 	// --- Knowledge acquisition. ---
-	acquired := check(StageKnowledgeAcquisition, r.PAcquire(e), "")
+	acquired := check(StageKnowledgeAcquisition, r.PAcquire(e), "", "")
 	if acquired && (e.Comm.Kind == comms.Training || e.Comm.Kind == comms.Policy) {
 		// Learning happened: install/refresh topic skill and correct the
 		// mental model.
 		level := 0.5 + 0.5*e.Comm.Design.InstructionSpecificity
 		prev, ok := r.skills[e.Comm.Topic]
 		if !ok || level > r.skillLevel(e.Comm.Topic, e.Day) {
+			if r.skills == nil {
+				r.skills = make(map[string]Skill)
+			}
 			r.skills[e.Comm.Topic] = Skill{
 				Level:         level,
 				Interactivity: e.Comm.Design.Interactivity,
@@ -821,6 +889,9 @@ func (r *Receiver) Process(rng *rand.Rand, e Encounter) (Result, error) {
 			}
 		}
 		if e.Comm.Kind == comms.Training {
+			if r.accurateModel == nil {
+				r.accurateModel = make(map[string]bool)
+			}
 			r.accurateModel[e.Comm.Topic] = true
 		}
 	}
@@ -832,18 +903,18 @@ func (r *Receiver) Process(rng *rand.Rand, e Encounter) (Result, error) {
 	}
 
 	// --- Application: retention and transfer (delayed applications only). ---
-	if !check(StageKnowledgeRetention, r.PRetain(e), "") {
+	if !check(StageKnowledgeRetention, r.PRetain(e), "", "") {
 		return fail(StageKnowledgeRetention)
 	}
-	if !check(StageKnowledgeTransfer, r.PTransfer(e), "") {
+	if !check(StageKnowledgeTransfer, r.PTransfer(e), "", "") {
 		return fail(StageKnowledgeTransfer)
 	}
 
 	// --- Intentions: attitudes & beliefs, then motivation. ---
-	if !check(StageAttitudesBeliefs, r.PBelieve(e), "") {
+	if !check(StageAttitudesBeliefs, r.PBelieve(e), "", "") {
 		return fail(StageAttitudesBeliefs)
 	}
-	if !check(StageMotivation, r.PMotivate(e), "") {
+	if !check(StageMotivation, r.PMotivate(e), "", "") {
 		return fail(StageMotivation)
 	}
 
@@ -852,7 +923,7 @@ func (r *Receiver) Process(rng *rand.Rand, e Encounter) (Result, error) {
 	if e.MissingTools {
 		capNote = "required tools missing"
 	}
-	if !check(StageCapabilities, r.PCapable(e), capNote) {
+	if !check(StageCapabilities, r.PCapable(e), capNote, "") {
 		return fail(StageCapabilities)
 	}
 
@@ -862,16 +933,11 @@ func (r *Receiver) Process(rng *rand.Rand, e Encounter) (Result, error) {
 		return Result{}, fmt.Errorf("agent: behavior stage: %w", err)
 	}
 	res.ErrorClass = attempt.Class
-	observe(Check{
-		Stage:  StageBehavior,
-		P:      1,
-		Passed: attempt.Completed,
-		Note:   "gems: " + attempt.Class.String(),
-	})
+	observe(StageBehavior, 1, attempt.Completed, "gems: ", attempt.Class.String())
 	if !attempt.Completed {
 		res.Heeded = false
 		res.FailedStage = StageBehavior
-		return res, nil
+		return finish()
 	}
 	if s, ok := r.skills[e.Comm.Topic]; ok && e.ApplyDelayDays > 0 {
 		// Successful application rehearses the skill.
@@ -880,5 +946,5 @@ func (r *Receiver) Process(rng *rand.Rand, e Encounter) (Result, error) {
 	}
 	res.Heeded = true
 	res.Unverified = !attempt.Verified
-	return res, nil
+	return finish()
 }

@@ -3,6 +3,7 @@ package agent
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -103,6 +104,7 @@ func TestProcessDeterministic(t *testing.T) {
 	run := func() Result {
 		rng := rand.New(rand.NewSource(99))
 		r := NewReceiver(avgProfile())
+		r.CollectTrace = true
 		res, err := r.Process(rng, enc)
 		if err != nil {
 			t.Fatal(err)
@@ -182,7 +184,7 @@ func TestHabituationDecaysNoticing(t *testing.T) {
 	r := NewReceiver(avgProfile())
 	enc := warningEncounter(comms.IEPassiveWarning())
 	p0 := r.PNotice(enc)
-	r.exposures[enc.Comm.ID] = 10
+	r.AddExposures(enc.Comm.ID, 10)
 	p10 := r.PNotice(enc)
 	if p10 >= p0 {
 		t.Errorf("habituation must lower noticing: %.3f vs %.3f", p10, p0)
@@ -193,7 +195,7 @@ func TestHabituationDecaysNoticing(t *testing.T) {
 	// Blocking warnings keep being noticed.
 	encFF := warningEncounter(comms.FirefoxActiveWarning())
 	r2 := NewReceiver(avgProfile())
-	r2.exposures[encFF.Comm.ID] = 50
+	r2.AddExposures(encFF.Comm.ID, 50)
 	if p := r2.PNotice(encFF); p < 0.9 {
 		t.Errorf("blocking warning must stay noticed under habituation, got %.3f", p)
 	}
@@ -202,7 +204,7 @@ func TestHabituationDecaysNoticing(t *testing.T) {
 func TestFalseAlarmsErodeTrustAndHeeding(t *testing.T) {
 	r := NewReceiver(avgProfile())
 	base := r.EffectiveTrust("phishing")
-	r.falseAlarms["phishing"] = 5
+	r.AddFalseAlarms("phishing", 5)
 	eroded := r.EffectiveTrust("phishing")
 	if eroded >= base {
 		t.Errorf("false alarms must erode trust: %.3f vs %.3f", eroded, base)
@@ -210,7 +212,7 @@ func TestFalseAlarmsErodeTrustAndHeeding(t *testing.T) {
 	enc := warningEncounter(comms.FirefoxActiveWarning())
 	r2 := NewReceiver(avgProfile())
 	pb := r2.PBelieve(enc)
-	r2.falseAlarms["phishing"] = 5
+	r2.AddFalseAlarms("phishing", 5)
 	if r2.PBelieve(enc) >= pb {
 		t.Error("false alarms must lower belief probability")
 	}
@@ -490,7 +492,7 @@ func TestProbabilityBounds(t *testing.T) {
 			HazardPresent: true,
 		}
 		r := NewReceiver(prof)
-		r.exposures[c.ID] = int(exposures % 50)
+		r.AddExposures(c.ID, int(exposures%50))
 		ps := []float64{
 			r.PNotice(e), r.PMaintain(e), r.PComprehend(e, true), r.PComprehend(e, false),
 			r.PAcquire(e), r.PRetain(e), r.PTransfer(e), r.PBelieve(e),
@@ -526,6 +528,7 @@ func TestActivenessMonotoneNoticing(t *testing.T) {
 func TestTraceCoversStages(t *testing.T) {
 	rng := rand.New(rand.NewSource(40))
 	r := NewReceiver(avgProfile())
+	r.CollectTrace = true
 	res, err := r.Process(rng, warningEncounter(comms.FirefoxActiveWarning()))
 	if err != nil {
 		t.Fatal(err)
@@ -553,6 +556,7 @@ func TestTraceCoversStages(t *testing.T) {
 func TestTraceString(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	r := NewReceiver(avgProfile())
+	r.CollectTrace = true
 	res, err := r.Process(rng, warningEncounter(comms.FirefoxActiveWarning()))
 	if err != nil {
 		t.Fatal(err)
@@ -643,5 +647,103 @@ func TestProbeObservesSpoofAndBehavior(t *testing.T) {
 	}
 	if !sawBehavior {
 		t.Error("no behavior-stage check reached the probe in 50 attempts")
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	// Without CollectTrace or a Probe, Process must not materialize a
+	// trace — and the sampling sequence must be identical to a traced run.
+	enc := warningEncounter(comms.FirefoxActiveWarning())
+
+	plain := NewReceiver(avgProfile())
+	plainRes, err := plain.Process(rand.New(rand.NewSource(123)), enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainRes.Trace != nil {
+		t.Fatalf("trace collected without opt-in: %d checks", len(plainRes.Trace))
+	}
+
+	traced := NewReceiver(avgProfile())
+	traced.CollectTrace = true
+	tracedRes, err := traced.Process(rand.New(rand.NewSource(123)), enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracedRes.Trace) == 0 {
+		t.Fatal("CollectTrace produced no trace")
+	}
+	tracedRes.Trace = nil
+	if !reflect.DeepEqual(plainRes, tracedRes) {
+		t.Errorf("trace opt-in changed the outcome: %+v vs %+v", plainRes, tracedRes)
+	}
+}
+
+func TestTraceIsNotAliasedToScratch(t *testing.T) {
+	// Result.Trace must survive the receiver's next Process call: trace
+	// consumers (telemetry sketches) hold results after the receiver moves
+	// on to another subject.
+	r := NewReceiver(avgProfile())
+	r.CollectTrace = true
+	enc := warningEncounter(comms.FirefoxActiveWarning())
+	rng := rand.New(rand.NewSource(7))
+	first, err := r.Process(rng, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]Check(nil), first.Trace...)
+	for i := 0; i < 5; i++ {
+		if _, err := r.Process(rng, enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(first.Trace) != len(snapshot) {
+		t.Fatalf("trace length changed after reuse: %d vs %d", len(first.Trace), len(snapshot))
+	}
+	for i := range snapshot {
+		if first.Trace[i] != snapshot[i] {
+			t.Fatalf("check %d clobbered by receiver reuse: %+v vs %+v", i, first.Trace[i], snapshot[i])
+		}
+	}
+}
+
+func TestResetMatchesFreshReceiver(t *testing.T) {
+	// A pooled receiver reset between subjects must behave exactly like a
+	// fresh NewReceiver: same probabilities, same experience state.
+	enc := warningEncounter(comms.FirefoxActiveWarning())
+	pooled := NewReceiver(avgProfile())
+	pooled.AddExposures(enc.Comm.ID, 30)
+	pooled.AddFalseAlarms(enc.Comm.Topic, 4)
+	pooled.Train(enc.Comm.Topic, Skill{Level: 0.9})
+	rng := rand.New(rand.NewSource(17))
+	if _, err := pooled.Process(rng, enc); err != nil {
+		t.Fatal(err)
+	}
+
+	prof := avgProfile()
+	prof.TechExpertise = 0.9
+	pooled.Reset(prof)
+	fresh := NewReceiver(prof)
+
+	if got, want := pooled.Exposures(enc.Comm.ID), fresh.Exposures(enc.Comm.ID); got != want {
+		t.Errorf("exposures after reset: %d, want %d", got, want)
+	}
+	if got, want := pooled.FalseAlarms(enc.Comm.Topic), fresh.FalseAlarms(enc.Comm.Topic); got != want {
+		t.Errorf("false alarms after reset: %d, want %d", got, want)
+	}
+	if _, ok := pooled.SkillFor(enc.Comm.Topic); ok {
+		t.Error("skill survived reset")
+	}
+	pr, fr := rand.New(rand.NewSource(55)), rand.New(rand.NewSource(55))
+	a, err := pooled.Process(pr, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.Process(fr, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("reset receiver diverged from fresh receiver: %+v vs %+v", a, b)
 	}
 }

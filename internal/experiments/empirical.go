@@ -412,8 +412,12 @@ func E7PassiveIndicator(ctx context.Context, cfg Config) (*Output, error) {
 	} {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*31013))
 		noticed := 0
+		// The notice rate is read off the attention-switch trace check, so
+		// this pipeline opts into trace collection.
+		r := agent.NewReceiver(population.Profile{})
+		r.CollectTrace = true
 		for s := 0; s < n; s++ {
-			r := agent.NewReceiver(pop.Sample(rng))
+			r.Reset(pop.Sample(rng))
 			enc := agent.Encounter{
 				Comm: comms.SSLLockIndicator(), Env: ctx.env,
 				HazardPresent: true, Primed: ctx.primed,

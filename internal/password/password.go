@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"hitl/internal/agent"
 	"hitl/internal/comms"
@@ -211,9 +212,14 @@ func (s Scenario) Run(ctx context.Context) (Metrics, error) {
 	cost := 0.4 * s.Policy.complianceCost(s.Accounts, s.Tools)
 
 	runner := sim.Runner{Seed: s.Seed, N: s.N}
+	// Pooled receivers keep the per-subject hot path allocation-free; the
+	// scenario synthesizes its own Outcome, so no traces are collected.
+	pool := sync.Pool{New: func() any { return &agent.Receiver{} }}
 	res, err := runner.Run(ctx, func(rng *rand.Rand, i int) (sim.Outcome, error) {
 		prof := s.Population.Sample(rng)
-		r := agent.NewReceiver(prof)
+		r := pool.Get().(*agent.Receiver)
+		defer pool.Put(r)
+		r.Reset(prof)
 
 		// Stage 1: the policy as a communication. Users see password
 		// guidance repeatedly — at enrollment, in handbooks, and re-stated

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"hitl/internal/agent"
 	"hitl/internal/comms"
@@ -19,7 +20,16 @@ import (
 	"hitl/internal/population"
 	"hitl/internal/sim"
 	"hitl/internal/stimuli"
+	"hitl/internal/telemetry"
 )
+
+// receiverPool hands each worker a reusable receiver: Reset replaces
+// NewReceiver's per-subject allocations on the Monte Carlo hot path.
+// Collect opts the pooled receivers into trace capture, which scenarios
+// enable only when a trace recorder is attached to the run's context.
+func receiverPool(collect bool) *sync.Pool {
+	return &sync.Pool{New: func() any { return &agent.Receiver{CollectTrace: collect} }}
+}
 
 // Condition is one experimental arm: a warning design plus optional
 // pre-training and interference.
@@ -93,9 +103,13 @@ func (s Study) Run(ctx context.Context) (StudyResult, error) {
 		return StudyResult{}, fmt.Errorf("phishing: %w", err)
 	}
 	runner := sim.Runner{Seed: s.Seed, N: s.N}
+	// Traces are only materialized when a recorder will sample them.
+	pool := receiverPool(telemetry.RecorderFromContext(ctx) != nil)
 	res, err := runner.Run(ctx, func(rng *rand.Rand, i int) (sim.Outcome, error) {
 		prof := s.Population.Sample(rng)
-		r := agent.NewReceiver(prof)
+		r := pool.Get().(*agent.Receiver)
+		defer pool.Put(r)
+		r.Reset(prof)
 		if s.Condition.PreTrained {
 			r.Train(s.Condition.Warning.Topic, agent.Skill{
 				Level: 0.85, Interactivity: 0.85, AcquiredDay: 0,
@@ -257,9 +271,15 @@ func (c Campaign) Run(ctx context.Context) (CampaignMetrics, error) {
 		return CampaignMetrics{}, err
 	}
 	runner := sim.Runner{Seed: c.Seed, N: c.N}
+	// The campaign synthesizes its own Outcome from many encounters, so it
+	// never collects per-encounter traces; pooled receivers keep the
+	// multi-day loop allocation-free.
+	pool := receiverPool(false)
 	res, err := runner.Run(ctx, func(rng *rand.Rand, i int) (sim.Outcome, error) {
 		prof := c.Population.Sample(rng)
-		r := agent.NewReceiver(prof)
+		r := pool.Get().(*agent.Receiver)
+		defer pool.Put(r)
+		r.Reset(prof)
 		phished := false
 		phishSeen, phishedCount, falseAlarms := 0, 0, 0
 		var firstFailure agent.Stage = agent.StageNone

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hitl/internal/core"
+)
+
+// resultCache is a bounded LRU over fully rendered JSON response bodies.
+// Every cacheable endpoint is deterministic — an experiment run is a pure
+// function of (id, seed, n) and a process run of (spec, passes) — so a
+// repeated request can be answered byte-for-byte from memory without
+// re-running the Monte Carlo engine. Only complete 200 responses are
+// stored; error responses and requests that carry per-request telemetry
+// (?trace_sample, ?spans=1) bypass the cache entirely.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, max),
+	}
+}
+
+// get returns the cached body for key, promoting it to most recently used.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting least-recently-used entries beyond
+// the capacity bound.
+func (c *resultCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *resultCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// writeMetrics appends the cache counters to a /v1/metrics scrape.
+func (c *resultCache) writeMetrics(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("# HELP hitl_server_cache_hits Result-cache lookups answered from memory.\n")
+	b.WriteString("# TYPE hitl_server_cache_hits counter\n")
+	fmt.Fprintf(&b, "hitl_server_cache_hits %d\n", c.hits.Load())
+	b.WriteString("# HELP hitl_server_cache_misses Result-cache lookups that missed.\n")
+	b.WriteString("# TYPE hitl_server_cache_misses counter\n")
+	fmt.Fprintf(&b, "hitl_server_cache_misses %d\n", c.misses.Load())
+	b.WriteString("# HELP hitl_server_cache_evictions Entries evicted to stay within the capacity bound.\n")
+	b.WriteString("# TYPE hitl_server_cache_evictions counter\n")
+	fmt.Fprintf(&b, "hitl_server_cache_evictions %d\n", c.evictions.Load())
+	b.WriteString("# HELP hitl_server_cache_entries Entries currently cached.\n")
+	b.WriteString("# TYPE hitl_server_cache_entries gauge\n")
+	fmt.Fprintf(&b, "hitl_server_cache_entries %d\n", c.size())
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// experimentCacheKey keys an experiment run by everything that determines
+// its output. Seed defaulting happens before keying, so an explicit
+// seed=20080124 and an omitted seed share one entry.
+func experimentCacheKey(id string, seed int64, n int) string {
+	return fmt.Sprintf("experiments/run|%s|%d|%d", id, seed, n)
+}
+
+// processCacheKey hashes the canonical JSON form of the spec plus the
+// effective pass count. Hashing keeps keys bounded no matter how large the
+// submitted spec is.
+func processCacheKey(spec core.SystemSpec, passes int) string {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return "" // unkeyable spec: skip caching, never fail the request
+	}
+	sum := sha256.Sum256(raw)
+	return fmt.Sprintf("process|%d|%s", passes, hex.EncodeToString(sum[:]))
+}
+
+// serveCached answers the request from the cache if possible, reporting
+// whether it did. A disabled cache or empty key always reports false.
+func (s *Server) serveCached(w http.ResponseWriter, key string) bool {
+	if s.cache == nil || key == "" {
+		return false
+	}
+	body, ok := s.cache.get(key)
+	if !ok {
+		return false
+	}
+	w.Header().Set("X-Cache", "hit")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+	return true
+}
+
+// writeCacheableJSON renders v exactly as writeJSON would, stores the body
+// under key, and serves it with an X-Cache: miss marker. When the cache is
+// disabled it degrades to a plain 200 JSON write.
+func (s *Server) writeCacheableJSON(w http.ResponseWriter, key string, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	body = append(body, '\n') // match json.Encoder's trailing newline
+	if s.cache != nil && key != "" {
+		s.cache.put(key, body)
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}

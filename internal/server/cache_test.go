@@ -1,0 +1,211 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// readAll drains and closes a response body.
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func runBody(id string, seed int64, n int) map[string]any {
+	return map[string]any{"id": id, "seed": seed, "n": n}
+}
+
+// TestExperimentRunCacheHit verifies the second identical run is served from
+// the cache with a byte-identical body.
+func TestExperimentRunCacheHit(t *testing.T) {
+	ts := newTestServer(t)
+
+	cold := postJSON(t, ts.URL+"/v1/experiments/run", runBody("E1", 7, 120))
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold run: %d", cold.StatusCode)
+	}
+	if got := cold.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("cold X-Cache = %q, want miss", got)
+	}
+	coldBody := readAll(t, cold)
+
+	warm := postJSON(t, ts.URL+"/v1/experiments/run", runBody("E1", 7, 120))
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("warm run: %d", warm.StatusCode)
+	}
+	if got := warm.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("warm X-Cache = %q, want hit", got)
+	}
+	warmBody := readAll(t, warm)
+	if coldBody != warmBody {
+		t.Error("cached body differs from the cold response")
+	}
+}
+
+// TestExperimentRunCacheDistinctParams verifies that changing any request
+// parameter misses the cache.
+func TestExperimentRunCacheDistinctParams(t *testing.T) {
+	ts := newTestServer(t)
+
+	first := postJSON(t, ts.URL+"/v1/experiments/run", runBody("E1", 7, 120))
+	readAll(t, first)
+	for _, body := range []map[string]any{
+		runBody("E2", 7, 120), // different experiment
+		runBody("E1", 8, 120), // different seed
+		runBody("E1", 7, 121), // different n
+	} {
+		resp := postJSON(t, ts.URL+"/v1/experiments/run", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%v: %d", body, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Cache"); got != "miss" {
+			t.Errorf("%v: X-Cache = %q, want miss", body, got)
+		}
+		readAll(t, resp)
+	}
+}
+
+// TestExperimentRunTelemetryBypassesCache verifies trace_sample and spans
+// requests are never cached and never served from the cache.
+func TestExperimentRunTelemetryBypassesCache(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Prime the plain entry.
+	readAll(t, postJSON(t, ts.URL+"/v1/experiments/run", runBody("E1", 7, 120)))
+
+	for _, q := range []string{"?trace_sample=3", "?spans=1"} {
+		resp := postJSON(t, ts.URL+"/v1/experiments/run"+q, runBody("E1", 7, 120))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d", q, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Cache"); got != "" {
+			t.Errorf("%s: X-Cache = %q, want no header", q, got)
+		}
+		readAll(t, resp)
+	}
+}
+
+// TestProcessCacheHit verifies /v1/process caching keys on the full spec.
+func TestProcessCacheHit(t *testing.T) {
+	ts := newTestServer(t)
+
+	cold := postJSON(t, ts.URL+"/v1/process", exampleSpec())
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold process: %d", cold.StatusCode)
+	}
+	if got := cold.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("cold X-Cache = %q, want miss", got)
+	}
+	coldBody := readAll(t, cold)
+
+	warm := postJSON(t, ts.URL+"/v1/process", exampleSpec())
+	if got := warm.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("warm X-Cache = %q, want hit", got)
+	}
+	if warmBody := readAll(t, warm); warmBody != coldBody {
+		t.Error("cached process body differs from the cold response")
+	}
+
+	// A distinct spec misses.
+	spec := exampleSpec()
+	spec.Name = "browser-anti-phishing-v2"
+	other := postJSON(t, ts.URL+"/v1/process", spec)
+	if got := other.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("distinct spec X-Cache = %q, want miss", got)
+	}
+	readAll(t, other)
+
+	// Distinct effective passes also miss, even for the same spec.
+	passes := postJSON(t, ts.URL+"/v1/process?passes=1", exampleSpec())
+	if got := passes.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("passes=1 X-Cache = %q, want miss", got)
+	}
+	readAll(t, passes)
+}
+
+// TestCacheEviction fills a tiny cache beyond capacity and checks LRU
+// eviction via the counters and a re-miss on the evicted key.
+func TestCacheEviction(t *testing.T) {
+	cfg := quietConfig()
+	cfg.CacheSize = 2
+	srv := New(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	for seed := int64(1); seed <= 3; seed++ {
+		readAll(t, postJSON(t, ts.URL+"/v1/experiments/run", runBody("E1", seed, 50)))
+	}
+	if got := srv.cache.evictions.Load(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if got := srv.cache.size(); got != 2 {
+		t.Errorf("cache size = %d, want 2", got)
+	}
+	// seed=1 was least recently used and evicted; re-requesting misses.
+	resp := postJSON(t, ts.URL+"/v1/experiments/run", runBody("E1", 1, 50))
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("evicted key X-Cache = %q, want miss", got)
+	}
+	readAll(t, resp)
+	// seed=3 survived.
+	resp = postJSON(t, ts.URL+"/v1/experiments/run", runBody("E1", 3, 50))
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("retained key X-Cache = %q, want hit", got)
+	}
+	readAll(t, resp)
+}
+
+// TestCacheDisabled verifies a negative CacheSize turns caching off.
+func TestCacheDisabled(t *testing.T) {
+	cfg := quietConfig()
+	cfg.CacheSize = -1
+	ts := httptest.NewServer(New(cfg))
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/v1/experiments/run", runBody("E1", 7, 50))
+		if got := resp.Header.Get("X-Cache"); got != "" {
+			t.Errorf("request %d: X-Cache = %q, want no header", i, got)
+		}
+		readAll(t, resp)
+	}
+}
+
+// TestCacheMetricsExposed verifies the cache counters appear in /v1/metrics
+// and move with traffic.
+func TestCacheMetricsExposed(t *testing.T) {
+	ts := newTestServer(t)
+
+	readAll(t, postJSON(t, ts.URL+"/v1/experiments/run", runBody("E1", 7, 50)))
+	readAll(t, postJSON(t, ts.URL+"/v1/experiments/run", runBody("E1", 7, 50)))
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	for _, want := range []string{
+		"hitl_server_cache_hits 1",
+		"hitl_server_cache_misses 1",
+		"hitl_server_cache_evictions 0",
+		"hitl_server_cache_entries 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	for _, series := range []string{"hitl_server_cache_hits", "hitl_server_cache_misses", "hitl_server_cache_evictions"} {
+		if !strings.Contains(body, fmt.Sprintf("# TYPE %s counter", series)) {
+			t.Errorf("metrics missing TYPE line for %s", series)
+		}
+	}
+}

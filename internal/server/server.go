@@ -17,6 +17,13 @@
 //	     ?trace_sample=K inlines K sampled per-subject stage traces and
 //	     ?spans=1 inlines the request's telemetry span tree
 //
+// Experiment and process runs are deterministic in their inputs, so their
+// 200 responses are kept in a bounded LRU result cache (Config.CacheSize;
+// disabled with a negative size). Responses to cacheable requests carry an
+// X-Cache: hit|miss header, requests that inline per-request telemetry
+// (?trace_sample, ?spans=1) bypass the cache, and /v1/metrics exposes
+// hitl_server_cache_{hits,misses,evictions}.
+//
 // Requests are size-limited and run with a per-request subject-count cap so
 // a single call cannot monopolize the process. Every response carries an
 // X-Request-ID header (honoring a client-supplied one) that also appears in
@@ -63,6 +70,11 @@ type Config struct {
 	// MaxTraceSample caps the ?trace_sample=K reservoir size on experiment
 	// runs, bounding the inline trace payload; default 50.
 	MaxTraceSample int
+	// CacheSize bounds the deterministic result cache (entries). Repeated
+	// /v1/experiments/run and /v1/process requests with identical inputs
+	// are answered from memory; responses carry an X-Cache hit/miss
+	// header. 0 means the default (128); negative disables caching.
+	CacheSize int
 	// Logger receives structured access logs; default logs to stderr.
 	Logger *slog.Logger
 }
@@ -80,6 +92,9 @@ func (c *Config) setDefaults() {
 	if c.MaxTraceSample == 0 {
 		c.MaxTraceSample = 50
 	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
 }
 
 // Server is the HTTP handler set.
@@ -87,6 +102,7 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	metrics *metricsRegistry
+	cache   *resultCache // nil when disabled
 	log     *slog.Logger
 }
 
@@ -98,6 +114,9 @@ func New(cfg Config) *Server {
 		log = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), metrics: newMetricsRegistry(), log: log}
+	if cfg.CacheSize > 0 {
+		s.cache = newResultCache(cfg.CacheSize)
+	}
 	s.route("/v1/healthz", s.handleHealthz, http.MethodGet)
 	s.route("/v1/metrics", s.handleMetrics, http.MethodGet)
 	s.route("/v1/components", s.handleComponents, http.MethodGet)
@@ -158,6 +177,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.log.LogAttrs(r.Context(), slog.LevelWarn, "metrics write failed",
 			slog.String("error", err.Error()))
 		return
+	}
+	// Result-cache counters follow the HTTP metrics.
+	if s.cache != nil {
+		if err := s.cache.writeMetrics(w); err != nil {
+			s.log.LogAttrs(r.Context(), slog.LevelWarn, "cache metrics write failed",
+				slog.String("error", err.Error()))
+			return
+		}
 	}
 	// Engine telemetry (Monte Carlo counters, stage failures, run-duration
 	// histograms, span summaries) follows the HTTP metrics so one scrape
@@ -267,6 +294,13 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	if effective > s.cfg.MaxProcessPasses {
 		effective = s.cfg.MaxProcessPasses
 	}
+	// The process run is deterministic in (spec, passes): answer repeats
+	// from the result cache. Keying happens after clamping so a request
+	// for passes=100 shares the entry with the effective cap.
+	cacheKey := processCacheKey(spec, effective)
+	if s.serveCached(w, cacheKey) {
+		return
+	}
 	res, err := core.RunProcess(spec, core.ProcessOptions{MaxPasses: effective})
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
@@ -293,7 +327,7 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 		}
 		pd = append(pd, d)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeCacheableJSON(w, cacheKey, map[string]any{
 		"passes":           pd,
 		"effectivePasses":  effective,
 		"finalReliability": res.FinalReliability,
@@ -391,6 +425,18 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	}
 	wantSpans := r.URL.Query().Get("spans") == "1"
 
+	// Runs are deterministic in (id, seed, n), so identical requests can be
+	// answered from the result cache — but only when the response carries no
+	// per-request telemetry (?trace_sample / ?spans), which must always be
+	// produced fresh.
+	cacheKey := ""
+	if traceSample == 0 && !wantSpans {
+		cacheKey = experimentCacheKey(req.ID, req.Seed, req.N)
+		if s.serveCached(w, cacheKey) {
+			return
+		}
+	}
+
 	// The request context cancels the Monte Carlo workers when the client
 	// disconnects or the server drains, so abandoned runs stop burning CPU.
 	ctx := r.Context()
@@ -431,6 +477,10 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if wantSpans {
 		resp["spans"] = tracer.Spans()
+	}
+	if cacheKey != "" {
+		s.writeCacheableJSON(w, cacheKey, resp)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

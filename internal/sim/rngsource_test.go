@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFastSourceMatchesStdlib locks down the engine's core determinism
+// claim: fastSource produces exactly the stream of rand.NewSource for any
+// seed, so pooled re-seeding reproduces SubjectRand's historical streams
+// bit-for-bit.
+func TestFastSourceMatchesStdlib(t *testing.T) {
+	seeds := []int64{0, 1, -1, 89482311, 20080124, 1 << 40, -(1 << 40), int64(^uint64(0) >> 1), -int64(^uint64(0)>>1) - 1}
+	pick := rand.New(rand.NewSource(12345))
+	for i := 0; i < 50; i++ {
+		seeds = append(seeds, pick.Int63()-pick.Int63())
+	}
+
+	fast := &fastSource{}
+	for _, seed := range seeds {
+		std := rand.NewSource(seed).(rand.Source64)
+		fast.Seed(seed)
+		// Cover more than a full 607-word state cycle so the feedback
+		// path is exercised, not just the freshly seeded words.
+		for i := 0; i < 2000; i++ {
+			if got, want := fast.Uint64(), std.Uint64(); got != want {
+				t.Fatalf("seed %d draw %d: fastSource.Uint64() = %d, stdlib = %d", seed, i, got, want)
+			}
+		}
+	}
+
+	// Through rand.New, derived draws (Float64, NormFloat64, Intn) must
+	// match too — these are what scenarios actually consume.
+	for _, seed := range seeds[:8] {
+		fast.Seed(seed)
+		a := rand.New(fast)
+		b := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			if x, y := a.Float64(), b.Float64(); x != y {
+				t.Fatalf("seed %d draw %d: Float64 %v != %v", seed, i, x, y)
+			}
+			if x, y := a.NormFloat64(), b.NormFloat64(); x != y {
+				t.Fatalf("seed %d draw %d: NormFloat64 %v != %v", seed, i, x, y)
+			}
+			if x, y := a.Intn(97), b.Intn(97); x != y {
+				t.Fatalf("seed %d draw %d: Intn %d != %d", seed, i, x, y)
+			}
+		}
+	}
+
+	// Re-seeding a used source must be indistinguishable from a fresh one.
+	fast.Seed(7)
+	for i := 0; i < 1000; i++ {
+		fast.Uint64()
+	}
+	fast.Seed(42)
+	std := rand.NewSource(42).(rand.Source64)
+	for i := 0; i < 1000; i++ {
+		if got, want := fast.Uint64(), std.Uint64(); got != want {
+			t.Fatalf("re-seeded draw %d: %d != %d", i, got, want)
+		}
+	}
+}

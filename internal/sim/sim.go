@@ -12,11 +12,14 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hitl/internal/agent"
@@ -161,9 +164,13 @@ func splitmix64(seed int64, i int) int64 {
 
 // SubjectRand returns the deterministic random stream for subject i of a
 // run seeded with seed. Exposed so scenarios can pre-sample population
-// profiles consistently with Run.
+// profiles consistently with Run. The stream is bit-identical to
+// rand.New(rand.NewSource(splitmix64(seed, i))) but seeds about twice as
+// fast (see fastSource).
 func SubjectRand(seed int64, i int) *rand.Rand {
-	return rand.New(rand.NewSource(splitmix64(seed, i)))
+	src := &fastSource{}
+	src.Seed(splitmix64(seed, i))
+	return rand.New(src)
 }
 
 // Runner configures a Monte Carlo run.
@@ -175,9 +182,67 @@ type Runner struct {
 	// Workers is the parallelism; 0 means GOMAXPROCS. Results are
 	// deterministic regardless of Workers.
 	Workers int
+	// SweepWorkers is how many sweep points Sweep runs concurrently;
+	// 0 or 1 means serial. Each point's subject parallelism is divided
+	// down so the total number of subject goroutines stays at most the
+	// resolved Workers. Points are independently seeded, so sweep results
+	// are bit-identical regardless of SweepWorkers.
+	SweepWorkers int
 	// SweepLabeler, when non-nil, formats SweepPoint.Label during Sweep;
 	// the default label is fmt.Sprintf("%g", param).
 	SweepLabeler func(param float64) string
+}
+
+// valueObs is one named-metric observation tagged with its subject index,
+// so shard merging can restore the documented subject order of
+// Result.Values.
+type valueObs struct {
+	subject int
+	v       float64
+}
+
+// shard is one worker's partial aggregation. Workers fold each completed
+// subject into their own shard, so the post-run reduce only merges
+// len(workers) shards instead of walking an N-sized outcome slice.
+type shard struct {
+	heedSuccesses int
+	spoofed       int
+	heuristic     int
+	stageFailures map[agent.Stage]int
+	errorClasses  map[gems.ErrorClass]int
+	values        map[string][]valueObs
+
+	err        error
+	errSubject int
+}
+
+func (sh *shard) add(subject int, o Outcome) {
+	if o.Heeded {
+		sh.heedSuccesses++
+	} else {
+		if sh.stageFailures == nil {
+			sh.stageFailures = make(map[agent.Stage]int)
+		}
+		sh.stageFailures[o.FailedStage]++
+	}
+	if sh.errorClasses == nil {
+		sh.errorClasses = make(map[gems.ErrorClass]int)
+	}
+	sh.errorClasses[o.ErrorClass]++
+	if o.Spoofed {
+		sh.spoofed++
+	}
+	if o.HeuristicPath {
+		sh.heuristic++
+	}
+	if len(o.Values) > 0 {
+		if sh.values == nil {
+			sh.values = make(map[string][]valueObs)
+		}
+		for k, v := range o.Values {
+			sh.values[k] = append(sh.values[k], valueObs{subject: subject, v: v})
+		}
+	}
 }
 
 // Run executes f for every subject and aggregates the outcomes.
@@ -229,24 +294,13 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 	runCtx, cancel := context.WithCancel(spanCtx)
 	defer cancel()
 
-	outs := make([]Outcome, ru.N)
-	errs := make([]error, ru.N)
+	shards := make([]shard, workers)
 	var wg sync.WaitGroup
-	// A producer goroutine feeds subject indices so cancellation (caller's
-	// ctx or a fatal subject error) stops the feed immediately instead of
-	// leaving N-i queued indices behind; the buffer only needs to keep the
-	// workers busy.
-	next := make(chan int, workers)
-	go func() {
-		defer close(next)
-		for i := 0; i < ru.N; i++ {
-			select {
-			case next <- i:
-			case <-runCtx.Done():
-				return
-			}
-		}
-	}()
+	// Workers claim subject indices from a shared atomic counter — the
+	// cheapest work queue there is. Cancellation (caller's ctx or a fatal
+	// subject error) is checked before every claim, so an aborted run stops
+	// within one subject per worker.
+	var nextSubject atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -260,18 +314,29 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 				wspan.SetAttr("subjects", strconv.Itoa(processed))
 				wspan.End()
 			}()
-			for i := range next {
+			sh := &shards[w]
+			// One reseedable generator per worker: Seed re-derives the
+			// exact stream SubjectRand would return for the subject,
+			// without allocating a fresh source per subject.
+			src := &fastSource{}
+			rng := rand.New(src)
+			for {
 				if runCtx.Err() != nil {
 					return
 				}
-				rng := SubjectRand(ru.Seed, i)
+				i := int(nextSubject.Add(1)) - 1
+				if i >= ru.N {
+					return
+				}
+				src.Seed(splitmix64(ru.Seed, i))
 				out, err := f(rng, i)
 				if err != nil {
-					errs[i] = err
+					sh.err = err
+					sh.errSubject = i
 					cancel() // fatal: stop the other workers promptly
 					return
 				}
-				outs[i] = out
+				sh.add(i, out)
 				processed++
 				if rec != nil {
 					// Consider defers the Outcome->SubjectTrace conversion
@@ -288,11 +353,18 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 		span.SetAttr("outcome", "canceled")
 		return nil, err
 	}
-	for i, err := range errs {
-		if err != nil {
-			span.SetAttr("outcome", "error")
-			return nil, fmt.Errorf("sim: subject %d: %w", i, err)
+	// Report the failure with the lowest subject index, as the old
+	// subject-indexed error slice did.
+	var subjectErr error
+	errSubject := -1
+	for w := range shards {
+		if sh := &shards[w]; sh.err != nil && (errSubject < 0 || sh.errSubject < errSubject) {
+			subjectErr, errSubject = sh.err, sh.errSubject
 		}
+	}
+	if subjectErr != nil {
+		span.SetAttr("outcome", "error")
+		return nil, fmt.Errorf("sim: subject %d: %w", errSubject, subjectErr)
 	}
 
 	res := &Result{
@@ -302,22 +374,32 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 		Values:        make(map[string][]float64),
 	}
 	res.Heed.Trials = ru.N
-	for _, o := range outs {
-		if o.Heeded {
-			res.Heed.Successes++
-		} else {
-			res.StageFailures[o.FailedStage]++
+	mergedValues := make(map[string][]valueObs)
+	for w := range shards {
+		sh := &shards[w]
+		res.Heed.Successes += sh.heedSuccesses
+		res.Spoofed += sh.spoofed
+		res.Heuristic += sh.heuristic
+		for s, n := range sh.stageFailures {
+			res.StageFailures[s] += n
 		}
-		res.ErrorClasses[o.ErrorClass]++
-		if o.Spoofed {
-			res.Spoofed++
+		for c, n := range sh.errorClasses {
+			res.ErrorClasses[c] += n
 		}
-		if o.HeuristicPath {
-			res.Heuristic++
+		for k, obs := range sh.values {
+			mergedValues[k] = append(mergedValues[k], obs...)
 		}
-		for k, v := range o.Values {
-			res.Values[k] = append(res.Values[k], v)
+	}
+	// Each subject contributes at most one observation per key (Values is
+	// a map), so sorting by subject index restores the documented
+	// subject-order guarantee exactly.
+	for k, obs := range mergedValues {
+		sort.Slice(obs, func(a, b int) bool { return obs[a].subject < obs[b].subject })
+		xs := make([]float64, len(obs))
+		for i, o := range obs {
+			xs[i] = o.v
 		}
+		res.Values[k] = xs
 	}
 
 	stageFailures := make(map[string]int, len(res.StageFailures))
@@ -344,6 +426,13 @@ type SweepPoint struct {
 // the runner's SweepLabeler, defaulting to fmt.Sprintf("%g", param).
 // Cancellation via ctx aborts between subjects exactly as in Run; the
 // error then wraps ctx.Err().
+//
+// When SweepWorkers > 1, up to that many points run concurrently, each
+// with its subject parallelism divided down so the total goroutine count
+// stays at most the resolved Workers. Because points are independently
+// seeded and Run is deterministic for any worker count, the sweep result
+// is bit-identical to a serial sweep; only wall-clock changes. The first
+// failing point (lowest index) determines the returned error.
 func (ru Runner) Sweep(ctx context.Context, params []float64, build func(param float64) SubjectFunc) ([]SweepPoint, error) {
 	if len(params) == 0 {
 		return nil, fmt.Errorf("sim: empty parameter sweep")
@@ -351,22 +440,101 @@ func (ru Runner) Sweep(ctx context.Context, params []float64, build func(param f
 	if build == nil {
 		return nil, fmt.Errorf("sim: nil scenario constructor")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	points := make([]SweepPoint, len(params))
-	for i, p := range params {
+	runPoint := func(ctx context.Context, i int, workers int) error {
+		p := params[i]
 		sub := ru
 		sub.Seed = splitmix64(ru.Seed, 1_000_003+i)
+		sub.Workers = workers
 		pointCtx, span := telemetry.StartSpan(ctx, "sweep-point",
 			telemetry.String("param", fmt.Sprintf("%g", p)))
 		res, err := sub.Run(pointCtx, build(p))
 		span.End()
 		if err != nil {
-			return nil, fmt.Errorf("sim: sweep point %v: %w", p, err)
+			return fmt.Errorf("sim: sweep point %v: %w", p, err)
 		}
 		label := fmt.Sprintf("%g", p)
 		if ru.SweepLabeler != nil {
 			label = ru.SweepLabeler(p)
 		}
 		points[i] = SweepPoint{Param: p, Label: label, Result: res}
+		return nil
+	}
+
+	maxWorkers := ru.Workers
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	sweepWorkers := ru.SweepWorkers
+	if sweepWorkers > len(params) {
+		sweepWorkers = len(params)
+	}
+	if sweepWorkers > maxWorkers {
+		sweepWorkers = maxWorkers
+	}
+	if sweepWorkers <= 1 {
+		for i := range params {
+			if err := runPoint(ctx, i, ru.Workers); err != nil {
+				return nil, err
+			}
+		}
+		return points, nil
+	}
+
+	perPoint := maxWorkers / sweepWorkers
+	sweepCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(params))
+	sem := make(chan struct{}, sweepWorkers)
+	var wg sync.WaitGroup
+	for i := range params {
+		select {
+		case sem <- struct{}{}:
+		case <-sweepCtx.Done():
+		}
+		if sweepCtx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := runPoint(sweepCtx, i, perPoint); err != nil {
+				errs[i] = err
+				cancel() // a failed point stops the remaining points promptly
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Prefer the lowest-index point that failed for a reason other than our
+	// internal cancellation, mirroring the serial error order; fall back to
+	// any error (e.g. the caller's ctx was canceled).
+	var firstErr error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	if firstErr == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return points, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -297,5 +298,137 @@ func TestSortedStagesOrdered(t *testing.T) {
 	want := []agent.Stage{agent.StageDelivery, agent.StageMotivation, agent.StageBehavior}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("SortedStages = %v, want %v", got, want)
+	}
+}
+
+// valuesScenario emits a per-subject metric so Values ordering is
+// observable: subject i records "idx" = i alongside a seeded coin flip.
+func valuesScenario(rng *rand.Rand, i int) (Outcome, error) {
+	out := Outcome{Values: map[string]float64{"idx": float64(i), "draw": rng.Float64()}}
+	if rng.Float64() < 0.5 {
+		out.Heeded = true
+		out.FailedStage = agent.StageNone
+	} else {
+		out.FailedStage = agent.StageMotivation
+	}
+	return out, nil
+}
+
+// TestResultBitIdenticalAcrossWorkers locks the sharded-aggregation
+// determinism contract: the full Result — including the subject order of
+// every Values series — is bit-for-bit identical for any worker count.
+func TestResultBitIdenticalAcrossWorkers(t *testing.T) {
+	workerCounts := []int{1, 3, runtime.GOMAXPROCS(0)}
+	results := make([]*Result, len(workerCounts))
+	for wi, workers := range workerCounts {
+		res, err := Runner{Seed: 1234, N: 600, Workers: workers}.Run(context.Background(), valuesScenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[wi] = res
+	}
+	// Values must come back in subject order regardless of which worker
+	// ran which subject.
+	for wi, res := range results {
+		idx := res.Values["idx"]
+		if len(idx) != 600 {
+			t.Fatalf("workers=%d: %d idx observations, want 600", workerCounts[wi], len(idx))
+		}
+		for i, v := range idx {
+			if v != float64(i) {
+				t.Fatalf("workers=%d: idx[%d] = %v, want %v (subject order broken)", workerCounts[wi], i, v, i)
+			}
+		}
+	}
+	for wi := 1; wi < len(results); wi++ {
+		if !reflect.DeepEqual(results[0], results[wi]) {
+			t.Errorf("Result differs between workers=%d and workers=%d:\n%+v\nvs\n%+v",
+				workerCounts[0], workerCounts[wi], results[0], results[wi])
+		}
+	}
+}
+
+// TestRunAgentBitIdenticalAcrossWorkers runs the real receiver pipeline —
+// where each subject consumes a profile-dependent number of random draws —
+// and requires identical Results at every worker count.
+func TestRunAgentBitIdenticalAcrossWorkers(t *testing.T) {
+	pop := population.GeneralPublic()
+	scenario := func(rng *rand.Rand, i int) (Outcome, error) {
+		r := agent.NewReceiver(pop.Sample(rng))
+		ar, err := r.Process(rng, agent.Encounter{
+			Comm:          comms.FirefoxActiveWarning(),
+			Env:           stimuli.Busy(),
+			HazardPresent: true,
+			Task:          gems.LeaveSuspiciousSite(),
+		})
+		if err != nil {
+			return Outcome{}, err
+		}
+		return FromAgentResult(ar), nil
+	}
+	var base *Result
+	for _, workers := range []int{1, 3, runtime.GOMAXPROCS(0)} {
+		res, err := Runner{Seed: 20080124, N: 400, Workers: workers}.Run(context.Background(), scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Errorf("agent-pipeline Result differs at workers=%d", workers)
+		}
+	}
+}
+
+// TestSweepParallelMatchesSerial locks the sweep determinism contract:
+// SweepWorkers > 1 must produce bit-identical points to the serial sweep,
+// because every point derives its seed from the point index alone.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	params := []float64{0.2, 0.4, 0.6, 0.8}
+	sweep := func(sweepWorkers int) []SweepPoint {
+		points, err := Runner{Seed: 77, N: 800, Workers: 4, SweepWorkers: sweepWorkers}.
+			Sweep(context.Background(), params, func(p float64) SubjectFunc {
+				return func(rng *rand.Rand, i int) (Outcome, error) {
+					out := Outcome{Values: map[string]float64{"idx": float64(i)}}
+					if rng.Float64() < p {
+						out.Heeded = true
+						out.FailedStage = agent.StageNone
+					} else {
+						out.FailedStage = agent.StageAttentionSwitch
+					}
+					return out, nil
+				}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points
+	}
+	serial := sweep(0)
+	for _, sw := range []int{2, 4, 16} {
+		parallel := sweep(sw)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("SweepWorkers=%d: points differ from serial sweep", sw)
+		}
+	}
+}
+
+// TestSweepParallelPropagatesError checks the lowest-index real error wins
+// even when later points are canceled by the sweep's internal context.
+func TestSweepParallelPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Runner{Seed: 5, N: 50, SweepWorkers: 3}.
+		Sweep(context.Background(), []float64{0, 1, 2}, func(p float64) SubjectFunc {
+			return func(rng *rand.Rand, i int) (Outcome, error) {
+				if p == 1 && i == 10 {
+					return Outcome{}, boom
+				}
+				return Outcome{Heeded: true, FailedStage: agent.StageNone}, nil
+			}
+		})
+	if !errors.Is(err, boom) {
+		t.Errorf("parallel sweep error = %v, want boom", err)
 	}
 }

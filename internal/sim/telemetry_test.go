@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -17,8 +18,10 @@ import (
 )
 
 // agentPipeline is the standard full-pipeline subject function used by the
-// telemetry tests: a fresh general-public receiver facing a blocking
-// Firefox warning.
+// telemetry tests and benchmarks: a general-public receiver facing a
+// blocking Firefox warning. It exercises the allocation-free hot path:
+// receivers come from a pool and are Reset per subject, and no trace is
+// collected.
 func agentPipeline() SubjectFunc {
 	spec := population.GeneralPublic()
 	enc := agent.Encounter{
@@ -27,9 +30,35 @@ func agentPipeline() SubjectFunc {
 		HazardPresent: true,
 		Task:          gems.LeaveSuspiciousSite(),
 	}
+	pool := sync.Pool{New: func() any { return &agent.Receiver{} }}
 	return func(rng *rand.Rand, _ int) (Outcome, error) {
-		r := agent.NewReceiver(spec.Sample(rng))
+		r := pool.Get().(*agent.Receiver)
+		r.Reset(spec.Sample(rng))
 		ar, err := r.Process(rng, enc)
+		pool.Put(r)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return FromAgentResult(ar), nil
+	}
+}
+
+// tracedAgentPipeline is agentPipeline with per-subject trace collection
+// enabled, for tests that inspect Outcome.Trace or feed a recorder.
+func tracedAgentPipeline() SubjectFunc {
+	spec := population.GeneralPublic()
+	enc := agent.Encounter{
+		Comm:          comms.FirefoxActiveWarning(),
+		Env:           stimuli.Busy(),
+		HazardPresent: true,
+		Task:          gems.LeaveSuspiciousSite(),
+	}
+	pool := sync.Pool{New: func() any { return &agent.Receiver{CollectTrace: true} }}
+	return func(rng *rand.Rand, _ int) (Outcome, error) {
+		r := pool.Get().(*agent.Receiver)
+		r.Reset(spec.Sample(rng))
+		ar, err := r.Process(rng, enc)
+		pool.Put(r)
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -51,7 +80,7 @@ func TestTracingDoesNotPerturbDeterminism(t *testing.T) {
 	rec := telemetry.NewRecorder(64, 99)
 	ctx := telemetry.WithRecorder(context.Background(), rec)
 	ctx = telemetry.WithTracer(ctx, telemetry.NewTracer(nil))
-	traced, err := runner.Run(ctx, agentPipeline())
+	traced, err := runner.Run(ctx, tracedAgentPipeline())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +102,7 @@ func TestTraceSampleDeterministicAcrossWorkers(t *testing.T) {
 	sample := func(workers int) []telemetry.SubjectTrace {
 		rec := telemetry.NewRecorder(16, 7)
 		ctx := telemetry.WithRecorder(context.Background(), rec)
-		if _, err := (Runner{Seed: 11, N: 1000, Workers: workers}).Run(ctx, agentPipeline()); err != nil {
+		if _, err := (Runner{Seed: 11, N: 1000, Workers: workers}).Run(ctx, tracedAgentPipeline()); err != nil {
 			t.Fatal(err)
 		}
 		return rec.Traces()
@@ -93,7 +122,7 @@ func TestTraceSampleDeterministicAcrossWorkers(t *testing.T) {
 func TestSampledTraceContents(t *testing.T) {
 	rec := telemetry.NewRecorder(50, 3)
 	ctx := telemetry.WithRecorder(context.Background(), rec)
-	if _, err := (Runner{Seed: 5, N: 500}).Run(ctx, agentPipeline()); err != nil {
+	if _, err := (Runner{Seed: 5, N: 500}).Run(ctx, tracedAgentPipeline()); err != nil {
 		t.Fatal(err)
 	}
 	traces := rec.Traces()

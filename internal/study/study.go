@@ -143,10 +143,14 @@ func (d Design) Run() (*Dataset, error) {
 	rng.Shuffle(len(assign), func(i, j int) { assign[i], assign[j] = assign[j], assign[i] })
 
 	ds := &Dataset{Design: d.Name, Records: make([]Record, 0, d.N)}
+	// One trace-collecting receiver, reset per subject: the per-stage
+	// Record booleans below are read off the trace.
+	r := agent.NewReceiver(population.Profile{})
+	r.CollectTrace = true
 	for subj := 0; subj < d.N; subj++ {
 		arm := d.Arms[assign[subj]]
 		prof := d.Population.Sample(rng)
-		r := agent.NewReceiver(prof)
+		r.Reset(prof)
 		if arm.PreTrained {
 			r.Train(arm.Comm.Topic, agent.Skill{Level: 0.85, Interactivity: 0.85})
 		}
