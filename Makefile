@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-diff microbench experiments examples fmt cover clean
+.PHONY: all ci build vet test race bench bench-diff microbench chaos experiments examples fmt cover clean
 
 all: build vet test
 
@@ -31,6 +31,15 @@ bench:
 
 microbench:
 	$(GO) test -bench=. -benchmem ./...
+
+# chaos runs the opt-in overload/fault-injection soak under the race
+# detector: an undersized server is hammered with concurrent clients mixing
+# clean runs, latency faults, injected failures, and injected panics, and
+# the containment invariants are asserted end to end. A /v1/metrics
+# snapshot lands in CHAOS_metrics.txt.
+chaos:
+	HITL_CHAOS=1 HITL_CHAOS_OUT=$(CURDIR)/CHAOS_metrics.txt \
+		$(GO) test -race -run TestChaosSoak -count=1 -v ./internal/server
 
 # bench-diff compares the current engine benchmarks against the committed
 # baseline. With benchstat installed it gets a proper statistical
@@ -65,4 +74,4 @@ cover:
 # BENCH_sim.json and bench_baseline.txt are committed artifacts; clean
 # only removes scratch files.
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_new.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_new.txt CHAOS_metrics.txt

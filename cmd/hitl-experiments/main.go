@@ -5,12 +5,15 @@
 //
 //	hitl-experiments [-seed N] [-n subjects] [-id T1,E1,...] [-list]
 //	                 [-trace out.jsonl] [-trace-sample K] [-spans out.json]
+//	                 [-faults spec]
 //
 // With no -id it runs the full suite in order. Output is plain text,
 // suitable for diffing against EXPERIMENTS.md. -trace samples per-subject
 // stage traces across every Monte Carlo run into a JSONL file; -spans dumps
 // the experiment/sweep-point/run/worker-batch span tree as JSON. Neither
-// changes the regenerated numbers.
+// changes the regenerated numbers. -faults applies a deterministic fault
+// spec (see internal/faults) to every run — useful for chaos drills and
+// sensitivity checks; faulted output no longer matches EXPERIMENTS.md.
 package main
 
 import (
@@ -24,6 +27,8 @@ import (
 	"syscall"
 
 	"hitl/internal/experiments"
+	"hitl/internal/faults"
+	"hitl/internal/sim"
 	"hitl/internal/telemetry"
 )
 
@@ -35,6 +40,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write sampled subject traces to this JSONL file")
 	traceSample := flag.Int("trace-sample", 64, "subject traces to sample (with -trace)")
 	spansOut := flag.String("spans", "", "write the telemetry span tree to this JSON file")
+	faultSpec := flag.String("faults", "", "deterministic fault spec applied to every run (see internal/faults)")
 	flag.Parse()
 
 	if *list {
@@ -58,6 +64,14 @@ func main() {
 	if *spansOut != "" {
 		tracer = telemetry.NewTracer(nil)
 		ctx = telemetry.WithTracer(ctx, tracer)
+	}
+	faultSet, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if !faultSet.Empty() {
+		ctx = sim.WithInjector(ctx, faultSet)
+		fmt.Fprintf(os.Stderr, "hitl-experiments: fault injection active: %s\n", faultSet.Describe())
 	}
 
 	cfg := experiments.Config{Seed: *seed, N: *n}

@@ -2,7 +2,9 @@
 //
 // Usage:
 //
-//	hitl-serve [-addr :8080] [-drain 15s] [-pprof addr]
+//	hitl-serve [-addr :8080] [-drain 15s] [-readiness-grace 2s] [-pprof addr]
+//	           [-max-inflight N] [-max-queue N] [-queue-timeout 2s]
+//	           [-compute-timeout 60s] [-allow-faults]
 //
 // -pprof exposes net/http/pprof on a separate listener (e.g. -pprof
 // localhost:6060) so profiling never shares the public address; it is off
@@ -12,10 +14,20 @@
 // /v1/experiments; POST /v1/analyze, /v1/process, /v1/recommend,
 // /v1/experiments/run. See internal/server for payload shapes.
 //
-// The process shuts down gracefully on SIGINT/SIGTERM: it stops accepting
-// connections, lets in-flight requests drain for up to -drain, then exits.
-// Requests whose clients disconnect are cancelled mid-run via their request
-// context and surface as HTTP 499 in the access log and /v1/metrics.
+// Overload protection: at most -max-inflight compute requests execute
+// concurrently; up to -max-queue more wait, each at most -queue-timeout,
+// and everything beyond that is shed with 429 + Retry-After. Admitted
+// requests get -compute-timeout of compute before a 503. -allow-faults
+// enables the ?faults= chaos-drill parameter on experiment runs (keep it
+// off on anything public).
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: /v1/healthz flips
+// to 503 "draining" immediately so load balancers stop routing, the
+// process keeps serving for -readiness-grace to let them notice, then it
+// stops accepting connections and lets in-flight requests drain for up to
+// -drain before exiting. Requests whose clients disconnect are cancelled
+// mid-run via their request context and surface as HTTP 499 in the access
+// log and /v1/metrics.
 //
 // Example:
 //
@@ -40,9 +52,11 @@ import (
 )
 
 // serve runs srv on ln until ctx is cancelled, then shuts it down
-// gracefully, waiting up to drain for in-flight requests to complete.
+// gracefully: onDrain (if non-nil) runs first — flipping readiness so load
+// balancers stop routing — the accept loop keeps serving for grace to let
+// them notice, and in-flight requests then get up to drain to complete.
 // It returns nil on a clean drain and the shutdown error otherwise.
-func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain, grace time.Duration, onDrain func()) error {
 	// On cancellation only the accept loop stops immediately; in-flight
 	// requests keep their own lifetimes so they can finish (or be client-
 	// cancelled) inside the drain window.
@@ -61,6 +75,20 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Du
 	case <-ctx.Done():
 	}
 
+	if onDrain != nil {
+		onDrain()
+	}
+	if grace > 0 {
+		// Readiness grace: the server still accepts and answers (healthz
+		// now reports 503 draining) so load balancers can pull it from
+		// rotation before connections start being refused.
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(grace):
+		}
+	}
+
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -74,7 +102,19 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Du
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
+	grace := flag.Duration("readiness-grace", 2*time.Second,
+		"how long to keep serving (healthz reporting 503 draining) before shutdown, so load balancers stop routing")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = off)")
+	maxInFlight := flag.Int("max-inflight", 0,
+		"max concurrently executing compute requests (0 = 2x GOMAXPROCS, negative = unlimited)")
+	maxQueue := flag.Int("max-queue", 0,
+		"max compute requests waiting for a slot (0 = 4x max-inflight, negative = no queue)")
+	queueTimeout := flag.Duration("queue-timeout", 2*time.Second,
+		"max time a compute request may wait for a slot before a 429 shed")
+	computeTimeout := flag.Duration("compute-timeout", 60*time.Second,
+		"per-request compute deadline (503 on expiry; negative = unlimited)")
+	allowFaults := flag.Bool("allow-faults", false,
+		"enable the ?faults= chaos-drill parameter on experiment runs")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -88,8 +128,15 @@ func main() {
 		}()
 	}
 
+	api := server.New(server.Config{
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		QueueTimeout:   *queueTimeout,
+		ComputeTimeout: *computeTimeout,
+		AllowFaults:    *allowFaults,
+	})
 	srv := &http.Server{
-		Handler:           server.New(server.Config{}),
+		Handler:           api,
 		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      120 * time.Second, // experiment runs can take a while
@@ -104,7 +151,11 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("hitl-serve listening on %s", ln.Addr())
-	if err := serve(ctx, srv, ln, *drain); err != nil {
+	onDrain := func() {
+		log.Printf("hitl-serve draining: healthz now 503, shutdown in %s", *grace)
+		api.SetDraining()
+	}
+	if err := serve(ctx, srv, ln, *drain, *grace, onDrain); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("hitl-serve drained; bye")

@@ -3,11 +3,14 @@ package main
 import (
 	"context"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"hitl/internal/server"
 )
 
 // TestServeDrainsInFlightRequests verifies the graceful-shutdown path:
@@ -32,7 +35,7 @@ func TestServeDrainsInFlightRequests(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- serve(ctx, srv, ln, 10*time.Second) }()
+	go func() { serveErr <- serve(ctx, srv, ln, 10*time.Second, 0, nil) }()
 
 	respCh := make(chan *http.Response, 1)
 	errCh := make(chan error, 1)
@@ -112,7 +115,7 @@ func TestServeForceClosesAfterDrainDeadline(t *testing.T) {
 	defer cancel()
 
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- serve(ctx, srv, ln, 50*time.Millisecond) }()
+	go func() { serveErr <- serve(ctx, srv, ln, 50*time.Millisecond, 0, nil) }()
 
 	go func() {
 		resp, err := http.Get("http://" + ln.Addr().String() + "/hang")
@@ -130,5 +133,63 @@ func TestServeForceClosesAfterDrainDeadline(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("serve did not return after the drain deadline")
+	}
+}
+
+// TestServeReadinessGrace verifies the signal path: once shutdown begins
+// the API keeps answering during the readiness-grace window, with healthz
+// flipped to 503 draining via the onDrain hook, before connections start
+// being refused.
+func TestServeReadinessGrace(t *testing.T) {
+	api := server.New(server.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: api}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(ctx, srv, ln, 5*time.Second, time.Second, api.SetDraining) }()
+	base := "http://" + ln.Addr().String()
+
+	// Healthy before the signal.
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before shutdown: %d", resp.StatusCode)
+	}
+
+	cancel() // SIGTERM analogue
+
+	// During the grace window the listener still answers, reporting 503
+	// draining so load balancers pull this instance.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err != nil {
+			t.Fatalf("healthz unreachable during readiness grace: %v", err)
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Errorf("serve returned %v after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return")
 	}
 }

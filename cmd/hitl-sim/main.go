@@ -14,6 +14,11 @@
 // stage traces (one JSON object per line, size set by -trace-sample), and
 // -spans out.json writes the run's span tree. Neither changes the simulated
 // results.
+//
+// Fault injection: -faults takes a deterministic fault spec (see
+// internal/faults), e.g. -faults 'fail:stage=comprehension,p=0.1;latency:p=0.05,ms=2',
+// and perturbs the run reproducibly — the same seed and spec give
+// bit-identical results at any worker count.
 package main
 
 import (
@@ -26,10 +31,12 @@ import (
 	"syscall"
 
 	"hitl/internal/comms"
+	"hitl/internal/faults"
 	"hitl/internal/password"
 	"hitl/internal/phishing"
 	"hitl/internal/population"
 	"hitl/internal/report"
+	"hitl/internal/sim"
 	"hitl/internal/telemetry"
 )
 
@@ -52,9 +59,14 @@ func main() {
 	traceOut := flag.String("trace", "", "write sampled subject traces to this JSONL file")
 	traceSample := flag.Int("trace-sample", 64, "subject traces to sample per run (with -trace)")
 	spansOut := flag.String("spans", "", "write the telemetry span tree to this JSON file")
+	faultSpec := flag.String("faults", "", "deterministic fault spec, e.g. 'fail:stage=comprehension,p=0.1' (see internal/faults)")
 	flag.Parse()
 
 	popSpec, err := popByName(*pop)
+	if err != nil {
+		fatal(err)
+	}
+	faultSet, err := faults.Parse(*faultSpec)
 	if err != nil {
 		fatal(err)
 	}
@@ -71,6 +83,10 @@ func main() {
 	if *spansOut != "" {
 		tracer = telemetry.NewTracer(nil)
 		ctx = telemetry.WithTracer(ctx, tracer)
+	}
+	if !faultSet.Empty() {
+		ctx = sim.WithInjector(ctx, faultSet)
+		fmt.Fprintf(os.Stderr, "hitl-sim: fault injection active: %s\n", faultSet.Describe())
 	}
 
 	switch *scenario {

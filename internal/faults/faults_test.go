@@ -1,0 +1,309 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"hitl/internal/agent"
+	"hitl/internal/comms"
+	"hitl/internal/gems"
+	"hitl/internal/population"
+	"hitl/internal/sim"
+	"hitl/internal/stimuli"
+)
+
+func TestParseValidSpecs(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []Rule
+	}{
+		{"", nil},
+		{"  ;  ", nil},
+		{"corrupt:p=0.5", []Rule{{Kind: KindCorrupt, P: 0.5}}},
+		{"panic:p=1", []Rule{{Kind: KindPanic, P: 1}}},
+		{
+			"panic:p=0.25,stage=comprehension",
+			[]Rule{{Kind: KindPanic, P: 0.25, Stage: agent.StageComprehension, HasStage: true}},
+		},
+		{
+			"fail:stage=attention-switch,p=0.1; latency:p=0.2,ms=1.5",
+			[]Rule{
+				{Kind: KindFail, P: 0.1, Stage: agent.StageAttentionSwitch, HasStage: true},
+				{Kind: KindLatency, P: 0.2, Delay: 1500 * time.Microsecond},
+			},
+		},
+		// Latency is capped at one second per subject.
+		{"latency:p=1,ms=90000", []Rule{{Kind: KindLatency, P: 1, Delay: time.Second}}},
+	}
+	for _, tc := range cases {
+		s, err := Parse(tc.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.spec, err)
+			continue
+		}
+		got := s.Rules()
+		for i := range got {
+			got[i].salt = 0 // salt is positional, not part of the contract
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Parse(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"explode:p=1",                       // unknown kind
+		"panic",                             // missing p
+		"panic:p=2",                         // p out of range
+		"panic:p=-0.1",                      // p out of range
+		"panic:p=x",                         // p not a number
+		"fail:p=0.5",                        // fail without stage
+		"fail:p=0.5,stage=teleportation",    // unknown stage
+		"latency:p=0.5",                     // latency without ms
+		"latency:p=0.5,ms=0",                // non-positive delay
+		"latency:p=0.5,ms=1,stage=delivery", // latency takes no stage
+		"corrupt:p=0.5,ms=1",                // corrupt takes only p
+		"corrupt:p=0.5,stage=delivery",      // corrupt takes only p
+		"panic:p",                           // malformed key=value
+		"panic:p=0.5,volume=11",             // unknown argument
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestFiresDeterministicAndProportional(t *testing.T) {
+	s := MustParse("corrupt:p=0.3")
+	r := &s.rules[0]
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		a, b := r.fires(42, i), r.fires(42, i)
+		if a != b {
+			t.Fatalf("fires(42, %d) not deterministic", i)
+		}
+		if a {
+			hits++
+		}
+	}
+	if rate := float64(hits) / n; rate < 0.27 || rate > 0.33 {
+		t.Errorf("p=0.3 rule fired at rate %v over %d subjects", rate, n)
+	}
+	// Different seeds select different subject sets.
+	diff := 0
+	for i := 0; i < n; i++ {
+		if r.fires(42, i) != r.fires(43, i) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("rule fires identically under different run seeds")
+	}
+	// Edge probabilities are exact, not approximate.
+	p0, p1 := MustParse("corrupt:p=0"), MustParse("corrupt:p=1")
+	for i := 0; i < 100; i++ {
+		if p0.rules[0].fires(7, i) {
+			t.Fatal("p=0 rule fired")
+		}
+		if !p1.rules[0].fires(7, i) {
+			t.Fatal("p=1 rule did not fire")
+		}
+	}
+}
+
+func TestRulesSaltedIndependently(t *testing.T) {
+	s := MustParse("corrupt:p=0.5;corrupt:p=0.5")
+	same := 0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		if s.rules[0].fires(9, i) == s.rules[1].fires(9, i) {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("two identical rules fire on identical subject sets; salts not independent")
+	}
+}
+
+func TestPerturbSemantics(t *testing.T) {
+	s := MustParse("fail:stage=comprehension,p=1")
+	o := sim.Outcome{
+		Heeded:     true,
+		ErrorClass: gems.Slip,
+		Trace:      []agent.Check{{Stage: agent.StageDelivery, Passed: true}},
+	}
+	o = s.Perturb(1, 0, o)
+	if o.Heeded || o.FailedStage != agent.StageComprehension {
+		t.Errorf("fail rule: got %+v", o)
+	}
+	if o.ErrorClass != gems.NoError || o.Trace != nil {
+		t.Errorf("fail rule must clear ErrorClass and Trace: got %+v", o)
+	}
+
+	c := MustParse("corrupt:p=1")
+	o2 := sim.Outcome{Heeded: true}
+	o2 = c.Perturb(1, 0, o2)
+	if o2.Heeded || o2.FailedStage != agent.StageDelivery || !o2.Spoofed {
+		t.Errorf("corrupt rule: got %+v", o2)
+	}
+
+	// Later rules win: the corrupt rewrite lands on top of the fail one.
+	both := MustParse("fail:stage=comprehension,p=1;corrupt:p=1")
+	o3 := sim.Outcome{Heeded: true}
+	o3 = both.Perturb(1, 0, o3)
+	if o3.FailedStage != agent.StageDelivery || !o3.Spoofed {
+		t.Errorf("spec-order application: got %+v", o3)
+	}
+
+	// A nil set is a no-op everywhere.
+	var nilSet *Set
+	o4 := nilSet.Perturb(1, 0, sim.Outcome{Heeded: true})
+	nilSet.Before(1, 0)
+	if !o4.Heeded || !nilSet.Empty() {
+		t.Error("nil *Set must inject nothing")
+	}
+}
+
+// agentScenario runs the real Figure 1 pipeline, optionally wiring the
+// fault set's stage-check probe into the receiver.
+func agentScenario(set *Set, runSeed int64) sim.SubjectFunc {
+	pop := population.GeneralPublic()
+	enc := agent.Encounter{
+		Comm:          comms.FirefoxActiveWarning(),
+		Env:           stimuli.Busy(),
+		HazardPresent: true,
+		Task:          gems.LeaveSuspiciousSite(),
+	}
+	return func(rng *rand.Rand, i int) (sim.Outcome, error) {
+		r := agent.NewReceiver(pop.Sample(rng))
+		if set != nil {
+			r.Probe = set.ProbeFor(runSeed, i, nil)
+		}
+		ar, err := r.Process(rng, enc)
+		if err != nil {
+			return sim.Outcome{}, err
+		}
+		return sim.FromAgentResult(ar), nil
+	}
+}
+
+func TestFaultedRunBitIdenticalAcrossWorkers(t *testing.T) {
+	set := MustParse("fail:stage=comprehension,p=0.15;corrupt:p=0.05;latency:p=0.01,ms=0.1")
+	ctx := sim.WithInjector(context.Background(), set)
+	var base *sim.Result
+	for _, workers := range []int{1, 3, runtime.GOMAXPROCS(0)} {
+		res, err := sim.Runner{Seed: 20080124, N: 600, Workers: workers}.Run(ctx, agentScenario(nil, 20080124))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Errorf("faulted Result differs at workers=%d", workers)
+		}
+	}
+	if base.Spoofed == 0 {
+		t.Error("corrupt:p=0.05 injected no spoofed outcomes over 600 subjects")
+	}
+	if base.StageFailures[agent.StageComprehension] == 0 {
+		t.Error("fail:stage=comprehension,p=0.15 injected no comprehension failures")
+	}
+
+	// The same spec under a different run seed perturbs different subjects.
+	other, err := sim.Runner{Seed: 77, N: 600}.Run(ctx, agentScenario(nil, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(base, other) {
+		t.Error("faulted Results identical across different run seeds")
+	}
+}
+
+func TestInjectedPanicSameSubjectAtAnyWorkerCount(t *testing.T) {
+	set := MustParse("panic:p=0.01")
+	ctx := sim.WithInjector(context.Background(), set)
+	var first int = -1
+	for _, workers := range []int{1, 3, runtime.GOMAXPROCS(0)} {
+		_, err := sim.Runner{Seed: 5, N: 2000, Workers: workers}.Run(ctx, func(rng *rand.Rand, i int) (sim.Outcome, error) {
+			return sim.Outcome{Heeded: true}, nil
+		})
+		var pe *sim.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *sim.PanicError", workers, err)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: PanicError.Stack is empty", workers)
+		}
+		if !strings.Contains(pe.Error(), "injected panic") {
+			t.Errorf("workers=%d: PanicError.Error() = %q", workers, pe.Error())
+		}
+		if first < 0 {
+			first = pe.Subject
+			continue
+		}
+		if pe.Subject != first {
+			t.Errorf("workers=%d: panicked subject %d, want %d (lowest-subject-wins determinism)", workers, pe.Subject, first)
+		}
+	}
+}
+
+func TestStagePanicThroughProbeContained(t *testing.T) {
+	set := MustParse("panic:p=0.02,stage=comprehension")
+	runSeed := int64(31)
+	// The probe panics mid-pipeline inside Receiver.Process; the engine
+	// must contain it into a *sim.PanicError naming the subject.
+	_, err := sim.Runner{Seed: runSeed, N: 1500, Workers: 4}.Run(context.Background(), agentScenario(set, runSeed))
+	var pe *sim.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *sim.PanicError from stage probe", err)
+	}
+	if !strings.Contains(pe.Error(), "comprehension") {
+		t.Errorf("panic value does not name the stage: %q", pe.Error())
+	}
+	// Subjects the rule skips keep their probe chain: ProbeFor returns
+	// next unchanged.
+	calls := 0
+	next := func(agent.Check) { calls++ }
+	probe := set.ProbeFor(runSeed, pickUnfired(t, set, runSeed), next)
+	probe(agent.Check{Stage: agent.StageComprehension})
+	if calls != 1 {
+		t.Errorf("probe chain broken for unfired subject: next called %d times", calls)
+	}
+}
+
+// pickUnfired returns a subject index the set's single rule does not fire
+// on.
+func pickUnfired(t *testing.T, s *Set, runSeed int64) int {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		if !s.rules[0].fires(runSeed, i) {
+			return i
+		}
+	}
+	t.Fatal("no unfired subject in 1000")
+	return -1
+}
+
+func TestDescribeAndString(t *testing.T) {
+	s := MustParse("latency:p=0.5,ms=2;fail:stage=behavior,p=0.1")
+	if got := s.String(); got != "latency:p=0.5,ms=2;fail:stage=behavior,p=0.1" {
+		t.Errorf("String() = %q", got)
+	}
+	d := s.Describe()
+	if !strings.Contains(d, "latency") || !strings.Contains(d, "behavior") {
+		t.Errorf("Describe() = %q", d)
+	}
+	if (&Set{}).Describe() != "faults: none" {
+		t.Error("empty Describe")
+	}
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// errShed is returned by overload.acquire when the request cannot be
+// admitted within the queue bounds: shed it with 429 + Retry-After rather
+// than queue unboundedly.
+var errShed = errors.New("server overloaded: in-flight and queue capacity exhausted")
+
+// overload is the server's admission controller: a bounded in-flight slot
+// pool, a bounded wait queue with a deadline, and a degraded-mode latch.
+//
+// Compute requests first try to take a slot; when all slots are busy they
+// wait in the queue, but only up to maxQueue waiters and only for
+// queueTimeout — beyond either bound the request is shed. Every shed
+// stamps lastShedNano, and the server stays in degraded mode (clamping
+// experiment subject counts) until degradeWindow passes without another
+// shed: load must actually subside before full fidelity returns.
+type overload struct {
+	slots         chan struct{} // nil: admission control disabled
+	maxQueue      int64
+	queueTimeout  time.Duration
+	degradeWindow time.Duration
+
+	queued          atomic.Int64
+	shedTotal       atomic.Int64
+	degradedRuns    atomic.Int64
+	deadlineExpired atomic.Int64
+	lastShedNano    atomic.Int64
+}
+
+// newOverload builds the controller. maxInFlight < 0 disables admission
+// control entirely (metrics still render); maxQueue <= 0 means saturated
+// slots shed immediately instead of queuing.
+func newOverload(maxInFlight, maxQueue int, queueTimeout, degradeWindow time.Duration) *overload {
+	o := &overload{
+		maxQueue:      int64(maxQueue),
+		queueTimeout:  queueTimeout,
+		degradeWindow: degradeWindow,
+	}
+	if maxInFlight >= 0 {
+		o.slots = make(chan struct{}, maxInFlight)
+	}
+	return o
+}
+
+// acquire admits the request, returning a release function to call when
+// its compute finishes. It fails with errShed when the queue is full or
+// the queue deadline passes, and with ctx.Err() when the client goes away
+// while waiting.
+func (o *overload) acquire(ctx context.Context) (release func(), err error) {
+	if o.slots == nil {
+		return func() {}, nil
+	}
+	select {
+	case o.slots <- struct{}{}:
+		return o.release, nil
+	default:
+	}
+	if o.queued.Add(1) > o.maxQueue {
+		o.queued.Add(-1)
+		o.shed()
+		return nil, errShed
+	}
+	defer o.queued.Add(-1)
+	timer := time.NewTimer(o.queueTimeout)
+	defer timer.Stop()
+	select {
+	case o.slots <- struct{}{}:
+		return o.release, nil
+	case <-timer.C:
+		o.shed()
+		return nil, errShed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (o *overload) release() { <-o.slots }
+
+// shed records one rejected request and re-arms the degraded window.
+func (o *overload) shed() {
+	o.shedTotal.Add(1)
+	o.lastShedNano.Store(time.Now().UnixNano())
+}
+
+// degraded reports whether the server is inside the degraded window: at
+// least one shed happened and degradeWindow has not yet elapsed since the
+// most recent one.
+func (o *overload) degraded() bool {
+	last := o.lastShedNano.Load()
+	return last != 0 && time.Since(time.Unix(0, last)) < o.degradeWindow
+}
+
+// writeMetrics appends the overload counters to a /v1/metrics scrape.
+func (o *overload) writeMetrics(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("# HELP hitl_server_shed_total Compute requests rejected by admission control (HTTP 429).\n")
+	b.WriteString("# TYPE hitl_server_shed_total counter\n")
+	fmt.Fprintf(&b, "hitl_server_shed_total %d\n", o.shedTotal.Load())
+	b.WriteString("# HELP hitl_server_queue_depth Compute requests waiting for an in-flight slot.\n")
+	b.WriteString("# TYPE hitl_server_queue_depth gauge\n")
+	fmt.Fprintf(&b, "hitl_server_queue_depth %d\n", o.queued.Load())
+	degraded := 0
+	if o.degraded() {
+		degraded = 1
+	}
+	b.WriteString("# HELP hitl_server_degraded Whether the server is in degraded mode (clamping subject counts).\n")
+	b.WriteString("# TYPE hitl_server_degraded gauge\n")
+	fmt.Fprintf(&b, "hitl_server_degraded %d\n", degraded)
+	b.WriteString("# HELP hitl_server_degraded_runs_total Experiment runs served with a degraded (clamped) subject count.\n")
+	b.WriteString("# TYPE hitl_server_degraded_runs_total counter\n")
+	fmt.Fprintf(&b, "hitl_server_degraded_runs_total %d\n", o.degradedRuns.Load())
+	b.WriteString("# HELP hitl_server_compute_deadline_total Compute requests that exceeded the per-request compute deadline (HTTP 503).\n")
+	b.WriteString("# TYPE hitl_server_compute_deadline_total counter\n")
+	fmt.Fprintf(&b, "hitl_server_compute_deadline_total %d\n", o.deadlineExpired.Load())
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -30,6 +30,24 @@
 // the structured access log. Handlers run under the request context:
 // a client that disconnects or times out cancels its in-flight Monte Carlo
 // work, reported as HTTP 499 in logs and metrics.
+//
+// Overload protection: compute endpoints (the POST handlers) pass through
+// bounded admission — Config.MaxInFlight concurrent requests, at most
+// Config.MaxQueue waiters, each waiting at most Config.QueueTimeout.
+// Requests beyond those bounds are shed with 429 + Retry-After instead of
+// queuing unboundedly. Admitted requests run under a per-request compute
+// deadline (Config.ComputeTimeout, 503 on expiry). Any shed latches
+// degraded mode for Config.DegradeWindow: experiment subject counts are
+// clamped to Config.DegradedMaxSubjects and responses carry X-Degraded.
+// Degraded responses never enter the result cache. /v1/metrics exposes
+// hitl_server_shed_total, queue_depth, degraded, and compute-deadline
+// counters; /v1/healthz reports 503 draining after SetDraining so load
+// balancers stop routing before graceful shutdown's drain deadline.
+//
+// When Config.AllowFaults is set, /v1/experiments/run accepts a
+// ?faults=<spec> parameter (internal/faults grammar) that perturbs the run
+// deterministically — for chaos drills against a real server. Faulted
+// responses carry X-Faults and also bypass the cache.
 package server
 
 import (
@@ -40,12 +58,17 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"hitl/internal/core"
 	"hitl/internal/experiments"
+	"hitl/internal/faults"
 	"hitl/internal/patterns"
+	"hitl/internal/sim"
 	"hitl/internal/telemetry"
 )
 
@@ -75,6 +98,31 @@ type Config struct {
 	// are answered from memory; responses carry an X-Cache hit/miss
 	// header. 0 means the default (128); negative disables caching.
 	CacheSize int
+	// MaxInFlight caps concurrently executing compute (POST) requests.
+	// 0 means the default (2x GOMAXPROCS, at least 4); negative disables
+	// admission control entirely.
+	MaxInFlight int
+	// MaxQueue caps compute requests waiting for an in-flight slot. 0 means
+	// the default (4x MaxInFlight); negative means no queue — saturated
+	// slots shed immediately.
+	MaxQueue int
+	// QueueTimeout bounds how long a compute request may wait for a slot
+	// before being shed with 429; default 2s.
+	QueueTimeout time.Duration
+	// ComputeTimeout is the per-request compute deadline for admitted
+	// requests; expiry reports 503. 0 means the default (60s); negative
+	// disables the deadline.
+	ComputeTimeout time.Duration
+	// DegradeWindow is how long degraded mode persists after the most
+	// recent shed; default 10s.
+	DegradeWindow time.Duration
+	// DegradedMaxSubjects clamps experiment subject counts while degraded.
+	// 0 means the default (MaxSubjects/8, at least 1).
+	DegradedMaxSubjects int
+	// AllowFaults enables the ?faults= query parameter on experiment runs.
+	// Off by default: fault injection is an operator drill, not a public
+	// API surface.
+	AllowFaults bool
 	// Logger receives structured access logs; default logs to stderr.
 	Logger *slog.Logger
 }
@@ -95,15 +143,42 @@ func (c *Config) setDefaults() {
 	if c.CacheSize == 0 {
 		c.CacheSize = 128
 	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+		if c.MaxInFlight < 4 {
+			c.MaxInFlight = 4
+		}
+	}
+	if c.MaxQueue == 0 && c.MaxInFlight > 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.ComputeTimeout == 0 {
+		c.ComputeTimeout = 60 * time.Second
+	}
+	if c.DegradeWindow == 0 {
+		c.DegradeWindow = 10 * time.Second
+	}
+	if c.DegradedMaxSubjects == 0 {
+		c.DegradedMaxSubjects = c.MaxSubjects / 8
+		if c.DegradedMaxSubjects < 1 {
+			c.DegradedMaxSubjects = 1
+		}
+	}
 }
 
 // Server is the HTTP handler set.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	metrics *metricsRegistry
-	cache   *resultCache // nil when disabled
-	log     *slog.Logger
+	cfg        Config
+	mux        *http.ServeMux
+	metrics    *metricsRegistry
+	cache      *resultCache // nil when disabled
+	overload   *overload
+	retryAfter string // Retry-After seconds advertised on shed
+	draining   atomic.Bool
+	log        *slog.Logger
 }
 
 // New creates a server with the config.
@@ -117,20 +192,70 @@ func New(cfg Config) *Server {
 	if cfg.CacheSize > 0 {
 		s.cache = newResultCache(cfg.CacheSize)
 	}
+	s.overload = newOverload(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueTimeout, cfg.DegradeWindow)
+	// A shed client retrying after the queue deadline has a fresh full
+	// wait ahead of it; round the hint up to whole seconds, at least 1.
+	retrySecs := int64((cfg.QueueTimeout + time.Second - 1) / time.Second)
+	if retrySecs < 1 {
+		retrySecs = 1
+	}
+	s.retryAfter = strconv.FormatInt(retrySecs, 10)
 	s.route("/v1/healthz", s.handleHealthz, http.MethodGet)
 	s.route("/v1/metrics", s.handleMetrics, http.MethodGet)
 	s.route("/v1/components", s.handleComponents, http.MethodGet)
 	s.route("/v1/patterns", s.handlePatterns, http.MethodGet)
 	s.route("/v1/experiments", s.handleExperimentList, http.MethodGet)
-	s.route("/v1/experiments/run", s.handleExperimentRun, http.MethodPost)
-	s.route("/v1/analyze", s.handleAnalyze, http.MethodPost)
-	s.route("/v1/process", s.handleProcess, http.MethodPost)
-	s.route("/v1/recommend", s.handleRecommend, http.MethodPost)
+	s.route("/v1/experiments/run", s.limited(s.handleExperimentRun), http.MethodPost)
+	s.route("/v1/analyze", s.limited(s.handleAnalyze), http.MethodPost)
+	s.route("/v1/process", s.limited(s.handleProcess), http.MethodPost)
+	s.route("/v1/recommend", s.limited(s.handleRecommend), http.MethodPost)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetDraining flips /v1/healthz to 503 "draining" so load balancers stop
+// routing new work here. Call it when graceful shutdown begins, before the
+// drain deadline starts counting; in-flight and queued requests still
+// finish normally.
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+// computeDeadlineKey marks request contexts that run under the
+// per-request compute deadline, so handlers can tell deadline expiry (503)
+// apart from a client that went away (499).
+const computeDeadlineKey ctxKey = 1
+
+// computeDeadlineExpired reports whether ctx carries the compute deadline
+// and that deadline has passed.
+func computeDeadlineExpired(ctx context.Context) bool {
+	return ctx.Value(computeDeadlineKey) != nil && errors.Is(ctx.Err(), context.DeadlineExceeded)
+}
+
+// limited wraps a compute handler with admission control and the
+// per-request compute deadline. Shed requests get 429 + Retry-After and
+// never reach the handler; clients that disconnect while queued get 499.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := s.overload.acquire(r.Context())
+		switch {
+		case errors.Is(err, errShed):
+			w.Header().Set("Retry-After", s.retryAfter)
+			writeErr(w, http.StatusTooManyRequests, err)
+			return
+		case err != nil:
+			writeErr(w, statusClientClosedRequest, err)
+			return
+		}
+		defer release()
+		if s.cfg.ComputeTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ComputeTimeout)
+			defer cancel()
+			r = r.WithContext(context.WithValue(ctx, computeDeadlineKey, true))
+		}
+		h(w, r)
+	}
+}
 
 // errorBody is the error envelope.
 type errorBody struct {
@@ -157,7 +282,7 @@ func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (core.System
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		writeErr(w, decodeStatus(err), fmt.Errorf("decoding spec: %w", err))
 		return spec, false
 	}
 	if err := spec.Validate(); err != nil {
@@ -167,7 +292,23 @@ func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (core.System
 	return spec, true
 }
 
+// decodeStatus maps a request-body decode error to its HTTP status: an
+// http.MaxBytesError means the body blew past MaxBodyBytes (413, the
+// client must shrink the request), anything else is a malformed body
+// (400).
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -185,6 +326,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				slog.String("error", err.Error()))
 			return
 		}
+	}
+	// Overload-protection counters: shed, queue depth, degraded mode,
+	// compute-deadline expirations.
+	if err := s.overload.writeMetrics(w); err != nil {
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "overload metrics write failed",
+			slog.String("error", err.Error()))
+		return
 	}
 	// Engine telemetry (Monte Carlo counters, stage failures, run-duration
 	// histograms, span summaries) follows the HTTP metrics so one scrape
@@ -393,7 +541,7 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, decodeStatus(err), err)
 		return
 	}
 	if req.ID == "" {
@@ -407,6 +555,36 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Seed == 0 {
 		req.Seed = 20080124
+	}
+	// ?faults=<spec> (internal/faults grammar) perturbs the run
+	// deterministically — a chaos drill, gated behind Config.AllowFaults.
+	var faultSet *faults.Set
+	if q := r.URL.Query().Get("faults"); q != "" {
+		if !s.cfg.AllowFaults {
+			writeErr(w, http.StatusForbidden,
+				errors.New("fault injection is disabled on this server (Config.AllowFaults)"))
+			return
+		}
+		set, err := faults.Parse(q)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if !set.Empty() {
+			faultSet = set
+			w.Header().Set("X-Faults", set.String())
+		}
+	}
+	// Under sustained overload the server trades fidelity for liveness:
+	// subject counts are clamped until the degraded window clears. n=0
+	// (experiment default, often the largest run) is clamped too.
+	degraded := s.overload.degraded()
+	if degraded {
+		if req.N == 0 || req.N > s.cfg.DegradedMaxSubjects {
+			req.N = s.cfg.DegradedMaxSubjects
+		}
+		w.Header().Set("X-Degraded", "subjects-clamped")
+		s.overload.degradedRuns.Add(1)
 	}
 	// ?trace_sample=K samples up to K per-subject stage traces into the
 	// response (capped by MaxTraceSample); ?spans=1 returns the request's
@@ -426,11 +604,12 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	wantSpans := r.URL.Query().Get("spans") == "1"
 
 	// Runs are deterministic in (id, seed, n), so identical requests can be
-	// answered from the result cache — but only when the response carries no
-	// per-request telemetry (?trace_sample / ?spans), which must always be
-	// produced fresh.
+	// answered from the result cache — but only full-fidelity ones: no
+	// per-request telemetry (?trace_sample / ?spans, always produced
+	// fresh), no injected faults, and not while degraded (a clamped run
+	// must not be replayed as the real answer once the server recovers).
 	cacheKey := ""
-	if traceSample == 0 && !wantSpans {
+	if traceSample == 0 && !wantSpans && faultSet == nil && !degraded {
 		cacheKey = experimentCacheKey(req.ID, req.Seed, req.N)
 		if s.serveCached(w, cacheKey) {
 			return
@@ -440,6 +619,9 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	// The request context cancels the Monte Carlo workers when the client
 	// disconnects or the server drains, so abandoned runs stop burning CPU.
 	ctx := r.Context()
+	if faultSet != nil {
+		ctx = sim.WithInjector(ctx, faultSet)
+	}
 	var rec *telemetry.Recorder
 	if traceSample > 0 {
 		rec = telemetry.NewRecorder(traceSample, req.Seed)
@@ -452,6 +634,12 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, experiments.ErrUnknown):
 			writeErr(w, http.StatusNotFound, err)
+		case computeDeadlineExpired(ctx):
+			// The server's own compute deadline expired — a capacity
+			// signal (503), not a client disconnect (499).
+			s.overload.deadlineExpired.Add(1)
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Errorf("compute deadline (%s) exceeded: %w", s.cfg.ComputeTimeout, err))
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			writeErr(w, statusClientClosedRequest, err)
 		default:
@@ -464,8 +652,13 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
+	// seed and n echo the parameters the run actually executed with — n in
+	// particular may have been clamped by degraded mode (0 still means the
+	// experiment's own default).
 	resp := map[string]any{
 		"id":         out.ID,
+		"seed":       req.Seed,
+		"n":          req.N,
 		"title":      out.Title,
 		"paperShape": out.PaperShape,
 		"metrics":    out.Metrics,

@@ -204,8 +204,8 @@ func TestAnalyzeBodyLimit(t *testing.T) {
 	defer ts.Close()
 	resp := postJSON(t, ts.URL+"/v1/analyze", exampleSpec())
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("oversized body: %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: %d, want 413", resp.StatusCode)
 	}
 }
 
@@ -488,6 +488,11 @@ func TestMetricsIncludeEngineSeries(t *testing.T) {
 		"# TYPE hitl_sim_run_subjects_per_second histogram",
 		"# TYPE hitl_sim_active_workers gauge",
 		"# TYPE hitl_sim_last_run_workers gauge",
+		"# TYPE hitl_sim_panics_recovered_total counter",
+		"# TYPE hitl_server_shed_total counter",
+		"# TYPE hitl_server_queue_depth gauge",
+		"# TYPE hitl_server_degraded gauge",
+		"# TYPE hitl_server_compute_deadline_total counter",
 		"# TYPE hitl_sim_subject_traces_total counter",
 		"# TYPE hitl_span_duration_seconds summary",
 		`hitl_span_duration_seconds_count{span="experiment"}`,

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
@@ -100,8 +101,13 @@ type SubjectFunc func(rng *rand.Rand, subject int) (Outcome, error)
 
 // Result aggregates a run.
 type Result struct {
-	// N is the number of subjects simulated.
+	// N is the number of subjects the run was configured for.
 	N int
+	// Completed is the number of subjects actually simulated and
+	// aggregated. It equals N for a run that finished; it is smaller only
+	// for the partial result of a canceled or timed-out run under
+	// Runner.AllowPartial. Heed.Trials always equals Completed.
+	Completed int
 	// Heed is the heed/compliance proportion.
 	Heed stats.Proportion
 	// StageFailures counts failures by framework stage.
@@ -120,9 +126,10 @@ type Result struct {
 func (r *Result) HeedRate() float64 { return r.Heed.Rate() }
 
 // FailureShare returns the fraction of *failures* attributed to the stage
-// (0 if there were no failures).
+// (0 if there were no failures). Failures are counted over the subjects
+// that completed, so partial results stay internally consistent.
 func (r *Result) FailureShare(s agent.Stage) float64 {
-	failures := r.N - r.Heed.Successes
+	failures := r.Heed.Trials - r.Heed.Successes
 	if failures == 0 {
 		return 0
 	}
@@ -191,6 +198,17 @@ type Runner struct {
 	// SweepLabeler, when non-nil, formats SweepPoint.Label during Sweep;
 	// the default label is fmt.Sprintf("%g", param).
 	SweepLabeler func(param float64) string
+	// Timeout, when positive, bounds each Run call's wall time. An expired
+	// run is canceled exactly like a caller deadline and returns an error
+	// wrapping context.DeadlineExceeded (or a partial result under
+	// AllowPartial). During a Sweep every point gets the full budget.
+	Timeout time.Duration
+	// AllowPartial opts into keeping finished work when a run is canceled
+	// or times out: instead of discarding the aggregation, Run returns the
+	// subjects completed so far (Result.Completed < N, Heed.Trials ==
+	// Completed) alongside the cancellation error. Subject errors and
+	// contained panics remain fatal regardless.
+	AllowPartial bool
 }
 
 // valueObs is one named-metric observation tagged with its subject index,
@@ -205,6 +223,7 @@ type valueObs struct {
 // subject into their own shard, so the post-run reduce only merges
 // len(workers) shards instead of walking an N-sized outcome slice.
 type shard struct {
+	completed     int
 	heedSuccesses int
 	spoofed       int
 	heuristic     int
@@ -217,6 +236,7 @@ type shard struct {
 }
 
 func (sh *shard) add(subject int, o Outcome) {
+	sh.completed++
 	if o.Heeded {
 		sh.heedSuccesses++
 	} else {
@@ -245,15 +265,95 @@ func (sh *shard) add(subject int, o Outcome) {
 	}
 }
 
+// runSubject executes one subject under panic containment. A panic in the
+// scenario function — or in an injected fault — is recovered into a typed
+// *PanicError carrying the subject index and stack, so one poisoned
+// subject fails the run instead of crashing the process. The injector, if
+// any, runs Before ahead of the scenario (it may panic or sleep) and
+// Perturb on a successful outcome (it may rewrite it in place).
+// The deferred containPanic is a named function with pre-evaluated
+// arguments — not a closure — so the defer stays open-coded and
+// allocation-free on the per-subject hot path.
+func (ru Runner) runSubject(f SubjectFunc, inj Injector, rng *rand.Rand, i int) (out Outcome, err error) {
+	defer containPanic(i, &err)
+	if inj != nil {
+		inj.Before(ru.Seed, i)
+	}
+	out, err = f(rng, i)
+	if err == nil && inj != nil {
+		out = inj.Perturb(ru.Seed, i, out)
+	}
+	return out, err
+}
+
+// containPanic converts a recovered panic into a *PanicError through the
+// caller's named error result.
+func containPanic(subject int, err *error) {
+	if v := recover(); v != nil {
+		telemetry.RecordPanicRecovered()
+		*err = &PanicError{Subject: subject, Value: v, Stack: debug.Stack()}
+	}
+}
+
+// aggregate merges the worker shards into a Result. completed is the total
+// subject count folded into the shards; for a finished run it equals ru.N.
+func (ru Runner) aggregate(shards []shard, completed int) *Result {
+	res := &Result{
+		N:             ru.N,
+		Completed:     completed,
+		StageFailures: make(map[agent.Stage]int),
+		ErrorClasses:  make(map[gems.ErrorClass]int),
+		Values:        make(map[string][]float64),
+	}
+	res.Heed.Trials = completed
+	mergedValues := make(map[string][]valueObs)
+	for w := range shards {
+		sh := &shards[w]
+		res.Heed.Successes += sh.heedSuccesses
+		res.Spoofed += sh.spoofed
+		res.Heuristic += sh.heuristic
+		for s, n := range sh.stageFailures {
+			res.StageFailures[s] += n
+		}
+		for c, n := range sh.errorClasses {
+			res.ErrorClasses[c] += n
+		}
+		for k, obs := range sh.values {
+			mergedValues[k] = append(mergedValues[k], obs...)
+		}
+	}
+	// Each subject contributes at most one observation per key (Values is
+	// a map), so sorting by subject index restores the documented
+	// subject-order guarantee exactly.
+	for k, obs := range mergedValues {
+		sort.Slice(obs, func(a, b int) bool { return obs[a].subject < obs[b].subject })
+		xs := make([]float64, len(obs))
+		for i, o := range obs {
+			xs[i] = o.v
+		}
+		res.Values[k] = xs
+	}
+	return res
+}
+
 // Run executes f for every subject and aggregates the outcomes.
 //
 // Run honors ctx: each worker checks for cancellation before starting the
 // next subject, so an in-flight run stops within one subject per worker of
 // the cancel and returns ctx.Err() (use errors.Is with context.Canceled or
 // context.DeadlineExceeded to distinguish abandonment from real failures).
-// The first subject error likewise cancels the remaining work — a fatal
-// failure does not let the other workers churn through all N subjects.
-// A nil ctx is treated as context.Background().
+// Runner.Timeout adds a per-run deadline with the same semantics. The first
+// subject error likewise cancels the remaining work — a fatal failure does
+// not let the other workers churn through all N subjects. A panicking
+// subject is contained: the run fails with a *PanicError (lowest panicking
+// subject wins) instead of taking the process down. Under AllowPartial a
+// canceled or timed-out run returns the partial aggregation alongside the
+// error instead of discarding finished work. A nil ctx is treated as
+// context.Background().
+//
+// Fault injection: when ctx carries an Injector (WithInjector), it runs
+// around every subject; injectors are deterministic in (seed, subject), so
+// faulted runs keep the bit-identical-at-any-worker-count guarantee.
 //
 // Telemetry: when ctx carries a telemetry.Tracer, Run opens a "run" span
 // with per-worker "worker-batch" children; when it carries a
@@ -287,11 +387,19 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 		telemetry.String("seed", strconv.FormatInt(ru.Seed, 10)))
 	defer span.End()
 	rec := telemetry.RecorderFromContext(ctx)
+	inj := InjectorFromContext(ctx)
 	start := time.Now()
 
-	// runCtx lets the first subject error cancel the remaining work without
-	// affecting the caller's context.
-	runCtx, cancel := context.WithCancel(spanCtx)
+	// deadlineCtx layers the per-run deadline (Runner.Timeout) over the
+	// caller's context; runCtx additionally lets the first subject error
+	// cancel the remaining work without affecting either.
+	deadlineCtx := spanCtx
+	if ru.Timeout > 0 {
+		var cancelDeadline context.CancelFunc
+		deadlineCtx, cancelDeadline = context.WithTimeout(spanCtx, ru.Timeout)
+		defer cancelDeadline()
+	}
+	runCtx, cancel := context.WithCancel(deadlineCtx)
 	defer cancel()
 
 	shards := make([]shard, workers)
@@ -329,7 +437,7 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 					return
 				}
 				src.Seed(splitmix64(ru.Seed, i))
-				out, err := f(rng, i)
+				out, err := ru.runSubject(f, inj, rng, i)
 				if err != nil {
 					sh.err = err
 					sh.errSubject = i
@@ -349,12 +457,12 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 		}(w)
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		span.SetAttr("outcome", "canceled")
-		return nil, err
-	}
 	// Report the failure with the lowest subject index, as the old
-	// subject-indexed error slice did.
+	// subject-indexed error slice did. Contained panics arrive here as
+	// *PanicError and win or lose by the same subject-order rule. Subject
+	// errors are always fatal — even under AllowPartial, even if the
+	// deadline also expired — because they signal a scenario bug, not an
+	// abandoned run.
 	var subjectErr error
 	errSubject := -1
 	for w := range shards {
@@ -364,50 +472,50 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 	}
 	if subjectErr != nil {
 		span.SetAttr("outcome", "error")
+		var pe *PanicError
+		if errors.As(subjectErr, &pe) {
+			// Already self-describing (subject index and panic value); keep
+			// the typed error at the top so errors.As finds it directly.
+			return nil, subjectErr
+		}
 		return nil, fmt.Errorf("sim: subject %d: %w", errSubject, subjectErr)
 	}
-
-	res := &Result{
-		N:             ru.N,
-		StageFailures: make(map[agent.Stage]int),
-		ErrorClasses:  make(map[gems.ErrorClass]int),
-		Values:        make(map[string][]float64),
+	// Distinguish the remaining ways the run can end early. The caller's
+	// ctx is checked first (abandonment beats everything), then the per-run
+	// deadline; the internal cancel() after a subject error trips neither.
+	cancelErr := ctx.Err()
+	if cancelErr == nil && ru.Timeout > 0 {
+		cancelErr = deadlineCtx.Err()
 	}
-	res.Heed.Trials = ru.N
-	mergedValues := make(map[string][]valueObs)
-	for w := range shards {
-		sh := &shards[w]
-		res.Heed.Successes += sh.heedSuccesses
-		res.Spoofed += sh.spoofed
-		res.Heuristic += sh.heuristic
-		for s, n := range sh.stageFailures {
-			res.StageFailures[s] += n
+	if cancelErr != nil {
+		if !ru.AllowPartial {
+			span.SetAttr("outcome", "canceled")
+			return nil, cancelErr
 		}
-		for c, n := range sh.errorClasses {
-			res.ErrorClasses[c] += n
+		completed := 0
+		for w := range shards {
+			completed += shards[w].completed
 		}
-		for k, obs := range sh.values {
-			mergedValues[k] = append(mergedValues[k], obs...)
-		}
-	}
-	// Each subject contributes at most one observation per key (Values is
-	// a map), so sorting by subject index restores the documented
-	// subject-order guarantee exactly.
-	for k, obs := range mergedValues {
-		sort.Slice(obs, func(a, b int) bool { return obs[a].subject < obs[b].subject })
-		xs := make([]float64, len(obs))
-		for i, o := range obs {
-			xs[i] = o.v
-		}
-		res.Values[k] = xs
+		span.SetAttr("outcome", "partial")
+		span.SetAttr("completed", strconv.Itoa(completed))
+		res := ru.aggregate(shards, completed)
+		recordRun(res, workers, time.Since(start))
+		return res, cancelErr
 	}
 
+	res := ru.aggregate(shards, ru.N)
+	recordRun(res, workers, time.Since(start))
+	return res, nil
+}
+
+// recordRun folds a finished (or partial) aggregation into the
+// process-wide engine metrics.
+func recordRun(res *Result, workers int, elapsed time.Duration) {
 	stageFailures := make(map[string]int, len(res.StageFailures))
 	for s, n := range res.StageFailures {
 		stageFailures[s.String()] = n
 	}
-	telemetry.RecordRun(ru.N, workers, time.Since(start), stageFailures)
-	return res, nil
+	telemetry.RecordRun(res.Completed, workers, elapsed, stageFailures)
 }
 
 // SweepPoint is one parameter setting's aggregated result.

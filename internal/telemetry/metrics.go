@@ -89,6 +89,7 @@ var engine = struct {
 	tracesKept    atomic.Int64
 	activeWorkers atomic.Int64
 	lastWorkers   atomic.Int64
+	panics        atomic.Int64
 
 	stageMu       sync.Mutex
 	stageOrder    []string
@@ -126,6 +127,10 @@ func observeSpan(name string, d time.Duration) {
 	st.count.Add(1)
 	st.sum.Add(d.Seconds())
 }
+
+// RecordPanicRecovered counts one subject panic the engine contained into
+// a *sim.PanicError instead of letting it crash the process.
+func RecordPanicRecovered() { engine.panics.Add(1) }
 
 // WorkerStarted and WorkerDone maintain the live worker-utilization gauge.
 func WorkerStarted() { engine.activeWorkers.Add(1) }
@@ -204,6 +209,10 @@ func WriteMetrics(w io.Writer) error {
 	b.WriteString("# HELP hitl_sim_last_run_workers Worker count of the most recent run.\n")
 	b.WriteString("# TYPE hitl_sim_last_run_workers gauge\n")
 	fmt.Fprintf(&b, "hitl_sim_last_run_workers %d\n", engine.lastWorkers.Load())
+
+	b.WriteString("# HELP hitl_sim_panics_recovered_total Subject panics contained by the engine instead of crashing the process.\n")
+	b.WriteString("# TYPE hitl_sim_panics_recovered_total counter\n")
+	fmt.Fprintf(&b, "hitl_sim_panics_recovered_total %d\n", engine.panics.Load())
 
 	b.WriteString("# HELP hitl_sim_subject_traces_total Subject traces admitted to trace reservoirs.\n")
 	b.WriteString("# TYPE hitl_sim_subject_traces_total counter\n")
