@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-diff microbench chaos experiments examples fmt cover clean
+.PHONY: all ci build vet test race bench bench-diff microbench chaos scenarios-smoke experiments examples fmt cover clean
 
 all: build vet test
 
@@ -54,6 +54,19 @@ bench-diff:
 		echo "benchstat not found; using hitl-bench -diff against BENCH_sim.json" >&2; \
 		$(GO) run ./cmd/hitl-bench -baseline BENCH_sim.json -diff -out /dev/null; \
 	fi
+
+# scenarios-smoke drives every example spec end to end through the hitl-sim
+# CLI — the declarative path: parse, validate against the registry schema,
+# run, render — plus the scenario listing. The example specs are sized to
+# stay CI-fast; the bit-identity goldens live in internal/scenario.
+scenarios-smoke:
+	$(GO) build -o /tmp/hitl-sim-smoke ./cmd/hitl-sim
+	/tmp/hitl-sim-smoke -list
+	@set -e; for spec in examples/scenarios/*.json; do \
+		echo "== $$spec"; \
+		/tmp/hitl-sim-smoke -spec $$spec; \
+	done
+	@rm -f /tmp/hitl-sim-smoke
 
 experiments:
 	$(GO) run ./cmd/hitl-experiments

@@ -1,14 +1,19 @@
-// Command hitl-sim runs one of the built-in Monte Carlo scenarios from the
-// paper's case studies and prints its results.
+// Command hitl-sim runs one of the registered Monte Carlo scenarios from
+// the paper's case studies and prints its results.
 //
 // Usage:
 //
-//	hitl-sim -scenario phishing-study   [-n N] [-seed S] [-population P] [-trained]
+//	hitl-sim -list
+//	hitl-sim -scenario phishing-study    [-n N] [-seed S] [-population P] [-trained] [-distinct] [-explain]
 //	hitl-sim -scenario phishing-campaign [-n N] [-seed S] [-days D] [-fpr F] [-tpr T] [-warning W]
 //	hitl-sim -scenario password          [-n N] [-seed S] [-accounts A] [-expiry E] [-sso] [-vault] [-meter] [-rationale]
+//	hitl-sim -spec examples/scenarios/password-expiry-sweep.json
 //
-// Populations: general-public (default), enterprise, experts, novices.
-// Warnings: firefox-active (default), ie-active, ie-passive, toolbar-passive.
+// Scenarios come from the process-wide registry (internal/scenario); -list
+// prints every registered scenario with its parameter schema. -spec runs a
+// declarative JSON spec ("-" reads stdin); explicitly set flags override
+// the corresponding spec fields. Unknown scenario, population, or warning
+// names fail fast with the list of valid names.
 //
 // Telemetry: -trace out.jsonl writes a deterministic sample of per-subject
 // stage traces (one JSON object per line, size set by -trace-sample), and
@@ -28,25 +33,32 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
-	"hitl/internal/comms"
 	"hitl/internal/faults"
-	"hitl/internal/password"
-	"hitl/internal/phishing"
-	"hitl/internal/population"
-	"hitl/internal/report"
+	"hitl/internal/scenario"
+	_ "hitl/internal/scenario/all" // register the built-in scenarios
 	"hitl/internal/sim"
 	"hitl/internal/telemetry"
 )
 
 func main() {
-	scenario := flag.String("scenario", "phishing-study", "phishing-study | phishing-campaign | password")
+	scName := flag.String("scenario", "phishing-study", "registered scenario name (see -list)")
+	specPath := flag.String("spec", "", "run a declarative JSON scenario spec from this file (- for stdin)")
+	list := flag.Bool("list", false, "list registered scenarios and their parameter schemas")
 	n := flag.Int("n", 2000, "subjects")
 	seed := flag.Int64("seed", 1, "seed")
-	pop := flag.String("population", "general-public", "population preset")
-	warning := flag.String("warning", "firefox-active", "warning preset for campaign runs")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs; does not change results)")
+	pop := flag.String("population", "", "population preset (default: the scenario's preset)")
+
+	// Scenario parameters. Only flags the user actually sets are forwarded
+	// (flag.Visit), so each scenario's schema defaults apply otherwise; the
+	// flag defaults shown in -help mirror those schema defaults.
+	warning := flag.String("warning", "firefox-active", "warning preset (phishing)")
 	trained := flag.Bool("trained", false, "pre-train subjects (phishing-study)")
+	distinct := flag.Bool("distinct", false, "visually distinct warning (phishing-study)")
+	explain := flag.Bool("explain", false, "explain why the site is suspicious (phishing-study)")
 	days := flag.Int("days", 60, "campaign length in days")
 	tpr := flag.Float64("tpr", 0.9, "detector true-positive rate")
 	fpr := flag.Float64("fpr", 0.02, "detector false-positive rate")
@@ -56,16 +68,66 @@ func main() {
 	vault := flag.Bool("vault", false, "deploy a password vault")
 	meter := flag.Bool("meter", false, "deploy a strength meter")
 	rationale := flag.Bool("rationale", false, "deploy rationale training")
+
 	traceOut := flag.String("trace", "", "write sampled subject traces to this JSONL file")
 	traceSample := flag.Int("trace-sample", 64, "subject traces to sample per run (with -trace)")
 	spansOut := flag.String("spans", "", "write the telemetry span tree to this JSON file")
 	faultSpec := flag.String("faults", "", "deterministic fault spec, e.g. 'fail:stage=comprehension,p=0.1' (see internal/faults)")
 	flag.Parse()
 
-	popSpec, err := popByName(*pop)
-	if err != nil {
-		fatal(err)
+	if *list {
+		listScenarios(os.Stdout)
+		return
 	}
+
+	paramFlags := map[string]func() any{
+		"warning":   func() any { return *warning },
+		"trained":   func() any { return *trained },
+		"distinct":  func() any { return *distinct },
+		"explain":   func() any { return *explain },
+		"days":      func() any { return *days },
+		"tpr":       func() any { return *tpr },
+		"fpr":       func() any { return *fpr },
+		"accounts":  func() any { return *accounts },
+		"expiry":    func() any { return *expiry },
+		"sso":       func() any { return *sso },
+		"vault":     func() any { return *vault },
+		"meter":     func() any { return *meter },
+		"rationale": func() any { return *rationale },
+	}
+
+	var spec scenario.Spec
+	if *specPath != "" {
+		var err error
+		spec, err = readSpec(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		spec = scenario.Spec{Scenario: *scName, N: *n, Seed: *seed}
+	}
+	spec.Workers = *workers
+	// Explicitly set flags win over the spec file.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "scenario":
+			spec.Scenario = *scName
+		case "population":
+			spec.Population = *pop
+		case "n":
+			spec.N = *n
+		case "seed":
+			spec.Seed = *seed
+		default:
+			if get, ok := paramFlags[f.Name]; ok {
+				if spec.Params == nil {
+					spec.Params = map[string]any{}
+				}
+				spec.Params[f.Name] = get()
+			}
+		}
+	})
+
 	faultSet, err := faults.Parse(*faultSpec)
 	if err != nil {
 		fatal(err)
@@ -76,7 +138,7 @@ func main() {
 
 	var rec *telemetry.Recorder
 	if *traceOut != "" {
-		rec = telemetry.NewRecorder(*traceSample, *seed)
+		rec = telemetry.NewRecorder(*traceSample, spec.Seed)
 		ctx = telemetry.WithRecorder(ctx, rec)
 	}
 	var tracer *telemetry.Tracer
@@ -89,88 +151,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hitl-sim: fault injection active: %s\n", faultSet.Describe())
 	}
 
-	switch *scenario {
-	case "phishing-study":
-		conds := phishing.StandardConditions()
-		if *trained {
-			for i := range conds {
-				conds[i] = phishing.WithTraining(conds[i])
-			}
-		}
-		results, err := phishing.CompareConditions(ctx, *seed, *n, conds)
-		if err != nil {
-			fatal(err)
-		}
-		t := report.NewTable(fmt.Sprintf("Phishing study (%s, n=%d, seed=%d)", popSpec.Name, *n, *seed),
-			"Condition", "Heed rate [95% CI]", "Top failure stage")
-		for _, r := range results {
-			stage, _, ok := r.Run.TopFailureStage()
-			name := "-"
-			if ok {
-				name = stage.String()
-			}
-			t.Add(r.Condition, r.Run.Heed.String(), name)
-		}
-		must(t.WriteText(os.Stdout))
-
-	case "phishing-campaign":
-		w, err := warningByName(*warning)
-		if err != nil {
-			fatal(err)
-		}
-		c := phishing.Campaign{
-			Population: popSpec, Warning: w,
-			Days: *days, DetectorTPR: *tpr, DetectorFPR: *fpr,
-			N: *n, Seed: *seed,
-		}
-		m, err := c.Run(ctx)
-		if err != nil {
-			fatal(err)
-		}
-		t := report.NewTable(fmt.Sprintf("Phishing campaign (%s over %d days, tpr=%.2f fpr=%.2f)",
-			w.ID, *days, *tpr, *fpr),
-			"Metric", "Value")
-		t.Addf("victim rate", report.Pct(m.VictimRate))
-		t.Addf("mean phish encounters/subject", m.MeanPhishEncounters)
-		t.Addf("mean false alarms/subject", m.MeanFalseAlarms)
-		if stage, _, ok := m.Run.TopFailureStage(); ok {
-			t.Add("top failure stage", stage.String())
-		}
-		must(t.WriteText(os.Stdout))
-
-	case "password":
-		sc := password.Scenario{
-			Policy:     password.StrongPolicy(),
-			Accounts:   *accounts,
-			Population: popSpec,
-			Tools: password.Tools{
-				SSO: *sso, Vault: *vault, StrengthMeter: *meter, RationaleTraining: *rationale,
-			},
-			N: *n, Seed: *seed,
-		}
-		sc.Policy.ExpiryDays = *expiry
-		m, err := sc.Run(ctx)
-		if err != nil {
-			fatal(err)
-		}
-		t := report.NewTable(fmt.Sprintf("Password policy (%s, %d accounts, expiry=%d, %s)",
-			sc.Policy.Name, *accounts, *expiry, popSpec.Name),
-			"Metric", "Value")
-		t.Addf("compliance rate", report.Pct(m.ComplianceRate))
-		t.Addf("mean reuse fraction", m.MeanReuseFraction)
-		t.Addf("write-down rate", report.Pct(m.WriteDownRate))
-		t.Addf("share rate", report.Pct(m.ShareRate))
-		t.Addf("resets/yr", m.MeanResetsPerYear)
-		t.Addf("mean strength (bits)", m.MeanStrengthBits)
-		if stage, _, ok := m.Run.TopFailureStage(); ok {
-			t.Add("top failure stage", stage.String())
-			t.Add("its share of failures", report.Pct(m.Run.FailureShare(stage)))
-		}
-		must(t.WriteText(os.Stdout))
-
-	default:
-		fatal(fmt.Errorf("unknown scenario %q", *scenario))
+	res, err := scenario.Run(ctx, spec)
+	if err != nil {
+		fatal(err)
 	}
+	must(res.Table().WriteText(os.Stdout))
 
 	if rec != nil {
 		must(writeFile(*traceOut, rec.WriteJSONL))
@@ -179,6 +164,54 @@ func main() {
 	}
 	if tracer != nil {
 		must(writeFile(*spansOut, tracer.WriteJSON))
+	}
+}
+
+// readSpec loads a declarative spec from path ("-" reads stdin).
+func readSpec(path string) (scenario.Spec, error) {
+	if path == "-" {
+		return scenario.ParseSpec(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	defer f.Close()
+	return scenario.ParseSpec(f)
+}
+
+// listScenarios prints every registered scenario with its defaults and
+// parameter schema.
+func listScenarios(w io.Writer) {
+	for _, sc := range scenario.All() {
+		defs := sc.Defaults()
+		fmt.Fprintf(w, "%s — %s\n", sc.Name(), sc.Doc())
+		fmt.Fprintf(w, "  defaults: population=%s n=%d\n", defs.Population, defs.N)
+		for _, p := range sc.Params() {
+			var extras []string
+			if p.Default != nil {
+				extras = append(extras, fmt.Sprintf("default=%v", p.Default))
+			}
+			if p.Min != nil || p.Max != nil {
+				lo, hi := "-inf", "+inf"
+				if p.Min != nil {
+					lo = fmt.Sprintf("%g", *p.Min)
+				}
+				if p.Max != nil {
+					hi = fmt.Sprintf("%g", *p.Max)
+				}
+				extras = append(extras, fmt.Sprintf("range=[%s, %s]", lo, hi))
+			}
+			if len(p.Enum) > 0 {
+				extras = append(extras, "one of: "+strings.Join(p.Enum, ", "))
+			}
+			fmt.Fprintf(w, "    -%s (%s) %s", p.Name, p.Type, p.Doc)
+			if len(extras) > 0 {
+				fmt.Fprintf(w, " [%s]", strings.Join(extras, "; "))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
 	}
 }
 
@@ -194,28 +227,6 @@ func writeFile(path string, write func(w io.Writer) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-func popByName(name string) (population.Spec, error) {
-	switch name {
-	case "general-public":
-		return population.GeneralPublic(), nil
-	case "enterprise":
-		return population.Enterprise(), nil
-	case "experts":
-		return population.Experts(), nil
-	case "novices":
-		return population.Novices(), nil
-	default:
-		return population.Spec{}, fmt.Errorf("unknown population %q", name)
-	}
-}
-
-func warningByName(name string) (comms.Communication, error) {
-	if c, ok := comms.Presets()[name]; ok && c.Kind == comms.Warning {
-		return c, nil
-	}
-	return comms.Communication{}, fmt.Errorf("unknown warning %q", name)
 }
 
 func must(err error) {

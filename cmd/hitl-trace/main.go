@@ -102,18 +102,7 @@ func main() {
 }
 
 func popByName(name string) (population.Spec, error) {
-	switch name {
-	case "general-public":
-		return population.GeneralPublic(), nil
-	case "enterprise":
-		return population.Enterprise(), nil
-	case "experts":
-		return population.Experts(), nil
-	case "novices":
-		return population.Novices(), nil
-	default:
-		return population.Spec{}, fmt.Errorf("unknown population %q", name)
-	}
+	return population.ByName(name)
 }
 
 func fatal(err error) {

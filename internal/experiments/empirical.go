@@ -8,19 +8,26 @@ import (
 	"hitl/internal/agent"
 	"hitl/internal/comms"
 	"hitl/internal/gems"
-	"hitl/internal/password"
-	"hitl/internal/phishing"
 	"hitl/internal/population"
 	"hitl/internal/predict"
 	"hitl/internal/report"
+	"hitl/internal/scenario"
 	"hitl/internal/stimuli"
+
+	// The empirical exhibits drive the case studies through the scenario
+	// registry rather than importing internal/phishing or internal/password
+	// concretely; this blank import registers the built-in providers.
+	_ "hitl/internal/scenario/all"
 )
 
 // E1WarningEffectiveness reproduces the §3.1 warning-effectiveness shape:
-// active warnings protect most users, passive warnings almost none.
+// active warnings protect most users, passive warnings almost none. The
+// four standard conditions run through the scenario registry
+// ("phishing-study" with warning=all), which compiles to the same
+// CompareConditions inputs the programmatic API uses.
 func E1WarningEffectiveness(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(4000)
-	results, err := phishing.CompareConditions(ctx, cfg.Seed, n, phishing.StandardConditions())
+	res, err := scenario.Run(ctx, scenario.Spec{Scenario: "phishing-study", Seed: cfg.Seed, N: n})
 	if err != nil {
 		return nil, err
 	}
@@ -29,16 +36,16 @@ func E1WarningEffectiveness(ctx context.Context, cfg Config) (*Output, error) {
 	fig := report.NewFigure("Heed rate by warning design")
 	series := report.NewSeries("")
 	metrics := map[string]float64{}
-	for _, r := range results {
-		stage, _, ok := r.Run.TopFailureStage()
+	for _, p := range res.Points {
+		stage, _, ok := p.Run.TopFailureStage()
 		stageName, share := "-", 0.0
 		if ok {
 			stageName = stage.String()
-			share = r.Run.FailureShare(stage)
+			share = p.Run.FailureShare(stage)
 		}
-		t.Add(r.Condition, r.Run.Heed.String(), stageName, report.Pct(share))
-		series.Add(r.Condition, r.HeedRate())
-		metrics["heed_"+r.Condition] = r.HeedRate()
+		t.Add(p.Label, p.Run.Heed.String(), stageName, report.Pct(share))
+		series.Add(p.Label, p.Run.HeedRate())
+		metrics["heed_"+p.Label] = p.Run.HeedRate()
 	}
 	fig.AddSeries(series)
 	return &Output{
@@ -53,29 +60,37 @@ func E1WarningEffectiveness(ctx context.Context, cfg Config) (*Output, error) {
 }
 
 // E2PhishingMitigations runs the §3.1 mitigation ablation on the IE active
-// warning: distinct look, explanation, training, and all combined.
+// warning: distinct look, explanation, training, and all combined. Each arm
+// is one registry run of "phishing-study" with mitigation flags; the arm
+// seeds advance by the same 7919 stride CompareConditions used when the
+// arms ran as one batch, so the numbers are unchanged.
 func E2PhishingMitigations(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(4000)
-	base := phishing.StandardConditions()[1] // ie-active
-	conds := []phishing.Condition{
-		base,
-		phishing.WithDistinctLook(base),
-		phishing.WithExplanation(base),
-		phishing.WithTraining(base),
-		phishing.WithTraining(phishing.WithExplanation(phishing.WithDistinctLook(base))),
-	}
-	results, err := phishing.CompareConditions(ctx, cfg.Seed, n, conds)
-	if err != nil {
-		return nil, err
+	arms := []map[string]any{
+		{"warning": "ie-active"},
+		{"warning": "ie-active", "distinct": true},
+		{"warning": "ie-active", "explain": true},
+		{"warning": "ie-active", "trained": true},
+		{"warning": "ie-active", "distinct": true, "explain": true, "trained": true},
 	}
 	t := report.NewTable("§3.1 mitigation ablation (IE active warning baseline)",
 		"Condition", "Heed rate [95% CI]", "Lift vs baseline")
 	metrics := map[string]float64{}
-	baseRate := results[0].HeedRate()
-	for _, r := range results {
-		t.Add(r.Condition, r.Run.Heed.String(),
-			fmt.Sprintf("%+.1f pp", (r.HeedRate()-baseRate)*100))
-		metrics["heed_"+r.Condition] = r.HeedRate()
+	baseRate := 0.0
+	for i, params := range arms {
+		res, err := scenario.Run(ctx, scenario.Spec{
+			Scenario: "phishing-study", Seed: cfg.Seed + int64(i)*7919, N: n, Params: params,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p := res.Points[0]
+		if i == 0 {
+			baseRate = p.Run.HeedRate()
+		}
+		t.Add(p.Label, p.Run.Heed.String(),
+			fmt.Sprintf("%+.1f pp", (p.Run.HeedRate()-baseRate)*100))
+		metrics["heed_"+p.Label] = p.Run.HeedRate()
 	}
 	return &Output{
 		ID:         "E2",
@@ -91,13 +106,14 @@ func E2PhishingMitigations(ctx context.Context, cfg Config) (*Output, error) {
 // Sasse), and memory (capability) is the binding failure.
 func E3PasswordCompliance(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(2000)
-	base := password.Scenario{
-		Policy: password.StrongPolicy(), Accounts: 15, DurationDays: 365,
-		N: n, Seed: cfg.Seed,
-	}
-
-	sizes := []int{2, 5, 10, 20, 35, 50}
-	bySize, err := password.PortfolioSweep(ctx, base, sizes)
+	// Both sweeps run through the registry; the declared sweep seed strides
+	// (accounts: 104729, expiry: 130363) reproduce PortfolioSweep and
+	// ExpirySweep bit-identically.
+	sizes := []float64{2, 5, 10, 20, 35, 50}
+	bySize, err := scenario.Run(ctx, scenario.Spec{
+		Scenario: "password", Seed: cfg.Seed, N: n,
+		Sweep: &scenario.Axis{Param: "accounts", Values: sizes},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -106,37 +122,43 @@ func E3PasswordCompliance(ctx context.Context, cfg Config) (*Output, error) {
 	figReuse := report.NewFigure("Password reuse vs number of accounts")
 	s := report.NewSeries("")
 	metrics := map[string]float64{}
-	for i, m := range bySize {
-		t1.Addf(sizes[i], report.Pct(m.ComplianceRate), m.MeanReuseFraction,
-			report.Pct(m.WriteDownRate), m.MeanResetsPerYear)
-		s.Add(fmt.Sprintf("%d accounts", sizes[i]), m.MeanReuseFraction)
-		metrics[fmt.Sprintf("reuse_at_%d", sizes[i])] = m.MeanReuseFraction
-		metrics[fmt.Sprintf("compliance_at_%d", sizes[i])] = m.ComplianceRate
+	for _, p := range bySize.Points {
+		size := int(p.Param)
+		t1.Addf(size, report.Pct(p.Values["compliance"]), p.Values["reuse"],
+			report.Pct(p.Values["write_down"]), p.Values["resets"])
+		s.Add(fmt.Sprintf("%d accounts", size), p.Values["reuse"])
+		metrics[fmt.Sprintf("reuse_at_%d", size)] = p.Values["reuse"]
+		metrics[fmt.Sprintf("compliance_at_%d", size)] = p.Values["compliance"]
 	}
 	figReuse.AddSeries(s)
 
-	expiries := []int{0, 180, 90, 30}
-	byExpiry, err := password.ExpirySweep(ctx, base, expiries)
+	expiries := []float64{0, 180, 90, 30}
+	byExpiry, err := scenario.Run(ctx, scenario.Spec{
+		Scenario: "password", Seed: cfg.Seed, N: n,
+		Sweep: &scenario.Axis{Param: "expiry", Values: expiries},
+	})
 	if err != nil {
 		return nil, err
 	}
 	t2 := report.NewTable("Compliance vs mandatory expiry (strong policy, 15 accounts)",
 		"Expiry (days)", "Compliance", "Mean reuse", "Resets/yr")
-	for i, m := range byExpiry {
-		label := fmt.Sprint(expiries[i])
-		if expiries[i] == 0 {
+	for _, p := range byExpiry.Points {
+		expiry := int(p.Param)
+		label := fmt.Sprint(expiry)
+		if expiry == 0 {
 			label = "never"
 		}
-		t2.Addf(label, report.Pct(m.ComplianceRate), m.MeanReuseFraction, m.MeanResetsPerYear)
-		metrics[fmt.Sprintf("compliance_expiry_%d", expiries[i])] = m.ComplianceRate
-		metrics[fmt.Sprintf("resets_expiry_%d", expiries[i])] = m.MeanResetsPerYear
+		t2.Addf(label, report.Pct(p.Values["compliance"]), p.Values["reuse"], p.Values["resets"])
+		metrics[fmt.Sprintf("compliance_expiry_%d", expiry)] = p.Values["compliance"]
+		metrics[fmt.Sprintf("resets_expiry_%d", expiry)] = p.Values["resets"]
 	}
 
 	// Failure-stage attribution for the headline configuration.
-	m15, err := base.Run(ctx)
+	headline, err := scenario.Run(ctx, scenario.Spec{Scenario: "password", Seed: cfg.Seed, N: n})
 	if err != nil {
 		return nil, err
 	}
+	m15 := headline.Points[0]
 	t3 := report.NewTable("Failure root causes (strong policy, 15 accounts)",
 		"Stage", "Share of failures")
 	for _, st := range m15.Run.SortedStages() {
@@ -161,43 +183,35 @@ func E3PasswordCompliance(ctx context.Context, cfg Config) (*Output, error) {
 // strength meter, rationale training, and all combined.
 func E4PasswordMitigations(ctx context.Context, cfg Config) (*Output, error) {
 	n := cfg.n(2000)
-	mk := func(name string, tools password.Tools, seedOff int64) (string, password.Scenario) {
-		return name, password.Scenario{
-			Policy: password.StrongPolicy(), Accounts: 15, DurationDays: 365,
-			Tools: tools, N: n, Seed: cfg.Seed + seedOff,
-		}
-	}
-	type arm struct {
-		name string
-		sc   password.Scenario
-	}
-	var arms []arm
-	for _, a := range []struct {
-		name  string
-		tools password.Tools
+	// Each arm is a spec against the registered "password" scenario; the
+	// per-arm seed offsets (i*15013, and +7103 for the small-portfolio pair)
+	// match the pre-registry programmatic runs bit for bit.
+	arms := []struct {
+		name   string
+		params map[string]any
 	}{
-		{"baseline", password.Tools{}},
-		{"sso", password.Tools{SSO: true}},
-		{"vault", password.Tools{Vault: true}},
-		{"strength-meter", password.Tools{StrengthMeter: true}},
-		{"rationale-training", password.Tools{RationaleTraining: true}},
-		{"all", password.Tools{SSO: true, Vault: true, StrengthMeter: true, RationaleTraining: true}},
-	} {
-		name, sc := mk(a.name, a.tools, int64(len(arms))*15013)
-		arms = append(arms, arm{name, sc})
+		{"baseline", nil},
+		{"sso", map[string]any{"sso": true}},
+		{"vault", map[string]any{"vault": true}},
+		{"strength-meter", map[string]any{"meter": true}},
+		{"rationale-training", map[string]any{"rationale": true}},
+		{"all", map[string]any{"sso": true, "vault": true, "meter": true, "rationale": true}},
 	}
 	t := report.NewTable("§3.2 mitigation ablation (strong policy, 15 accounts)",
 		"Tools", "Compliance", "Mean reuse", "Write-down", "Strength (bits)")
 	metrics := map[string]float64{}
-	for _, a := range arms {
-		m, err := a.sc.Run(ctx)
+	for i, a := range arms {
+		res, err := scenario.Run(ctx, scenario.Spec{
+			Scenario: "password", Seed: cfg.Seed + int64(i)*15013, N: n, Params: a.params,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("arm %s: %w", a.name, err)
 		}
-		t.Addf(a.name, report.Pct(m.ComplianceRate), m.MeanReuseFraction,
-			report.Pct(m.WriteDownRate), m.MeanStrengthBits)
-		metrics["compliance_"+a.name] = m.ComplianceRate
-		metrics["bits_"+a.name] = m.MeanStrengthBits
+		p := res.Points[0]
+		t.Addf(a.name, report.Pct(p.Values["compliance"]), p.Values["reuse"],
+			report.Pct(p.Values["write_down"]), p.Values["strength_bits"])
+		metrics["compliance_"+a.name] = p.Values["compliance"]
+		metrics["bits_"+a.name] = p.Values["strength_bits"]
 	}
 	// Rationale training targets motivation, which only shows once the
 	// capability failure is not binding (§3.2: "Motivation failures may
@@ -205,22 +219,21 @@ func E4PasswordMitigations(ctx context.Context, cfg Config) (*Output, error) {
 	t2 := report.NewTable("Rationale training at a small portfolio (2 accounts: capability not binding)",
 		"Tools", "Compliance")
 	for _, a := range []struct {
-		name  string
-		tools password.Tools
+		name   string
+		params map[string]any
 	}{
-		{"baseline-small", password.Tools{}},
-		{"rationale-training-small", password.Tools{RationaleTraining: true}},
+		{"baseline-small", map[string]any{"accounts": 2}},
+		{"rationale-training-small", map[string]any{"accounts": 2, "rationale": true}},
 	} {
-		sc := password.Scenario{
-			Policy: password.StrongPolicy(), Accounts: 2, DurationDays: 365,
-			Tools: a.tools, N: n, Seed: cfg.Seed + 7103,
-		}
-		m, err := sc.Run(ctx)
+		res, err := scenario.Run(ctx, scenario.Spec{
+			Scenario: "password", Seed: cfg.Seed + 7103, N: n, Params: a.params,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("arm %s: %w", a.name, err)
 		}
-		t2.Add(a.name, report.Pct(m.ComplianceRate))
-		metrics["compliance_"+a.name] = m.ComplianceRate
+		p := res.Points[0]
+		t2.Add(a.name, report.Pct(p.Values["compliance"]))
+		metrics["compliance_"+a.name] = p.Values["compliance"]
 	}
 
 	return &Output{

@@ -110,6 +110,9 @@ type Scenario struct {
 	// N subjects and Seed.
 	N    int
 	Seed int64
+	// Workers is the engine parallelism; 0 means GOMAXPROCS. Results are
+	// bit-identical at any worker count.
+	Workers int
 }
 
 func (s *Scenario) setDefaults() {
@@ -211,7 +214,7 @@ func (s Scenario) Run(ctx context.Context) (Metrics, error) {
 	// a large share of the perceived burden.
 	cost := 0.4 * s.Policy.complianceCost(s.Accounts, s.Tools)
 
-	runner := sim.Runner{Seed: s.Seed, N: s.N}
+	runner := sim.Runner{Seed: s.Seed, N: s.N, Workers: s.Workers}
 	// Pooled receivers keep the per-subject hot path allocation-free; the
 	// scenario synthesizes its own Outcome, so no traces are collected.
 	pool := sync.Pool{New: func() any { return &agent.Receiver{} }}

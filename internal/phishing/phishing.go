@@ -71,6 +71,9 @@ type Study struct {
 	N int
 	// Seed makes the study reproducible.
 	Seed int64
+	// Workers is the engine parallelism; 0 means GOMAXPROCS. Results are
+	// bit-identical at any worker count.
+	Workers int
 }
 
 func (s *Study) setDefaults() {
@@ -102,7 +105,7 @@ func (s Study) Run(ctx context.Context) (StudyResult, error) {
 	if err := s.Condition.Warning.Validate(); err != nil {
 		return StudyResult{}, fmt.Errorf("phishing: %w", err)
 	}
-	runner := sim.Runner{Seed: s.Seed, N: s.N}
+	runner := sim.Runner{Seed: s.Seed, N: s.N, Workers: s.Workers}
 	// Traces are only materialized when a recorder will sample them.
 	pool := receiverPool(telemetry.RecorderFromContext(ctx) != nil)
 	res, err := runner.Run(ctx, func(rng *rand.Rand, i int) (sim.Outcome, error) {
@@ -137,12 +140,20 @@ func (s Study) Run(ctx context.Context) (StudyResult, error) {
 // CompareConditions runs the same study over multiple conditions with
 // derived seeds and returns results in input order.
 func CompareConditions(ctx context.Context, seed int64, n int, conds []Condition) ([]StudyResult, error) {
+	return RunConditions(ctx, population.Spec{}, seed, n, 0, conds)
+}
+
+// RunConditions is CompareConditions with an explicit population and worker
+// parallelism: condition i runs a Study at seed + i*7919, so results are
+// bit-identical to CompareConditions when pop is the zero Spec (which
+// defaults to the general public) and workers is 0.
+func RunConditions(ctx context.Context, pop population.Spec, seed int64, n, workers int, conds []Condition) ([]StudyResult, error) {
 	if len(conds) == 0 {
 		return nil, fmt.Errorf("phishing: no conditions")
 	}
 	out := make([]StudyResult, len(conds))
 	for i, c := range conds {
-		st := Study{Condition: c, N: n, Seed: seed + int64(i)*7919}
+		st := Study{Condition: c, Population: pop, N: n, Seed: seed + int64(i)*7919, Workers: workers}
 		res, err := st.Run(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("phishing: condition %s: %w", c.Name, err)
@@ -207,6 +218,8 @@ type Campaign struct {
 	// N subjects, Seed for reproducibility.
 	N    int
 	Seed int64
+	// Workers is the engine parallelism; 0 means GOMAXPROCS.
+	Workers int
 }
 
 func (c *Campaign) setDefaults() {
@@ -270,7 +283,7 @@ func (c Campaign) Run(ctx context.Context) (CampaignMetrics, error) {
 	if err := c.Validate(); err != nil {
 		return CampaignMetrics{}, err
 	}
-	runner := sim.Runner{Seed: c.Seed, N: c.N}
+	runner := sim.Runner{Seed: c.Seed, N: c.N, Workers: c.Workers}
 	// The campaign synthesizes its own Outcome from many encounters, so it
 	// never collects per-encounter traces; pooled receivers keep the
 	// multi-day loop allocation-free.

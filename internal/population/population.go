@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
+	"strings"
 )
 
 // Profile is one simulated receiver's static traits. All float fields are
@@ -313,4 +315,36 @@ func Novices() Spec {
 	s.ExpertFraction = 0
 	s.AccurateModelBase = 0.08
 	return s
+}
+
+// Presets returns the built-in population presets keyed by name. The map
+// is freshly allocated; callers may mutate it.
+func Presets() map[string]Spec {
+	list := []Spec{GeneralPublic(), Enterprise(), Experts(), Novices()}
+	m := make(map[string]Spec, len(list))
+	for _, s := range list {
+		m[s.Name] = s
+	}
+	return m
+}
+
+// Names returns the preset names, sorted.
+func Names() []string {
+	m := Presets()
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns the named preset. Unknown names fail fast with an error
+// that lists every valid name — never a silent default.
+func ByName(name string) (Spec, error) {
+	if s, ok := Presets()[name]; ok {
+		return s, nil
+	}
+	return Spec{}, fmt.Errorf("population: unknown preset %q (valid: %s)",
+		name, strings.Join(Names(), ", "))
 }

@@ -1,0 +1,14 @@
+// Package all registers every built-in scenario provider. Import it for
+// side effects wherever the full registry is needed (CLIs, the server, the
+// experiment suite):
+//
+//	import _ "hitl/internal/scenario/all"
+//
+// Domain packages register themselves in init, so a new case study only
+// needs to be added here once to become reachable from every consumer.
+package all
+
+import (
+	_ "hitl/internal/password" // registers "password"
+	_ "hitl/internal/phishing" // registers "phishing-study", "phishing-campaign"
+)

@@ -1,0 +1,325 @@
+// Package scenario turns the repo's case studies into data: it defines a
+// first-class Scenario interface (name, parameter schema, execution), a
+// process-wide registry that domain packages register themselves into, and
+// a declarative JSON Spec format that compiles to the exact same runner
+// inputs as the programmatic API.
+//
+// The paper's framework (§4) is meant to be walked against *any* system
+// with a human in the loop, not just the two built-in case studies; this
+// package is the seam that lets new scenarios be added — and existing ones
+// driven — without touching the engine, the experiments, the server, or
+// the CLIs. A Spec names a registered scenario, a population preset, knob
+// values, an optional sweep axis, and the run size/seed; Run resolves it
+// through the registry and executes it on the Monte Carlo engine with the
+// same determinism guarantee the engine itself makes: results are
+// bit-identical for a given spec at any worker count, and a spec-driven
+// run is bit-identical to the equivalent programmatic run.
+//
+// Providers live in the domain packages (internal/phishing,
+// internal/password) and register themselves in init; importing
+// hitl/internal/scenario/all pulls every built-in provider in.
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hitl/internal/population"
+	"hitl/internal/report"
+	"hitl/internal/sim"
+)
+
+// Type is a parameter's value type.
+type Type string
+
+// The four parameter types a Spec can carry. JSON numbers map to Int and
+// Float (Int values must be integral), JSON booleans to Bool, and JSON
+// strings to String (optionally constrained by an enum).
+const (
+	Int    Type = "int"
+	Float  Type = "float"
+	Bool   Type = "bool"
+	String Type = "string"
+)
+
+// Param describes one knob in a scenario's parameter schema. The schema is
+// served verbatim by hitl-sim -list and GET /v1/scenarios, so presets and
+// valid ranges are discoverable without reading Go.
+type Param struct {
+	// Name is the key used in Spec.Params and Spec.Sweep.Param.
+	Name string `json:"name"`
+	// Type constrains the JSON value.
+	Type Type `json:"type"`
+	// Doc is a one-line description.
+	Doc string `json:"doc,omitempty"`
+	// Default applies when the spec omits the parameter. Its dynamic type
+	// must match Type (int64/int for Int, float64 for Float, bool for Bool,
+	// string for String).
+	Default any `json:"default,omitempty"`
+	// Min and Max bound numeric parameters (inclusive); nil means unbounded.
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+	// Enum lists the valid values of a String parameter; empty means any.
+	Enum []string `json:"enum,omitempty"`
+	// SweepStride is the per-step seed offset a sweep over this parameter
+	// uses (sweep step i runs with seed spec.Seed + i*SweepStride). Strides
+	// are part of the schema so spec-driven sweeps reproduce the domain
+	// packages' programmatic sweep seeds bit-identically; 0 means the
+	// package-wide DefaultSweepStride.
+	SweepStride int64 `json:"sweepSeedStride,omitempty"`
+}
+
+// DefaultSweepStride seeds sweep steps for parameters that do not declare
+// their own stride.
+const DefaultSweepStride = 9973
+
+// numeric reports whether the parameter can be swept.
+func (p Param) numeric() bool { return p.Type == Int || p.Type == Float }
+
+// Defaults are a scenario's top-level defaults, applied when the spec
+// leaves the corresponding field zero.
+type Defaults struct {
+	// Population is the default population preset name.
+	Population string `json:"population"`
+	// N is the default subject count.
+	N int `json:"n"`
+}
+
+// Point is one condition's (or one sweep step's) aggregated outcome.
+type Point struct {
+	// Label names the point: a condition name, or "param=value" for sweeps.
+	Label string `json:"label"`
+	// Param is the swept parameter value; 0 when the run was not a sweep.
+	Param float64 `json:"param,omitempty"`
+	// Run is the raw Monte Carlo aggregate.
+	Run *sim.Result `json:"-"`
+	// Values are the scenario's derived headline metrics for this point.
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// Result is a scenario run's full output.
+type Result struct {
+	// Scenario is the registry name that produced the result.
+	Scenario string
+	// Spec is the normalized spec the run executed (defaults applied).
+	Spec Spec
+	// Points holds one entry per condition and sweep step, in order.
+	Points []Point
+}
+
+// Metrics flattens every point's values (plus its heed rate) into one map.
+// Single-point results use bare metric names; multi-point results prefix
+// them with the point label.
+func (r *Result) Metrics() map[string]float64 {
+	out := make(map[string]float64)
+	for i := range r.Points {
+		p := &r.Points[i]
+		prefix := ""
+		if len(r.Points) > 1 {
+			prefix = p.Label + "/"
+		}
+		if p.Run != nil {
+			out[prefix+"heed_rate"] = p.Run.HeedRate()
+		}
+		for k, v := range p.Values {
+			out[prefix+k] = v
+		}
+	}
+	return out
+}
+
+// Table renders the result generically: one row per point, with the heed
+// proportion, the dominant failure stage, and every derived metric in
+// sorted column order.
+func (r *Result) Table() *report.Table {
+	keySet := map[string]bool{}
+	for i := range r.Points {
+		for k := range r.Points[i].Values {
+			keySet[k] = true
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	header := append([]string{"Point", "Heed rate [95% CI]", "Top failure stage"}, keys...)
+	t := report.NewTable(fmt.Sprintf("Scenario %s (population=%s, n=%d, seed=%d)",
+		r.Scenario, r.Spec.Population, r.Spec.N, r.Spec.Seed), header...)
+	for i := range r.Points {
+		p := &r.Points[i]
+		heed, stage := "-", "-"
+		if p.Run != nil {
+			heed = p.Run.Heed.String()
+			if s, _, ok := p.Run.TopFailureStage(); ok {
+				stage = s.String()
+			}
+		}
+		row := []string{p.Label, heed, stage}
+		for _, k := range keys {
+			cell := "-"
+			if v, ok := p.Values[k]; ok {
+				cell = report.FormatFloat(v)
+			}
+			row = append(row, cell)
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// Values holds a scenario's resolved parameters: every declared parameter
+// is present (defaults applied), with canonical dynamic types (int64,
+// float64, bool, string).
+type Values map[string]any
+
+// Int returns an integer parameter.
+func (v Values) Int(name string) int { return int(v.Int64(name)) }
+
+// Int64 returns an integer parameter.
+func (v Values) Int64(name string) int64 {
+	switch x := v[name].(type) {
+	case int64:
+		return x
+	case int:
+		return int64(x)
+	case float64:
+		return int64(x)
+	}
+	return 0
+}
+
+// Float returns a float parameter.
+func (v Values) Float(name string) float64 {
+	switch x := v[name].(type) {
+	case float64:
+		return x
+	case int64:
+		return float64(x)
+	case int:
+		return float64(x)
+	}
+	return 0
+}
+
+// Bool returns a boolean parameter.
+func (v Values) Bool(name string) bool {
+	b, _ := v[name].(bool)
+	return b
+}
+
+// Str returns a string parameter.
+func (v Values) Str(name string) string {
+	s, _ := v[name].(string)
+	return s
+}
+
+// clone returns an independent copy, so sweep steps can override one
+// parameter without aliasing.
+func (v Values) clone() Values {
+	out := make(Values, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}
+
+// Instance is one fully resolved scenario execution: a concrete population,
+// size, seed, parallelism, and parameter assignment. The scenario's Run
+// must be deterministic in everything here except Workers (the engine
+// guarantees worker-count independence).
+type Instance struct {
+	// Population is the sampled receiver population.
+	Population population.Spec
+	// N is the subject count and Seed the master seed.
+	N    int
+	Seed int64
+	// Workers is the engine parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Params holds every declared parameter with defaults applied.
+	Params Values
+}
+
+// Scenario is one registered case study: a named, schema-described bridge
+// from a declarative Spec to the Monte Carlo engine. Implementations build
+// the same domain structs the programmatic API exposes, so a spec-driven
+// run is bit-identical to the equivalent programmatic run.
+type Scenario interface {
+	// Name is the registry key (e.g. "phishing-study").
+	Name() string
+	// Doc is a one-line description for listings.
+	Doc() string
+	// Defaults supplies the population preset and subject count used when
+	// the spec leaves them empty.
+	Defaults() Defaults
+	// Params declares the parameter schema; specs are validated against it
+	// before Run is called.
+	Params() []Param
+	// Run executes one resolved instance and returns its points (one per
+	// experimental condition; most scenarios return exactly one).
+	Run(ctx context.Context, inst Instance) ([]Point, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a scenario to the process-wide registry. It panics on a
+// duplicate or empty name — registration happens in init, where a clash is
+// a programming error.
+func Register(s Scenario) {
+	name := s.Name()
+	if name == "" {
+		panic("scenario: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", name))
+	}
+	registry[name] = s
+}
+
+// Get returns the named scenario. Unknown names yield a *SpecError wrapping
+// ErrUnknown that lists the valid names.
+func Get(name string) (Scenario, error) {
+	regMu.RLock()
+	s, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, &SpecError{
+			Field: "scenario",
+			Err:   fmt.Errorf("%w %q (valid: %s)", ErrUnknown, name, strings.Join(Names(), ", ")),
+		}
+	}
+	return s, nil
+}
+
+// Names returns every registered scenario name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered scenario in name order.
+func All() []Scenario {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}

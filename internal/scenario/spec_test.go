@@ -1,0 +1,209 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// stubScenario gives the validation tests a schema with every parameter
+// type without dragging in the domain packages (which would be an import
+// cycle from here).
+type stubScenario struct{}
+
+func fptr(v float64) *float64 { return &v }
+
+func (stubScenario) Name() string { return "stub" }
+func (stubScenario) Doc() string  { return "test stub" }
+func (stubScenario) Defaults() Defaults {
+	return Defaults{Population: "novices", N: 123}
+}
+func (stubScenario) Params() []Param {
+	return []Param{
+		{Name: "level", Type: Int, Default: int64(3), Min: fptr(1), Max: fptr(10), SweepStride: 17},
+		{Name: "rate", Type: Float, Default: 0.5, Min: fptr(0), Max: fptr(1)},
+		{Name: "fast", Type: Bool, Default: false},
+		{Name: "mode", Type: String, Default: "plain", Enum: []string{"plain", "fancy"}},
+	}
+}
+
+// stubRuns records the instances the stub executed, for seed assertions.
+var stubRuns []Instance
+
+func (stubScenario) Run(ctx context.Context, inst Instance) ([]Point, error) {
+	stubRuns = append(stubRuns, inst)
+	return []Point{{Label: "stub", Values: map[string]float64{
+		"level": float64(inst.Params.Int("level")),
+	}}}, nil
+}
+
+func init() { Register(stubScenario{}) }
+
+func TestNormalizeAppliesDefaults(t *testing.T) {
+	norm, err := Normalize(Spec{Scenario: "stub", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Population != "novices" || norm.N != 123 || norm.Seed != 9 {
+		t.Errorf("defaults not applied: %+v", norm)
+	}
+	want := map[string]any{"level": int64(3), "rate": 0.5, "fast": false, "mode": "plain"}
+	if !reflect.DeepEqual(norm.Params, want) {
+		t.Errorf("params %v, want %v", norm.Params, want)
+	}
+	// Normalization is idempotent.
+	again, err := Normalize(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(norm, again) {
+		t.Errorf("not idempotent: %+v vs %+v", norm, again)
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  Spec
+		field string
+	}{
+		{"unknown scenario", Spec{Scenario: "no-such"}, "scenario"},
+		{"unknown population", Spec{Scenario: "stub", Population: "martians"}, "population"},
+		{"negative n", Spec{Scenario: "stub", N: -5}, "n"},
+		{"negative workers", Spec{Scenario: "stub", Workers: -1}, "workers"},
+		{"unknown param", Spec{Scenario: "stub",
+			Params: map[string]any{"levle": 3}}, "params.levle"},
+		{"int out of range", Spec{Scenario: "stub",
+			Params: map[string]any{"level": 11}}, "params.level"},
+		{"int not integral", Spec{Scenario: "stub",
+			Params: map[string]any{"level": 2.5}}, "params.level"},
+		{"float out of range", Spec{Scenario: "stub",
+			Params: map[string]any{"rate": -0.1}}, "params.rate"},
+		{"wrong bool type", Spec{Scenario: "stub",
+			Params: map[string]any{"fast": "yes"}}, "params.fast"},
+		{"enum violation", Spec{Scenario: "stub",
+			Params: map[string]any{"mode": "baroque"}}, "params.mode"},
+		{"sweep unknown param", Spec{Scenario: "stub",
+			Sweep: &Axis{Param: "levle", Values: []float64{1}}}, "sweep.param"},
+		{"sweep non-numeric param", Spec{Scenario: "stub",
+			Sweep: &Axis{Param: "mode", Values: []float64{1}}}, "sweep.param"},
+		{"sweep empty", Spec{Scenario: "stub",
+			Sweep: &Axis{Param: "level"}}, "sweep.values"},
+		{"sweep value out of range", Spec{Scenario: "stub",
+			Sweep: &Axis{Param: "level", Values: []float64{2, 4, 99}}}, "sweep.values[2]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Normalize(tc.spec)
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("error %v (%T), want *SpecError", err, err)
+			}
+			if se.Field != tc.field {
+				t.Errorf("field %q, want %q (error: %v)", se.Field, tc.field, err)
+			}
+		})
+	}
+}
+
+func TestUnknownScenarioSentinel(t *testing.T) {
+	_, err := Get("no-such")
+	if !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Get error %v, want ErrUnknown", err)
+	}
+	if !strings.Contains(err.Error(), "stub") {
+		t.Errorf("error should list valid names: %v", err)
+	}
+}
+
+func TestCanonicalInvariance(t *testing.T) {
+	minimal, err := Canonical(Spec{Scenario: "stub", Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spelling out the defaults — and any Workers value — hits the same key.
+	spelled, err := Canonical(Spec{
+		Scenario: "stub", Population: "novices", N: 123, Seed: 4, Workers: 8,
+		Params: map[string]any{"level": 3, "rate": 0.5, "fast": false, "mode": "plain"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minimal != spelled {
+		t.Errorf("equivalent specs got different keys:\n%s\n%s", minimal, spelled)
+	}
+	changed, err := Canonical(Spec{Scenario: "stub", Seed: 4,
+		Params: map[string]any{"level": 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == minimal {
+		t.Error("different params share a cache key")
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ParseSpec(strings.NewReader(`{"scenario": "stub", "subjects": 10}`))
+	if err == nil {
+		t.Fatal("unknown top-level field accepted")
+	}
+}
+
+func TestRunSweepSeeds(t *testing.T) {
+	stubRuns = nil
+	res, err := Run(context.Background(), Spec{
+		Scenario: "stub", Seed: 100,
+		Sweep: &Axis{Param: "level", Values: []float64{2, 4, 6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stubRuns) != 3 {
+		t.Fatalf("%d runs, want 3", len(stubRuns))
+	}
+	for i, inst := range stubRuns {
+		// The declared stride (17) seeds each step.
+		if want := int64(100 + i*17); inst.Seed != want {
+			t.Errorf("step %d: seed %d, want %d", i, inst.Seed, want)
+		}
+		if got := inst.Params.Int64("level"); got != int64(2+2*i) {
+			t.Errorf("step %d: level %d, want %d", i, got, 2+2*i)
+		}
+	}
+	wantLabels := []string{"level=2", "level=4", "level=6"}
+	for i, p := range res.Points {
+		if p.Label != wantLabels[i] || p.Param != float64(2+2*i) {
+			t.Errorf("point %d: label %q param %v", i, p.Label, p.Param)
+		}
+	}
+
+	// A parameter without a declared stride uses the package default.
+	stubRuns = nil
+	_, err = Run(context.Background(), Spec{
+		Scenario: "stub", Seed: 50,
+		Sweep: &Axis{Param: "rate", Values: []float64{0.1, 0.9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stubRuns[1].Seed, int64(50+DefaultSweepStride); got != want {
+		t.Errorf("default-stride step seed %d, want %d", got, want)
+	}
+}
+
+func TestResultMetricsPrefixing(t *testing.T) {
+	single := &Result{Points: []Point{{Label: "a", Values: map[string]float64{"x": 1}}}}
+	if m := single.Metrics(); m["x"] != 1 {
+		t.Errorf("single-point metrics should use bare keys: %v", m)
+	}
+	multi := &Result{Points: []Point{
+		{Label: "a", Values: map[string]float64{"x": 1}},
+		{Label: "b", Values: map[string]float64{"x": 2}},
+	}}
+	m := multi.Metrics()
+	if m["a/x"] != 1 || m["b/x"] != 2 {
+		t.Errorf("multi-point metrics should prefix labels: %v", m)
+	}
+}

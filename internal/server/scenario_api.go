@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"hitl/internal/scenario"
+	_ "hitl/internal/scenario/all" // register the built-in scenarios
+	"hitl/internal/sim"
+	"hitl/internal/telemetry"
+)
+
+// maxSweepValues caps the sweep axis length on /v1/scenarios/run: a sweep
+// runs the whole Monte Carlo once per value, so the axis multiplies the
+// request's cost the same way N does.
+const maxSweepValues = 32
+
+// writeSpecErr writes a spec validation failure as HTTP 400 with the JSON
+// path of the offending field, reporting whether err was one.
+func writeSpecErr(w http.ResponseWriter, err error) bool {
+	var se *scenario.SpecError
+	if !errors.As(err, &se) {
+		return false
+	}
+	writeJSON(w, http.StatusBadRequest, map[string]string{
+		"error": se.Error(),
+		"field": se.Field,
+	})
+	return true
+}
+
+// handleScenarioList serves the scenario registry with full parameter
+// schemas, so clients can discover knobs, ranges, and enums without reading
+// Go.
+func (s *Server) handleScenarioList(w http.ResponseWriter, r *http.Request) {
+	type scenarioDTO struct {
+		Name     string            `json:"name"`
+		Doc      string            `json:"doc"`
+		Defaults scenario.Defaults `json:"defaults"`
+		Params   []scenario.Param  `json:"params"`
+	}
+	out := make([]scenarioDTO, 0)
+	for _, sc := range scenario.All() {
+		out = append(out, scenarioDTO{
+			Name: sc.Name(), Doc: sc.Doc(), Defaults: sc.Defaults(), Params: sc.Params(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleScenarioRun executes a declarative scenario spec. The body is a
+// scenario.Spec; validation failures come back as 400 with the offending
+// field's JSON path. Runs are deterministic in the normalized spec (Workers
+// excluded — it cannot change results), so full-fidelity 200s are served
+// from the result cache under the spec's canonical digest, subject to the
+// same bypass rules as /v1/experiments/run: per-request telemetry
+// (?trace_sample / ?spans=1), injected faults (?faults=, gated by
+// Config.AllowFaults), and degraded mode all skip the cache.
+func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	spec, err := scenario.ParseSpec(body)
+	if err != nil {
+		writeErr(w, decodeStatus(err), err)
+		return
+	}
+	norm, err := scenario.Normalize(spec)
+	if err != nil {
+		if !writeSpecErr(w, err) {
+			writeErr(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	if norm.N > s.cfg.MaxSubjects {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("n=%d above the server cap %d", norm.N, s.cfg.MaxSubjects),
+			"field": "n",
+		})
+		return
+	}
+	if norm.Sweep != nil && len(norm.Sweep.Values) > maxSweepValues {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("sweep of %d values above the server cap %d", len(norm.Sweep.Values), maxSweepValues),
+			"field": "sweep.values",
+		})
+		return
+	}
+	// The server owns its parallelism; a client cannot pick the worker
+	// count (it could not change results anyway).
+	norm.Workers = 0
+
+	// ?faults=<spec> perturbs the run deterministically — a chaos drill,
+	// gated behind Config.AllowFaults exactly like /v1/experiments/run.
+	faultSet, ok := s.faultsFromQuery(w, r)
+	if !ok {
+		return
+	}
+	// Under sustained overload the server trades fidelity for liveness.
+	degraded := s.overload.degraded()
+	if degraded {
+		if norm.N > s.cfg.DegradedMaxSubjects {
+			norm.N = s.cfg.DegradedMaxSubjects
+		}
+		w.Header().Set("X-Degraded", "subjects-clamped")
+		s.overload.degradedRuns.Add(1)
+	}
+	traceSample := 0
+	if q := r.URL.Query().Get("trace_sample"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid trace_sample %q", q))
+			return
+		}
+		traceSample = v
+		if traceSample > s.cfg.MaxTraceSample {
+			traceSample = s.cfg.MaxTraceSample
+		}
+	}
+	wantSpans := r.URL.Query().Get("spans") == "1"
+
+	cacheKey := ""
+	if traceSample == 0 && !wantSpans && faultSet == nil && !degraded {
+		if digest, err := scenario.Canonical(norm); err == nil {
+			cacheKey = "scenarios/run|" + digest
+			if s.serveCached(w, cacheKey) {
+				return
+			}
+		}
+	}
+
+	ctx := r.Context()
+	if faultSet != nil {
+		ctx = sim.WithInjector(ctx, faultSet)
+	}
+	var rec *telemetry.Recorder
+	if traceSample > 0 {
+		rec = telemetry.NewRecorder(traceSample, norm.Seed)
+		ctx = telemetry.WithRecorder(ctx, rec)
+	}
+	tracer := telemetry.NewTracer(nil)
+	ctx = telemetry.WithTracer(ctx, tracer)
+
+	res, err := scenario.Run(ctx, norm)
+	if err != nil {
+		switch {
+		case writeSpecErr(w, err):
+		case computeDeadlineExpired(ctx):
+			s.overload.deadlineExpired.Add(1)
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Errorf("compute deadline (%s) exceeded: %w", s.cfg.ComputeTimeout, err))
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			writeErr(w, statusClientClosedRequest, err)
+		default:
+			writeErr(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	var text strings.Builder
+	if err := res.Table().WriteText(&text); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	// spec echoes the normalized spec the run actually executed — n in
+	// particular may have been clamped by degraded mode.
+	resp := map[string]any{
+		"scenario": res.Scenario,
+		"spec":     res.Spec,
+		"points":   res.Points,
+		"metrics":  res.Metrics(),
+		"text":     text.String(),
+	}
+	if rec != nil {
+		resp["trace"] = rec.Traces()
+	}
+	if wantSpans {
+		resp["spans"] = tracer.Spans()
+	}
+	if cacheKey != "" {
+		s.writeCacheableJSON(w, cacheKey, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

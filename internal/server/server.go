@@ -10,12 +10,16 @@
 //	GET  /v1/components       the Table 1 component registry
 //	GET  /v1/patterns         the §5 design-pattern catalog (metadata)
 //	GET  /v1/experiments      the experiment registry
+//	GET  /v1/scenarios        the scenario registry with parameter schemas
 //	POST /v1/analyze          SystemSpec -> findings + reliability
 //	POST /v1/process          SystemSpec -> Figure 2 process result
 //	POST /v1/recommend        SystemSpec -> gain-ranked pattern advice
 //	POST /v1/experiments/run  {id, seed, n} -> metrics + rendered text;
 //	     ?trace_sample=K inlines K sampled per-subject stage traces and
 //	     ?spans=1 inlines the request's telemetry span tree
+//	POST /v1/scenarios/run    declarative scenario spec -> points + metrics;
+//	     validation failures are 400 with the offending field's JSON path,
+//	     and ?trace_sample / ?spans / ?faults work as on /v1/experiments/run
 //
 // Experiment and process runs are deterministic in their inputs, so their
 // 200 responses are kept in a bounded LRU result cache (Config.CacheSize;
@@ -206,6 +210,8 @@ func New(cfg Config) *Server {
 	s.route("/v1/patterns", s.handlePatterns, http.MethodGet)
 	s.route("/v1/experiments", s.handleExperimentList, http.MethodGet)
 	s.route("/v1/experiments/run", s.limited(s.handleExperimentRun), http.MethodPost)
+	s.route("/v1/scenarios", s.handleScenarioList, http.MethodGet)
+	s.route("/v1/scenarios/run", s.limited(s.handleScenarioRun), http.MethodPost)
 	s.route("/v1/analyze", s.limited(s.handleAnalyze), http.MethodPost)
 	s.route("/v1/process", s.limited(s.handleProcess), http.MethodPost)
 	s.route("/v1/recommend", s.limited(s.handleRecommend), http.MethodPost)
@@ -290,6 +296,32 @@ func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (core.System
 		return spec, false
 	}
 	return spec, true
+}
+
+// faultsFromQuery resolves the ?faults= query parameter for a compute
+// handler: it enforces the Config.AllowFaults gate (403), rejects
+// malformed specs (400), and advertises active injection via X-Faults.
+// ok=false means a response has already been written.
+func (s *Server) faultsFromQuery(w http.ResponseWriter, r *http.Request) (*faults.Set, bool) {
+	q := r.URL.Query().Get("faults")
+	if q == "" {
+		return nil, true
+	}
+	if !s.cfg.AllowFaults {
+		writeErr(w, http.StatusForbidden,
+			errors.New("fault injection is disabled on this server (Config.AllowFaults)"))
+		return nil, false
+	}
+	set, err := faults.Parse(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	if set.Empty() {
+		return nil, true
+	}
+	w.Header().Set("X-Faults", set.String())
+	return set, true
 }
 
 // decodeStatus maps a request-body decode error to its HTTP status: an
@@ -558,22 +590,9 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	}
 	// ?faults=<spec> (internal/faults grammar) perturbs the run
 	// deterministically — a chaos drill, gated behind Config.AllowFaults.
-	var faultSet *faults.Set
-	if q := r.URL.Query().Get("faults"); q != "" {
-		if !s.cfg.AllowFaults {
-			writeErr(w, http.StatusForbidden,
-				errors.New("fault injection is disabled on this server (Config.AllowFaults)"))
-			return
-		}
-		set, err := faults.Parse(q)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		if !set.Empty() {
-			faultSet = set
-			w.Header().Set("X-Faults", set.String())
-		}
+	faultSet, ok := s.faultsFromQuery(w, r)
+	if !ok {
+		return
 	}
 	// Under sustained overload the server trades fidelity for liveness:
 	// subject counts are clamped until the degraded window clears. n=0
