@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-diff microbench chaos scenarios-smoke experiments examples fmt cover clean
+.PHONY: all ci build vet test race bench bench-diff microbench chaos scenarios-smoke jobs-smoke experiments examples fmt cover clean
 
 all: build vet test
 
@@ -67,6 +67,13 @@ scenarios-smoke:
 		/tmp/hitl-sim-smoke -spec $$spec; \
 	done
 	@rm -f /tmp/hitl-sim-smoke
+
+# jobs-smoke drives the async job API against a real hitl-serve process:
+# submit a spec as a job, stream its JSONL, restart the server over the
+# same persistent store, and re-fetch the result via If-None-Match (304).
+# HITL_STORE_DIR overrides the store location so CI can archive it.
+jobs-smoke:
+	bash scripts/jobs_smoke.sh
 
 experiments:
 	$(GO) run ./cmd/hitl-experiments

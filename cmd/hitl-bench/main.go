@@ -11,7 +11,14 @@
 // It times sim.Runner.Run at 1, 4, and GOMAXPROCS workers, each with
 // subject-trace sampling off and on, keeping the best of -runs repetitions
 // per configuration and recording allocs/op and bytes/op (one op = one full
-// N-subject run) from runtime.MemStats deltas. It then times the server's
+// N-subject run) from runtime.MemStats deltas. Each configuration records
+// both the requested worker count and the effective one after the engine's
+// GOMAXPROCS clamp — on a 1-CPU box workers=4 executes as workers=1, so
+// requesting more workers than processors no longer pays goroutine
+// scheduling overhead for zero parallelism. A separate "multicore" section
+// raises GOMAXPROCS to NumCPU and times 1 vs NumCPU workers, so CI runners
+// with real cores record the parallel speedup (multicore_speedup) even
+// when the primary section ran at GOMAXPROCS=1. It then times the server's
 // /v1/experiments/run endpoint cold (cache miss, full Monte Carlo) and warm
 // (cache hit, served from the LRU).
 //
@@ -48,10 +55,14 @@ import (
 
 // result is one (workers, trace) configuration's best observed run.
 type result struct {
-	Workers        int     `json:"workers"`
-	Trace          bool    `json:"trace"`
-	Seconds        float64 `json:"seconds"`
-	SubjectsPerSec float64 `json:"subjects_per_sec"`
+	Workers int `json:"workers"`
+	// EffectiveWorkers is the worker count the engine actually used after
+	// clamping to GOMAXPROCS (requesting more buys nothing but scheduler
+	// overhead). Omitted in reports from before the clamp existed.
+	EffectiveWorkers int     `json:"effective_workers,omitempty"`
+	Trace            bool    `json:"trace"`
+	Seconds          float64 `json:"seconds"`
+	SubjectsPerSec   float64 `json:"subjects_per_sec"`
 	// Alloc fields are omitted when absent (reports from before they were
 	// recorded embed cleanly as baselines).
 	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
@@ -65,16 +76,30 @@ type serverResult struct {
 	RequestsPerSec float64 `json:"requests_per_sec"`
 }
 
+// multicoreResult is one scaling measurement with GOMAXPROCS raised to
+// NumCPU, so parallel speedup is observable even when the process default
+// is 1 (containers, CI sandboxes).
+type multicoreResult struct {
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	Workers          int     `json:"workers"`
+	EffectiveWorkers int     `json:"effective_workers"`
+	Seconds          float64 `json:"seconds"`
+	SubjectsPerSec   float64 `json:"subjects_per_sec"`
+}
+
 // report is the whole BENCH_sim.json document.
 type report struct {
-	GoVersion          string         `json:"go_version"`
-	GOMAXPROCS         int            `json:"gomaxprocs"`
-	SubjectsPerRun     int            `json:"subjects_per_run"`
-	RunsPerConfig      int            `json:"runs_per_config"`
-	Results            []result       `json:"results"`
-	Server             []serverResult `json:"server,omitempty"`
-	ServerCacheSpeedup float64        `json:"server_cache_speedup,omitempty"`
-	TraceOverheadPct   float64        `json:"trace_overhead_pct"`
+	GoVersion          string            `json:"go_version"`
+	GOMAXPROCS         int               `json:"gomaxprocs"`
+	NumCPU             int               `json:"num_cpu"`
+	SubjectsPerRun     int               `json:"subjects_per_run"`
+	RunsPerConfig      int               `json:"runs_per_config"`
+	Results            []result          `json:"results"`
+	Multicore          []multicoreResult `json:"multicore,omitempty"`
+	MulticoreSpeedup   float64           `json:"multicore_speedup,omitempty"`
+	Server             []serverResult    `json:"server,omitempty"`
+	ServerCacheSpeedup float64           `json:"server_cache_speedup,omitempty"`
+	TraceOverheadPct   float64           `json:"trace_overhead_pct"`
 	// Baseline carries the previous committed report when -baseline is
 	// given, so one artifact holds the before/after pair.
 	Baseline *report `json:"baseline,omitempty"`
@@ -242,6 +267,7 @@ func main() {
 	rep := report{
 		GoVersion:      runtime.Version(),
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
 		SubjectsPerRun: *n,
 		RunsPerConfig:  *runs,
 		Baseline:       baseline,
@@ -260,14 +286,14 @@ func main() {
 			}
 			s := d.Seconds()
 			rep.Results = append(rep.Results, result{
-				Workers: w, Trace: trace,
+				Workers: w, EffectiveWorkers: sim.EffectiveWorkers(w, *n), Trace: trace,
 				Seconds:        s,
 				SubjectsPerSec: float64(*n) / s,
 				AllocsPerOp:    allocs,
 				BytesPerOp:     bytesAlloc,
 			})
-			fmt.Fprintf(os.Stderr, "hitl-bench: workers=%d trace=%v  %8.3fs  %12.0f subjects/s  %9d allocs/op  %11d B/op\n",
-				w, trace, s, float64(*n)/s, allocs, bytesAlloc)
+			fmt.Fprintf(os.Stderr, "hitl-bench: workers=%d (effective %d) trace=%v  %8.3fs  %12.0f subjects/s  %9d allocs/op  %11d B/op\n",
+				w, sim.EffectiveWorkers(w, *n), trace, s, float64(*n)/s, allocs, bytesAlloc)
 			if w == runtime.GOMAXPROCS(0) {
 				secs[[2]bool{true, trace}] = s
 			}
@@ -276,6 +302,36 @@ func main() {
 	if off, on := secs[[2]bool{true, false}], secs[[2]bool{true, true}]; off > 0 {
 		rep.TraceOverheadPct = (on - off) / off * 100
 	}
+
+	// Multicore scaling: raise GOMAXPROCS to the hardware's core count so
+	// the engine clamp allows real parallelism, and compare 1 worker against
+	// NumCPU workers. On a single-core box this degenerates to speedup 1.0
+	// (both configurations clamp to one worker); on multicore CI it records
+	// the actual parallel speedup.
+	prevProcs := runtime.GOMAXPROCS(runtime.NumCPU())
+	var multiSecs [2]float64
+	for i, w := range []int{1, runtime.NumCPU()} {
+		d, _, _, err := bench(*seed, *n, w, *runs, false)
+		if err != nil {
+			runtime.GOMAXPROCS(prevProcs)
+			fatal(err)
+		}
+		s := d.Seconds()
+		multiSecs[i] = s
+		eff := sim.EffectiveWorkers(w, *n)
+		rep.Multicore = append(rep.Multicore, multicoreResult{
+			GOMAXPROCS: runtime.NumCPU(), Workers: w, EffectiveWorkers: eff,
+			Seconds: s, SubjectsPerSec: float64(*n) / s,
+		})
+		fmt.Fprintf(os.Stderr, "hitl-bench: multicore GOMAXPROCS=%d workers=%d (effective %d)  %8.3fs  %12.0f subjects/s\n",
+			runtime.NumCPU(), w, eff, s, float64(*n)/s)
+	}
+	runtime.GOMAXPROCS(prevProcs)
+	if multiSecs[1] > 0 {
+		rep.MulticoreSpeedup = multiSecs[0] / multiSecs[1]
+	}
+	fmt.Fprintf(os.Stderr, "hitl-bench: multicore speedup %.2fx on %d CPUs\n",
+		rep.MulticoreSpeedup, runtime.NumCPU())
 
 	// The server cache benchmark uses a smaller subject count: the cold
 	// request establishes the full-run cost, the hits should be flat.

@@ -5,6 +5,7 @@
 //	hitl-serve [-addr :8080] [-drain 15s] [-readiness-grace 2s] [-pprof addr]
 //	           [-max-inflight N] [-max-queue N] [-queue-timeout 2s]
 //	           [-compute-timeout 60s] [-allow-faults]
+//	           [-store-dir DIR] [-job-workers N] [-job-timeout 10m]
 //
 // -pprof exposes net/http/pprof on a separate listener (e.g. -pprof
 // localhost:6060) so profiling never shares the public address; it is off
@@ -12,7 +13,15 @@
 //
 // Endpoints: GET /v1/healthz, /v1/metrics, /v1/components, /v1/patterns,
 // /v1/experiments; POST /v1/analyze, /v1/process, /v1/recommend,
-// /v1/experiments/run. See internal/server for payload shapes.
+// /v1/experiments/run; async jobs under /v1/jobs. See internal/server for
+// payload shapes.
+//
+// -store-dir roots the persistent content-addressed result store for the
+// async job API: completed job results land there keyed by the spec's
+// canonical digest, survive restarts, and are served with strong ETags
+// (If-None-Match answers 304). Without it, jobs still run but results are
+// memory-only. During graceful shutdown, accepted jobs get the drain
+// window to finish and persist before the process exits.
 //
 // Overload protection: at most -max-inflight compute requests execute
 // concurrently; up to -max-queue more wait, each at most -queue-timeout,
@@ -115,6 +124,12 @@ func main() {
 		"per-request compute deadline (503 on expiry; negative = unlimited)")
 	allowFaults := flag.Bool("allow-faults", false,
 		"enable the ?faults= chaos-drill parameter on experiment runs")
+	storeDir := flag.String("store-dir", "",
+		"persistent content-addressed result store for async jobs (empty = memory-only)")
+	jobWorkers := flag.Int("job-workers", 0,
+		"max concurrently executing async jobs (0 = default 2)")
+	jobTimeout := flag.Duration("job-timeout", 0,
+		"per-job compute deadline (0 = default 10m, negative = unlimited)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -134,6 +149,9 @@ func main() {
 		QueueTimeout:   *queueTimeout,
 		ComputeTimeout: *computeTimeout,
 		AllowFaults:    *allowFaults,
+		StoreDir:       *storeDir,
+		JobWorkers:     *jobWorkers,
+		JobTimeout:     *jobTimeout,
 	})
 	srv := &http.Server{
 		Handler:           api,
@@ -157,6 +175,14 @@ func main() {
 	}
 	if err := serve(ctx, srv, ln, *drain, *grace, onDrain); err != nil {
 		log.Fatal(err)
+	}
+	// HTTP is drained; async jobs accepted before the drain began may still
+	// be computing. Give them the same drain window to finish and persist,
+	// so every 202 the API returned is honored by the store.
+	jobCtx, cancelJobs := context.WithTimeout(context.Background(), *drain)
+	defer cancelJobs()
+	if err := api.WaitJobs(jobCtx); err != nil {
+		log.Printf("hitl-serve: jobs still running at drain deadline: %v", err)
 	}
 	log.Printf("hitl-serve drained; bye")
 }

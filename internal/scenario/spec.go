@@ -280,6 +280,16 @@ func strideFor(sc Scenario, param string) int64 {
 	return DefaultSweepStride
 }
 
+// Observer receives sweep progress during RunObserved: after step `done`
+// of `total` completes (1-based), it is called with that step's freshly
+// labeled points. Steps report in order — the engine may parallelize
+// within a step, but steps themselves execute sequentially — so an
+// observer that appends points sees the exact final point order, at any
+// worker count. Non-sweep runs report a single step (done=total=1) with
+// every point. Observers run on the executing goroutine; a slow observer
+// slows the run.
+type Observer func(done, total int, pts []Point)
+
 // Run normalizes and executes a spec through the registry. Without a sweep
 // it runs the scenario once; with one it runs once per axis value, each
 // step independently seeded with Seed + i*stride so sweeps reproduce the
@@ -289,6 +299,14 @@ func strideFor(sc Scenario, param string) int64 {
 // an error wrapping ctx.Err(). When ctx carries a telemetry.Tracer the
 // whole run executes under a "scenario" span.
 func Run(ctx context.Context, spec Spec) (*Result, error) {
+	return RunObserved(ctx, spec, nil)
+}
+
+// RunObserved is Run with a progress observer: obs (when non-nil) is
+// invoked after each sweep step with the points that step produced, so
+// callers like the async job API can stream results as they complete
+// instead of waiting for the whole sweep. A nil obs makes it exactly Run.
+func RunObserved(ctx context.Context, spec Spec, obs Observer) (*Result, error) {
 	norm, err := Normalize(spec)
 	if err != nil {
 		return nil, err
@@ -322,6 +340,9 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 			return nil, fmt.Errorf("scenario %s: %w", norm.Scenario, err)
 		}
 		res.Points = pts
+		if obs != nil {
+			obs(1, 1, pts)
+		}
 		return res, nil
 	}
 
@@ -342,6 +363,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 			span.SetAttr("error", err.Error())
 			return nil, fmt.Errorf("scenario %s: sweep %s=%v: %w", norm.Scenario, param, v, err)
 		}
+		stepStart := len(res.Points)
 		for _, p := range pts {
 			p.Param = v
 			label := fmt.Sprintf("%s=%g", param, v)
@@ -350,6 +372,9 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 			}
 			p.Label = label
 			res.Points = append(res.Points, p)
+		}
+		if obs != nil {
+			obs(i+1, len(norm.Sweep.Values), res.Points[stepStart:])
 		}
 	}
 	return res, nil

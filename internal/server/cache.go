@@ -22,11 +22,20 @@ import (
 // re-running the Monte Carlo engine. Only complete 200 responses are
 // stored; error responses and requests that carry per-request telemetry
 // (?trace_sample, ?spans=1) bypass the cache entirely.
+//
+// Capacity is bounded two ways: an entry count (max) and a byte budget
+// (maxBytes) over the cached bodies. The byte budget is what actually
+// protects memory — one multi-megabyte sweep body is not the same load as
+// a tiny run — and eviction walks the LRU tail until both bounds hold. A
+// body larger than the whole byte budget is never admitted (caching it
+// would evict everything else for a single entry).
 type resultCache struct {
-	mu    sync.Mutex
-	max   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	mu       sync.Mutex
+	max      int
+	maxBytes int64 // <= 0: no byte bound
+	curBytes int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -38,11 +47,12 @@ type cacheEntry struct {
 	body []byte
 }
 
-func newResultCache(max int) *resultCache {
+func newResultCache(max int, maxBytes int64) *resultCache {
 	return &resultCache{
-		max:   max,
-		ll:    list.New(),
-		items: make(map[string]*list.Element, max),
+		max:      max,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, max),
 	}
 }
 
@@ -60,21 +70,32 @@ func (c *resultCache) get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
-// put stores body under key, evicting least-recently-used entries beyond
-// the capacity bound.
+// put stores body under key, evicting least-recently-used entries until
+// both the entry-count and byte bounds hold.
 func (c *resultCache) put(key string, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.maxBytes > 0 && int64(len(body)) > c.maxBytes {
+		return // admitting it would evict the entire cache for one entry
+	}
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).body = body
-		return
+		e := el.Value.(*cacheEntry)
+		c.curBytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.curBytes += int64(len(body))
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
-	for c.ll.Len() > c.max {
+	for c.ll.Len() > c.max || (c.maxBytes > 0 && c.curBytes > c.maxBytes) {
 		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		e := oldest.Value.(*cacheEntry)
+		delete(c.items, e.key)
+		c.curBytes -= int64(len(e.body))
 		c.evictions.Add(1)
 	}
 }
@@ -83,6 +104,12 @@ func (c *resultCache) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+func (c *resultCache) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
 }
 
 // writeMetrics appends the cache counters to a /v1/metrics scrape.
@@ -94,12 +121,15 @@ func (c *resultCache) writeMetrics(w io.Writer) error {
 	b.WriteString("# HELP hitl_server_cache_misses Result-cache lookups that missed.\n")
 	b.WriteString("# TYPE hitl_server_cache_misses counter\n")
 	fmt.Fprintf(&b, "hitl_server_cache_misses %d\n", c.misses.Load())
-	b.WriteString("# HELP hitl_server_cache_evictions Entries evicted to stay within the capacity bound.\n")
+	b.WriteString("# HELP hitl_server_cache_evictions Entries evicted to stay within the capacity bounds.\n")
 	b.WriteString("# TYPE hitl_server_cache_evictions counter\n")
 	fmt.Fprintf(&b, "hitl_server_cache_evictions %d\n", c.evictions.Load())
 	b.WriteString("# HELP hitl_server_cache_entries Entries currently cached.\n")
 	b.WriteString("# TYPE hitl_server_cache_entries gauge\n")
 	fmt.Fprintf(&b, "hitl_server_cache_entries %d\n", c.size())
+	b.WriteString("# HELP hitl_server_cache_bytes Bytes of response bodies currently cached.\n")
+	b.WriteString("# TYPE hitl_server_cache_bytes gauge\n")
+	fmt.Fprintf(&b, "hitl_server_cache_bytes %d\n", c.bytes())
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -113,14 +143,17 @@ func experimentCacheKey(id string, seed int64, n int) string {
 
 // processCacheKey hashes the canonical JSON form of the spec plus the
 // effective pass count. Hashing keeps keys bounded no matter how large the
-// submitted spec is.
-func processCacheKey(spec core.SystemSpec, passes int) string {
+// submitted spec is. ok=false means the spec could not be keyed (it failed
+// to marshal); the caller must skip the cache for that request — a shared
+// sentinel key would collide every unkeyable spec onto one entry and serve
+// one spec's body for another's.
+func processCacheKey(spec core.SystemSpec, passes int) (key string, ok bool) {
 	raw, err := json.Marshal(spec)
 	if err != nil {
-		return "" // unkeyable spec: skip caching, never fail the request
+		return "", false // unkeyable spec: skip caching, never fail the request
 	}
 	sum := sha256.Sum256(raw)
-	return fmt.Sprintf("process|%d|%s", passes, hex.EncodeToString(sum[:]))
+	return fmt.Sprintf("process|%d|%s", passes, hex.EncodeToString(sum[:])), true
 }
 
 // serveCached answers the request from the cache if possible, reporting

@@ -164,6 +164,68 @@ func TestCacheEviction(t *testing.T) {
 	readAll(t, resp)
 }
 
+// TestCacheByteBudget verifies the LRU evicts by total body bytes, not
+// just entry count: a few large bodies must not hide behind a generous
+// entry bound.
+func TestCacheByteBudget(t *testing.T) {
+	c := newResultCache(100, 1000) // entry bound far above the byte bound
+	body := func(n int) []byte { return make([]byte, n) }
+
+	c.put("a", body(400))
+	c.put("b", body(400))
+	if got := c.bytes(); got != 800 {
+		t.Fatalf("bytes = %d, want 800", got)
+	}
+	// 400 more bytes blow the 1000-byte budget: "a" (LRU tail) must go.
+	c.put("c", body(400))
+	if got := c.bytes(); got != 800 {
+		t.Errorf("bytes after eviction = %d, want 800", got)
+	}
+	if _, ok := c.get("a"); ok {
+		t.Error("oldest entry survived a byte-budget eviction")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Error("entry b evicted although the budget held")
+	}
+	if got := c.evictions.Load(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+
+	// Replacing a body adjusts the byte account instead of double-counting.
+	c.put("b", body(100))
+	if got := c.bytes(); got != 500 {
+		t.Errorf("bytes after replace = %d, want 500", got)
+	}
+
+	// A body larger than the whole budget is never admitted — caching it
+	// would evict everything for one entry.
+	c.put("huge", body(2000))
+	if _, ok := c.get("huge"); ok {
+		t.Error("over-budget body was admitted")
+	}
+	if got := c.size(); got != 2 {
+		t.Errorf("size = %d, want 2 (b and c)", got)
+	}
+}
+
+// TestCacheBytesMetric verifies hitl_server_cache_bytes appears in
+// /v1/metrics and tracks cached body bytes.
+func TestCacheBytesMetric(t *testing.T) {
+	ts := newTestServer(t)
+	readAll(t, postJSON(t, ts.URL+"/v1/experiments/run", runBody("E1", 7, 50)))
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if !strings.Contains(body, "# TYPE hitl_server_cache_bytes gauge") {
+		t.Error("metrics missing TYPE line for hitl_server_cache_bytes")
+	}
+	if strings.Contains(body, "hitl_server_cache_bytes 0\n") {
+		t.Error("hitl_server_cache_bytes is 0 after a cached response")
+	}
+}
+
 // TestCacheDisabled verifies a negative CacheSize turns caching off.
 func TestCacheDisabled(t *testing.T) {
 	cfg := quietConfig()

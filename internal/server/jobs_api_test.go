@@ -1,0 +1,342 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"hitl/internal/jobs"
+)
+
+// jobTestSpec is the canonical spec the job tests submit: small, non-sweep
+// (so the phishing-campaign scenario performs exactly one engine run,
+// which the singleflight test counts via hitl_sim_runs_total).
+func jobTestSpec(seed int64) map[string]any {
+	return map[string]any{
+		"scenario":   "phishing-campaign",
+		"population": "general-public",
+		"n":          60,
+		"seed":       seed,
+		"params":     map[string]any{"days": 5},
+	}
+}
+
+// submitJob POSTs a spec and returns the decoded response.
+func submitJob(t *testing.T, url string, spec map[string]any) (status jobs.Status, created bool, code int) {
+	t.Helper()
+	resp := postJSON(t, url+"/v1/jobs", spec)
+	defer resp.Body.Close()
+	var body struct {
+		jobs.Status
+		Created bool `json:"created"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	return body.Status, body.Created, resp.StatusCode
+}
+
+// awaitJob polls the status endpoint until the job is terminal.
+func awaitJob(t *testing.T, url, id string) jobs.Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(url + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobs.Status
+		decodeBody(t, resp, &st)
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s not terminal before deadline: %+v", id, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// simRuns scrapes hitl_sim_runs_total from /v1/metrics. The counter is
+// process-global, so tests compare deltas, not absolute values.
+func simRuns(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`(?m)^hitl_sim_runs_total (\d+)$`).FindSubmatch(raw)
+	if m == nil {
+		t.Fatal("hitl_sim_runs_total missing from /v1/metrics")
+	}
+	n, err := strconv.Atoi(string(m[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestJobLifecycleAndRestartSurvival is the acceptance scenario end to
+// end: submit, stream, read the result with its ETag — then stand up a
+// SECOND server over the same store directory and read the same result
+// from disk, including a 304 on If-None-Match, without re-running the
+// engine.
+func TestJobLifecycleAndRestartSurvival(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quietConfig()
+	cfg.StoreDir = dir
+	ts1 := httptest.NewServer(New(cfg))
+	defer ts1.Close()
+
+	st, created, code := submitJob(t, ts1.URL, jobTestSpec(21))
+	if code != http.StatusAccepted || !created {
+		t.Fatalf("submit: %d created=%v, want 202 created", code, created)
+	}
+	if st.ID == "" || st.Scenario != "phishing-campaign" {
+		t.Fatalf("submit status = %+v", st)
+	}
+	final := awaitJob(t, ts1.URL, st.ID)
+	if final.State != jobs.StateComplete || final.ETag == "" {
+		t.Fatalf("final status = %+v", final)
+	}
+
+	// The stream replays the full event log and terminates with done.
+	lines := streamLines(t, ts1.URL, st.ID)
+	last := lines[len(lines)-1]
+	if last.Type != "done" || last.ETag != final.ETag {
+		t.Errorf("last stream event = %+v, want done with etag %s", last, final.ETag)
+	}
+
+	resp, err := http.Get(ts1.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body1, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("ETag") != final.ETag {
+		t.Fatalf("result: %d etag %q, want 200 %q", resp.StatusCode, resp.Header.Get("ETag"), final.ETag)
+	}
+
+	// "Restart": a brand-new server process state over the same store dir.
+	before := simRuns(t, ts1.URL)
+	ts2 := httptest.NewServer(New(cfg))
+	defer ts2.Close()
+
+	st2 := awaitJob(t, ts2.URL, st.ID) // already terminal, served from disk
+	if st2.State != jobs.StateComplete || st2.ETag != final.ETag {
+		t.Fatalf("restarted status = %+v, want complete etag %s", st2, final.ETag)
+	}
+	resp2, err := http.Get(ts2.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || string(body2) != string(body1) {
+		t.Error("restarted result bytes differ")
+	}
+
+	// Conditional read: If-None-Match with the surviving ETag answers 304
+	// with no body.
+	req, _ := http.NewRequest(http.MethodGet, ts2.URL+"/v1/jobs/"+st.ID+"/result", nil)
+	req.Header.Set("If-None-Match", final.ETag)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotModified || len(b3) != 0 {
+		t.Errorf("If-None-Match: %d with %d body bytes, want 304 empty", resp3.StatusCode, len(b3))
+	}
+
+	// Submitting the spec again coalesces onto the stored result: 200, not
+	// 202, and the engine never ran on the second server.
+	stRe, createdRe, codeRe := submitJob(t, ts2.URL, jobTestSpec(21))
+	if codeRe != http.StatusOK || createdRe || stRe.State != jobs.StateComplete {
+		t.Errorf("resubmit: %d created=%v state=%s, want 200 coalesced complete", codeRe, createdRe, stRe.State)
+	}
+	if after := simRuns(t, ts2.URL); after != before {
+		t.Errorf("restart re-ran the engine: hitl_sim_runs_total %d -> %d", before, after)
+	}
+}
+
+// streamLines reads the whole JSONL stream for a job.
+func streamLines(t *testing.T, url, id string) []jobs.Event {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q", ct)
+	}
+	var out []jobs.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev jobs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty stream")
+	}
+	return out
+}
+
+// TestJobSingleflight fires concurrent identical submissions and asserts
+// the engine computed exactly once — the Monte Carlo run counter moves by
+// one for the whole stampede.
+func TestJobSingleflight(t *testing.T) {
+	cfg := quietConfig()
+	cfg.StoreDir = t.TempDir()
+	ts := httptest.NewServer(New(cfg))
+	defer ts.Close()
+
+	before := simRuns(t, ts.URL)
+	const n = 8
+	var wg sync.WaitGroup
+	ids := make([]string, n)
+	createds := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, created, code := submitJob(t, ts.URL, jobTestSpec(33))
+			if code != http.StatusAccepted && code != http.StatusOK {
+				t.Errorf("submit %d: status %d", i, code)
+			}
+			ids[i], createds[i] = st.ID, created
+		}(i)
+	}
+	wg.Wait()
+	createdCount := 0
+	for i := 1; i < n; i++ {
+		if ids[i] != ids[0] {
+			t.Errorf("submission %d got id %s, want %s", i, ids[i], ids[0])
+		}
+	}
+	for _, c := range createds {
+		if c {
+			createdCount++
+		}
+	}
+	if createdCount != 1 {
+		t.Errorf("%d submissions reported created, want 1", createdCount)
+	}
+	awaitJob(t, ts.URL, ids[0])
+	if after := simRuns(t, ts.URL); after != before+1 {
+		t.Errorf("hitl_sim_runs_total moved %d -> %d for %d identical submissions, want exactly +1",
+			before, after, n)
+	}
+}
+
+// TestJobStreamDeterminism checks the JSONL stream bytes are independent
+// of the engine worker count: the spec's workers field is excluded from
+// the canonical digest and the result, so both submissions coalesce to
+// the same job ID and replay the same stream.
+func TestJobStreamDeterminism(t *testing.T) {
+	stream := func(workers int) ([]jobs.Event, string) {
+		cfg := quietConfig()
+		cfg.StoreDir = t.TempDir()
+		ts := httptest.NewServer(New(cfg))
+		defer ts.Close()
+		spec := jobTestSpec(44)
+		spec["workers"] = workers
+		spec["sweep"] = map[string]any{"param": "tpr", "values": []float64{0.5, 0.9, 0.99}}
+		st, _, _ := submitJob(t, ts.URL, spec)
+		awaitJob(t, ts.URL, st.ID)
+		return streamLines(t, ts.URL, st.ID), st.ID
+	}
+	evs1, id1 := stream(1)
+	evs4, id4 := stream(4)
+	if id1 != id4 {
+		t.Errorf("worker count changed the job ID: %s vs %s", id1, id4)
+	}
+	j1, _ := json.Marshal(evs1)
+	j4, _ := json.Marshal(evs4)
+	if string(j1) != string(j4) {
+		t.Errorf("stream differs by worker count:\nworkers=1: %.200s\nworkers=4: %.200s", j1, j4)
+	}
+	points := 0
+	for _, ev := range evs1 {
+		if ev.Type == "point" {
+			if ev.Index != points {
+				t.Errorf("point %d streamed with index %d; order must be the final point order", points, ev.Index)
+			}
+			points++
+		}
+	}
+	if points == 0 {
+		t.Error("stream contained no point events")
+	}
+}
+
+// TestJobValidationSharesRunPath checks POST /v1/jobs rejects exactly what
+// the synchronous endpoint rejects, with the same field-addressed 400.
+func TestJobValidationSharesRunPath(t *testing.T) {
+	ts := newTestServer(t) // no store: validation must not need one
+	bad := map[string]any{"scenario": "phishing-campaign", "n": -5}
+	for _, path := range []string{"/v1/scenarios/run", "/v1/jobs"} {
+		resp := postJSON(t, ts.URL+path, bad)
+		var body map[string]string
+		decodeBody(t, resp, &body)
+		if resp.StatusCode != http.StatusBadRequest || body["field"] != "n" {
+			t.Errorf("%s: %d %v, want 400 on field n", path, resp.StatusCode, body)
+		}
+	}
+	if resp := postJSON(t, ts.URL+"/v1/jobs", map[string]any{"scenario": "no-such"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown scenario: %d, want 400", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestJobUnknownID checks unknown and malformed IDs 404 rather than 500.
+func TestJobUnknownID(t *testing.T) {
+	ts := newTestServer(t)
+	for _, id := range []string{fmt.Sprintf("%064d", 1), "not-a-digest"} {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound && resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: %d, want 404/400", id, resp.StatusCode)
+		}
+	}
+}
+
+// TestJobSubmitWhileDraining checks SetDraining rejects new jobs with 503.
+func TestJobSubmitWhileDraining(t *testing.T) {
+	cfg := quietConfig()
+	srv := New(cfg)
+	srv.SetDraining()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/v1/jobs", jobTestSpec(55))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining submit: %d, want 503", resp.StatusCode)
+	}
+}

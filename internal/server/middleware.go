@@ -35,6 +35,10 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// handlers can flush through the middleware (the job JSONL stream does).
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // Status returns the recorded status, defaulting to 200 for handlers that
 // wrote a body without an explicit WriteHeader.
 func (r *statusRecorder) Status() int {

@@ -52,6 +52,45 @@ func (s *Server) handleScenarioList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// decodeScenarioSpec reads, normalizes, and bounds-checks a scenario spec
+// request body. It is the single validation path shared by the synchronous
+// endpoint (POST /v1/scenarios/run) and the async one (POST /v1/jobs), so
+// a spec the job API accepts is exactly a spec the run API accepts. The
+// returned spec always has Workers zeroed: the server owns its
+// parallelism, and a client-picked worker count could not change results
+// anyway. ok=false means a response has already been written.
+func (s *Server) decodeScenarioSpec(w http.ResponseWriter, r *http.Request) (scenario.Spec, bool) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	spec, err := scenario.ParseSpec(body)
+	if err != nil {
+		writeErr(w, decodeStatus(err), err)
+		return scenario.Spec{}, false
+	}
+	norm, err := scenario.Normalize(spec)
+	if err != nil {
+		if !writeSpecErr(w, err) {
+			writeErr(w, http.StatusBadRequest, err)
+		}
+		return scenario.Spec{}, false
+	}
+	if norm.N > s.cfg.MaxSubjects {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("n=%d above the server cap %d", norm.N, s.cfg.MaxSubjects),
+			"field": "n",
+		})
+		return scenario.Spec{}, false
+	}
+	if norm.Sweep != nil && len(norm.Sweep.Values) > maxSweepValues {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("sweep of %d values above the server cap %d", len(norm.Sweep.Values), maxSweepValues),
+			"field": "sweep.values",
+		})
+		return scenario.Spec{}, false
+	}
+	norm.Workers = 0
+	return norm, true
+}
+
 // handleScenarioRun executes a declarative scenario spec. The body is a
 // scenario.Spec; validation failures come back as 400 with the offending
 // field's JSON path. Runs are deterministic in the normalized spec (Workers
@@ -61,36 +100,10 @@ func (s *Server) handleScenarioList(w http.ResponseWriter, r *http.Request) {
 // (?trace_sample / ?spans=1), injected faults (?faults=, gated by
 // Config.AllowFaults), and degraded mode all skip the cache.
 func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	spec, err := scenario.ParseSpec(body)
-	if err != nil {
-		writeErr(w, decodeStatus(err), err)
+	norm, ok := s.decodeScenarioSpec(w, r)
+	if !ok {
 		return
 	}
-	norm, err := scenario.Normalize(spec)
-	if err != nil {
-		if !writeSpecErr(w, err) {
-			writeErr(w, http.StatusBadRequest, err)
-		}
-		return
-	}
-	if norm.N > s.cfg.MaxSubjects {
-		writeJSON(w, http.StatusBadRequest, map[string]string{
-			"error": fmt.Sprintf("n=%d above the server cap %d", norm.N, s.cfg.MaxSubjects),
-			"field": "n",
-		})
-		return
-	}
-	if norm.Sweep != nil && len(norm.Sweep.Values) > maxSweepValues {
-		writeJSON(w, http.StatusBadRequest, map[string]string{
-			"error": fmt.Sprintf("sweep of %d values above the server cap %d", len(norm.Sweep.Values), maxSweepValues),
-			"field": "sweep.values",
-		})
-		return
-	}
-	// The server owns its parallelism; a client cannot pick the worker
-	// count (it could not change results anyway).
-	norm.Workers = 0
 
 	// ?faults=<spec> perturbs the run deterministically — a chaos drill,
 	// gated behind Config.AllowFaults exactly like /v1/experiments/run.

@@ -20,6 +20,13 @@
 //	POST /v1/scenarios/run    declarative scenario spec -> points + metrics;
 //	     validation failures are 400 with the offending field's JSON path,
 //	     and ?trace_sample / ?spans / ?faults work as on /v1/experiments/run
+//	POST /v1/jobs             scenario spec -> async job keyed by the spec's
+//	     canonical digest; identical concurrent submissions coalesce onto
+//	     one computation (singleflight)
+//	GET  /v1/jobs/{id}         job status and sweep progress
+//	GET  /v1/jobs/{id}/result  completed result; strong ETag, If-None-Match
+//	     answers 304, and with Config.StoreDir results survive restarts
+//	GET  /v1/jobs/{id}/stream  chunked JSONL of points and sampled traces
 //
 // Experiment and process runs are deterministic in their inputs, so their
 // 200 responses are kept in a bounded LRU result cache (Config.CacheSize;
@@ -71,8 +78,10 @@ import (
 	"hitl/internal/core"
 	"hitl/internal/experiments"
 	"hitl/internal/faults"
+	"hitl/internal/jobs"
 	"hitl/internal/patterns"
 	"hitl/internal/sim"
+	"hitl/internal/store"
 	"hitl/internal/telemetry"
 )
 
@@ -102,6 +111,11 @@ type Config struct {
 	// are answered from memory; responses carry an X-Cache hit/miss
 	// header. 0 means the default (128); negative disables caching.
 	CacheSize int
+	// CacheMaxBytes bounds the total bytes of cached response bodies, so
+	// one multi-megabyte sweep body cannot masquerade as a single cheap
+	// entry. 0 means the default (64 MiB); negative disables the byte
+	// bound (entry count only).
+	CacheMaxBytes int64
 	// MaxInFlight caps concurrently executing compute (POST) requests.
 	// 0 means the default (2x GOMAXPROCS, at least 4); negative disables
 	// admission control entirely.
@@ -127,6 +141,23 @@ type Config struct {
 	// Off by default: fault injection is an operator drill, not a public
 	// API surface.
 	AllowFaults bool
+	// StoreDir roots the persistent content-addressed result store backing
+	// the async job API. Empty means memory-only: jobs work, but completed
+	// results do not survive a restart.
+	StoreDir string
+	// JobWorkers caps concurrently executing jobs; 0 means the manager
+	// default (2).
+	JobWorkers int
+	// JobTimeout bounds one job's compute; 0 means the manager default
+	// (10 minutes), negative disables.
+	JobTimeout time.Duration
+	// JobTraceSample is how many subject traces each job samples into its
+	// stream and stored result; 0 means the manager default (8), negative
+	// disables.
+	JobTraceSample int
+	// MaxJobs bounds the in-memory job table; 0 means the manager default
+	// (256). Overflow of live (pending/running) jobs is shed with 429.
+	MaxJobs int
 	// Logger receives structured access logs; default logs to stderr.
 	Logger *slog.Logger
 }
@@ -146,6 +177,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 128
+	}
+	if c.CacheMaxBytes == 0 {
+		c.CacheMaxBytes = 64 << 20
 	}
 	if c.MaxInFlight == 0 {
 		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
@@ -180,6 +214,8 @@ type Server struct {
 	metrics    *metricsRegistry
 	cache      *resultCache // nil when disabled
 	overload   *overload
+	store      *store.Store // nil when StoreDir is empty or unopenable
+	jobs       *jobs.Manager
 	retryAfter string // Retry-After seconds advertised on shed
 	draining   atomic.Bool
 	log        *slog.Logger
@@ -194,9 +230,28 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), metrics: newMetricsRegistry(), log: log}
 	if cfg.CacheSize > 0 {
-		s.cache = newResultCache(cfg.CacheSize)
+		s.cache = newResultCache(cfg.CacheSize, cfg.CacheMaxBytes)
 	}
 	s.overload = newOverload(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueTimeout, cfg.DegradeWindow)
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			// A broken store directory degrades to memory-only jobs rather
+			// than refusing to serve: the synchronous API is unaffected and
+			// the job API still works, just without restart survival.
+			log.Warn("result store unavailable; jobs run memory-only",
+				slog.String("dir", cfg.StoreDir), slog.String("error", err.Error()))
+		} else {
+			s.store = st
+		}
+	}
+	s.jobs = jobs.NewManager(jobs.Config{
+		Store:       s.store,
+		Workers:     cfg.JobWorkers,
+		Timeout:     cfg.JobTimeout,
+		TraceSample: cfg.JobTraceSample,
+		MaxJobs:     cfg.MaxJobs,
+	})
 	// A shed client retrying after the queue deadline has a fresh full
 	// wait ahead of it; round the hint up to whole seconds, at least 1.
 	retrySecs := int64((cfg.QueueTimeout + time.Second - 1) / time.Second)
@@ -215,6 +270,10 @@ func New(cfg Config) *Server {
 	s.route("/v1/analyze", s.limited(s.handleAnalyze), http.MethodPost)
 	s.route("/v1/process", s.limited(s.handleProcess), http.MethodPost)
 	s.route("/v1/recommend", s.limited(s.handleRecommend), http.MethodPost)
+	s.route("/v1/jobs", s.handleJobSubmit, http.MethodPost)
+	s.route("/v1/jobs/{id}", s.handleJobStatus, http.MethodGet)
+	s.route("/v1/jobs/{id}/result", s.handleJobResult, http.MethodGet)
+	s.route("/v1/jobs/{id}/stream", s.handleJobStream, http.MethodGet)
 	return s
 }
 
@@ -222,10 +281,19 @@ func New(cfg Config) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // SetDraining flips /v1/healthz to 503 "draining" so load balancers stop
-// routing new work here. Call it when graceful shutdown begins, before the
-// drain deadline starts counting; in-flight and queued requests still
-// finish normally.
-func (s *Server) SetDraining() { s.draining.Store(true) }
+// routing new work here, and stops accepting new job submissions. Call it
+// when graceful shutdown begins, before the drain deadline starts
+// counting; in-flight and queued requests — and already-accepted jobs —
+// still finish normally.
+func (s *Server) SetDraining() {
+	s.draining.Store(true)
+	s.jobs.Drain()
+}
+
+// WaitJobs blocks until every accepted job has reached a terminal state,
+// or ctx expires. Pair with SetDraining during graceful shutdown so a
+// persisted store holds every result the API acknowledged with 202.
+func (s *Server) WaitJobs(ctx context.Context) error { return s.jobs.Wait(ctx) }
 
 // computeDeadlineKey marks request contexts that run under the
 // per-request compute deadline, so handlers can tell deadline expiry (503)
@@ -366,6 +434,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			slog.String("error", err.Error()))
 		return
 	}
+	// Async-job and persistent-store counters.
+	if err := s.jobs.WriteMetrics(w); err != nil {
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "jobs metrics write failed",
+			slog.String("error", err.Error()))
+		return
+	}
+	if s.store != nil {
+		if err := s.store.WriteMetrics(w); err != nil {
+			s.log.LogAttrs(r.Context(), slog.LevelWarn, "store metrics write failed",
+				slog.String("error", err.Error()))
+			return
+		}
+	}
 	// Engine telemetry (Monte Carlo counters, stage failures, run-duration
 	// histograms, span summaries) follows the HTTP metrics so one scrape
 	// covers the whole process.
@@ -476,8 +557,13 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	}
 	// The process run is deterministic in (spec, passes): answer repeats
 	// from the result cache. Keying happens after clamping so a request
-	// for passes=100 shares the entry with the effective cap.
-	cacheKey := processCacheKey(spec, effective)
+	// for passes=100 shares the entry with the effective cap. An
+	// unkeyable spec (ok=false) skips the cache entirely rather than
+	// sharing a sentinel entry with every other unkeyable spec.
+	cacheKey, keyable := processCacheKey(spec, effective)
+	if !keyable {
+		cacheKey = ""
+	}
 	if s.serveCached(w, cacheKey) {
 		return
 	}

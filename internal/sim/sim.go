@@ -180,13 +180,34 @@ func SubjectRand(seed int64, i int) *rand.Rand {
 	return rand.New(src)
 }
 
+// EffectiveWorkers resolves a requested worker count to the parallelism a
+// run will actually use: 0 (or negative) means GOMAXPROCS, and the result
+// is clamped to both GOMAXPROCS and N. The GOMAXPROCS clamp matters: the
+// subjects are pure CPU work, so goroutines beyond the scheduler's
+// parallelism only add shard contention and context switches —
+// BENCH_sim.json showed workers=4 ~19% slower than workers=1 under
+// GOMAXPROCS=1 before the clamp. Run records the clamped value in its span
+// and in hitl_sim_last_run_workers, and results are bit-identical at any
+// requested worker count either way.
+func EffectiveWorkers(workers, n int) int {
+	if max := runtime.GOMAXPROCS(0); workers <= 0 || workers > max {
+		workers = max
+	}
+	if n >= 1 && workers > n {
+		workers = n
+	}
+	return workers
+}
+
 // Runner configures a Monte Carlo run.
 type Runner struct {
 	// Seed is the master seed; subject streams derive from it.
 	Seed int64
 	// N is the number of subjects.
 	N int
-	// Workers is the parallelism; 0 means GOMAXPROCS. Results are
+	// Workers is the parallelism; 0 means GOMAXPROCS, and any request is
+	// clamped to GOMAXPROCS (see EffectiveWorkers) — extra goroutines
+	// cannot add parallelism, only scheduler overhead. Results are
 	// deterministic regardless of Workers.
 	Workers int
 	// SweepWorkers is how many sweep points Sweep runs concurrently;
@@ -373,13 +394,7 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 	if f == nil {
 		return nil, fmt.Errorf("sim: nil subject function")
 	}
-	workers := ru.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > ru.N {
-		workers = ru.N
-	}
+	workers := EffectiveWorkers(ru.Workers, ru.N)
 
 	spanCtx, span := telemetry.StartSpan(ctx, "run",
 		telemetry.String("n", strconv.Itoa(ru.N)),
@@ -573,10 +588,7 @@ func (ru Runner) Sweep(ctx context.Context, params []float64, build func(param f
 		return nil
 	}
 
-	maxWorkers := ru.Workers
-	if maxWorkers <= 0 {
-		maxWorkers = runtime.GOMAXPROCS(0)
-	}
+	maxWorkers := EffectiveWorkers(ru.Workers, 0)
 	sweepWorkers := ru.SweepWorkers
 	if sweepWorkers > len(params) {
 		sweepWorkers = len(params)

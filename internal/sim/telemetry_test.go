@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -206,11 +207,14 @@ func TestRunSpans(t *testing.T) {
 	if run == nil {
 		t.Fatal("no run span recorded")
 	}
-	if run.Attrs["n"] != "200" || run.Attrs["workers"] != "4" || run.Attrs["seed"] != "2" {
-		t.Errorf("run span attrs = %v", run.Attrs)
+	// A request for 4 workers is clamped to the scheduler's parallelism;
+	// the span records the count the run actually used.
+	want := EffectiveWorkers(4, 200)
+	if run.Attrs["n"] != "200" || run.Attrs["workers"] != strconv.Itoa(want) || run.Attrs["seed"] != "2" {
+		t.Errorf("run span attrs = %v (want workers=%d)", run.Attrs, want)
 	}
-	if workers != 4 {
-		t.Errorf("got %d worker-batch spans, want 4", workers)
+	if workers != want {
+		t.Errorf("got %d worker-batch spans, want %d", workers, want)
 	}
 	for _, s := range spans {
 		if s.Name == "worker-batch" && s.Parent != run.ID {

@@ -1,0 +1,261 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func digestOf(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := digestOf("spec-1")
+	body := []byte(`{"points":[1,2,3]}` + "\n")
+	meta, err := s.Put(key, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Size != int64(len(body)) || meta.Key != key {
+		t.Errorf("meta = %+v", meta)
+	}
+	got, gmeta, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Errorf("body mismatch: got %q", got)
+	}
+	if gmeta.SHA256 != meta.SHA256 || gmeta.ETag() != `"`+meta.SHA256+`"` {
+		t.Errorf("meta mismatch: %+v vs %+v", gmeta, meta)
+	}
+	if !s.Has(key) {
+		t.Error("Has = false after Put")
+	}
+	if st, err := s.Stat(key); err != nil || st.SHA256 != meta.SHA256 {
+		t.Errorf("Stat = %+v, %v", st, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(digestOf("nope")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+	if s.misses.Load() != 1 {
+		t.Errorf("misses = %d, want 1", s.misses.Load())
+	}
+}
+
+// TestCorruptEntryDetectedAndRemoved flips a body byte on disk and checks
+// the read reports ErrCorrupt, removes the entry, and counts it.
+func TestCorruptEntryDetectedAndRemoved(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := digestOf("spec-corrupt")
+	if _, err := s.Put(key, []byte("the result body")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if s.Has(key) {
+		t.Error("corrupt entry still on disk after detection")
+	}
+	if s.corrupt.Load() != 1 {
+		t.Errorf("corrupt counter = %d, want 1", s.corrupt.Load())
+	}
+	// The next read is a clean miss, so callers recompute.
+	if _, _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Errorf("post-removal err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestTruncatedEntryIsCorrupt simulates a torn write that somehow reached
+// the final path (e.g. disk loss after rename).
+func TestTruncatedEntryIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := digestOf("spec-truncated")
+	if _, err := s.Put(key, []byte("a body that will lose its tail")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key)
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(key); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"", "short", "../../../etc/passwd00", strings.Repeat("z", 64),
+		strings.Repeat("A", 64), digestOf("x") + "/nested",
+	} {
+		if _, err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", key)
+		}
+		if s.Has(key) {
+			t.Errorf("Has(%q) = true", key)
+		}
+	}
+}
+
+// TestPutReplacesAtomically overwrites a key while readers hammer it and
+// checks every read sees a complete, self-consistent entry.
+func TestPutReplacesAtomically(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := digestOf("spec-swap")
+	bodies := [][]byte{
+		[]byte(strings.Repeat("a", 4096)),
+		[]byte(strings.Repeat("b", 8192)),
+	}
+	if _, err := s.Put(key, bodies[0]); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.Put(key, bodies[i%2]); err != nil {
+				select {
+				case errc <- err:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		body, meta, err := s.Get(key)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if int64(len(body)) != meta.Size {
+			t.Fatalf("read %d: torn entry (%d bytes, meta %d)", i, len(body), meta.Size)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestKeysAndMetrics(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		key := digestOf(fmt.Sprintf("spec-%d", i))
+		if _, err := s.Put(key, []byte(fmt.Sprintf("body-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = true
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys() = %d entries, want %d", len(keys), len(want))
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Errorf("unexpected key %s", k)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, m := range []string{
+		"hitl_store_hits_total", "hitl_store_misses_total",
+		"hitl_store_writes_total 5", "hitl_store_corrupt_total 0",
+	} {
+		if !strings.Contains(text, m) {
+			t.Errorf("metrics missing %q", m)
+		}
+	}
+}
+
+// TestSurvivesReopen is the persistence contract in miniature: a new Store
+// over the same directory serves entries written by a previous one.
+func TestSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := digestOf("spec-durable")
+	body := []byte("computed once")
+	meta1, err := s1.Put(key, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, meta2, err := s2.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) || meta2.ETag() != meta1.ETag() {
+		t.Errorf("reopened store: body %q, etag %s vs %s", got, meta2.ETag(), meta1.ETag())
+	}
+}

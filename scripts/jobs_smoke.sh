@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# jobs_smoke.sh drives the async job API end to end against a real
+# hitl-serve process: submit a scenario spec as a job, poll it to
+# completion, read the JSONL stream, then RESTART the server over the same
+# store directory and re-fetch the result — first conditionally
+# (If-None-Match answers 304 with the ETag that survived the restart),
+# then plain (200 with the stored body) — and finally re-submit the same
+# spec and check it coalesces onto the stored result instead of
+# recomputing. Needs curl and jq.
+#
+# HITL_STORE_DIR overrides the store location (CI points it at a
+# workspace path and uploads it as an artifact).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STORE_DIR="${HITL_STORE_DIR:-$(mktemp -d)}"
+SCRATCH="$(mktemp -d)"
+BIN="$SCRATCH/hitl-serve"
+LOG="$SCRATCH/serve.log"
+SPEC=examples/scenarios/phishing-campaign.json
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$SCRATCH"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "jobs-smoke: FAIL: $*" >&2
+  echo "--- server log ---" >&2
+  cat "$LOG" >&2 || true
+  exit 1
+}
+
+start_server() {
+  : >"$LOG"
+  "$BIN" -addr 127.0.0.1:0 -store-dir "$STORE_DIR" >>"$LOG" 2>&1 &
+  SERVER_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$LOG" | head -1)
+    [ -n "$ADDR" ] && curl -fsS "http://$ADDR/v1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  fail "server did not become healthy"
+}
+
+stop_server() {
+  kill -TERM "$SERVER_PID"
+  wait "$SERVER_PID" || true
+  SERVER_PID=""
+}
+
+go build -o "$BIN" ./cmd/hitl-serve
+echo "== store dir: $STORE_DIR"
+start_server
+
+echo "== submit $SPEC"
+SUBMIT=$(curl -fsS -X POST --data-binary @"$SPEC" "http://$ADDR/v1/jobs")
+ID=$(echo "$SUBMIT" | jq -r .id)
+echo "$ID" | grep -Eq '^[0-9a-f]{64}$' || fail "bad job id: $SUBMIT"
+[ "$(echo "$SUBMIT" | jq -r .created)" = "true" ] || fail "first submit did not create: $SUBMIT"
+
+echo "== poll job $ID"
+STATE=""
+for _ in $(seq 1 300); do
+  STATE=$(curl -fsS "http://$ADDR/v1/jobs/$ID" | jq -r .state)
+  [ "$STATE" = complete ] && break
+  [ "$STATE" = failed ] && fail "job failed"
+  sleep 0.1
+done
+[ "$STATE" = complete ] || fail "job never completed (state: $STATE)"
+
+echo "== stream"
+STREAM=$(curl -fsS "http://$ADDR/v1/jobs/$ID/stream")
+LAST_TYPE=$(echo "$STREAM" | tail -1 | jq -r .type)
+[ "$LAST_TYPE" = done ] || fail "stream did not end in done: $LAST_TYPE"
+POINTS=$(echo "$STREAM" | jq -rs '[.[] | select(.type == "point")] | length')
+[ "$POINTS" -ge 1 ] || fail "stream carried no points"
+
+# Go canonicalizes the header name to "Etag"; match case-insensitively.
+ETAG=$(curl -fsS -D - -o "$SCRATCH/result1.json" "http://$ADDR/v1/jobs/$ID/result" |
+  tr -d '\r' | awk 'tolower($1) == "etag:" {print $2}')
+[ -n "$ETAG" ] || fail "result carried no ETag"
+
+echo "== restart server over the same store"
+stop_server
+start_server
+
+echo "== conditional re-fetch with If-None-Match: $ETAG"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $ETAG" \
+  "http://$ADDR/v1/jobs/$ID/result")
+[ "$CODE" = 304 ] || fail "If-None-Match after restart: $CODE, want 304"
+
+CODE=$(curl -s -o "$SCRATCH/result2.json" -w '%{http_code}' "http://$ADDR/v1/jobs/$ID/result")
+[ "$CODE" = 200 ] || fail "plain result after restart: $CODE, want 200"
+cmp -s "$SCRATCH/result1.json" "$SCRATCH/result2.json" || fail "result bytes changed across restart"
+
+echo "== re-submit coalesces onto the stored result"
+RESUBMIT=$(curl -fsS -X POST --data-binary @"$SPEC" "http://$ADDR/v1/jobs")
+[ "$(echo "$RESUBMIT" | jq -r .created)" = "false" ] || fail "resubmit recomputed: $RESUBMIT"
+[ "$(echo "$RESUBMIT" | jq -r .state)" = "complete" ] || fail "resubmit not complete: $RESUBMIT"
+
+echo "== job/store metrics"
+METRICS=$(curl -fsS "http://$ADDR/v1/metrics")
+echo "$METRICS" | grep -q '^hitl_jobs_submitted_total 0$' || fail "restarted server recomputed a job"
+echo "$METRICS" | grep -q '^hitl_store_hits_total [1-9]' || fail "store served no hits"
+echo "$METRICS" | grep -E '^hitl_(jobs|store)_' | sed 's/^/   /'
+
+stop_server
+echo "jobs-smoke: OK (job $ID survived a restart; store at $STORE_DIR)"
