@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-diff microbench chaos scenarios-smoke jobs-smoke experiments examples fmt cover clean
+.PHONY: all ci build vet test race bench bench-check bench-diff microbench chaos scenarios-smoke jobs-smoke experiments examples fmt cover clean
 
 all: build vet test
 
@@ -28,6 +28,13 @@ race:
 # benchmarks.
 bench:
 	$(GO) run ./cmd/hitl-bench -baseline BENCH_sim.json -out BENCH_sim.json
+
+# bench-check is the regression gate: re-measure and fail if any
+# (workers, trace) configuration's subjects/s fell more than 15% below the
+# committed BENCH_sim.json. The fresh report lands in BENCH_check.json (not
+# the committed file) so a failing run leaves the baseline untouched.
+bench-check:
+	$(GO) run ./cmd/hitl-bench -baseline BENCH_sim.json -check -max-regress 15 -out BENCH_check.json
 
 microbench:
 	$(GO) test -bench=. -benchmem ./...
@@ -94,4 +101,4 @@ cover:
 # BENCH_sim.json and bench_baseline.txt are committed artifacts; clean
 # only removes scratch files.
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_new.txt CHAOS_metrics.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_new.txt BENCH_check.json CHAOS_metrics.txt

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	hitl-bench [-out BENCH_sim.json] [-n 50000] [-runs 3] [-seed 1]
-//	           [-baseline OLD.json] [-diff]
+//	           [-baseline OLD.json] [-diff] [-check] [-max-regress 15]
 //
 // It times sim.Runner.Run at 1, 4, and GOMAXPROCS workers, each with
 // subject-trace sampling off and on, keeping the best of -runs repetitions
@@ -26,6 +26,13 @@
 // -diff additionally prints a configuration-by-configuration comparison to
 // stderr. The top-level trace_overhead_pct compares trace-on vs trace-off
 // at GOMAXPROCS workers and should stay in the low single digits.
+//
+// -check turns the comparison into a gate: if any (workers, trace)
+// configuration's subjects/s fell more than -max-regress percent below the
+// baseline, the offending configurations are printed and the process exits
+// nonzero — `make bench-check` wires this against the committed
+// BENCH_sim.json so CI refuses silent engine regressions. The report is
+// still written before the gate fires, so the artifact survives a failure.
 package main
 
 import (
@@ -251,6 +258,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	baselinePath := flag.String("baseline", "", "previous report to embed as the baseline")
 	diff := flag.Bool("diff", false, "print a comparison against -baseline to stderr")
+	check := flag.Bool("check", false, "exit nonzero when subjects/s regresses more than -max-regress percent vs -baseline")
+	maxRegress := flag.Float64("max-regress", 15, "allowed subjects/s regression in percent (with -check)")
 	flag.Parse()
 
 	var baseline *report
@@ -260,6 +269,9 @@ func main() {
 			fatal(err)
 		}
 		baseline = b
+	}
+	if *check && baseline == nil {
+		fatal(fmt.Errorf("-check requires -baseline"))
 	}
 
 	workerSet := []int{1, 4, runtime.GOMAXPROCS(0)}
@@ -371,6 +383,42 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "hitl-bench: wrote %s (trace overhead %.2f%% at %d workers)\n",
 		*out, rep.TraceOverheadPct, rep.GOMAXPROCS)
+
+	if *check {
+		if bad := regressions(baseline, &rep, *maxRegress); len(bad) > 0 {
+			for _, line := range bad {
+				fmt.Fprintln(os.Stderr, "hitl-bench: REGRESSION:", line)
+			}
+			fatal(fmt.Errorf("%d configuration(s) regressed more than %.0f%% vs baseline", len(bad), *maxRegress))
+		}
+		fmt.Fprintf(os.Stderr, "hitl-bench: check passed (no configuration regressed more than %.0f%%)\n", *maxRegress)
+	}
+}
+
+// regressions compares each current (workers, trace) configuration's
+// throughput against the baseline and describes every one whose subjects/s
+// fell more than maxRegress percent. Configurations absent from the
+// baseline are skipped: a freshly added configuration has nothing to
+// regress against.
+func regressions(old, cur *report, maxRegress float64) []string {
+	oldIdx := map[[2]any]result{}
+	for _, res := range old.Results {
+		oldIdx[[2]any{res.Workers, res.Trace}] = res
+	}
+	var bad []string
+	for _, res := range cur.Results {
+		prev, ok := oldIdx[[2]any{res.Workers, res.Trace}]
+		if !ok || prev.SubjectsPerSec <= 0 {
+			continue
+		}
+		drop := (prev.SubjectsPerSec - res.SubjectsPerSec) / prev.SubjectsPerSec * 100
+		if drop > maxRegress {
+			bad = append(bad, fmt.Sprintf(
+				"workers=%d trace=%v: %0.f -> %0.f subjects/s (-%.1f%%, limit %.0f%%)",
+				res.Workers, res.Trace, prev.SubjectsPerSec, res.SubjectsPerSec, drop, maxRegress))
+		}
+	}
+	return bad
 }
 
 func fatal(err error) {

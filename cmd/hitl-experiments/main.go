@@ -14,6 +14,9 @@
 // changes the regenerated numbers. -faults applies a deterministic fault
 // spec (see internal/faults) to every run — useful for chaos drills and
 // sensitivity checks; faulted output no longer matches EXPERIMENTS.md.
+// -report out.json writes a run report aggregated across every Monte Carlo
+// run of the suite: phase wall times, per-stage failure attribution, fired
+// fault rules, and engine metric deltas.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 
 	"hitl/internal/experiments"
 	"hitl/internal/faults"
+	"hitl/internal/report"
 	"hitl/internal/sim"
 	"hitl/internal/telemetry"
 )
@@ -41,6 +45,7 @@ func main() {
 	traceSample := flag.Int("trace-sample", 64, "subject traces to sample (with -trace)")
 	spansOut := flag.String("spans", "", "write the telemetry span tree to this JSON file")
 	faultSpec := flag.String("faults", "", "deterministic fault spec applied to every run (see internal/faults)")
+	reportOut := flag.String("report", "", "write a full-fidelity run report (JSON) aggregated across every run to this file")
 	flag.Parse()
 
 	if *list {
@@ -72,6 +77,13 @@ func main() {
 	if !faultSet.Empty() {
 		ctx = sim.WithInjector(ctx, faultSet)
 		fmt.Fprintf(os.Stderr, "hitl-experiments: fault injection active: %s\n", faultSet.Describe())
+	}
+	var col *sim.ReportCollector
+	var before telemetry.MetricsSnapshot
+	if *reportOut != "" {
+		col = sim.NewReportCollector()
+		ctx = sim.WithReportCollector(ctx, col)
+		before = telemetry.Snapshot()
 	}
 
 	cfg := experiments.Config{Seed: *seed, N: *n}
@@ -106,6 +118,21 @@ func main() {
 	}
 	if tracer != nil {
 		if err := writeFile(*spansOut, tracer.WriteJSON); err != nil {
+			fatal(err)
+		}
+	}
+	if col != nil {
+		rep := report.FromEngine(col.Reports())
+		rep.Seed = *seed
+		if !faultSet.Empty() {
+			rep.FaultSpec = faultSet.String()
+			for _, st := range faultSet.Stats() {
+				rep.FaultRules = append(rep.FaultRules, report.FaultRule{Rule: st.Rule, Fired: st.Fired})
+			}
+		}
+		delta := telemetry.Snapshot().Delta(before)
+		rep.Engine = &delta
+		if err := writeFile(*reportOut, rep.WriteJSON); err != nil {
 			fatal(err)
 		}
 	}

@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"hitl/internal/server"
+	"hitl/internal/telemetry"
 )
 
 // serve runs srv on ln until ctx is cancelled, then shuts it down
@@ -183,6 +184,11 @@ func main() {
 	defer cancelJobs()
 	if err := api.WaitJobs(jobCtx); err != nil {
 		log.Printf("hitl-serve: jobs still running at drain deadline: %v", err)
+	}
+	// Dump the flight recorder last: if this shutdown is part of an incident,
+	// the final log carries the recent wide events needed to reconstruct it.
+	if dump := telemetry.FlightDump(); dump != "" {
+		log.Printf("hitl-serve flight recorder:\n%s", dump)
 	}
 	log.Printf("hitl-serve drained; bye")
 }

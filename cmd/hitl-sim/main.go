@@ -24,6 +24,11 @@
 // internal/faults), e.g. -faults 'fail:stage=comprehension,p=0.1;latency:p=0.05,ms=2',
 // and perturbs the run reproducibly — the same seed and spec give
 // bit-identical results at any worker count.
+//
+// Diagnostics: -report out.json writes a full-fidelity run report — seed,
+// canonical spec digest, worker counts, per-phase wall times, per-stage
+// failure attribution, fired fault rules, and engine metric deltas — after
+// the run ("-" writes it to stderr, keeping stdout diffable).
 package main
 
 import (
@@ -37,6 +42,7 @@ import (
 	"syscall"
 
 	"hitl/internal/faults"
+	"hitl/internal/report"
 	"hitl/internal/scenario"
 	_ "hitl/internal/scenario/all" // register the built-in scenarios
 	"hitl/internal/sim"
@@ -73,6 +79,7 @@ func main() {
 	traceSample := flag.Int("trace-sample", 64, "subject traces to sample per run (with -trace)")
 	spansOut := flag.String("spans", "", "write the telemetry span tree to this JSON file")
 	faultSpec := flag.String("faults", "", "deterministic fault spec, e.g. 'fail:stage=comprehension,p=0.1' (see internal/faults)")
+	reportOut := flag.String("report", "", "write a full-fidelity run report (JSON) to this file (- for stderr)")
 	flag.Parse()
 
 	if *list {
@@ -150,12 +157,42 @@ func main() {
 		ctx = sim.WithInjector(ctx, faultSet)
 		fmt.Fprintf(os.Stderr, "hitl-sim: fault injection active: %s\n", faultSet.Describe())
 	}
+	var col *sim.ReportCollector
+	var before telemetry.MetricsSnapshot
+	if *reportOut != "" {
+		col = sim.NewReportCollector()
+		ctx = sim.WithReportCollector(ctx, col)
+		before = telemetry.Snapshot()
+	}
 
 	res, err := scenario.Run(ctx, spec)
 	if err != nil {
 		fatal(err)
 	}
 	must(res.Table().WriteText(os.Stdout))
+
+	if col != nil {
+		rep := report.FromEngine(col.Reports())
+		rep.Scenario = res.Scenario
+		rep.Seed = res.Spec.Seed
+		rep.N = res.Spec.N
+		if digest, derr := scenario.Canonical(res.Spec); derr == nil {
+			rep.SpecDigest = digest
+		}
+		if !faultSet.Empty() {
+			rep.FaultSpec = faultSet.String()
+			for _, st := range faultSet.Stats() {
+				rep.FaultRules = append(rep.FaultRules, report.FaultRule{Rule: st.Rule, Fired: st.Fired})
+			}
+		}
+		delta := telemetry.Snapshot().Delta(before)
+		rep.Engine = &delta
+		if *reportOut == "-" {
+			must(rep.WriteJSON(os.Stderr))
+		} else {
+			must(writeFile(*reportOut, rep.WriteJSON))
+		}
+	}
 
 	if rec != nil {
 		must(writeFile(*traceOut, rec.WriteJSONL))

@@ -39,6 +39,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"hitl/internal/agent"
@@ -128,6 +129,12 @@ func (r *Rule) fires(runSeed int64, subject int) bool {
 type Set struct {
 	rules []Rule
 	spec  string
+	// fired counts trigger decisions per rule, parallel to rules. It lives
+	// here rather than inside Rule so Rules() can keep returning value
+	// copies without copying an atomic (go vet copylocks). Because each
+	// decision is a pure function of (salt, seed, subject), the counts are
+	// deterministic at any worker count.
+	fired []atomic.Int64
 }
 
 // stagesByName maps spec stage names ("comprehension", "attention-switch",
@@ -172,6 +179,7 @@ func Parse(spec string) (*Set, error) {
 		rule.salt = mix64(0xFA17_0001 + uint64(idx)*0x9E3779B97F4A7C15 + uint64(rule.Kind))
 		s.rules = append(s.rules, rule)
 	}
+	s.fired = make([]atomic.Int64, len(s.rules))
 	return s, nil
 }
 
@@ -289,10 +297,12 @@ func (s *Set) Before(runSeed int64, subject int) {
 		switch r.Kind {
 		case KindLatency:
 			if r.fires(runSeed, subject) {
+				s.fired[i].Add(1)
 				time.Sleep(r.Delay)
 			}
 		case KindPanic:
 			if !r.HasStage && r.fires(runSeed, subject) {
+				s.fired[i].Add(1)
 				panic(fmt.Sprintf("faults: injected panic (subject %d)", subject))
 			}
 		}
@@ -313,6 +323,7 @@ func (s *Set) Perturb(runSeed int64, subject int, o sim.Outcome) sim.Outcome {
 		switch r.Kind {
 		case KindFail:
 			if r.fires(runSeed, subject) {
+				s.fired[i].Add(1)
 				o.Heeded = false
 				o.FailedStage = r.Stage
 				o.ErrorClass = gems.NoError
@@ -320,6 +331,7 @@ func (s *Set) Perturb(runSeed int64, subject int, o sim.Outcome) sim.Outcome {
 			}
 		case KindCorrupt:
 			if r.fires(runSeed, subject) {
+				s.fired[i].Add(1)
 				o.Heeded = false
 				o.FailedStage = agent.StageDelivery
 				o.Spoofed = true
@@ -346,6 +358,7 @@ func (s *Set) ProbeFor(runSeed int64, subject int, next func(agent.Check)) func(
 	for i := range s.rules {
 		r := &s.rules[i]
 		if r.Kind == KindPanic && r.HasStage && r.fires(runSeed, subject) {
+			s.fired[i].Add(1)
 			armed = append(armed, r)
 		}
 	}
@@ -364,6 +377,19 @@ func (s *Set) ProbeFor(runSeed int64, subject int, next func(agent.Check)) func(
 	}
 }
 
+// describeRule renders one rule in the stable "kind p=… [stage=…]
+// [delay=…]" form shared by Describe and Stats.
+func describeRule(r *Rule) string {
+	line := fmt.Sprintf("%s p=%g", r.Kind, r.P)
+	if r.HasStage {
+		line += " stage=" + r.Stage.String()
+	}
+	if r.Delay > 0 {
+		line += " delay=" + r.Delay.String()
+	}
+	return line
+}
+
 // Describe renders a stable multi-line summary of the rules (sorted by
 // kind then stage) for logs and reports.
 func (s *Set) Describe() string {
@@ -371,16 +397,34 @@ func (s *Set) Describe() string {
 		return "faults: none"
 	}
 	lines := make([]string, 0, len(s.rules))
-	for _, r := range s.rules {
-		line := fmt.Sprintf("%s p=%g", r.Kind, r.P)
-		if r.HasStage {
-			line += " stage=" + r.Stage.String()
-		}
-		if r.Delay > 0 {
-			line += " delay=" + r.Delay.String()
-		}
-		lines = append(lines, line)
+	for i := range s.rules {
+		lines = append(lines, describeRule(&s.rules[i]))
 	}
 	sort.Strings(lines)
 	return "faults: " + strings.Join(lines, "; ")
+}
+
+// RuleStat pairs one rule's description with how many times its trigger
+// decision has fired over the set's lifetime.
+type RuleStat struct {
+	// Rule is the describeRule rendering ("fail p=0.05 stage=comprehension").
+	Rule string `json:"rule"`
+	// Fired counts trigger decisions: subjects the rule chose to act on.
+	// Because the decision is a pure hash of (rule salt, run seed, subject
+	// index), the count is deterministic at any worker count.
+	Fired int64 `json:"fired"`
+}
+
+// Stats returns per-rule fired counts in spec order. Counts accumulate
+// across every run the set is attached to; run reports snapshot them after
+// a run completes.
+func (s *Set) Stats() []RuleStat {
+	if s.Empty() {
+		return nil
+	}
+	out := make([]RuleStat, len(s.rules))
+	for i := range s.rules {
+		out[i] = RuleStat{Rule: describeRule(&s.rules[i]), Fired: s.fired[i].Load()}
+	}
+	return out
 }

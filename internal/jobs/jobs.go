@@ -38,7 +38,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hitl/internal/faults"
+	"hitl/internal/report"
 	"hitl/internal/scenario"
+	"hitl/internal/sim"
 	"hitl/internal/store"
 	"hitl/internal/telemetry"
 )
@@ -119,15 +122,17 @@ type Job struct {
 	// CreatedAt is when this process first saw the job.
 	CreatedAt time.Time
 
-	mu      sync.Mutex
-	state   State
-	done    int
-	total   int
-	err     error
-	meta    store.Meta
-	body    []byte
-	events  []Event
-	updated chan struct{} // closed and replaced on every append/state change
+	mu         sync.Mutex
+	state      State
+	done       int
+	total      int
+	err        error
+	meta       store.Meta
+	body       []byte
+	reportBody []byte
+	reportMeta store.Meta
+	events     []Event
+	updated    chan struct{} // closed and replaced on every append/state change
 }
 
 func newJob(id, scenarioName string) *Job {
@@ -166,6 +171,20 @@ func (j *Job) Result() (body []byte, meta store.Meta, ok bool) {
 		return nil, store.Meta{}, false
 	}
 	return j.body, j.meta, true
+}
+
+// Report returns the job's canonical RunReport bytes and meta. ok=false
+// while the job is still pending or running, or when no report exists
+// (e.g. a job synthesized from a store written before reports existed).
+// Completed jobs' reports are persisted; failed jobs carry an in-memory
+// report for the lifetime of the process.
+func (j *Job) Report() (body []byte, meta store.Meta, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() || len(j.reportBody) == 0 {
+		return nil, store.Meta{}, false
+	}
+	return j.reportBody, j.reportMeta, true
 }
 
 // signal wakes every watcher. Callers hold j.mu.
@@ -279,35 +298,76 @@ func NewManager(cfg Config) *Manager {
 // Store returns the manager's persistent tier (nil when memory-only).
 func (m *Manager) Store() *store.Store { return m.cfg.Store }
 
-// Submit registers (or attaches to) the job for a normalized spec. digest
-// must be the spec's canonical digest (scenario.Canonical) — it becomes
-// the job ID and the store key. created reports whether this call started
-// new work: false means the submission coalesced onto an existing job or
-// a stored result. A previously failed job is replaced by a fresh attempt
-// (failures are often transient — timeouts, cancellations), preserving
-// exactly-once execution only for work that succeeded.
-func (m *Manager) Submit(norm scenario.Spec, digest string) (job *Job, created bool, err error) {
+// SubmitOptions carries the request-level context a job's RunReport needs
+// and the optional fault injection. The zero value is a plain submission.
+type SubmitOptions struct {
+	// Faults, when non-empty, deterministically perturbs every engine run
+	// of the job. The caller must fold the fault spec into the job ID (see
+	// VariantID) so faulted results never alias the clean result of the
+	// same spec in the content-addressed store.
+	Faults *faults.Set
+	// SpecDigest is the canonical spec digest for the report. Empty means
+	// the job ID is the digest (the unfaulted common case).
+	SpecDigest string
+	// Degraded marks a job admitted under the server's post-shed degraded
+	// mode; RequestedN is the pre-clamp subject count (norm.N already holds
+	// the clamped value the job will run).
+	Degraded   bool
+	RequestedN int
+}
+
+// VariantID derives the job ID for a spec digest plus a fault spec.
+// Faulted runs are deterministic too, so they are content-addressable —
+// just under their own identity.
+func VariantID(digest, faultSpec string) string {
+	sum := sha256.Sum256([]byte(digest + "|faults|" + faultSpec))
+	return hex.EncodeToString(sum[:])
+}
+
+// ReportKey derives the store key a job's RunReport persists under —
+// content-addressed next to the result, one deterministic derivation away
+// from the job ID.
+func ReportKey(jobID string) string {
+	sum := sha256.Sum256([]byte(jobID + "|report"))
+	return hex.EncodeToString(sum[:])
+}
+
+// Submit registers (or attaches to) the job for a normalized spec. id is
+// the job identity and store key: the spec's canonical digest
+// (scenario.Canonical), or VariantID of it for faulted submissions.
+// created reports whether this call started new work: false means the
+// submission coalesced onto an existing job or a stored result. A
+// previously failed job is replaced by a fresh attempt (failures are often
+// transient — timeouts, cancellations), preserving exactly-once execution
+// only for work that succeeded.
+func (m *Manager) Submit(norm scenario.Spec, id string, opts SubmitOptions) (job *Job, created bool, err error) {
 	if m.draining.Load() {
 		return nil, false, ErrDraining
 	}
+	if opts.SpecDigest == "" {
+		opts.SpecDigest = id
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if j, ok := m.jobs[digest]; ok && j.Status().State != StateFailed {
+	if j, ok := m.jobs[id]; ok && j.Status().State != StateFailed {
 		m.coalesced.Add(1)
+		telemetry.Flight.Record(telemetry.EventJobCoalesced, id)
 		return j, false, nil
 	}
-	if j := m.loadLocked(digest); j != nil {
+	if j := m.loadLocked(id); j != nil {
 		m.coalesced.Add(1)
+		telemetry.Flight.Record(telemetry.EventJobCoalesced, id)
 		return j, false, nil
 	}
 	if err := m.evictLocked(); err != nil {
 		return nil, false, err
 	}
-	j := newJob(digest, norm.Scenario)
+	j := newJob(id, norm.Scenario)
 	m.trackLocked(j)
 	m.submitted.Add(1)
+	telemetry.Flight.Record(telemetry.EventJobSubmit, id)
 	m.wg.Add(1)
-	go m.run(j, norm)
+	go m.run(j, norm, opts)
 	return j, true, nil
 }
 
@@ -367,12 +427,18 @@ func (m *Manager) loadLocked(digest string) *Job {
 	if err := json.Unmarshal(body, &env); err != nil {
 		return nil
 	}
+	j := synthesize(&env, body, meta)
+	// The report persists next to the result; absence (pre-report stores,
+	// or a quarantined report) degrades to a 404 on the report endpoint,
+	// never to a failed result read.
+	if rbody, rmeta, err := m.cfg.Store.Get(ReportKey(digest)); err == nil {
+		j.reportBody, j.reportMeta = rbody, rmeta
+	}
 	if err := m.evictLocked(); err != nil {
 		// Table full of live jobs; serve the synthesized job without
 		// tracking it rather than failing the read.
-		return synthesize(&env, body, meta)
+		return j
 	}
-	j := synthesize(&env, body, meta)
 	m.trackLocked(j)
 	m.storeHits.Add(1)
 	return j
@@ -409,7 +475,7 @@ func replayEvents(env *ResultEnvelope, total int, meta store.Meta) []Event {
 }
 
 // run executes one job on a worker slot.
-func (m *Manager) run(j *Job, norm scenario.Spec) {
+func (m *Manager) run(j *Job, norm scenario.Spec, opts SubmitOptions) {
 	defer m.wg.Done()
 	m.sem <- struct{}{}
 	defer func() { <-m.sem }()
@@ -425,6 +491,7 @@ func (m *Manager) run(j *Job, norm scenario.Spec) {
 	j.total = total
 	j.append(Event{Type: "status", State: StateRunning, Done: 0, Total: total})
 	j.mu.Unlock()
+	telemetry.Flight.Record(telemetry.EventJobRunning, j.ID)
 
 	ctx := context.Background()
 	if m.cfg.Timeout > 0 {
@@ -437,6 +504,17 @@ func (m *Manager) run(j *Job, norm scenario.Spec) {
 		rec = telemetry.NewRecorder(m.cfg.TraceSample, norm.Seed)
 		ctx = telemetry.WithRecorder(ctx, rec)
 	}
+	// Every job collects a RunReport: the engine appends one EngineReport
+	// per run, and the metrics delta attributes engine work to this job
+	// (exact on a process running one job at a time, best-effort under
+	// concurrency — the deterministic fields come from the collector, not
+	// the delta).
+	col := sim.NewReportCollector()
+	ctx = sim.WithReportCollector(ctx, col)
+	if opts.Faults != nil && !opts.Faults.Empty() {
+		ctx = sim.WithInjector(ctx, opts.Faults)
+	}
+	before := telemetry.Snapshot()
 
 	// The observer appends each step's points as they complete; sweep
 	// steps run sequentially, so the streamed point order is the final
@@ -454,9 +532,15 @@ func (m *Manager) run(j *Job, norm scenario.Spec) {
 	res, err := scenario.RunObserved(ctx, norm, obs)
 	if err != nil {
 		m.failed.Add(1)
+		// Failed jobs still explain themselves: the report (with per-run
+		// errors and flags) is attached in memory, just not persisted —
+		// a failed job is replaced by the next submission attempt.
+		reportBody, reportMeta := encodeReport(m.buildReport(j, norm, opts, col, before))
+		telemetry.Flight.Record(telemetry.EventJobFailed, j.ID+": "+err.Error())
 		j.mu.Lock()
 		j.state = StateFailed
 		j.err = err
+		j.reportBody, j.reportMeta = reportBody, reportMeta
 		j.append(Event{Type: "error", Error: err.Error()})
 		j.mu.Unlock()
 		return
@@ -489,22 +573,31 @@ func (m *Manager) run(j *Job, norm scenario.Spec) {
 	body = append(body, '\n')
 
 	meta := store.Meta{Key: j.ID, SHA256: bodySHA(body), Size: int64(len(body))}
+	reportBody, reportMeta := encodeReport(m.buildReport(j, norm, opts, col, before))
 	if m.cfg.Store != nil {
 		// Persist before announcing completion, so a client that sees
 		// "complete" can always read the result — even across a restart
-		// that happens a millisecond later.
+		// that happens a millisecond later. The report follows the same
+		// discipline under its derived key.
 		if pm, err := m.cfg.Store.Put(j.ID, body); err == nil {
 			meta = pm
+		}
+		if len(reportBody) > 0 {
+			if pm, err := m.cfg.Store.Put(ReportKey(j.ID), reportBody); err == nil {
+				reportMeta = pm
+			}
 		}
 		// A store write failure degrades to memory-only; the job still
 		// completes (the result is valid, just not durable).
 	}
 
 	m.completed.Add(1)
+	telemetry.Flight.Record(telemetry.EventJobComplete, j.ID)
 	j.mu.Lock()
 	j.state = StateComplete
 	j.done = total
 	j.body, j.meta = body, meta
+	j.reportBody, j.reportMeta = reportBody, reportMeta
 	evs := make([]Event, 0, len(env.Trace)+1)
 	for i := range env.Trace {
 		evs = append(evs, Event{Type: "trace", Trace: &env.Trace[i]})
@@ -512,6 +605,43 @@ func (m *Manager) run(j *Job, norm scenario.Spec) {
 	evs = append(evs, Event{Type: "done", ID: j.ID, ETag: meta.ETag()})
 	j.append(evs...)
 	j.mu.Unlock()
+}
+
+// buildReport assembles the job's RunReport from the engine collector and
+// the request-level context, canonicalized so the persisted bytes are
+// bit-identical at any worker count (like the result envelope's zeroed
+// Spec.Workers).
+func (m *Manager) buildReport(j *Job, norm scenario.Spec, opts SubmitOptions, col *sim.ReportCollector, before telemetry.MetricsSnapshot) report.RunReport {
+	rep := report.FromEngine(col.Reports())
+	rep.JobID = j.ID
+	rep.SpecDigest = opts.SpecDigest
+	rep.Scenario = norm.Scenario
+	rep.Seed = norm.Seed
+	rep.N = norm.N
+	if opts.Degraded {
+		rep.Degraded = true
+		rep.DegradedClamp = norm.N
+		rep.RequestedN = opts.RequestedN
+	}
+	if opts.Faults != nil && !opts.Faults.Empty() {
+		rep.FaultSpec = opts.Faults.String()
+		for _, st := range opts.Faults.Stats() {
+			rep.FaultRules = append(rep.FaultRules, report.FaultRule{Rule: st.Rule, Fired: st.Fired})
+		}
+	}
+	delta := telemetry.Snapshot().Delta(before)
+	rep.Engine = &delta
+	return rep.Canonical()
+}
+
+// encodeReport renders a report to its wire form plus an in-memory meta;
+// an encode failure yields an absent report, never a failed job.
+func encodeReport(rep report.RunReport) ([]byte, store.Meta) {
+	body, err := rep.MarshalIndented()
+	if err != nil {
+		return nil, store.Meta{}
+	}
+	return body, store.Meta{Key: ReportKey(rep.JobID), SHA256: bodySHA(body), Size: int64(len(body))}
 }
 
 // bodySHA is the hex checksum the store would assign, used for the

@@ -76,7 +76,7 @@ func TestJobCompletesAndPersists(t *testing.T) {
 	st := openStore(t)
 	m := NewManager(Config{Store: st})
 	norm, digest := testSpec(t, 0)
-	j, created, err := m.Submit(norm, digest)
+	j, created, err := m.Submit(norm, digest, SubmitOptions{})
 	if err != nil || !created {
 		t.Fatalf("Submit = created %v, err %v", created, err)
 	}
@@ -127,7 +127,7 @@ func TestSingleflightCoalesces(t *testing.T) {
 	out := make(chan res, n)
 	for i := 0; i < n; i++ {
 		go func() {
-			j, created, err := m.Submit(norm, digest)
+			j, created, err := m.Submit(norm, digest, SubmitOptions{})
 			if err != nil {
 				t.Error(err)
 			}
@@ -166,7 +166,7 @@ func TestStreamWorkerIndependence(t *testing.T) {
 	run := func(workers int) ([]Event, string) {
 		m := NewManager(Config{Store: openStore(t)})
 		norm, digest := testSpec(t, workers)
-		j, _, err := m.Submit(norm, digest)
+		j, _, err := m.Submit(norm, digest, SubmitOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -196,7 +196,7 @@ func TestRestartSurvival(t *testing.T) {
 	}
 	m1 := NewManager(Config{Store: st1})
 	norm, digest := testSpec(t, 0)
-	j1, _, err := m1.Submit(norm, digest)
+	j1, _, err := m1.Submit(norm, digest, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestRestartSurvival(t *testing.T) {
 		t.Errorf("restart recomputed: submitted = %d, want 0", m2.submitted.Load())
 	}
 	// A re-submission of the same spec coalesces onto the stored result.
-	j3, created, err := m2.Submit(norm, digest)
+	j3, created, err := m2.Submit(norm, digest, SubmitOptions{})
 	if err != nil || created {
 		t.Errorf("resubmit after restart: created=%v, err=%v; want coalesced", created, err)
 	}
@@ -252,7 +252,7 @@ func evsJSON(t *testing.T, evs []Event) string {
 func TestFailedJobReported(t *testing.T) {
 	m := NewManager(Config{Store: openStore(t), Timeout: time.Nanosecond})
 	norm, digest := testSpec(t, 0)
-	j, _, err := m.Submit(norm, digest)
+	j, _, err := m.Submit(norm, digest, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +268,7 @@ func TestFailedJobReported(t *testing.T) {
 		t.Error("failed job serves a result")
 	}
 	// Failure is retryable: the next submission starts fresh work.
-	if _, created, err := m.Submit(norm, digest); err != nil || !created {
+	if _, created, err := m.Submit(norm, digest, SubmitOptions{}); err != nil || !created {
 		t.Errorf("resubmit after failure: created=%v, err=%v; want a fresh job", created, err)
 	}
 }
@@ -278,12 +278,12 @@ func TestFailedJobReported(t *testing.T) {
 func TestDrainRejectsNewJobs(t *testing.T) {
 	m := NewManager(Config{Store: openStore(t)})
 	norm, digest := testSpec(t, 0)
-	j, _, err := m.Submit(norm, digest)
+	j, _, err := m.Submit(norm, digest, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	m.Drain()
-	if _, _, err := m.Submit(norm, digest); err == nil {
+	if _, _, err := m.Submit(norm, digest, SubmitOptions{}); err == nil {
 		// Coalescing onto an existing job while draining would also be
 		// acceptable; what must not happen is NEW work.
 		t.Log("draining submit coalesced onto the in-flight job")
@@ -303,7 +303,7 @@ func TestDrainRejectsNewJobs(t *testing.T) {
 func TestJobTableBound(t *testing.T) {
 	m := NewManager(Config{Store: openStore(t), MaxJobs: 1})
 	norm, digest := testSpec(t, 0)
-	j, _, err := m.Submit(norm, digest)
+	j, _, err := m.Submit(norm, digest, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func TestJobTableBound(t *testing.T) {
 	}()
 	waitComplete(t, j)
 	// The first job is terminal, so the table can evict it for the second.
-	j2, created, err := m.Submit(norm2, digest2)
+	j2, created, err := m.Submit(norm2, digest2, SubmitOptions{})
 	if err != nil || !created {
 		t.Fatalf("submit after eviction: created=%v, err=%v", created, err)
 	}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"hitl/internal/core"
+	"hitl/internal/telemetry"
 )
 
 // resultCache is a bounded LRU over fully rendered JSON response bodies.
@@ -97,6 +98,7 @@ func (c *resultCache) put(key string, body []byte) {
 		delete(c.items, e.key)
 		c.curBytes -= int64(len(e.body))
 		c.evictions.Add(1)
+		telemetry.Flight.Record(telemetry.EventCacheEvict, e.key)
 	}
 }
 

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"hitl/internal/telemetry"
+)
+
+// debugEventsResponse is the GET /v1/debug/events envelope: the flight
+// recorder's cursor state plus the selected events, oldest first.
+type debugEventsResponse struct {
+	// Total is the number of events ever recorded; Total minus the first
+	// returned Seq (minus one) tells a consumer how many older events have
+	// been overwritten by the ring.
+	Total uint64 `json:"total"`
+	// Capacity is the ring size: how many recent events are retained.
+	Capacity int                     `json:"capacity"`
+	Events   []telemetry.FlightEvent `json:"events"`
+}
+
+// handleDebugEvents serves the in-process flight recorder: the last
+// Capacity wide events (admissions, sheds, job transitions, degraded
+// flips, recovered panics, store quarantines), filterable with
+// ?since=<seq> (strictly after that sequence number) and ?kind=a,b
+// (comma-separated event kinds). It is a diagnostics endpoint — cheap,
+// read-only, and intentionally outside the compute admission gate.
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid since %q", q))
+			return
+		}
+		since = v
+	}
+	var kinds []string
+	if q := r.URL.Query().Get("kind"); q != "" {
+		for _, k := range strings.Split(q, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				kinds = append(kinds, k)
+			}
+		}
+	}
+	events := telemetry.Flight.Events(since, kinds...)
+	if events == nil {
+		events = []telemetry.FlightEvent{} // render [] rather than null
+	}
+	writeJSON(w, http.StatusOK, debugEventsResponse{
+		Total:    telemetry.Flight.Total(),
+		Capacity: telemetry.Flight.Capacity(),
+		Events:   events,
+	})
+}

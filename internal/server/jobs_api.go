@@ -22,7 +22,14 @@ import (
 //	POST /v1/jobs              spec -> 202 (new) or 200 (coalesced/stored)
 //	GET  /v1/jobs/{id}         status/progress snapshot
 //	GET  /v1/jobs/{id}/result  completed envelope; ETag + If-None-Match/304
+//	GET  /v1/jobs/{id}/report  canonical run report; ETag + If-None-Match/304
 //	GET  /v1/jobs/{id}/stream  chunked JSONL: status, points, traces, done
+//
+// A ?faults= submission (gated by Config.AllowFaults, same as the
+// synchronous endpoints) runs under deterministic fault injection. Its job
+// ID is a variant digest — jobs.VariantID(digest, faultSpec) — so a
+// faulted run never collides with (or poisons) the clean entry for the
+// same spec, while identical faulted submissions still coalesce.
 //
 // Admission control for jobs is the manager itself: the worker pool bounds
 // concurrent engine runs, the job table bounds tracked jobs (overflow of
@@ -45,12 +52,37 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	faultSet, ok := s.faultsFromQuery(w, r)
+	if !ok {
+		return
+	}
+	// Degraded mode clamps n before canonicalization, so a degraded
+	// submission gets its own digest (and its own stored result) rather
+	// than masquerading as the full-fidelity run of the original spec.
+	requestedN := norm.N
+	degraded := s.overload.degraded()
+	if degraded {
+		if norm.N > s.cfg.DegradedMaxSubjects {
+			norm.N = s.cfg.DegradedMaxSubjects
+		}
+		w.Header().Set("X-Degraded", "subjects-clamped")
+		s.overload.degradedRuns.Add(1)
+	}
 	digest, err := scenario.Canonical(norm)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	job, created, err := s.jobs.Submit(norm, digest)
+	id := digest
+	if faultSet != nil {
+		id = jobs.VariantID(digest, faultSet.String())
+	}
+	job, created, err := s.jobs.Submit(norm, id, jobs.SubmitOptions{
+		Faults:     faultSet,
+		SpecDigest: digest,
+		Degraded:   degraded,
+		RequestedN: requestedN,
+	})
 	switch {
 	case errors.Is(err, jobs.ErrDraining):
 		writeErr(w, http.StatusServiceUnavailable, err)
@@ -128,6 +160,45 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		// hint, so a poller can use one URL for both phases.
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	etag := meta.ETag()
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// handleJobReport serves the job's persisted canonical run report: the
+// structured diagnostic artifact (phase times, per-stage failure
+// attribution, fired fault rules, degraded clamp, engine metric deltas)
+// assembled when the run finished. Reports are canonicalized — worker
+// counts and wall times zeroed — so the body and its ETag are
+// byte-identical at any engine parallelism and across restarts.
+func (s *Server) handleJobReport(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	body, meta, ok := job.Report()
+	if !ok {
+		st := job.Status()
+		switch st.State {
+		case jobs.StateFailed:
+			// Failed without even an in-memory report (should not happen —
+			// failure builds one — but a replayed pre-report store entry
+			// could get here).
+			writeJSON(w, http.StatusInternalServerError, st)
+		case jobs.StateComplete:
+			writeErr(w, http.StatusNotFound, errors.New("no report recorded for this job"))
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusAccepted, st)
+		}
 		return
 	}
 	etag := meta.ETag()

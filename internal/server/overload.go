@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"hitl/internal/telemetry"
 )
 
 // errShed is returned by overload.acquire when the request cannot be
@@ -35,6 +37,13 @@ type overload struct {
 	degradedRuns    atomic.Int64
 	deadlineExpired atomic.Int64
 	lastShedNano    atomic.Int64
+	// degradedLatch tracks the last observed degraded state so the flight
+	// recorder sees one enter/exit event per flip, not one per shed. Exit
+	// is detected lazily — on the first degraded() call after the window
+	// elapses (every degraded-clamped handler and every metrics scrape
+	// calls it), so the exit event's timestamp can trail the actual window
+	// edge by one poll.
+	degradedLatch atomic.Bool
 }
 
 // newOverload builds the controller. maxInFlight < 0 disables admission
@@ -90,6 +99,10 @@ func (o *overload) release() { <-o.slots }
 func (o *overload) shed() {
 	o.shedTotal.Add(1)
 	o.lastShedNano.Store(time.Now().UnixNano())
+	if o.degradedLatch.CompareAndSwap(false, true) {
+		telemetry.Flight.Record(telemetry.EventDegradedEnter,
+			fmt.Sprintf("window %s", o.degradeWindow))
+	}
 }
 
 // degraded reports whether the server is inside the degraded window: at
@@ -97,7 +110,11 @@ func (o *overload) shed() {
 // most recent one.
 func (o *overload) degraded() bool {
 	last := o.lastShedNano.Load()
-	return last != 0 && time.Since(time.Unix(0, last)) < o.degradeWindow
+	d := last != 0 && time.Since(time.Unix(0, last)) < o.degradeWindow
+	if !d && o.degradedLatch.CompareAndSwap(true, false) {
+		telemetry.Flight.Record(telemetry.EventDegradedExit, "")
+	}
+	return d
 }
 
 // writeMetrics appends the overload counters to a /v1/metrics scrape.

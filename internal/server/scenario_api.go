@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"hitl/internal/report"
 	"hitl/internal/scenario"
 	_ "hitl/internal/scenario/all" // register the built-in scenarios
 	"hitl/internal/sim"
@@ -133,9 +134,13 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	wantSpans := r.URL.Query().Get("spans") == "1"
+	// ?report=1 attaches a full-fidelity run report (real worker counts and
+	// phase wall times, unlike the canonicalized job reports). Reports are
+	// per-execution observations, so they bypass the cache like traces do.
+	wantReport := r.URL.Query().Get("report") == "1"
 
 	cacheKey := ""
-	if traceSample == 0 && !wantSpans && faultSet == nil && !degraded {
+	if traceSample == 0 && !wantSpans && faultSet == nil && !degraded && !wantReport {
 		if digest, err := scenario.Canonical(norm); err == nil {
 			cacheKey = "scenarios/run|" + digest
 			if s.serveCached(w, cacheKey) {
@@ -155,6 +160,13 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 	}
 	tracer := telemetry.NewTracer(nil)
 	ctx = telemetry.WithTracer(ctx, tracer)
+	var col *sim.ReportCollector
+	var before telemetry.MetricsSnapshot
+	if wantReport {
+		col = sim.NewReportCollector()
+		ctx = sim.WithReportCollector(ctx, col)
+		before = telemetry.Snapshot()
+	}
 
 	res, err := scenario.Run(ctx, norm)
 	if err != nil {
@@ -190,6 +202,29 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if wantSpans {
 		resp["spans"] = tracer.Spans()
+	}
+	if wantReport {
+		rep := report.FromEngine(col.Reports())
+		rep.Scenario = res.Scenario
+		rep.Seed = norm.Seed
+		rep.N = norm.N
+		if digest, derr := scenario.Canonical(norm); derr == nil {
+			rep.SpecDigest = digest
+		}
+		if degraded {
+			rep.Degraded = true
+			rep.DegradedClamp = norm.N
+		}
+		if faultSet != nil {
+			rep.FaultSpec = faultSet.String()
+			for _, st := range faultSet.Stats() {
+				rep.FaultRules = append(rep.FaultRules, report.FaultRule{Rule: st.Rule, Fired: st.Fired})
+			}
+		}
+		rep.Cache = "bypass"
+		delta := telemetry.Snapshot().Delta(before)
+		rep.Engine = &delta
+		resp["report"] = rep
 	}
 	if cacheKey != "" {
 		s.writeCacheableJSON(w, cacheKey, resp)

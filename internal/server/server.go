@@ -19,14 +19,21 @@
 //	     ?spans=1 inlines the request's telemetry span tree
 //	POST /v1/scenarios/run    declarative scenario spec -> points + metrics;
 //	     validation failures are 400 with the offending field's JSON path,
-//	     and ?trace_sample / ?spans / ?faults work as on /v1/experiments/run
+//	     ?trace_sample / ?spans / ?faults work as on /v1/experiments/run,
+//	     and ?report=1 inlines a RunReport (phase wall times, stage
+//	     attribution, fault stats, engine metrics delta)
 //	POST /v1/jobs             scenario spec -> async job keyed by the spec's
 //	     canonical digest; identical concurrent submissions coalesce onto
-//	     one computation (singleflight)
+//	     one computation (singleflight); ?faults= (gated) runs a fault
+//	     variant under its own derived job ID
 //	GET  /v1/jobs/{id}         job status and sweep progress
 //	GET  /v1/jobs/{id}/result  completed result; strong ETag, If-None-Match
 //	     answers 304, and with Config.StoreDir results survive restarts
+//	GET  /v1/jobs/{id}/report  the job's persisted RunReport (canonicalized:
+//	     bit-identical at any worker count); same ETag/304 discipline
 //	GET  /v1/jobs/{id}/stream  chunked JSONL of points and sampled traces
+//	GET  /v1/debug/events      the in-process flight recorder ring (JSON),
+//	     filterable with ?kind=a,b and pageable with ?since=<seq>
 //
 // Experiment and process runs are deterministic in their inputs, so their
 // 200 responses are kept in a bounded LRU result cache (Config.CacheSize;
@@ -273,7 +280,9 @@ func New(cfg Config) *Server {
 	s.route("/v1/jobs", s.handleJobSubmit, http.MethodPost)
 	s.route("/v1/jobs/{id}", s.handleJobStatus, http.MethodGet)
 	s.route("/v1/jobs/{id}/result", s.handleJobResult, http.MethodGet)
+	s.route("/v1/jobs/{id}/report", s.handleJobReport, http.MethodGet)
 	s.route("/v1/jobs/{id}/stream", s.handleJobStream, http.MethodGet)
+	s.route("/v1/debug/events", s.handleDebugEvents, http.MethodGet)
 	return s
 }
 
@@ -314,6 +323,7 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 		release, err := s.overload.acquire(r.Context())
 		switch {
 		case errors.Is(err, errShed):
+			telemetry.Flight.Record(telemetry.EventRequestShed, r.Method+" "+r.URL.Path)
 			w.Header().Set("Retry-After", s.retryAfter)
 			writeErr(w, http.StatusTooManyRequests, err)
 			return
@@ -322,6 +332,7 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		defer release()
+		telemetry.Flight.Record(telemetry.EventRequestAdmitted, r.Method+" "+r.URL.Path)
 		if s.cfg.ComputeTimeout > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ComputeTimeout)
 			defer cancel()

@@ -312,6 +312,7 @@ func (ru Runner) runSubject(f SubjectFunc, inj Injector, rng *rand.Rand, i int) 
 func containPanic(subject int, err *error) {
 	if v := recover(); v != nil {
 		telemetry.RecordPanicRecovered()
+		telemetry.Flight.Record(telemetry.EventPanicRecovered, "subject "+strconv.Itoa(subject))
 		*err = &PanicError{Subject: subject, Value: v, Stack: debug.Stack()}
 	}
 }
@@ -379,9 +380,12 @@ func (ru Runner) aggregate(shards []shard, completed int) *Result {
 // Telemetry: when ctx carries a telemetry.Tracer, Run opens a "run" span
 // with per-worker "worker-batch" children; when it carries a
 // telemetry.Recorder, every completed subject's stage trajectory is offered
-// to the reservoir. Both are read once per run and short-circuit to nothing
-// when absent, and neither touches the subject random streams: a traced run
-// returns a bit-identical Result to an untraced one. Engine-level counters
+// to the reservoir. When it carries a *ReportCollector (WithReportCollector),
+// the run appends a structured EngineReport — phase wall times, stage
+// attribution, and how it ended — on every exit path. All three are read
+// once per run and short-circuit to nothing when absent, and none touches
+// the subject random streams: a traced or reported run returns a
+// bit-identical Result to a bare one. Engine-level counters
 // and histograms (subjects, stage failures, run duration, throughput) are
 // always recorded; they cost a handful of atomic adds per run.
 func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
@@ -403,6 +407,7 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 	defer span.End()
 	rec := telemetry.RecorderFromContext(ctx)
 	inj := InjectorFromContext(ctx)
+	col := ReportCollectorFromContext(ctx)
 	start := time.Now()
 
 	// deadlineCtx layers the per-run deadline (Runner.Timeout) over the
@@ -424,6 +429,7 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 	// subject error) is checked before every claim, so an aborted run stops
 	// within one subject per worker.
 	var nextSubject atomic.Int64
+	setupEnd := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -472,6 +478,13 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 		}(w)
 	}
 	wg.Wait()
+	computeEnd := time.Now()
+	// phases is only consulted when a report collector is attached; the
+	// two extra time.Now reads above are per-run, not per-subject.
+	phases := PhaseTimes{
+		SetupSeconds:   setupEnd.Sub(start).Seconds(),
+		ComputeSeconds: computeEnd.Sub(setupEnd).Seconds(),
+	}
 	// Report the failure with the lowest subject index, as the old
 	// subject-indexed error slice did. Contained panics arrive here as
 	// *PanicError and win or lose by the same subject-order rule. Subject
@@ -491,9 +504,16 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 		if errors.As(subjectErr, &pe) {
 			// Already self-describing (subject index and panic value); keep
 			// the typed error at the top so errors.As finds it directly.
+			if col != nil {
+				col.add(ru.engineReport(workers, phases, nil, subjectErr))
+			}
 			return nil, subjectErr
 		}
-		return nil, fmt.Errorf("sim: subject %d: %w", errSubject, subjectErr)
+		err := fmt.Errorf("sim: subject %d: %w", errSubject, subjectErr)
+		if col != nil {
+			col.add(ru.engineReport(workers, phases, nil, err))
+		}
+		return nil, err
 	}
 	// Distinguish the remaining ways the run can end early. The caller's
 	// ctx is checked first (abandonment beats everything), then the per-run
@@ -505,6 +525,9 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 	if cancelErr != nil {
 		if !ru.AllowPartial {
 			span.SetAttr("outcome", "canceled")
+			if col != nil {
+				col.add(ru.engineReport(workers, phases, nil, cancelErr))
+			}
 			return nil, cancelErr
 		}
 		completed := 0
@@ -513,24 +536,68 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 		}
 		span.SetAttr("outcome", "partial")
 		span.SetAttr("completed", strconv.Itoa(completed))
+		mergeStart := time.Now()
 		res := ru.aggregate(shards, completed)
+		phases.MergeSeconds = time.Since(mergeStart).Seconds()
 		recordRun(res, workers, time.Since(start))
+		if col != nil {
+			col.add(ru.engineReport(workers, phases, res, cancelErr))
+		}
 		return res, cancelErr
 	}
 
+	mergeStart := time.Now()
 	res := ru.aggregate(shards, ru.N)
+	phases.MergeSeconds = time.Since(mergeStart).Seconds()
 	recordRun(res, workers, time.Since(start))
+	if col != nil {
+		col.add(ru.engineReport(workers, phases, res, nil))
+	}
 	return res, nil
+}
+
+// engineReport builds the collector entry for one finished or failed run.
+// res is nil when the run produced no aggregation (fatal subject error, or
+// cancellation without AllowPartial).
+func (ru Runner) engineReport(workers int, phases PhaseTimes, res *Result, runErr error) EngineReport {
+	er := EngineReport{
+		Seed:             ru.Seed,
+		N:                ru.N,
+		RequestedWorkers: ru.Workers,
+		EffectiveWorkers: workers,
+		Phases:           phases,
+	}
+	if res != nil {
+		er.Completed = res.Completed
+		er.Partial = res.Completed < res.N
+		if len(res.StageFailures) > 0 {
+			er.StageFailures = stageFailureNames(res)
+		}
+	}
+	if runErr != nil {
+		er.Error = runErr.Error()
+		er.TimedOut = errors.Is(runErr, context.DeadlineExceeded)
+		er.Canceled = errors.Is(runErr, context.Canceled)
+		var pe *PanicError
+		er.PanicRecovered = errors.As(runErr, &pe)
+	}
+	return er
 }
 
 // recordRun folds a finished (or partial) aggregation into the
 // process-wide engine metrics.
 func recordRun(res *Result, workers int, elapsed time.Duration) {
+	telemetry.RecordRun(res.Completed, workers, elapsed, stageFailureNames(res))
+}
+
+// stageFailureNames renders the stage-failure histogram with string keys,
+// the form both the engine metrics and run reports consume.
+func stageFailureNames(res *Result) map[string]int {
 	stageFailures := make(map[string]int, len(res.StageFailures))
 	for s, n := range res.StageFailures {
 		stageFailures[s.String()] = n
 	}
-	telemetry.RecordRun(res.Completed, workers, elapsed, stageFailures)
+	return stageFailures
 }
 
 // SweepPoint is one parameter setting's aggregated result.

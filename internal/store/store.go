@@ -35,6 +35,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"hitl/internal/telemetry"
 )
 
 // ErrNotFound reports a key with no stored entry.
@@ -180,6 +182,7 @@ func (s *Store) Get(key string) ([]byte, Meta, error) {
 		// leaving it would fail every future read the same way.
 		_ = os.Remove(s.path(key))
 		s.corrupt.Add(1)
+		telemetry.Flight.Record(telemetry.EventStoreQuarantine, key+": "+err.Error())
 		return nil, Meta{}, err
 	}
 	s.hits.Add(1)

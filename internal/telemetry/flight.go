@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The flight recorder is a bounded in-process ring buffer of wide events:
+// rare, high-signal state changes (a request shed, a job completing, a
+// store entry quarantined) rather than per-subject samples. It exists so
+// an incident can be reconstructed after the fact even when nobody was
+// scraping metrics — the server exposes it at GET /v1/debug/events and
+// dumps it to the log on shutdown and on recovered panics.
+//
+// Event kinds recorded across the process (the recorder itself accepts any
+// string; this is the vocabulary the rest of the codebase uses):
+//
+//	request-admitted   a request passed admission control
+//	request-shed       a request was shed by the overload queue (429)
+//	degraded-enter     the server entered post-shed degraded mode
+//	degraded-exit      the server left degraded mode
+//	cache-evict        the server result cache evicted an entry
+//	job-submit         a new async job was created
+//	job-coalesced      a submission coalesced onto an existing job
+//	job-running        a job left the queue and started computing
+//	job-complete       a job persisted its result and completed
+//	job-failed         a job failed
+//	panic-recovered    the engine contained a subject panic
+//	store-quarantine   the store deleted a corrupt entry on read
+
+// Event kinds used across the process. The recorder accepts any string;
+// these constants keep call sites and filters in agreement.
+const (
+	EventRequestAdmitted = "request-admitted"
+	EventRequestShed     = "request-shed"
+	EventDegradedEnter   = "degraded-enter"
+	EventDegradedExit    = "degraded-exit"
+	EventCacheEvict      = "cache-evict"
+	EventJobSubmit       = "job-submit"
+	EventJobCoalesced    = "job-coalesced"
+	EventJobRunning      = "job-running"
+	EventJobComplete     = "job-complete"
+	EventJobFailed       = "job-failed"
+	EventPanicRecovered  = "panic-recovered"
+	EventStoreQuarantine = "store-quarantine"
+)
+
+// FlightEvent is one recorded wide event. Seq increases by one per event
+// for the recorder's lifetime, so a client can page with ?since=<seq> and
+// detect drops (a gap in Seq means the ring wrapped past it).
+type FlightEvent struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// FlightRecorder is a fixed-capacity ring of FlightEvents. Record is a
+// short critical section (one index computation and one struct store);
+// events are per-request/per-job rare, never per subject, so a plain
+// mutex is cheap enough and keeps Events/WriteJSONL trivially consistent.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []FlightEvent
+	total uint64 // events ever recorded; buf[(seq-1) % cap] holds event seq
+	clock Clock
+}
+
+// DefaultFlightCapacity bounds the process-wide recorder: at typical
+// production event rates (a handful per request lifecycle) this holds the
+// last several minutes of history in ~100 KiB.
+const DefaultFlightCapacity = 1024
+
+// NewFlightRecorder returns a recorder holding the last capacity events.
+// Capacity values below 1 are raised to 1.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FlightRecorder{buf: make([]FlightEvent, 0, capacity), clock: SystemClock}
+}
+
+// Flight is the process-wide recorder. Server, jobs, and store code record
+// into it directly — like the engine metrics, plumbing an instance through
+// every layer would buy nothing but ceremony for a process-scoped ring.
+var Flight = NewFlightRecorder(DefaultFlightCapacity)
+
+// Record appends one event, overwriting the oldest once the ring is full.
+func (fr *FlightRecorder) Record(kind, detail string) {
+	fr.mu.Lock()
+	fr.total++
+	ev := FlightEvent{Seq: fr.total, Time: fr.clock.Now().UTC(), Kind: kind, Detail: detail}
+	if len(fr.buf) < cap(fr.buf) {
+		fr.buf = append(fr.buf, ev)
+	} else {
+		fr.buf[(fr.total-1)%uint64(cap(fr.buf))] = ev
+	}
+	fr.mu.Unlock()
+}
+
+// Total returns how many events have ever been recorded (not how many are
+// still buffered); the difference against len(Events(0)) is the drop count.
+func (fr *FlightRecorder) Total() uint64 {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.total
+}
+
+// Capacity returns the ring size.
+func (fr *FlightRecorder) Capacity() int { return cap(fr.buf) }
+
+// Events returns the buffered events with Seq > since, oldest first,
+// optionally filtered to the given kinds (none means all). The returned
+// slice is a copy and safe to retain.
+func (fr *FlightRecorder) Events(since uint64, kinds ...string) []FlightEvent {
+	var want map[string]bool
+	if len(kinds) > 0 {
+		want = make(map[string]bool, len(kinds))
+		for _, k := range kinds {
+			want[k] = true
+		}
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	n := uint64(len(fr.buf))
+	if n == 0 {
+		return nil
+	}
+	// Oldest buffered event has seq fr.total-n+1; walk seqs in order and
+	// index the ring position each one lives at.
+	out := make([]FlightEvent, 0, n)
+	for seq := fr.total - n + 1; seq <= fr.total; seq++ {
+		ev := fr.buf[(seq-1)%uint64(cap(fr.buf))]
+		if ev.Seq <= since {
+			continue
+		}
+		if want != nil && !want[ev.Kind] {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// WriteJSONL writes every buffered event as one JSON object per line,
+// oldest first — the dump format for shutdown and panic incident logs.
+func (fr *FlightRecorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range fr.Events(0) {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlightDump renders the process-wide recorder as JSONL for log output.
+func FlightDump() string {
+	var b strings.Builder
+	_ = Flight.WriteJSONL(&b)
+	return b.String()
+}

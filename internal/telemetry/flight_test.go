@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderOrderAndTotal(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.clock = &fakeClock{now: time.Unix(1000, 0), step: time.Second}
+	for i := 0; i < 5; i++ {
+		fr.Record("kind", fmt.Sprintf("ev%d", i))
+	}
+	if fr.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", fr.Total())
+	}
+	evs := fr.Events(0)
+	if len(evs) != 5 {
+		t.Fatalf("Events = %d, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) || ev.Detail != fmt.Sprintf("ev%d", i) {
+			t.Errorf("event %d = %+v, want seq %d detail ev%d", i, ev, i+1, i)
+		}
+	}
+}
+
+// TestFlightRecorderWraparound overfills the ring and checks only the most
+// recent capacity events survive, in order, with contiguous sequence
+// numbers (the gap before the first one is the drop signal).
+func TestFlightRecorderWraparound(t *testing.T) {
+	const capacity = 4
+	fr := NewFlightRecorder(capacity)
+	for i := 1; i <= 11; i++ {
+		fr.Record("k", fmt.Sprintf("ev%d", i))
+	}
+	evs := fr.Events(0)
+	if len(evs) != capacity {
+		t.Fatalf("Events = %d, want %d", len(evs), capacity)
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(11 - capacity + 1 + i)
+		if ev.Seq != wantSeq || ev.Detail != fmt.Sprintf("ev%d", wantSeq) {
+			t.Errorf("event %d = seq %d detail %s, want seq %d", i, ev.Seq, ev.Detail, wantSeq)
+		}
+	}
+	if fr.Total() != 11 {
+		t.Errorf("Total = %d, want 11", fr.Total())
+	}
+}
+
+func TestFlightRecorderFilters(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	fr.Record("a", "1")
+	fr.Record("b", "2")
+	fr.Record("a", "3")
+	fr.Record("c", "4")
+	if got := fr.Events(0, "a"); len(got) != 2 || got[0].Detail != "1" || got[1].Detail != "3" {
+		t.Errorf("kind filter a = %+v", got)
+	}
+	if got := fr.Events(0, "a", "c"); len(got) != 3 {
+		t.Errorf("kind filter a,c = %d events, want 3", len(got))
+	}
+	if got := fr.Events(2); len(got) != 2 || got[0].Seq != 3 {
+		t.Errorf("since=2 = %+v", got)
+	}
+	if got := fr.Events(2, "b"); len(got) != 0 {
+		t.Errorf("since=2 kind=b = %+v, want none", got)
+	}
+}
+
+// TestFlightRecorderConcurrentWriters hammers one recorder from many
+// goroutines (run under -race in CI) and checks the ring stays coherent:
+// full capacity retained, sequence numbers strictly ascending and
+// contiguous.
+func TestFlightRecorderConcurrentWriters(t *testing.T) {
+	const capacity, writers, perWriter = 64, 8, 200
+	fr := NewFlightRecorder(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				fr.Record("k", fmt.Sprintf("w%d-%d", w, i))
+				if i%16 == 0 {
+					fr.Events(0) // concurrent reads too
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if fr.Total() != writers*perWriter {
+		t.Fatalf("Total = %d, want %d", fr.Total(), writers*perWriter)
+	}
+	evs := fr.Events(0)
+	if len(evs) != capacity {
+		t.Fatalf("Events = %d, want %d", len(evs), capacity)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("sequence gap in ring: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if evs[len(evs)-1].Seq != writers*perWriter {
+		t.Errorf("newest seq = %d, want %d", evs[len(evs)-1].Seq, writers*perWriter)
+	}
+}
+
+func TestFlightWriteJSONL(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	fr.Record(EventJobSubmit, "abc")
+	fr.Record(EventJobComplete, "abc")
+	var b strings.Builder
+	if err := fr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dump = %d lines, want 2:\n%s", len(lines), b.String())
+	}
+	if !strings.Contains(lines[0], EventJobSubmit) || !strings.Contains(lines[1], EventJobComplete) {
+		t.Errorf("dump out of order:\n%s", b.String())
+	}
+}
+
+// TestSnapshotDelta checks MetricsSnapshot.Delta isolates just the work
+// between two snapshots, including per-stage counts, even on a process
+// whose counters are already nonzero.
+func TestSnapshotDelta(t *testing.T) {
+	before := Snapshot()
+	RecordRun(100, 2, time.Millisecond, map[string]int{"attention-maintenance": 7})
+	RecordPanicRecovered()
+	delta := Snapshot().Delta(before)
+	if delta.Subjects != 100 || delta.Runs != 1 {
+		t.Errorf("delta subjects/runs = %d/%d, want 100/1", delta.Subjects, delta.Runs)
+	}
+	if delta.PanicsRecovered != 1 {
+		t.Errorf("delta panics = %d, want 1", delta.PanicsRecovered)
+	}
+	if delta.StageFailures["attention-maintenance"] != 7 {
+		t.Errorf("delta stage failures = %v, want attention-maintenance:7", delta.StageFailures)
+	}
+}

@@ -233,6 +233,8 @@ func WriteMetrics(w io.Writer) error {
 		fmt.Fprintf(&b, "hitl_span_duration_seconds_count{span=%q} %d\n", name, st.count.Load())
 	}
 
+	writeProcessMetrics(&b)
+
 	_, err := io.WriteString(w, b.String())
 	return err
 }

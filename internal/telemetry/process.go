@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Process-level metrics: build identity, uptime, and goroutine count.
+// These answer the first three questions of any incident — what binary is
+// this, how long has it been up, and is it leaking goroutines — without
+// shelling into the box.
+
+// processStart anchors hitl_process_uptime_seconds at package init, which
+// for a normal binary is within milliseconds of process start.
+var processStart = time.Now()
+
+// buildRevision returns the VCS revision baked in by the Go toolchain
+// ("unknown" for test binaries and non-VCS builds), plus a "-dirty" suffix
+// when the working tree was modified.
+var buildRevision = sync.OnceValue(func() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "unknown", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+})
+
+// allocCounters reads the allocator's lifetime malloc count and allocated
+// byte total for MetricsSnapshot.
+func allocCounters() (mallocs, bytes uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs, ms.TotalAlloc
+}
+
+// writeProcessMetrics appends the process-level gauges to the Prometheus
+// exposition. Called from WriteMetrics.
+func writeProcessMetrics(b *strings.Builder) {
+	b.WriteString("# HELP hitl_build_info Build identity of the running binary; value is always 1.\n")
+	b.WriteString("# TYPE hitl_build_info gauge\n")
+	fmt.Fprintf(b, "hitl_build_info{go_version=%q,revision=%q} 1\n", runtime.Version(), buildRevision())
+
+	b.WriteString("# HELP hitl_process_uptime_seconds Seconds since process start.\n")
+	b.WriteString("# TYPE hitl_process_uptime_seconds gauge\n")
+	fmt.Fprintf(b, "hitl_process_uptime_seconds %g\n", time.Since(processStart).Seconds())
+
+	b.WriteString("# HELP hitl_process_goroutines Live goroutines in the process.\n")
+	b.WriteString("# TYPE hitl_process_goroutines gauge\n")
+	fmt.Fprintf(b, "hitl_process_goroutines %d\n", runtime.NumGoroutine())
+}

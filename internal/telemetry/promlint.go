@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus structurally checks a Prometheus text-format (0.0.4)
+// exposition and returns one message per violation (nil means clean). It
+// guards the hand-rolled writers in this repo — there is no client library
+// to get the invariants right for us — and is exported so the server can
+// lint its full /v1/metrics scrape, not just this package's section.
+//
+// Checked invariants:
+//   - every sample belongs to a family announced by # HELP and # TYPE
+//     lines earlier in the exposition;
+//   - metric and family names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+//   - # TYPE declares a known type and appears at most once per family;
+//   - every histogram series ends with _bucket{le="+Inf"}, _sum, and
+//     _count samples, and the +Inf cumulative count equals _count;
+//   - sample values parse as floats.
+func LintPrometheus(r io.Reader) []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	type histSeries struct {
+		infCount float64
+		sawInf   bool
+		count    float64
+		sawCount bool
+		sawSum   bool
+	}
+	type family struct {
+		help, typ bool
+		kind      string
+		series    map[string]*histSeries // histogram series by non-le label set
+	}
+	families := map[string]*family{}
+	var familyOrder []string
+	get := func(name string) *family {
+		f, ok := families[name]
+		if !ok {
+			f = &family{series: map[string]*histSeries{}}
+			families[name] = f
+			familyOrder = append(familyOrder, name)
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case strings.TrimSpace(line) == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, doc, _ := strings.Cut(rest, " ")
+			if !validMetricName(name) {
+				addf("line %d: invalid metric name %q in HELP", lineNo, name)
+			}
+			if strings.TrimSpace(doc) == "" {
+				addf("line %d: HELP for %q has no text", lineNo, name)
+			}
+			f := get(name)
+			if f.help {
+				addf("line %d: duplicate HELP for %q", lineNo, name)
+			}
+			f.help = true
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				addf("line %d: malformed TYPE line %q", lineNo, line)
+				continue
+			}
+			name, kind := fields[0], fields[1]
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				addf("line %d: unknown metric type %q for %q", lineNo, kind, name)
+			}
+			f := get(name)
+			if f.typ {
+				addf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			f.typ = true
+			f.kind = kind
+			continue
+		case strings.HasPrefix(line, "#"):
+			continue // other comments are legal and unchecked
+		}
+
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			addf("line %d: unparseable sample %q", lineNo, line)
+			continue
+		}
+		if !validMetricName(name) {
+			addf("line %d: invalid metric name %q", lineNo, name)
+			continue
+		}
+		// Resolve the sample to its family: histogram and summary samples
+		// carry _bucket/_sum/_count suffixes on the family name.
+		famName := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base, found := strings.CutSuffix(name, suf)
+			if !found {
+				continue
+			}
+			if bf, ok := families[base]; ok && (bf.kind == "histogram" || bf.kind == "summary") {
+				famName = base
+				break
+			}
+		}
+		f, ok := families[famName]
+		if !ok || !f.help || !f.typ {
+			addf("line %d: sample %q not preceded by HELP and TYPE for family %q", lineNo, name, famName)
+			continue
+		}
+		if f.kind != "histogram" {
+			continue
+		}
+		le, rest := splitLeLabel(labels)
+		hs, ok := f.series[rest]
+		if !ok {
+			hs = &histSeries{}
+			f.series[rest] = hs
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			if le == "" {
+				addf("line %d: histogram bucket %q without le label", lineNo, line)
+			} else if le == "+Inf" {
+				hs.sawInf, hs.infCount = true, value
+			}
+		case strings.HasSuffix(name, "_sum"):
+			hs.sawSum = true
+		case strings.HasSuffix(name, "_count"):
+			hs.sawCount, hs.count = true, value
+		default:
+			addf("line %d: histogram family %q has bare sample %q", lineNo, famName, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		addf("read: %v", err)
+	}
+
+	for _, name := range familyOrder {
+		f := families[name]
+		if f.help != f.typ {
+			addf("family %q has HELP without TYPE or vice versa", name)
+		}
+		if f.kind != "histogram" {
+			continue
+		}
+		seriesKeys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			seriesKeys = append(seriesKeys, k)
+		}
+		sort.Strings(seriesKeys)
+		for _, k := range seriesKeys {
+			hs := f.series[k]
+			where := name
+			if k != "" {
+				where = name + "{" + k + "}"
+			}
+			if !hs.sawInf {
+				addf("histogram %s missing _bucket{le=\"+Inf\"}", where)
+			}
+			if !hs.sawSum {
+				addf("histogram %s missing _sum", where)
+			}
+			if !hs.sawCount {
+				addf("histogram %s missing _count", where)
+			}
+			if hs.sawInf && hs.sawCount && hs.infCount != hs.count {
+				addf("histogram %s: +Inf bucket %g != _count %g", where, hs.infCount, hs.count)
+			}
+		}
+	}
+	return problems
+}
+
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+func validMetricName(name string) bool { return metricNameRe.MatchString(name) }
+
+// parseSample splits `name{labels} value [timestamp]` into its parts.
+func parseSample(line string) (name, labels string, value float64, ok bool) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", 0, false
+		}
+		name, labels, rest = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+	} else {
+		var found bool
+		name, rest, found = strings.Cut(line, " ")
+		if !found {
+			return "", "", 0, false
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, false
+	}
+	return name, labels, v, true
+}
+
+var labelPairRe = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"`)
+
+// splitLeLabel extracts the le label value from a label set and returns
+// the remaining pairs in sorted, canonical form so that the bucket, sum,
+// and count samples of one histogram series key identically.
+func splitLeLabel(labels string) (le, rest string) {
+	var pairs []string
+	for _, m := range labelPairRe.FindAllStringSubmatch(labels, -1) {
+		if m[1] == "le" {
+			le = m[2]
+			continue
+		}
+		pairs = append(pairs, m[1]+`="`+m[2]+`"`)
+	}
+	sort.Strings(pairs)
+	return le, strings.Join(pairs, ",")
+}

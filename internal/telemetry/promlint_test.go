@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// lintString is a test shorthand over LintPrometheus.
+func lintString(s string) []string { return LintPrometheus(strings.NewReader(s)) }
+
+func TestLintAcceptsWellFormedExposition(t *testing.T) {
+	clean := `# HELP demo_total A counter.
+# TYPE demo_total counter
+demo_total 3
+# HELP demo_seconds A histogram.
+# TYPE demo_seconds histogram
+demo_seconds_bucket{le="0.1"} 1
+demo_seconds_bucket{le="+Inf"} 2
+demo_seconds_sum 0.3
+demo_seconds_count 2
+`
+	if problems := lintString(clean); len(problems) != 0 {
+		t.Errorf("clean exposition flagged: %v", problems)
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"sample before help/type", "orphan_total 1\n", "not preceded by HELP and TYPE"},
+		{"help without type", "# HELP lonely_total doc\nlonely_total 1\n", "not preceded by HELP and TYPE"},
+		{"bad metric name", "# HELP bad-name doc\n# TYPE bad-name counter\n", "invalid metric name"},
+		{"unknown type", "# HELP x_total doc\n# TYPE x_total tally\nx_total 1\n", "unknown metric type"},
+		{"duplicate type", "# HELP x doc\n# TYPE x gauge\n# TYPE x gauge\nx 1\n", "duplicate TYPE"},
+		{"unparseable sample", "# HELP x doc\n# TYPE x gauge\nx one\n", "unparseable sample"},
+		{
+			"histogram missing +Inf",
+			"# HELP h doc\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			`missing _bucket{le="+Inf"}`,
+		},
+		{
+			"histogram missing sum",
+			"# HELP h doc\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"missing _sum",
+		},
+		{
+			"histogram inf != count",
+			"# HELP h doc\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n",
+			"+Inf bucket 1 != _count 2",
+		},
+		{
+			// Per-series completeness: each label set needs its own +Inf.
+			"labeled histogram incomplete series",
+			"# HELP h doc\n# TYPE h histogram\n" +
+				"h_bucket{route=\"/a\",le=\"+Inf\"} 1\nh_sum{route=\"/a\"} 1\nh_count{route=\"/a\"} 1\n" +
+				"h_bucket{route=\"/b\",le=\"1\"} 1\nh_sum{route=\"/b\"} 1\nh_count{route=\"/b\"} 1\n",
+			`h{route="/b"} missing _bucket{le="+Inf"}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := lintString(tc.in)
+			for _, p := range problems {
+				if strings.Contains(p, tc.want) {
+					return
+				}
+			}
+			t.Errorf("want a problem containing %q, got %v", tc.want, problems)
+		})
+	}
+}
+
+// TestWriteMetricsLints lints this package's own exposition with counters,
+// stage failures, spans, and process metrics all populated — the promlint
+// self-test for the hand-rolled writer.
+func TestWriteMetricsLints(t *testing.T) {
+	RecordRun(50, 2, 5*time.Millisecond, map[string]int{"comprehension": 3})
+	RecordPanicRecovered()
+	var b strings.Builder
+	if err := WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if problems := LintPrometheus(strings.NewReader(b.String())); len(problems) != 0 {
+		t.Errorf("WriteMetrics exposition fails lint:\n  %s", strings.Join(problems, "\n  "))
+	}
+}
+
+// TestProcessMetricsPresent checks the build/uptime/goroutine gauges render
+// with sane values.
+func TestProcessMetricsPresent(t *testing.T) {
+	var b strings.Builder
+	if err := WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "hitl_build_info{go_version=\"") {
+		t.Error("missing hitl_build_info")
+	}
+	if !strings.Contains(out, "hitl_process_uptime_seconds ") {
+		t.Error("missing hitl_process_uptime_seconds")
+	}
+	if !strings.Contains(out, "hitl_process_goroutines ") {
+		t.Error("missing hitl_process_goroutines")
+	}
+}

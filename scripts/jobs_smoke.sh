@@ -6,7 +6,10 @@
 # (If-None-Match answers 304 with the ETag that survived the restart),
 # then plain (200 with the stored body) — and finally re-submit the same
 # spec and check it coalesces onto the stored result instead of
-# recomputing. Needs curl and jq.
+# recomputing. Along the way it fetches the job's persisted run report
+# (canonical, ETag-stable across the restart) and the process flight
+# recorder (/v1/debug/events), parking both under $STORE_DIR/smoke for CI
+# to archive. Needs curl and jq.
 #
 # HITL_STORE_DIR overrides the store location (CI points it at a
 # workspace path and uploads it as an artifact).
@@ -84,6 +87,23 @@ ETAG=$(curl -fsS -D - -o "$SCRATCH/result1.json" "http://$ADDR/v1/jobs/$ID/resul
   tr -d '\r' | awk 'tolower($1) == "etag:" {print $2}')
 [ -n "$ETAG" ] || fail "result carried no ETag"
 
+echo "== run report"
+RETAG=$(curl -fsS -D - -o "$SCRATCH/report1.json" "http://$ADDR/v1/jobs/$ID/report" |
+  tr -d '\r' | awk 'tolower($1) == "etag:" {print $2}')
+[ -n "$RETAG" ] || fail "report carried no ETag"
+[ "$(jq -r .job_id "$SCRATCH/report1.json")" = "$ID" ] || fail "report names wrong job: $(cat "$SCRATCH/report1.json")"
+[ "$(jq -r .engine_runs "$SCRATCH/report1.json")" -ge 1 ] || fail "report recorded no engine runs"
+# Canonical reports zero the scheduling-dependent fields.
+[ "$(jq -r '.workers // 0' "$SCRATCH/report1.json")" = 0 ] || fail "persisted report not canonical (workers set)"
+
+echo "== flight recorder events"
+curl -fsS "http://$ADDR/v1/debug/events" >"$SCRATCH/events.json"
+[ "$(jq -r .total "$SCRATCH/events.json")" -ge 1 ] || fail "flight recorder recorded nothing"
+jq -e '.events | map(.kind) | index("job-complete")' "$SCRATCH/events.json" >/dev/null ||
+  fail "flight recorder missing the job-complete event: $(cat "$SCRATCH/events.json")"
+KINDFILTER=$(curl -fsS "http://$ADDR/v1/debug/events?kind=job-complete" | jq -r '[.events[].kind] | unique | join(",")')
+[ "$KINDFILTER" = "job-complete" ] || fail "kind filter leaked other kinds: $KINDFILTER"
+
 echo "== restart server over the same store"
 stop_server
 start_server
@@ -97,6 +117,14 @@ CODE=$(curl -s -o "$SCRATCH/result2.json" -w '%{http_code}' "http://$ADDR/v1/job
 [ "$CODE" = 200 ] || fail "plain result after restart: $CODE, want 200"
 cmp -s "$SCRATCH/result1.json" "$SCRATCH/result2.json" || fail "result bytes changed across restart"
 
+echo "== report survives the restart (ETag-stable)"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $RETAG" \
+  "http://$ADDR/v1/jobs/$ID/report")
+[ "$CODE" = 304 ] || fail "report If-None-Match after restart: $CODE, want 304"
+CODE=$(curl -s -o "$SCRATCH/report2.json" -w '%{http_code}' "http://$ADDR/v1/jobs/$ID/report")
+[ "$CODE" = 200 ] || fail "plain report after restart: $CODE, want 200"
+cmp -s "$SCRATCH/report1.json" "$SCRATCH/report2.json" || fail "report bytes changed across restart"
+
 echo "== re-submit coalesces onto the stored result"
 RESUBMIT=$(curl -fsS -X POST --data-binary @"$SPEC" "http://$ADDR/v1/jobs")
 [ "$(echo "$RESUBMIT" | jq -r .created)" = "false" ] || fail "resubmit recomputed: $RESUBMIT"
@@ -107,6 +135,12 @@ METRICS=$(curl -fsS "http://$ADDR/v1/metrics")
 echo "$METRICS" | grep -q '^hitl_jobs_submitted_total 0$' || fail "restarted server recomputed a job"
 echo "$METRICS" | grep -q '^hitl_store_hits_total [1-9]' || fail "store served no hits"
 echo "$METRICS" | grep -E '^hitl_(jobs|store)_' | sed 's/^/   /'
+
+# Park the diagnostic artifacts next to the store so CI's store-dir upload
+# carries them (they also upload as an explicit artifact).
+mkdir -p "$STORE_DIR/smoke"
+cp "$SCRATCH/report1.json" "$STORE_DIR/smoke/job-report.json"
+cp "$SCRATCH/events.json" "$STORE_DIR/smoke/flight-events.json"
 
 stop_server
 echo "jobs-smoke: OK (job $ID survived a restart; store at $STORE_DIR)"
