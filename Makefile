@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-check bench-diff microbench chaos scenarios-smoke jobs-smoke experiments examples fmt cover clean
+.PHONY: all ci build vet test race bench bench-check bench-diff microbench chaos scenarios-smoke engine-golden jobs-smoke experiments examples fmt cover clean
 
 all: build vet test
 
@@ -74,6 +74,14 @@ scenarios-smoke:
 		/tmp/hitl-sim-smoke -spec $$spec; \
 	done
 	@rm -f /tmp/hitl-sim-smoke
+
+# engine-golden runs every example spec through hitl-sim twice — forced
+# interpreted and forced compiled — and fails unless the rendered outputs
+# are byte-identical (the compiled engine's external bit-identity
+# contract). ENGINE_GOLDEN_DIR parks the comparison files for CI to
+# archive.
+engine-golden:
+	bash scripts/engine_golden.sh
 
 # jobs-smoke drives the async job API against a real hitl-serve process:
 # submit a spec as a job, stream its JSONL, restart the server over the

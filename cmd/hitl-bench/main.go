@@ -9,9 +9,12 @@
 //	           [-baseline OLD.json] [-diff] [-check] [-max-regress 15]
 //
 // It times sim.Runner.Run at 1, 4, and GOMAXPROCS workers, each with
-// subject-trace sampling off and on, keeping the best of -runs repetitions
-// per configuration and recording allocs/op and bytes/op (one op = one full
-// N-subject run) from runtime.MemStats deltas. Each configuration records
+// subject-trace sampling off and on, plus the compiled engine path
+// (sim.Runner.RunProgram over the same pipeline lowered to a Program,
+// trace-off only — compiled subjects never materialize traces), keeping
+// the best of -runs repetitions per configuration and recording allocs/op,
+// bytes/op (one op = one full N-subject run), and allocs/subject from
+// runtime.MemStats deltas. Each configuration records
 // both the requested worker count and the effective one after the engine's
 // GOMAXPROCS clamp — on a 1-CPU box workers=4 executes as workers=1, so
 // requesting more workers than processors no longer pays goroutine
@@ -27,12 +30,14 @@
 // stderr. The top-level trace_overhead_pct compares trace-on vs trace-off
 // at GOMAXPROCS workers and should stay in the low single digits.
 //
-// -check turns the comparison into a gate: if any (workers, trace)
+// -check turns the comparison into a gate: if any (engine, workers, trace)
 // configuration's subjects/s fell more than -max-regress percent below the
-// baseline, the offending configurations are printed and the process exits
-// nonzero — `make bench-check` wires this against the committed
-// BENCH_sim.json so CI refuses silent engine regressions. The report is
-// still written before the gate fires, so the artifact survives a failure.
+// baseline — or its allocs/subject rose more than that (plus a 0.05
+// absolute floor guarding the compiled path's near-zero counts) — the
+// offending configurations are printed and the process exits nonzero —
+// `make bench-check` wires this against the committed BENCH_sim.json so CI
+// refuses silent engine regressions. The report is still written before
+// the gate fires, so the artifact survives a failure.
 package main
 
 import (
@@ -60,9 +65,13 @@ import (
 	"hitl/internal/telemetry"
 )
 
-// result is one (workers, trace) configuration's best observed run.
+// result is one (engine, workers, trace) configuration's best observed run.
 type result struct {
-	Workers int `json:"workers"`
+	// Engine is the engine path measured: "interpreted" (the agent walk) or
+	// "compiled" (the lowered Program). Reports from before the compiled
+	// path existed omit it; readers treat empty as "interpreted".
+	Engine  string `json:"engine,omitempty"`
+	Workers int    `json:"workers"`
 	// EffectiveWorkers is the worker count the engine actually used after
 	// clamping to GOMAXPROCS (requesting more buys nothing but scheduler
 	// overhead). Omitted in reports from before the clamp existed.
@@ -71,9 +80,12 @@ type result struct {
 	Seconds          float64 `json:"seconds"`
 	SubjectsPerSec   float64 `json:"subjects_per_sec"`
 	// Alloc fields are omitted when absent (reports from before they were
-	// recorded embed cleanly as baselines).
-	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
-	BytesPerOp  uint64 `json:"bytes_per_op,omitempty"`
+	// recorded embed cleanly as baselines). AllocsPerSubject divides the
+	// per-op count by the run's subject count — the compiled path holds it
+	// near zero, and the -check gate flags regressions on it.
+	AllocsPerOp      uint64  `json:"allocs_per_op,omitempty"`
+	BytesPerOp       uint64  `json:"bytes_per_op,omitempty"`
+	AllocsPerSubject float64 `json:"allocs_per_subject,omitempty"`
 }
 
 // serverResult is one server-endpoint timing (per request, best of -runs).
@@ -132,19 +144,38 @@ func pipeline() sim.SubjectFunc {
 	}
 }
 
+// program lowers the same pipeline shape into a compiled sim.Program, so
+// the interpreted and compiled measurements time identical work.
+func program() (*sim.Program, error) {
+	return sim.NewProgram(population.GeneralPublic(), nil, agent.Encounter{
+		Comm:          comms.FirefoxActiveWarning(),
+		Env:           stimuli.Busy(),
+		HazardPresent: true,
+		Task:          gems.LeaveSuspiciousSite(),
+	}, false, agent.Skill{})
+}
+
 // bench runs one configuration repeats times and returns the best wall time
-// plus that run's allocation deltas.
-func bench(seed int64, n, workers, repeats int, trace bool) (best time.Duration, allocs, bytesAlloc uint64, err error) {
+// plus that run's allocation deltas. A nil prog times the interpreted agent
+// walk; otherwise the compiled Program runs (trace must be off: compiled
+// subjects never materialize traces).
+func bench(seed int64, n, workers, repeats int, trace bool, prog *sim.Program) (best time.Duration, allocs, bytesAlloc uint64, err error) {
 	var ms runtime.MemStats
 	for i := 0; i < repeats; i++ {
 		ctx := context.Background()
 		if trace {
 			ctx = telemetry.WithRecorder(ctx, telemetry.NewRecorder(64, seed))
 		}
+		ru := sim.Runner{Seed: seed, N: n, Workers: workers}
 		runtime.ReadMemStats(&ms)
 		startMallocs, startBytes := ms.Mallocs, ms.TotalAlloc
 		start := time.Now()
-		if _, err := (sim.Runner{Seed: seed, N: n, Workers: workers}).Run(ctx, pipeline()); err != nil {
+		if prog != nil {
+			_, err = ru.RunProgram(ctx, prog)
+		} else {
+			_, err = ru.Run(ctx, pipeline())
+		}
+		if err != nil {
 			return 0, 0, 0, err
 		}
 		d := time.Since(start)
@@ -215,12 +246,22 @@ func loadBaseline(path string) (*report, error) {
 	return &rep, nil
 }
 
+// engineKey normalizes a result's engine for baseline matching: reports
+// from before the compiled path existed carry no engine field, and every
+// measurement back then was the interpreted walk.
+func engineKey(e string) string {
+	if e == "" {
+		return sim.EngineInterpreted
+	}
+	return e
+}
+
 // printDiff writes a per-configuration old-vs-new comparison to stderr.
 func printDiff(old, cur *report) {
-	index := func(r *report) map[[2]any]result {
-		m := map[[2]any]result{}
+	index := func(r *report) map[[3]any]result {
+		m := map[[3]any]result{}
 		for _, res := range r.Results {
-			m[[2]any{res.Workers, res.Trace}] = res
+			m[[3]any{engineKey(res.Engine), res.Workers, res.Trace}] = res
 		}
 		return m
 	}
@@ -228,9 +269,10 @@ func printDiff(old, cur *report) {
 	fmt.Fprintf(os.Stderr, "hitl-bench: diff vs baseline (go %s, GOMAXPROCS %d)\n",
 		old.GoVersion, old.GOMAXPROCS)
 	for _, res := range cur.Results {
-		prev, ok := oldIdx[[2]any{res.Workers, res.Trace}]
+		prev, ok := oldIdx[[3]any{engineKey(res.Engine), res.Workers, res.Trace}]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "  workers=%d trace=%v: no baseline entry\n", res.Workers, res.Trace)
+			fmt.Fprintf(os.Stderr, "  engine=%s workers=%d trace=%v: no baseline entry\n",
+				engineKey(res.Engine), res.Workers, res.Trace)
 			continue
 		}
 		pct := func(nw, ol float64) float64 {
@@ -244,8 +286,8 @@ func printDiff(old, cur *report) {
 			allocDelta = fmt.Sprintf("%+6.1f%%", pct(float64(res.AllocsPerOp), float64(prev.AllocsPerOp)))
 		}
 		fmt.Fprintf(os.Stderr,
-			"  workers=%d trace=%-5v  subjects/s %12.0f -> %12.0f (%+6.1f%%)  allocs/op %9d -> %9d (%s)\n",
-			res.Workers, res.Trace,
+			"  engine=%-11s workers=%d trace=%-5v  subjects/s %12.0f -> %12.0f (%+6.1f%%)  allocs/op %9d -> %9d (%s)\n",
+			engineKey(res.Engine), res.Workers, res.Trace,
 			prev.SubjectsPerSec, res.SubjectsPerSec, pct(res.SubjectsPerSec, prev.SubjectsPerSec),
 			prev.AllocsPerOp, res.AllocsPerOp, allocDelta)
 	}
@@ -284,6 +326,23 @@ func main() {
 		RunsPerConfig:  *runs,
 		Baseline:       baseline,
 	}
+	// The compiled Program is lowered once; every compiled configuration
+	// reuses it (compilation is run setup, not per-subject work).
+	prog, err := program()
+	if err != nil {
+		fatal(err)
+	}
+	// Each worker count measures interpreted trace-off/on plus the compiled
+	// path (trace-off only: compiled subjects never materialize traces).
+	configs := []struct {
+		engine string
+		trace  bool
+		prog   *sim.Program
+	}{
+		{sim.EngineInterpreted, false, nil},
+		{sim.EngineInterpreted, true, nil},
+		{sim.EngineCompiled, false, prog},
+	}
 	// Indexed lookup for the overhead computation below.
 	secs := map[[2]bool]float64{} // key: {workers == GOMAXPROCS, trace}
 	for _, w := range workerSet {
@@ -291,23 +350,24 @@ func main() {
 			continue
 		}
 		seen[w] = true
-		for _, trace := range []bool{false, true} {
-			d, allocs, bytesAlloc, err := bench(*seed, *n, w, *runs, trace)
+		for _, c := range configs {
+			d, allocs, bytesAlloc, err := bench(*seed, *n, w, *runs, c.trace, c.prog)
 			if err != nil {
 				fatal(err)
 			}
 			s := d.Seconds()
 			rep.Results = append(rep.Results, result{
-				Workers: w, EffectiveWorkers: sim.EffectiveWorkers(w, *n), Trace: trace,
-				Seconds:        s,
-				SubjectsPerSec: float64(*n) / s,
-				AllocsPerOp:    allocs,
-				BytesPerOp:     bytesAlloc,
+				Engine: c.engine, Workers: w, EffectiveWorkers: sim.EffectiveWorkers(w, *n), Trace: c.trace,
+				Seconds:          s,
+				SubjectsPerSec:   float64(*n) / s,
+				AllocsPerOp:      allocs,
+				BytesPerOp:       bytesAlloc,
+				AllocsPerSubject: float64(allocs) / float64(*n),
 			})
-			fmt.Fprintf(os.Stderr, "hitl-bench: workers=%d (effective %d) trace=%v  %8.3fs  %12.0f subjects/s  %9d allocs/op  %11d B/op\n",
-				w, sim.EffectiveWorkers(w, *n), trace, s, float64(*n)/s, allocs, bytesAlloc)
-			if w == runtime.GOMAXPROCS(0) {
-				secs[[2]bool{true, trace}] = s
+			fmt.Fprintf(os.Stderr, "hitl-bench: engine=%-11s workers=%d (effective %d) trace=%v  %8.3fs  %12.0f subjects/s  %9d allocs/op  %8.4f allocs/subject\n",
+				c.engine, w, sim.EffectiveWorkers(w, *n), c.trace, s, float64(*n)/s, allocs, float64(allocs)/float64(*n))
+			if w == runtime.GOMAXPROCS(0) && c.engine == sim.EngineInterpreted {
+				secs[[2]bool{true, c.trace}] = s
 			}
 		}
 	}
@@ -323,7 +383,7 @@ func main() {
 	prevProcs := runtime.GOMAXPROCS(runtime.NumCPU())
 	var multiSecs [2]float64
 	for i, w := range []int{1, runtime.NumCPU()} {
-		d, _, _, err := bench(*seed, *n, w, *runs, false)
+		d, _, _, err := bench(*seed, *n, w, *runs, false, nil)
 		if err != nil {
 			runtime.GOMAXPROCS(prevProcs)
 			fatal(err)
@@ -395,27 +455,44 @@ func main() {
 	}
 }
 
-// regressions compares each current (workers, trace) configuration's
-// throughput against the baseline and describes every one whose subjects/s
-// fell more than maxRegress percent. Configurations absent from the
-// baseline are skipped: a freshly added configuration has nothing to
-// regress against.
+// regressions compares each current (engine, workers, trace)
+// configuration against the baseline and describes every one whose
+// subjects/s fell — or whose allocs/subject rose — more than maxRegress
+// percent. The alloc rule carries a +0.05 absolute floor so the compiled
+// path's near-zero counts don't trip the gate on measurement noise.
+// Configurations absent from the baseline are skipped: a freshly added
+// configuration has nothing to regress against.
 func regressions(old, cur *report, maxRegress float64) []string {
-	oldIdx := map[[2]any]result{}
+	oldIdx := map[[3]any]result{}
 	for _, res := range old.Results {
-		oldIdx[[2]any{res.Workers, res.Trace}] = res
+		oldIdx[[3]any{engineKey(res.Engine), res.Workers, res.Trace}] = res
 	}
 	var bad []string
 	for _, res := range cur.Results {
-		prev, ok := oldIdx[[2]any{res.Workers, res.Trace}]
+		prev, ok := oldIdx[[3]any{engineKey(res.Engine), res.Workers, res.Trace}]
 		if !ok || prev.SubjectsPerSec <= 0 {
 			continue
 		}
 		drop := (prev.SubjectsPerSec - res.SubjectsPerSec) / prev.SubjectsPerSec * 100
 		if drop > maxRegress {
 			bad = append(bad, fmt.Sprintf(
-				"workers=%d trace=%v: %0.f -> %0.f subjects/s (-%.1f%%, limit %.0f%%)",
-				res.Workers, res.Trace, prev.SubjectsPerSec, res.SubjectsPerSec, drop, maxRegress))
+				"engine=%s workers=%d trace=%v: %0.f -> %0.f subjects/s (-%.1f%%, limit %.0f%%)",
+				engineKey(res.Engine), res.Workers, res.Trace,
+				prev.SubjectsPerSec, res.SubjectsPerSec, drop, maxRegress))
+		}
+		// Allocation gate. Baselines from before allocs_per_subject was
+		// recorded derive it from allocs/op over the baseline's run size.
+		prevAPS := prev.AllocsPerSubject
+		if prevAPS == 0 && prev.AllocsPerOp > 0 && old.SubjectsPerRun > 0 {
+			prevAPS = float64(prev.AllocsPerOp) / float64(old.SubjectsPerRun)
+		}
+		if prevAPS > 0 || prev.AllocsPerOp > 0 {
+			if limit := prevAPS*(1+maxRegress/100) + 0.05; res.AllocsPerSubject > limit {
+				bad = append(bad, fmt.Sprintf(
+					"engine=%s workers=%d trace=%v: %.4f -> %.4f allocs/subject (limit %.4f)",
+					engineKey(res.Engine), res.Workers, res.Trace,
+					prevAPS, res.AllocsPerSubject, limit))
+			}
 		}
 	}
 	return bad

@@ -25,6 +25,11 @@
 // and perturbs the run reproducibly — the same seed and spec give
 // bit-identical results at any worker count.
 //
+// Engine selection: -engine forces an engine path (interpreted, compiled,
+// analytic) instead of the default auto selection. Interpreted and compiled
+// results are bit-identical, so stdout never changes with the flag; the
+// resolved path is logged to stderr and recorded in -report output.
+//
 // Diagnostics: -report out.json writes a full-fidelity run report — seed,
 // canonical spec digest, worker counts, per-phase wall times, per-stage
 // failure attribution, fired fault rules, and engine metric deltas — after
@@ -75,6 +80,7 @@ func main() {
 	meter := flag.Bool("meter", false, "deploy a strength meter")
 	rationale := flag.Bool("rationale", false, "deploy rationale training")
 
+	engine := flag.String("engine", "", "engine path: auto (default), interpreted, compiled, or analytic")
 	traceOut := flag.String("trace", "", "write sampled subject traces to this JSONL file")
 	traceSample := flag.Int("trace-sample", 64, "subject traces to sample per run (with -trace)")
 	spansOut := flag.String("spans", "", "write the telemetry span tree to this JSON file")
@@ -139,9 +145,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	eng, err := scenario.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if eng != scenario.EngineAuto {
+		ctx = scenario.WithEngine(ctx, eng)
+	}
 
 	var rec *telemetry.Recorder
 	if *traceOut != "" {
@@ -170,10 +183,14 @@ func main() {
 		fatal(err)
 	}
 	must(res.Table().WriteText(os.Stdout))
+	// The engine path goes to stderr: stdout stays diffable across engines
+	// (interpreted and compiled output is bit-identical by contract).
+	fmt.Fprintf(os.Stderr, "hitl-sim: engine path: %s\n", res.EnginePath)
 
 	if col != nil {
 		rep := report.FromEngine(col.Reports())
 		rep.Scenario = res.Scenario
+		rep.EnginePath = res.EnginePath
 		rep.Seed = res.Spec.Seed
 		rep.N = res.Spec.N
 		if digest, derr := scenario.Canonical(res.Spec); derr == nil {

@@ -1,0 +1,560 @@
+package agent
+
+// Lowering: compile one encounter's stage models into a flat constant set
+// (StageParams) that evaluates a subject without a Receiver, without maps,
+// and without allocations — the input the sim package's compiled Program
+// consumes.
+//
+// The contract is bit-identity: StageParams.Eval must consume the exact
+// same rng draw sequence and produce the exact same Result as
+// Receiver.Process on a freshly Reset (and optionally Train-ed) receiver.
+// Floating-point addition is not associative, so the lowering only folds
+// subexpressions that Go's left-to-right evaluation already computes
+// adjacently (const+const, const*const); every term involving a
+// per-subject trait keeps its original position and operator order.
+// Encounters whose processing mutates receiver state in a way that feeds
+// back into the same encounter's probabilities — skill installation on
+// acquisition, delayed application (retention decay depends on each
+// subject's memory capacity, success rehearses the skill) — are refused
+// with ErrNotLowerable; callers fall back to the interpreted walk.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hitl/internal/comms"
+	"hitl/internal/gems"
+	"hitl/internal/population"
+)
+
+// ErrNotLowerable reports an encounter shape the compiler refuses: its
+// stage probabilities depend on receiver state that mutates during the
+// encounter, so only the interpreted Receiver walk reproduces it. Test
+// with errors.Is.
+var ErrNotLowerable = errors.New("agent: encounter not lowerable")
+
+// StageParams is a lowered encounter: every stage probability reduced to a
+// handful of precomputed constants plus coefficients on per-subject traits,
+// laid out flat so the per-subject evaluation touches one contiguous struct
+// and no maps. Build one with LowerEncounter.
+type StageParams struct {
+	// Delivery.
+	spoofed     bool    // interference spoofs the communication: immediate delivery failure
+	pDeliver    float64 // interference-surviving delivery fraction
+	dismissRace bool    // delayed, dismissible-by-primary-task warning
+	pSurvive    float64 // dismissal-race survival probability (const: env and design only)
+
+	blocking bool // failed maintenance/comprehension/acquisition reroutes to the heuristic path
+	primed   bool
+
+	// Attention switch.
+	noticeC      float64 // base + activeness + salience terms
+	noticeAcuity float64 // coefficient on (VisualAcuity - 0.8)
+	noticeLoadC  float64 // attention-load penalty term
+	noticePrimed float64 // primed boost
+	noticeFloor  float64 // blocking-warning notice floor
+
+	// Attention maintenance.
+	maintainA      float64 // base + activeness terms
+	maintainLenC   float64 // length penalty, scaled per subject by motivation
+	maintainLoadC  float64 // load penalty term
+	maintainPrimed float64 // 0.5 * primed boost
+
+	// Comprehension (two variants: accurate / inaccurate mental model).
+	compAB       float64 // base + clarity terms
+	compExpW     float64 // coefficient on expertise
+	compExplainC float64 // explanation term
+	compLookC    float64 // look-alike penalty, accurate mental model
+	compLookBadC float64 // look-alike penalty, inaccurate mental model
+	compShieldW  float64 // expertise shield coefficient
+	accurateAll  bool    // training forces an accurate mental model for every subject
+
+	// Knowledge acquisition.
+	acqC    float64 // base + instructions + skill terms
+	acqExpW float64 // coefficient on expertise
+
+	// Knowledge transfer (retention is always 1 for lowerable encounters).
+	transferOne  bool    // zero novelty: transfer is certain
+	transferC    float64 // novelty penalty minus interactivity term
+	transferExpW float64 // coefficient on expertise
+	novelty      float64
+
+	// Attitudes & beliefs.
+	trustFA        float64 // false-alarm trust factor (1 when the hazard is present)
+	beliefBase     float64
+	beliefTrustW   float64
+	beliefRiskW    float64
+	severity       float64
+	beliefExplainC float64
+	beliefSkillC   float64
+	beliefLookC    float64
+
+	// Motivation.
+	motBase   float64
+	motRiskW  float64
+	motCompW  float64
+	motActC   float64
+	motSkillC float64
+	motCostC  float64
+	motFocusW float64
+	passive   float64 // 1 - activeness
+
+	// Heuristic decision path.
+	heurBase   float64
+	heurRiskW  float64
+	heurTrustW float64
+	heurActC   float64
+	heurSkillC float64
+	heurLookC  float64
+	heurFocusW float64
+
+	// Capabilities.
+	missingTools bool
+	capMissing   float64
+	cogDemand    float64
+	cogSlack     float64
+	cogRange     float64 // 1 - cognitive slack
+	phyDemand    float64
+	phySlack     float64
+	phyRange     float64 // 1 - physical slack
+
+	// Behavior (GEMS).
+	steps    int
+	mistakeC float64 // 1 - plan soundness
+	gexecC   float64 // cue-quality + cognitive-demand terms of the execution gulf
+	lapseC   float64 // clamped per-step lapse base
+	slipC    float64 // clamped per-step slip base
+	gevalC   float64 // feedback + cognitive-demand terms of the evaluation gulf
+}
+
+// LowerEncounter compiles the encounter under model m (nil means the
+// default model) into a StageParams whose Eval is bit-identical to
+// Receiver.Process on a fresh receiver. trained reports that every subject
+// was pre-trained on e.Comm.Topic with the given skill (the Receiver.Train
+// shape); pass false and the zero Skill otherwise.
+//
+// It returns an error wrapping ErrNotLowerable for shapes whose
+// probabilities depend on receiver state mutated within the encounter:
+// training/policy communications (acquisition installs skills), delayed
+// application (retention decay and rehearsal), and trained skills older
+// than the encounter day (decay depends on per-subject memory capacity).
+func LowerEncounter(m *Model, e Encounter, trained bool, skill Skill) (*StageParams, error) {
+	if m == nil {
+		m = defaultModel()
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	(&e).withDefaults()
+
+	if e.Comm.Kind == comms.Training || e.Comm.Kind == comms.Policy {
+		return nil, fmt.Errorf("%w: %s communications install skills on acquisition", ErrNotLowerable, e.Comm.Kind)
+	}
+	if e.ApplyDelayDays != 0 {
+		return nil, fmt.Errorf("%w: delayed application engages retention and rehearsal dynamics", ErrNotLowerable)
+	}
+	if trained && e.Day > skill.AcquiredDay {
+		return nil, fmt.Errorf("%w: trained-skill decay depends on per-subject memory capacity", ErrNotLowerable)
+	}
+
+	d := e.Comm.Design
+	passive := 1 - d.Activeness
+	load := e.Env.AttentionLoad()
+	eff := e.Interference.Apply()
+
+	// Skill level at the encounter: zero untrained; at age zero the decay
+	// factor is exactly Exp(-0) == 1, so the trained level is Skill.Level.
+	skillC := 0.0
+	if trained {
+		skillC = skill.Level
+	}
+
+	sp := &StageParams{
+		spoofed:     eff.Spoofed,
+		pDeliver:    eff.DeliveredFraction,
+		dismissRace: d.DismissedByPrimaryTask,
+		blocking:    d.BlocksPrimaryTask,
+		primed:      e.Primed,
+
+		noticeC:      m.NoticeBase + m.NoticeActiveness*d.Activeness + m.NoticeSalience*d.Salience*passive,
+		noticeAcuity: m.NoticeAcuity,
+		noticeLoadC:  m.NoticeLoadPenalty * passive * load,
+		noticePrimed: m.PrimedBoost,
+		noticeFloor:  m.NoticeBlockFloor,
+
+		maintainA:      m.MaintainBase + m.MaintainActiveness*d.Activeness,
+		maintainLenC:   m.MaintainLengthPenalty * d.Length,
+		maintainLoadC:  m.MaintainLoadPenalty * load * (1 - d.Activeness),
+		maintainPrimed: 0.5 * m.PrimedBoost,
+
+		compAB:       m.CompBase + m.CompClarity*d.Clarity,
+		compExpW:     m.CompExpertise,
+		compExplainC: m.CompExplain * d.Explanation,
+		compLookC:    m.CompLookPenalty * d.LookAlike,
+		compLookBadC: (m.CompLookPenalty + m.CompLookPenaltyBad) * d.LookAlike,
+		compShieldW:  m.CompExpertiseShield,
+		accurateAll:  trained,
+
+		acqC:    m.AcqBase + m.AcqInstructions*d.InstructionSpecificity + m.AcqSkill*skillC,
+		acqExpW: m.AcqExpertise,
+
+		transferOne:  e.SituationNovelty == 0,
+		transferC:    m.TransferNoveltyPenalty - m.TransferInteractivity*d.Interactivity,
+		transferExpW: m.TransferExpertise,
+		novelty:      e.SituationNovelty,
+
+		trustFA:        1,
+		beliefBase:     m.BeliefBase,
+		beliefTrustW:   m.BeliefTrust,
+		beliefRiskW:    m.BeliefRisk,
+		severity:       e.Comm.Hazard.Severity,
+		beliefExplainC: m.BeliefExplain * d.Explanation,
+		beliefSkillC:   m.BeliefSkill * skillC,
+		beliefLookC:    m.BeliefLookPenalty * d.LookAlike,
+
+		motBase:   m.MotBase,
+		motRiskW:  m.MotRisk,
+		motCompW:  m.MotCompliance,
+		motActC:   m.MotActiveness * d.Activeness,
+		motSkillC: m.MotSkill * skillC,
+		motCostC:  m.MotCostPenalty * e.ComplianceCost,
+		motFocusW: m.MotFocusPenalty,
+		passive:   1 - d.Activeness,
+
+		heurBase:   m.HeurBase,
+		heurRiskW:  m.HeurRisk,
+		heurTrustW: m.HeurTrust,
+		heurActC:   m.HeurActiveness * d.Activeness,
+		heurSkillC: m.HeurSkill * skillC,
+		heurLookC:  m.HeurLookPenalty * d.LookAlike,
+		heurFocusW: m.HeurFocusPenalty,
+
+		missingTools: e.MissingTools,
+		capMissing:   m.CapMissingTools,
+		cogDemand:    e.Task.CognitiveDemand,
+		cogSlack:     m.CapCognitiveSlack,
+		cogRange:     1 - m.CapCognitiveSlack,
+		phyDemand:    e.Task.PhysicalDemand,
+		phySlack:     m.CapPhysicalSlack,
+		phyRange:     1 - m.CapPhysicalSlack,
+
+		steps:    e.Task.Steps,
+		mistakeC: 1 - e.Task.PlanSoundness,
+		gexecC:   0.55*(1-e.Task.CueQuality) + 0.25*e.Task.CognitiveDemand,
+		lapseC:   clamp01(0.02 + 0.08*(1-e.Task.CueQuality)),
+		slipC:    clamp01(0.01 + 0.07*(1-e.Task.ControlClarity) + 0.05*e.Task.PhysicalDemand),
+		gevalC:   0.7*(1-e.Task.FeedbackQuality) + 0.15*e.Task.CognitiveDemand,
+	}
+	if !e.HazardPresent {
+		// A noticed false positive increments the topic's false-alarm count
+		// before any stage reads trust, so every post-notice trust read sees
+		// exactly one false alarm.
+		sp.trustFA = math.Exp(-m.FPTrustDecay * 1.0)
+	}
+	// Dismissal race: every factor is design- or environment-constant.
+	if sp.dismissRace {
+		delay := d.DelaySeconds + eff.AddedDelaySeconds
+		sp.pSurvive = 1 - m.DismissRaceFactor*e.Env.PrimaryTaskPressure*math.Min(1, delay/5)
+	}
+	return sp, nil
+}
+
+// Per-subject stage probabilities. Each helper mirrors the corresponding
+// Receiver method term by term: constants were folded only where the
+// original expression already evaluated them adjacently, so the float
+// operation sequence — and therefore the result bits — are identical.
+
+func (sp *StageParams) pNotice(prof *population.Profile) float64 {
+	p := sp.noticeC + sp.noticeAcuity*(prof.VisualAcuity-0.8) - sp.noticeLoadC
+	if sp.primed {
+		p += sp.noticePrimed
+	}
+	p = clamp01(p)
+	// Habituation: a fresh receiver has zero exposures, so the factor is
+	// exactly Exp(-0) == 1; the multiply is dropped.
+	if sp.blocking && p < sp.noticeFloor {
+		p = sp.noticeFloor
+	}
+	return clamp01(p)
+}
+
+func (sp *StageParams) pMaintain(prof *population.Profile) float64 {
+	motivation := 0.5*prof.RiskPerception + 0.5*(1-prof.PrimaryTaskFocus)
+	p := sp.maintainA - sp.maintainLenC*(1-0.5*motivation) - sp.maintainLoadC
+	if sp.primed {
+		p += sp.maintainPrimed
+	}
+	return clamp01(p)
+}
+
+func (sp *StageParams) pComprehend(exp float64, accurate bool) float64 {
+	look := sp.compLookC
+	if !accurate {
+		look = sp.compLookBadC
+	}
+	p := sp.compAB + sp.compExpW*exp + sp.compExplainC - look*(1-sp.compShieldW*exp)
+	return clamp01(p)
+}
+
+func (sp *StageParams) pAcquire(exp float64) float64 {
+	return clamp01(sp.acqC + sp.acqExpW*exp)
+}
+
+func (sp *StageParams) pTransfer(exp float64) float64 {
+	if sp.transferOne {
+		return 1
+	}
+	penalty := sp.transferC - sp.transferExpW*exp
+	if penalty < 0 {
+		penalty = 0
+	}
+	return clamp01(1 - sp.novelty*penalty)
+}
+
+func (sp *StageParams) pBelieve(prof *population.Profile, trust float64) float64 {
+	p := sp.beliefBase +
+		sp.beliefTrustW*trust +
+		sp.beliefRiskW*prof.RiskPerception*sp.severity +
+		sp.beliefExplainC +
+		sp.beliefSkillC -
+		sp.beliefLookC
+	return clamp01(p)
+}
+
+func (sp *StageParams) pMotivate(prof *population.Profile) float64 {
+	p := sp.motBase +
+		sp.motRiskW*prof.RiskPerception*sp.severity +
+		sp.motCompW*prof.ComplianceTendency +
+		sp.motActC +
+		sp.motSkillC -
+		sp.motCostC -
+		sp.motFocusW*prof.PrimaryTaskFocus*sp.passive
+	return clamp01(p)
+}
+
+func (sp *StageParams) pHeuristic(prof *population.Profile, trust float64) float64 {
+	p := sp.heurBase +
+		sp.heurRiskW*prof.RiskPerception +
+		sp.heurTrustW*trust +
+		sp.heurActC +
+		sp.heurSkillC -
+		sp.heurLookC -
+		sp.heurFocusW*prof.PrimaryTaskFocus*sp.passive
+	return clamp01(p)
+}
+
+func (sp *StageParams) pCapable(prof *population.Profile, exp float64) float64 {
+	if sp.missingTools {
+		return sp.capMissing
+	}
+	cog := clamp01(1 - 1.2*math.Max(0, sp.cogDemand-(sp.cogSlack+sp.cogRange*exp)))
+	phy := clamp01(1 - 1.2*math.Max(0, sp.phyDemand-(sp.phySlack+sp.phyRange*prof.MotorSkill)))
+	return cog * phy
+}
+
+// Eval runs one subject through the lowered pipeline, consuming rng draws
+// in exactly the order Receiver.Process does and returning the identical
+// Result (Trace is never materialized — the compiled path exists for
+// trace-off bulk runs). The profile is taken by pointer only to keep the
+// call cheap; it is not retained or mutated.
+func (sp *StageParams) Eval(rng *rand.Rand, prof *population.Profile) Result {
+	res := Result{FailedStage: StageNone, ErrorClass: gems.NoError}
+
+	// --- Communication impediments (delivery). ---
+	if sp.spoofed {
+		res.Spoofed = true
+		res.FailedStage = StageDelivery
+		return res
+	}
+	if !(rng.Float64() < sp.pDeliver) {
+		res.FailedStage = StageDelivery
+		return res
+	}
+	if sp.dismissRace && !(rng.Float64() < sp.pSurvive) {
+		res.FailedStage = StageDelivery
+		return res
+	}
+
+	// --- Attention switch. ---
+	if !(rng.Float64() < sp.pNotice(prof)) {
+		res.FailedStage = StageAttentionSwitch
+		return res
+	}
+
+	// Expertise and trust are pure functions of the profile; computing them
+	// once up front matches every later use bit for bit.
+	exp := 0.4*prof.TechExpertise + 0.6*prof.SecurityKnowledge
+	trust := prof.TrustInSecurityUI * sp.trustFA
+
+	// --- Attention maintenance. ---
+	if !(rng.Float64() < sp.pMaintain(prof)) {
+		if sp.blocking {
+			goto heuristic
+		}
+		res.FailedStage = StageAttentionMaintenance
+		return res
+	}
+
+	// --- Comprehension. ---
+	if !(rng.Float64() < sp.pComprehend(exp, sp.accurateAll || prof.AccurateMentalModel)) {
+		if sp.blocking {
+			goto heuristic
+		}
+		res.FailedStage = StageComprehension
+		return res
+	}
+
+	// --- Knowledge acquisition. ---
+	// Lowerable kinds never install skills, so acquisition has no side
+	// effects to replay.
+	if !(rng.Float64() < sp.pAcquire(exp)) {
+		if sp.blocking {
+			goto heuristic
+		}
+		res.FailedStage = StageKnowledgeAcquisition
+		return res
+	}
+
+	// --- Application: retention (always certain here) and transfer. ---
+	if !(rng.Float64() < 1.0) { // PRetain == 1 at zero apply delay; the draw is still consumed
+		res.FailedStage = StageKnowledgeRetention
+		return res
+	}
+	if !(rng.Float64() < sp.pTransfer(exp)) {
+		res.FailedStage = StageKnowledgeTransfer
+		return res
+	}
+
+	// --- Intentions. ---
+	if !(rng.Float64() < sp.pBelieve(prof, trust)) {
+		res.FailedStage = StageAttitudesBeliefs
+		return res
+	}
+	if !(rng.Float64() < sp.pMotivate(prof)) {
+		res.FailedStage = StageMotivation
+		return res
+	}
+
+	// --- Capabilities. ---
+	if !(rng.Float64() < sp.pCapable(prof, exp)) {
+		res.FailedStage = StageCapabilities
+		return res
+	}
+
+	// --- Behavior (GEMS), inlined from gems.Perform. ---
+	if rng.Float64() < clamp01(sp.mistakeC*(1-0.7*exp)) {
+		res.ErrorClass = gems.Mistake
+		res.FailedStage = StageBehavior
+		return res
+	}
+	if rng.Float64() < clamp01(sp.gexecC-0.25*exp-0.1*prof.SelfEfficacy)*0.5 {
+		res.ErrorClass = gems.ExecutionGulf
+		res.FailedStage = StageBehavior
+		return res
+	}
+	{
+		perStepLapse := sp.lapseC * (1 - 0.4*prof.MemoryCapacity)
+		perStepSlip := sp.slipC * (1 - 0.4*prof.MotorSkill)
+		for s := 0; s < sp.steps; s++ {
+			if rng.Float64() < perStepLapse {
+				res.ErrorClass = gems.Lapse
+				res.FailedStage = StageBehavior
+				return res
+			}
+			if rng.Float64() < perStepSlip {
+				res.ErrorClass = gems.Slip
+				res.FailedStage = StageBehavior
+				return res
+			}
+		}
+	}
+	if rng.Float64() < clamp01(sp.gevalC-0.2*exp) {
+		// Completed but unverifiable: heeded, evaluation-gulf class.
+		res.ErrorClass = gems.EvaluationGulf
+		res.Heeded = true
+		res.Unverified = true
+		return res
+	}
+	res.Heeded = true
+	return res
+
+heuristic:
+	// A blocking communication the user did not fully process still gets
+	// disposed of somehow; the low-information decision drives the outcome.
+	res.HeuristicPath = true
+	if rng.Float64() < sp.pHeuristic(prof, trust) {
+		res.Heeded = true
+		res.FailedStage = StageNone
+		return res
+	}
+	res.FailedStage = StageBehavior
+	return res
+}
+
+// StageProbs is the full per-subject probability vector of a lowered
+// encounter — every threshold Eval would sample against, in pipeline
+// order. The analytic engine consumes it to propagate probability mass in
+// closed form instead of sampling.
+type StageProbs struct {
+	Spoofed  bool
+	Blocking bool
+	Steps    int
+
+	Deliver    float64
+	Survive    float64 // 1 when no dismissal race applies
+	Notice     float64
+	Maintain   float64
+	Comprehend float64
+	Acquire    float64
+	Retain     float64 // always 1 for lowerable encounters
+	Transfer   float64
+	Believe    float64
+	Motivate   float64
+	Capable    float64
+	Heuristic  float64
+
+	// Behavior-stage (GEMS) event probabilities, in draw order. ExecGulf
+	// already includes the 0.5 scaling applied at the sampling site.
+	Mistake  float64
+	ExecGulf float64
+	Lapse    float64 // per step
+	Slip     float64 // per step
+	EvalGulf float64
+}
+
+// Probabilities computes every stage threshold for one profile, using the
+// identical arithmetic Eval samples against.
+func (sp *StageParams) Probabilities(prof *population.Profile) StageProbs {
+	exp := 0.4*prof.TechExpertise + 0.6*prof.SecurityKnowledge
+	trust := prof.TrustInSecurityUI * sp.trustFA
+	pr := StageProbs{
+		Spoofed:  sp.spoofed,
+		Blocking: sp.blocking,
+		Steps:    sp.steps,
+
+		Deliver:    sp.pDeliver,
+		Survive:    1,
+		Notice:     sp.pNotice(prof),
+		Maintain:   sp.pMaintain(prof),
+		Comprehend: sp.pComprehend(exp, sp.accurateAll || prof.AccurateMentalModel),
+		Acquire:    sp.pAcquire(exp),
+		Retain:     1,
+		Transfer:   sp.pTransfer(exp),
+		Believe:    sp.pBelieve(prof, trust),
+		Motivate:   sp.pMotivate(prof),
+		Capable:    sp.pCapable(prof, exp),
+		Heuristic:  sp.pHeuristic(prof, trust),
+
+		Mistake:  clamp01(sp.mistakeC * (1 - 0.7*exp)),
+		ExecGulf: clamp01(sp.gexecC-0.25*exp-0.1*prof.SelfEfficacy) * 0.5,
+		Lapse:    sp.lapseC * (1 - 0.4*prof.MemoryCapacity),
+		Slip:     sp.slipC * (1 - 0.4*prof.MotorSkill),
+		EvalGulf: clamp01(sp.gevalC - 0.2*exp),
+	}
+	if sp.dismissRace {
+		pr.Survive = sp.pSurvive
+	}
+	return pr
+}

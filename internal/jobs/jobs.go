@@ -91,13 +91,19 @@ type Event struct {
 // has Workers zeroed — parallelism cannot change results, so content
 // addressed by digest means byte-identical at any worker count.
 type ResultEnvelope struct {
-	ID       string                   `json:"id"`
-	Scenario string                   `json:"scenario"`
-	Spec     scenario.Spec            `json:"spec"`
-	Points   []scenario.Point         `json:"points"`
-	Metrics  map[string]float64       `json:"metrics"`
-	Text     string                   `json:"text"`
-	Trace    []telemetry.SubjectTrace `json:"trace,omitempty"`
+	ID       string        `json:"id"`
+	Scenario string        `json:"scenario"`
+	Spec     scenario.Spec `json:"spec"`
+	// Engine records which engine path produced the points (interpreted,
+	// compiled, or analytic). Engine selection is deterministic in the
+	// normalized spec, so the field is part of the content-addressed
+	// bytes like everything else. Absent in envelopes stored before
+	// engine paths existed.
+	Engine  string                   `json:"engine,omitempty"`
+	Points  []scenario.Point         `json:"points"`
+	Metrics map[string]float64       `json:"metrics"`
+	Text    string                   `json:"text"`
+	Trace   []telemetry.SubjectTrace `json:"trace,omitempty"`
 }
 
 // Status is a job's externally visible state snapshot.
@@ -535,7 +541,7 @@ func (m *Manager) run(j *Job, norm scenario.Spec, opts SubmitOptions) {
 		// Failed jobs still explain themselves: the report (with per-run
 		// errors and flags) is attached in memory, just not persisted —
 		// a failed job is replaced by the next submission attempt.
-		reportBody, reportMeta := encodeReport(m.buildReport(j, norm, opts, col, before))
+		reportBody, reportMeta := encodeReport(m.buildReport(j, norm, opts, col, before, ""))
 		telemetry.Flight.Record(telemetry.EventJobFailed, j.ID+": "+err.Error())
 		j.mu.Lock()
 		j.state = StateFailed
@@ -550,6 +556,7 @@ func (m *Manager) run(j *Job, norm scenario.Spec, opts SubmitOptions) {
 		ID:       j.ID,
 		Scenario: res.Scenario,
 		Spec:     res.Spec,
+		Engine:   res.EnginePath,
 		Points:   res.Points,
 		Metrics:  res.Metrics(),
 		Text:     renderText(res),
@@ -573,7 +580,7 @@ func (m *Manager) run(j *Job, norm scenario.Spec, opts SubmitOptions) {
 	body = append(body, '\n')
 
 	meta := store.Meta{Key: j.ID, SHA256: bodySHA(body), Size: int64(len(body))}
-	reportBody, reportMeta := encodeReport(m.buildReport(j, norm, opts, col, before))
+	reportBody, reportMeta := encodeReport(m.buildReport(j, norm, opts, col, before, res.EnginePath))
 	if m.cfg.Store != nil {
 		// Persist before announcing completion, so a client that sees
 		// "complete" can always read the result — even across a restart
@@ -611,11 +618,16 @@ func (m *Manager) run(j *Job, norm scenario.Spec, opts SubmitOptions) {
 // the request-level context, canonicalized so the persisted bytes are
 // bit-identical at any worker count (like the result envelope's zeroed
 // Spec.Workers).
-func (m *Manager) buildReport(j *Job, norm scenario.Spec, opts SubmitOptions, col *sim.ReportCollector, before telemetry.MetricsSnapshot) report.RunReport {
+func (m *Manager) buildReport(j *Job, norm scenario.Spec, opts SubmitOptions, col *sim.ReportCollector, before telemetry.MetricsSnapshot, enginePath string) report.RunReport {
 	rep := report.FromEngine(col.Reports())
 	rep.JobID = j.ID
 	rep.SpecDigest = opts.SpecDigest
 	rep.Scenario = norm.Scenario
+	if enginePath != "" {
+		// The scenario-level path is authoritative: analytic runs execute
+		// zero engine runs, so the collector alone cannot name them.
+		rep.EnginePath = enginePath
+	}
 	rep.Seed = norm.Seed
 	rep.N = norm.N
 	if opts.Degraded {

@@ -137,6 +137,29 @@ func (s Study) Run(ctx context.Context) (StudyResult, error) {
 	return StudyResult{Condition: s.Condition.Name, Run: res}, nil
 }
 
+// Compile lowers the study into a sim.Program: the same population,
+// encounter, and training its Run evaluates per subject, folded once into
+// flat stage thresholds. RunProgram on the result is bit-identical to Run
+// (the compiled evaluator replays the exact per-subject draw sequence).
+// It returns an error wrapping sim.ErrNotCompilable for shapes only the
+// interpreter reproduces.
+func (s Study) Compile() (*sim.Program, error) {
+	(&s).setDefaults()
+	if err := s.Condition.Warning.Validate(); err != nil {
+		return nil, fmt.Errorf("phishing: %w", err)
+	}
+	enc := agent.Encounter{
+		Comm:          s.Condition.Warning,
+		Env:           s.Env,
+		Interference:  s.Condition.Interference,
+		HazardPresent: true,
+		Task:          gems.LeaveSuspiciousSite(),
+	}
+	return sim.NewProgram(s.Population, nil, enc, s.Condition.PreTrained, agent.Skill{
+		Level: 0.85, Interactivity: 0.85, AcquiredDay: 0,
+	})
+}
+
 // CompareConditions runs the same study over multiple conditions with
 // derived seeds and returns results in input order.
 func CompareConditions(ctx context.Context, seed int64, n int, conds []Condition) ([]StudyResult, error) {

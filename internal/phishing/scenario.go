@@ -68,7 +68,32 @@ func (studyScenario) Params() []scenario.Param {
 	}
 }
 
-func (studyScenario) Run(ctx context.Context, inst scenario.Instance) ([]scenario.Point, error) {
+func (s studyScenario) Run(ctx context.Context, inst scenario.Instance) ([]scenario.Point, error) {
+	conds, err := s.conditions(inst)
+	if err != nil {
+		return nil, err
+	}
+	results, err := RunConditions(ctx, inst.Population, inst.Seed, inst.N, inst.Workers, conds)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]scenario.Point, len(results))
+	for i, r := range results {
+		pts[i] = scenario.Point{
+			Label:  r.Condition,
+			Run:    r.Run,
+			Values: map[string]float64{"heed_rate": r.HeedRate()},
+		}
+	}
+	return pts, nil
+}
+
+// conditions resolves the instance's experimental arms — shared by Run
+// and Compile so compiled units mirror interpreted points one-to-one.
+// Mitigations compose in the E2 ablation order: distinct look first, then
+// the explanation, then training — names stack accordingly (e.g.
+// "ie-active+distinct+why+training").
+func (studyScenario) conditions(inst scenario.Instance) ([]Condition, error) {
 	var conds []Condition
 	if w := inst.Params.Str("warning"); w == "all" {
 		conds = StandardConditions()
@@ -84,9 +109,6 @@ func (studyScenario) Run(ctx context.Context, inst scenario.Instance) ([]scenari
 			return nil, fmt.Errorf("phishing: no study condition %q", w)
 		}
 	}
-	// Mitigations compose in the E2 ablation order: distinct look first,
-	// then the explanation, then training — names stack accordingly
-	// (e.g. "ie-active+distinct+why+training").
 	for i := range conds {
 		if inst.Params.Bool("distinct") {
 			conds[i] = WithDistinctLook(conds[i])
@@ -98,19 +120,27 @@ func (studyScenario) Run(ctx context.Context, inst scenario.Instance) ([]scenari
 			conds[i] = WithTraining(conds[i])
 		}
 	}
-	results, err := RunConditions(ctx, inst.Population, inst.Seed, inst.N, inst.Workers, conds)
+	return conds, nil
+}
+
+// Compile lowers the study instance to one compiled program per
+// condition, with the same labels and derived per-condition seeds
+// (inst.Seed + i*7919) Run uses, implementing scenario.Compiler.
+func (s studyScenario) Compile(inst scenario.Instance) ([]scenario.ProgramUnit, error) {
+	conds, err := s.conditions(inst)
 	if err != nil {
 		return nil, err
 	}
-	pts := make([]scenario.Point, len(results))
-	for i, r := range results {
-		pts[i] = scenario.Point{
-			Label:  r.Condition,
-			Run:    r.Run,
-			Values: map[string]float64{"heed_rate": r.HeedRate()},
+	units := make([]scenario.ProgramUnit, len(conds))
+	for i, c := range conds {
+		seed := inst.Seed + int64(i)*7919
+		prog, err := Study{Condition: c, Population: inst.Population, N: inst.N, Seed: seed}.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("condition %s: %w", c.Name, err)
 		}
+		units[i] = scenario.ProgramUnit{Label: c.Name, Seed: seed, Prog: prog}
 	}
-	return pts, nil
+	return units, nil
 }
 
 // campaignScenario adapts Campaign to the scenario layer.

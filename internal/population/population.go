@@ -212,6 +212,33 @@ func (s Spec) AccurateModelFraction() float64 {
 	return s.ExpertFraction + s.AccurateModelBase*(1-s.ExpertFraction)
 }
 
+// MeanField collapses the population to its degenerate mean-field version:
+// every trait distribution keeps its mean with zero spread, the expert
+// subpopulation is dropped, and the mental-model coin is replaced by its
+// majority outcome. Sampling the result consumes the exact draw sequence
+// Sample always does, but every subject comes out with identical traits
+// (only Age still varies, and no stage model reads Age) — which is the
+// i.i.d.-Bernoulli shape the analytic engine solves in closed form.
+func (s Spec) MeanField() Spec {
+	out := s
+	out.Name = s.Name + "-mean"
+	for _, t := range []*Trait{
+		&out.Education, &out.TechExpertise, &out.SecurityKnowledge,
+		&out.MemoryCapacity, &out.VisualAcuity, &out.MotorSkill,
+		&out.RiskPerception, &out.TrustInSecurityUI, &out.SelfEfficacy,
+		&out.PrimaryTaskFocus, &out.ComplianceTendency,
+	} {
+		t.SD = 0
+	}
+	out.ExpertFraction = 0
+	if s.AccurateModelFraction() >= 0.5 {
+		out.AccurateModelBase = 1
+	} else {
+		out.AccurateModelBase = 0
+	}
+	return out
+}
+
 // Sample draws a single profile from the spec.
 func (s Spec) Sample(rng *rand.Rand) Profile {
 	p := Profile{
@@ -320,7 +347,7 @@ func Novices() Spec {
 // Presets returns the built-in population presets keyed by name. The map
 // is freshly allocated; callers may mutate it.
 func Presets() map[string]Spec {
-	list := []Spec{GeneralPublic(), Enterprise(), Experts(), Novices()}
+	list := []Spec{GeneralPublic(), Enterprise(), Experts(), Novices(), GeneralPublic().MeanField()}
 	m := make(map[string]Spec, len(list))
 	for _, s := range list {
 		m[s.Name] = s

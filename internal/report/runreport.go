@@ -34,6 +34,14 @@ type RunReport struct {
 	// SpecDigest is the canonical spec digest (scenario.Canonical).
 	SpecDigest string `json:"spec_digest,omitempty"`
 	Scenario   string `json:"scenario,omitempty"`
+	// EnginePath records which engine answered the run: "interpreted",
+	// "compiled", "analytic" (closed form, no engine runs at all), or
+	// "mixed" when folded engine runs took different paths. FromEngine
+	// derives it from the engine reports; layers that know the
+	// scenario-level path (which covers analytic runs, invisible to the
+	// collector) overwrite it with that. Engine selection is deterministic
+	// in the spec, so the field survives canonicalization.
+	EnginePath string `json:"engine_path,omitempty"`
 	Seed       int64  `json:"seed"`
 	// N is the subject count per engine run that executed; RequestedN is
 	// the pre-clamp count when degraded mode reduced it (0 otherwise).
@@ -99,6 +107,9 @@ func FromEngine(runs []sim.EngineReport) RunReport {
 			r.N = er.N
 			r.Workers = er.RequestedWorkers
 			r.EffectiveWorkers = er.EffectiveWorkers
+			r.EnginePath = er.Path
+		} else if er.Path != r.EnginePath {
+			r.EnginePath = "mixed"
 		}
 		r.Subjects += er.Completed
 		r.Phases.Add(er.Phases)

@@ -1,0 +1,173 @@
+package scenario_test
+
+// Engine-selection tests: the compiled path must be invisible in results
+// (bit-identical points to the interpreter for every example spec, at any
+// worker count), refusals must fall back silently, and the analytic path
+// must answer eligible specs with zero Monte Carlo work.
+
+import (
+	"context"
+	"math"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"hitl/internal/scenario"
+	_ "hitl/internal/scenario/all"
+	"hitl/internal/sim"
+	"hitl/internal/telemetry"
+)
+
+// runEngineSpec runs a spec under a forced engine path and returns the
+// result with Workers canonicalized for comparison.
+func runEngineSpec(t *testing.T, spec scenario.Spec, eng scenario.Engine, workers int) *scenario.Result {
+	t.Helper()
+	spec.Workers = workers
+	ctx := scenario.WithEngine(context.Background(), eng)
+	res, err := scenario.Run(ctx, spec)
+	if err != nil {
+		t.Fatalf("engine=%s workers=%d: %v", eng, workers, err)
+	}
+	res.Spec.Workers = 0
+	return res
+}
+
+// TestExamplesEngineBitIdentity forces every example spec down the
+// interpreted and the compiled path, across seeds and worker counts, and
+// requires identical points. Scenarios (or shapes) the compiler refuses
+// must fall back to the interpreter silently — the forced-compiled run
+// then IS the interpreted run, and the comparison still holds.
+func TestExamplesEngineBitIdentity(t *testing.T) {
+	entries, err := os.ReadDir(examplesDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerCounts := []int{1, 4, runtime.NumCPU()}
+	for _, e := range entries {
+		t.Run(e.Name(), func(t *testing.T) {
+			base := readExample(t, e.Name())
+			for _, seed := range []int64{base.Seed, base.Seed + 101} {
+				spec := base
+				spec.Seed = seed
+				interp := runEngineSpec(t, spec, scenario.EngineInterpreted, 1)
+				if interp.EnginePath != sim.EngineInterpreted {
+					t.Fatalf("forced interpreted ran %q", interp.EnginePath)
+				}
+				for _, workers := range workerCounts {
+					comp := runEngineSpec(t, spec, scenario.EngineCompiled, workers)
+					if !reflect.DeepEqual(interp.Points, comp.Points) {
+						t.Fatalf("seed=%d workers=%d: compiled points diverge from interpreted\ninterpreted: %+v\ncompiled:    %+v",
+							seed, workers, interp.Points, comp.Points)
+					}
+					if comp.EnginePath != sim.EngineCompiled && comp.EnginePath != sim.EngineInterpreted {
+						t.Fatalf("seed=%d workers=%d: unexpected engine path %q", seed, workers, comp.EnginePath)
+					}
+				}
+			}
+		})
+	}
+
+	// The phishing study must actually take the compiled path — a silent
+	// universal fallback would render the corpus comparison vacuous.
+	spec := readExample(t, "phishing-study.json")
+	if got := runEngineSpec(t, spec, scenario.EngineCompiled, 1).EnginePath; got != sim.EngineCompiled {
+		t.Fatalf("phishing-study forced compiled ran %q", got)
+	}
+	if got := runEngineSpec(t, spec, scenario.EngineAuto, 1).EnginePath; got != sim.EngineCompiled {
+		t.Fatalf("phishing-study auto ran %q, want compiled", got)
+	}
+}
+
+// TestAnalyticEngineZeroMonteCarlo pins the analytic fast path's core
+// promise: an eligible spec is answered in closed form — no engine runs
+// at all — and the answer matches the compiled Monte Carlo within
+// binomial tolerance.
+func TestAnalyticEngineZeroMonteCarlo(t *testing.T) {
+	const n = 20000
+	spec := readExample(t, "phishing-study-mean.json")
+	spec.N = n
+
+	col := sim.NewReportCollector()
+	ctx := sim.WithReportCollector(context.Background(), col)
+	res, err := scenario.Run(ctx, spec) // EngineAuto picks analytic
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnginePath != sim.EngineAnalytic {
+		t.Fatalf("auto on a mean-field spec ran %q, want analytic", res.EnginePath)
+	}
+	if got := len(col.Reports()); got != 0 {
+		t.Fatalf("analytic run executed %d Monte Carlo engine runs, want 0", got)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range res.Points {
+		if p.Run != nil {
+			t.Fatalf("analytic point %s carries a simulation result", p.Label)
+		}
+		if _, ok := p.Values["heed_rate"]; !ok {
+			t.Fatalf("analytic point %s has no heed_rate", p.Label)
+		}
+	}
+
+	// Forced analytic agrees with auto; compiled Monte Carlo agrees with
+	// the closed form within 4-sigma binomial tolerance per condition.
+	forced := runEngineSpec(t, spec, scenario.EngineAnalytic, 1)
+	if !reflect.DeepEqual(res.Points, forced.Points) {
+		t.Fatal("forced analytic differs from auto analytic")
+	}
+	mc := runEngineSpec(t, spec, scenario.EngineCompiled, 1)
+	if mc.EnginePath != sim.EngineCompiled {
+		t.Fatalf("forced compiled on mean-field spec ran %q", mc.EnginePath)
+	}
+	for i, p := range res.Points {
+		exact := p.Values["heed_rate"]
+		got := mc.Points[i].Values["heed_rate"]
+		tol := math.Max(4*math.Sqrt(exact*(1-exact)/n), 20.0/n)
+		if math.Abs(got-exact) > tol {
+			t.Errorf("%s: Monte Carlo heed %v vs analytic %v (tol %v)", p.Label, got, exact, tol)
+		}
+	}
+}
+
+// TestEngineStrictAndFallbackRules pins the selection semantics around
+// refusals: forced analytic is strict, forced compiled falls back
+// silently, and per-subject observation (trace recorders) forces the
+// interpreter under auto.
+func TestEngineStrictAndFallbackRules(t *testing.T) {
+	diverse := scenario.Spec{Scenario: "phishing-study", N: 200, Seed: 3}
+	ctx := scenario.WithEngine(context.Background(), scenario.EngineAnalytic)
+	if _, err := scenario.Run(ctx, diverse); err == nil {
+		t.Error("forced analytic on a diverse population: want error, got nil")
+	}
+
+	campaign := scenario.Spec{Scenario: "phishing-campaign", N: 100, Seed: 3,
+		Params: map[string]any{"days": 5}}
+	if _, err := scenario.Run(ctx, campaign); err == nil {
+		t.Error("forced analytic on a non-compilable scenario: want error, got nil")
+	}
+	res := runEngineSpec(t, campaign, scenario.EngineCompiled, 1)
+	if res.EnginePath != sim.EngineInterpreted {
+		t.Errorf("forced compiled on a non-compilable scenario ran %q, want silent interpreted fallback", res.EnginePath)
+	}
+
+	// A trace recorder needs real interpreted subjects; auto must yield.
+	study := readExample(t, "phishing-study.json")
+	rctx := telemetry.WithRecorder(context.Background(), telemetry.NewRecorder(4, study.Seed))
+	traced, err := scenario.Run(rctx, study)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.EnginePath != sim.EngineInterpreted {
+		t.Errorf("auto with a recorder ran %q, want interpreted", traced.EnginePath)
+	}
+
+	if _, err := scenario.ParseEngine("warp"); err == nil {
+		t.Error("ParseEngine accepted an unknown engine")
+	}
+	if eng, err := scenario.ParseEngine(""); err != nil || eng != scenario.EngineAuto {
+		t.Errorf("ParseEngine(\"\") = %v, %v; want auto", eng, err)
+	}
+}

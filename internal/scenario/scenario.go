@@ -106,6 +106,11 @@ type Result struct {
 	Scenario string
 	// Spec is the normalized spec the run executed (defaults applied).
 	Spec Spec
+	// EnginePath records which engine produced the points: "interpreted",
+	// "compiled", "analytic", or "mixed" when sweep steps split (only
+	// possible under EngineAuto). Interpreted and compiled results are
+	// bit-identical, so the path is diagnostic, not semantic.
+	EnginePath string
 	// Points holds one entry per condition and sweep step, in order.
 	Points []Point
 }

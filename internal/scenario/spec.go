@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"hitl/internal/population"
+	"hitl/internal/sim"
 	"hitl/internal/telemetry"
 )
 
@@ -323,6 +324,12 @@ func RunObserved(ctx context.Context, spec Spec, obs Observer) (*Result, error) 
 	spanCtx, span := telemetry.StartSpan(ctx, "scenario",
 		telemetry.String("name", norm.Scenario))
 	defer span.End()
+	// Tag every engine run under this scenario with the canonical spec
+	// digest, so CPU profiles (hitl_tag label) attribute subject-loop
+	// samples to this exact run.
+	if digest, err := Canonical(norm); err == nil {
+		spanCtx = sim.WithRunTag(spanCtx, digest)
+	}
 
 	base := Instance{
 		Population: pop,
@@ -334,12 +341,14 @@ func RunObserved(ctx context.Context, spec Spec, obs Observer) (*Result, error) 
 	res := &Result{Scenario: norm.Scenario, Spec: norm}
 
 	if norm.Sweep == nil {
-		pts, err := sc.Run(spanCtx, base)
+		pts, path, err := runEngine(spanCtx, sc, base)
 		if err != nil {
 			span.SetAttr("error", err.Error())
 			return nil, fmt.Errorf("scenario %s: %w", norm.Scenario, err)
 		}
 		res.Points = pts
+		res.EnginePath = path
+		span.SetAttr("engine", path)
 		if obs != nil {
 			obs(1, 1, pts)
 		}
@@ -358,11 +367,12 @@ func RunObserved(ctx context.Context, spec Spec, obs Observer) (*Result, error) 
 		}
 		inst.Params[param] = val
 		inst.Seed = norm.Seed + int64(i)*stride
-		pts, err := sc.Run(spanCtx, inst)
+		pts, path, err := runEngine(spanCtx, sc, inst)
 		if err != nil {
 			span.SetAttr("error", err.Error())
 			return nil, fmt.Errorf("scenario %s: sweep %s=%v: %w", norm.Scenario, param, v, err)
 		}
+		res.EnginePath = foldEnginePath(res.EnginePath, path)
 		stepStart := len(res.Points)
 		for _, p := range pts {
 			p.Param = v

@@ -46,6 +46,10 @@ type resultCache struct {
 type cacheEntry struct {
 	key  string
 	body []byte
+	// engine records which engine path produced the body (scenario runs
+	// only; empty elsewhere), so cache hits can re-serve the X-Engine
+	// header the original computation sent.
+	engine string
 }
 
 func newResultCache(max int, maxBytes int64) *resultCache {
@@ -57,23 +61,26 @@ func newResultCache(max int, maxBytes int64) *resultCache {
 	}
 }
 
-// get returns the cached body for key, promoting it to most recently used.
-func (c *resultCache) get(key string) ([]byte, bool) {
+// get returns the cached body and engine marker for key, promoting it to
+// most recently used.
+func (c *resultCache) get(key string) (body []byte, engine string, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
+	el, found := c.items[key]
+	if !found {
 		c.misses.Add(1)
-		return nil, false
+		return nil, "", false
 	}
 	c.ll.MoveToFront(el)
 	c.hits.Add(1)
-	return el.Value.(*cacheEntry).body, true
+	e := el.Value.(*cacheEntry)
+	return e.body, e.engine, true
 }
 
-// put stores body under key, evicting least-recently-used entries until
-// both the entry-count and byte bounds hold.
-func (c *resultCache) put(key string, body []byte) {
+// put stores body (with its producing engine path, empty for endpoints
+// without one) under key, evicting least-recently-used entries until both
+// the entry-count and byte bounds hold.
+func (c *resultCache) put(key string, body []byte, engine string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.maxBytes > 0 && int64(len(body)) > c.maxBytes {
@@ -84,8 +91,9 @@ func (c *resultCache) put(key string, body []byte) {
 		e := el.Value.(*cacheEntry)
 		c.curBytes += int64(len(body)) - int64(len(e.body))
 		e.body = body
+		e.engine = engine
 	} else {
-		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body, engine: engine})
 		c.curBytes += int64(len(body))
 	}
 	for c.ll.Len() > c.max || (c.maxBytes > 0 && c.curBytes > c.maxBytes) {
@@ -164,9 +172,14 @@ func (s *Server) serveCached(w http.ResponseWriter, key string) bool {
 	if s.cache == nil || key == "" {
 		return false
 	}
-	body, ok := s.cache.get(key)
+	body, engine, ok := s.cache.get(key)
 	if !ok {
 		return false
+	}
+	if engine != "" {
+		// A cache hit re-serves the original computation's engine path:
+		// the cached body was produced exactly once, by that engine.
+		w.Header().Set("X-Engine", engine)
 	}
 	w.Header().Set("X-Cache", "hit")
 	w.Header().Set("Content-Type", "application/json")
@@ -176,9 +189,10 @@ func (s *Server) serveCached(w http.ResponseWriter, key string) bool {
 }
 
 // writeCacheableJSON renders v exactly as writeJSON would, stores the body
-// under key, and serves it with an X-Cache: miss marker. When the cache is
-// disabled it degrades to a plain 200 JSON write.
-func (s *Server) writeCacheableJSON(w http.ResponseWriter, key string, v any) {
+// under key (tagged with the engine path that produced it, empty for
+// endpoints without one), and serves it with an X-Cache: miss marker.
+// When the cache is disabled it degrades to a plain 200 JSON write.
+func (s *Server) writeCacheableJSON(w http.ResponseWriter, key, engine string, v any) {
 	body, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
@@ -186,7 +200,7 @@ func (s *Server) writeCacheableJSON(w http.ResponseWriter, key string, v any) {
 	}
 	body = append(body, '\n') // match json.Encoder's trailing newline
 	if s.cache != nil && key != "" {
-		s.cache.put(key, body)
+		s.cache.put(key, body, engine)
 		w.Header().Set("X-Cache", "miss")
 	}
 	w.Header().Set("Content-Type", "application/json")

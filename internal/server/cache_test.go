@@ -171,20 +171,20 @@ func TestCacheByteBudget(t *testing.T) {
 	c := newResultCache(100, 1000) // entry bound far above the byte bound
 	body := func(n int) []byte { return make([]byte, n) }
 
-	c.put("a", body(400))
-	c.put("b", body(400))
+	c.put("a", body(400), "")
+	c.put("b", body(400), "")
 	if got := c.bytes(); got != 800 {
 		t.Fatalf("bytes = %d, want 800", got)
 	}
 	// 400 more bytes blow the 1000-byte budget: "a" (LRU tail) must go.
-	c.put("c", body(400))
+	c.put("c", body(400), "")
 	if got := c.bytes(); got != 800 {
 		t.Errorf("bytes after eviction = %d, want 800", got)
 	}
-	if _, ok := c.get("a"); ok {
+	if _, _, ok := c.get("a"); ok {
 		t.Error("oldest entry survived a byte-budget eviction")
 	}
-	if _, ok := c.get("b"); !ok {
+	if _, _, ok := c.get("b"); !ok {
 		t.Error("entry b evicted although the budget held")
 	}
 	if got := c.evictions.Load(); got != 1 {
@@ -192,15 +192,15 @@ func TestCacheByteBudget(t *testing.T) {
 	}
 
 	// Replacing a body adjusts the byte account instead of double-counting.
-	c.put("b", body(100))
+	c.put("b", body(100), "")
 	if got := c.bytes(); got != 500 {
 		t.Errorf("bytes after replace = %d, want 500", got)
 	}
 
 	// A body larger than the whole budget is never admitted — caching it
 	// would evict everything for one entry.
-	c.put("huge", body(2000))
-	if _, ok := c.get("huge"); ok {
+	c.put("huge", body(2000), "")
+	if _, _, ok := c.get("huge"); ok {
 		t.Error("over-budget body was admitted")
 	}
 	if got := c.size(); got != 2 {

@@ -188,11 +188,16 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
+	// X-Engine reports which engine path answered (interpreted, compiled,
+	// or analytic) — diagnostic only: interpreted and compiled bodies are
+	// bit-identical, and analytic specs always resolve analytic.
+	w.Header().Set("X-Engine", res.EnginePath)
 	// spec echoes the normalized spec the run actually executed — n in
 	// particular may have been clamped by degraded mode.
 	resp := map[string]any{
 		"scenario": res.Scenario,
 		"spec":     res.Spec,
+		"engine":   res.EnginePath,
 		"points":   res.Points,
 		"metrics":  res.Metrics(),
 		"text":     text.String(),
@@ -206,6 +211,7 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 	if wantReport {
 		rep := report.FromEngine(col.Reports())
 		rep.Scenario = res.Scenario
+		rep.EnginePath = res.EnginePath
 		rep.Seed = norm.Seed
 		rep.N = norm.N
 		if digest, derr := scenario.Canonical(norm); derr == nil {
@@ -227,7 +233,7 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 		resp["report"] = rep
 	}
 	if cacheKey != "" {
-		s.writeCacheableJSON(w, cacheKey, resp)
+		s.writeCacheableJSON(w, cacheKey, res.EnginePath, resp)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

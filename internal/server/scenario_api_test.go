@@ -306,3 +306,69 @@ func TestScenarioRunTelemetryBypassesCache(t *testing.T) {
 		t.Errorf("telemetry payload missing: %d traces, %d spans", len(body.Trace), len(body.Spans))
 	}
 }
+
+// TestScenarioRunEngineHeader pins the engine-path surfacing contract:
+// X-Engine and the "engine" body field report which engine answered, cache
+// hits re-serve the original engine marker, and a mean-field population
+// resolves analytically.
+func TestScenarioRunEngineHeader(t *testing.T) {
+	ts := newTestServer(t)
+
+	// phishing-study compiles, so the default (auto) engine takes the
+	// compiled path.
+	spec := map[string]any{"scenario": "phishing-study", "seed": 5, "n": 100}
+	resp := postJSON(t, ts.URL+"/v1/scenarios/run", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Engine"); got != "compiled" {
+		t.Errorf("X-Engine = %q, want compiled", got)
+	}
+	var body struct {
+		Engine string `json:"engine"`
+	}
+	decodeBody(t, resp, &body)
+	if body.Engine != "compiled" {
+		t.Errorf("body engine = %q, want compiled", body.Engine)
+	}
+
+	// A cache hit re-serves the engine marker the miss computed.
+	resp2 := postJSON(t, ts.URL+"/v1/scenarios/run", spec)
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Cache") != "hit" || resp2.Header.Get("X-Engine") != "compiled" {
+		t.Errorf("cache hit: X-Cache %q X-Engine %q, want hit and compiled",
+			resp2.Header.Get("X-Cache"), resp2.Header.Get("X-Engine"))
+	}
+
+	// A mean-field population makes every subject deterministic in its
+	// Bernoulli chain, so the run resolves in closed form.
+	resp3 := postJSON(t, ts.URL+"/v1/scenarios/run", map[string]any{
+		"scenario": "phishing-study", "population": "general-public-mean",
+		"seed": 5, "n": 100,
+	})
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("analytic run: %d", resp3.StatusCode)
+	}
+	if got := resp3.Header.Get("X-Engine"); got != "analytic" {
+		t.Errorf("analytic X-Engine = %q, want analytic", got)
+	}
+	var rbody struct {
+		Engine string `json:"engine"`
+	}
+	decodeBody(t, resp3, &rbody)
+	if rbody.Engine != "analytic" {
+		t.Errorf("analytic body engine = %q, want analytic", rbody.Engine)
+	}
+
+	// ?report=1 carries the engine path into the run report.
+	resp4 := postJSON(t, ts.URL+"/v1/scenarios/run?report=1", spec)
+	var wrap struct {
+		Report struct {
+			EnginePath string `json:"engine_path"`
+		} `json:"report"`
+	}
+	decodeBody(t, resp4, &wrap)
+	if wrap.Report.EnginePath != "compiled" {
+		t.Errorf("report engine_path = %q, want compiled", wrap.Report.EnginePath)
+	}
+}

@@ -604,7 +604,7 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 		}
 		pd = append(pd, d)
 	}
-	s.writeCacheableJSON(w, cacheKey, map[string]any{
+	s.writeCacheableJSON(w, cacheKey, "", map[string]any{
 		"passes":           pd,
 		"effectivePasses":  effective,
 		"finalReliability": res.FinalReliability,
@@ -788,7 +788,7 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 		resp["spans"] = tracer.Spans()
 	}
 	if cacheKey != "" {
-		s.writeCacheableJSON(w, cacheKey, resp)
+		s.writeCacheableJSON(w, cacheKey, "", resp)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -1,0 +1,288 @@
+package sim
+
+// Compiled programs: the per-run compile step that lowers one encounter's
+// stage models (via agent.LowerEncounter) plus a population spec into a
+// flat Program, evaluated by the same scheduling/containment machinery as
+// the interpreted path but without a Receiver, without maps, and without
+// per-subject allocations. On top of compilation sits the analytic engine:
+// for populations whose sampled profiles are all identical (see
+// population.Spec.MeanField), every subject is an independent Bernoulli
+// chain with the same stage thresholds, so the aggregate distribution has
+// a closed form and needs no Monte Carlo at all.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"hitl/internal/agent"
+	"hitl/internal/gems"
+	"hitl/internal/population"
+)
+
+// Engine path names, as recorded in EngineReport.Path, pprof labels, run
+// reports, and the scenario layer's engine selection.
+const (
+	EngineInterpreted = "interpreted"
+	EngineCompiled    = "compiled"
+	EngineAnalytic    = "analytic"
+)
+
+// ErrNotCompilable reports a scenario shape the compiler refuses; the
+// caller falls back to the interpreted walk. It aliases
+// agent.ErrNotLowerable so errors.Is matches refusals from either layer
+// with a single sentinel.
+var ErrNotCompilable = agent.ErrNotLowerable
+
+// Program is one compiled run: a population to sample and a lowered
+// encounter to evaluate each sample against. Subject i draws its profile
+// and its stage outcomes from the same deterministic stream subject i of
+// the equivalent interpreted run uses, in the same order, so results are
+// bit-identical to Run with the corresponding SubjectFunc.
+type Program struct {
+	// Pop is sampled once per subject, consuming the leading draws of the
+	// subject's stream exactly as interpreted scenarios do.
+	Pop population.Spec
+	// Params is the lowered encounter evaluated against each sample.
+	Params *agent.StageParams
+}
+
+// NewProgram compiles (population, encounter) into a Program. It returns
+// an error wrapping ErrNotCompilable for shapes only the interpreter
+// reproduces: encounters agent.LowerEncounter refuses (skill-installing
+// communications, delayed application, decaying trained skills), and
+// populations that can sample ages outside the [0, 130] the interpreted
+// path's per-subject profile validation enforces — compilation validates
+// once, so it must be able to prove every sample valid up front.
+func NewProgram(pop population.Spec, m *agent.Model, e agent.Encounter, trained bool, skill agent.Skill) (*Program, error) {
+	if err := pop.Validate(); err != nil {
+		return nil, err
+	}
+	if pop.AgeMax > 130 {
+		return nil, fmt.Errorf("%w: population %q can sample ages beyond 130, which per-subject validation would reject", ErrNotCompilable, pop.Name)
+	}
+	sp, err := agent.LowerEncounter(m, e, trained, skill)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Pop: pop, Params: sp}, nil
+}
+
+// subject returns the compiled subject evaluator. The profile is a stack
+// value and StageParams.Eval neither allocates nor retains it, so the
+// returned SubjectFunc is allocation-free per subject in steady state.
+func (p *Program) subject() SubjectFunc {
+	pop := p.Pop
+	sp := p.Params
+	return func(rng *rand.Rand, _ int) (Outcome, error) {
+		prof := pop.Sample(rng)
+		return FromAgentResult(sp.Eval(rng, &prof)), nil
+	}
+}
+
+// RunProgram executes the compiled program under the same scheduling,
+// cancellation, panic containment, and aggregation as Run, and returns a
+// bit-identical Result. Differences from the interpreted path are only
+// observational: compiled subjects never materialize stage traces (a
+// telemetry.Recorder sees check-less trajectories) and agent-level fault
+// probes never fire — callers that need either keep using Run; the
+// scenario layer's engine selection enforces this.
+func (ru Runner) RunProgram(ctx context.Context, p *Program) (*Result, error) {
+	if p == nil || p.Params == nil {
+		return nil, fmt.Errorf("sim: nil program")
+	}
+	return ru.run(ctx, p.subject(), EngineCompiled, newJumpSource)
+}
+
+// Distribution is the exact per-subject outcome law of an
+// analytically-eligible program: each field is a probability mass (they
+// are what Result's corresponding counters converge to, divided by N, as
+// N grows). Masses are exact up to float64 rounding — no sampling is
+// involved.
+type Distribution struct {
+	// Heed is the probability the subject performs the desired behavior
+	// (including heuristic-path compliance and unverified completions).
+	Heed float64 `json:"heed"`
+	// StageFailures attributes the complementary mass to the C-HIP stage
+	// where processing stopped. Only nonzero entries are present.
+	StageFailures map[agent.Stage]float64 `json:"stage_failures,omitempty"`
+	// ErrorClasses is the GEMS class distribution over all subjects
+	// (NoError for every subject that never reached a behavior-stage
+	// error, exactly like the Monte Carlo aggregation counts it).
+	ErrorClasses map[gems.ErrorClass]float64 `json:"error_classes,omitempty"`
+	// Spoofed and Heuristic are the probabilities of those flags.
+	Spoofed   float64 `json:"spoofed,omitempty"`
+	Heuristic float64 `json:"heuristic,omitempty"`
+}
+
+// AnalyticEligible reports whether every subject the program samples is
+// statistically identical: all trait spreads zero, no expert
+// subpopulation, and a degenerate mental-model coin. Then the run is N
+// independent Bernoulli chains with one shared threshold vector and
+// Exact computes the aggregate law in closed form.
+// population.Spec.MeanField produces eligible specs.
+func (p *Program) AnalyticEligible() bool {
+	s := p.Pop
+	if s.ExpertFraction != 0 {
+		return false
+	}
+	if s.AccurateModelBase != 0 && s.AccurateModelBase != 1 {
+		return false
+	}
+	for _, t := range []population.Trait{
+		s.Education, s.TechExpertise, s.SecurityKnowledge,
+		s.MemoryCapacity, s.VisualAcuity, s.MotorSkill,
+		s.RiskPerception, s.TrustInSecurityUI, s.SelfEfficacy,
+		s.PrimaryTaskFocus, s.ComplianceTendency,
+	} {
+		if t.SD != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// meanSubject is the one profile an eligible population ever produces:
+// every trait at its mean (TruncNormal with sd 0 returns the mean
+// exactly), the degenerate mental-model outcome, and any in-range age —
+// no stage model reads Age.
+func (p *Program) meanSubject() population.Profile {
+	s := p.Pop
+	return population.Profile{
+		Age:                 s.AgeMin,
+		Education:           s.Education.Mean,
+		TechExpertise:       s.TechExpertise.Mean,
+		SecurityKnowledge:   s.SecurityKnowledge.Mean,
+		AccurateMentalModel: s.AccurateModelBase == 1,
+		MemoryCapacity:      s.MemoryCapacity.Mean,
+		VisualAcuity:        s.VisualAcuity.Mean,
+		MotorSkill:          s.MotorSkill.Mean,
+		RiskPerception:      s.RiskPerception.Mean,
+		TrustInSecurityUI:   s.TrustInSecurityUI.Mean,
+		SelfEfficacy:        s.SelfEfficacy.Mean,
+		PrimaryTaskFocus:    s.PrimaryTaskFocus.Mean,
+		ComplianceTendency:  s.ComplianceTendency.Mean,
+	}
+}
+
+// Exact computes the program's aggregate outcome distribution in closed
+// form by propagating probability mass through the stage chain — the
+// analytic counterpart of Eval's sampled walk. It refuses (wrapping
+// ErrNotCompilable) when the program is not AnalyticEligible.
+//
+// Derivation: with one shared threshold vector, the chain is a Markov
+// walk over stages. Mass failing a stage check stops there
+// (StageFailures), except under a blocking communication where
+// maintenance/comprehension/acquisition failures reroute to the heuristic
+// decision: that mass carries the Heuristic flag and splits between
+// compliance and a behavior-stage stop. Mass surviving to the behavior
+// stage decomposes by the GEMS draw order — mistake, execution gulf, then
+// per-step lapse/slip, then evaluation gulf (an unverified completion
+// that still counts as heeded) — and the remainder completes verified.
+func (p *Program) Exact() (*Distribution, error) {
+	if !p.AnalyticEligible() {
+		return nil, fmt.Errorf("%w: population %q samples non-identical subjects; analytic aggregation needs a mean-field spec", ErrNotCompilable, p.Pop.Name)
+	}
+	prof := p.meanSubject()
+	pr := p.Params.Probabilities(&prof)
+
+	d := &Distribution{
+		StageFailures: make(map[agent.Stage]float64),
+		ErrorClasses:  make(map[gems.ErrorClass]float64),
+	}
+	if pr.Spoofed {
+		// Spoofed interference kills delivery for everyone before any draw.
+		d.Spoofed = 1
+		d.StageFailures[agent.StageDelivery] = 1
+		d.ErrorClasses[gems.NoError] = 1
+		return d, nil
+	}
+
+	alive := 1.0
+	// step moves the surviving mass through one stage check, routing the
+	// failing fraction to the stage's failure bucket.
+	step := func(pass float64, s agent.Stage) {
+		if f := alive * (1 - pass); f > 0 {
+			d.StageFailures[s] += f
+		}
+		alive *= pass
+	}
+	heur := 0.0
+	// heurStep is the blocking-communication variant: failing mass joins
+	// the heuristic-decision pool instead of stopping.
+	heurStep := func(pass float64) {
+		heur += alive * (1 - pass)
+		alive *= pass
+	}
+
+	step(pr.Deliver, agent.StageDelivery)
+	step(pr.Survive, agent.StageDelivery) // dismissal race; Survive == 1 without one
+	step(pr.Notice, agent.StageAttentionSwitch)
+	if pr.Blocking {
+		heurStep(pr.Maintain)
+		heurStep(pr.Comprehend)
+		heurStep(pr.Acquire)
+	} else {
+		step(pr.Maintain, agent.StageAttentionMaintenance)
+		step(pr.Comprehend, agent.StageComprehension)
+		step(pr.Acquire, agent.StageKnowledgeAcquisition)
+	}
+	step(pr.Retain, agent.StageKnowledgeRetention) // == 1 for compilable shapes
+	step(pr.Transfer, agent.StageKnowledgeTransfer)
+	step(pr.Believe, agent.StageAttitudesBeliefs)
+	step(pr.Motivate, agent.StageMotivation)
+	step(pr.Capable, agent.StageCapabilities)
+
+	// Behavior stage: GEMS event decomposition in draw order.
+	surv := alive
+	mistake := surv * pr.Mistake
+	surv -= mistake
+	gexec := surv * pr.ExecGulf
+	surv -= gexec
+	lapse, slip := 0.0, 0.0
+	for s := 0; s < pr.Steps; s++ {
+		l := surv * pr.Lapse
+		surv -= l
+		lapse += l
+		sl := surv * pr.Slip
+		surv -= sl
+		slip += sl
+	}
+	geval := surv * pr.EvalGulf
+	surv -= geval
+
+	for _, ec := range []struct {
+		class gems.ErrorClass
+		mass  float64
+	}{
+		{gems.Mistake, mistake},
+		{gems.ExecutionGulf, gexec},
+		{gems.Lapse, lapse},
+		{gems.Slip, slip},
+		{gems.EvaluationGulf, geval},
+	} {
+		if ec.mass > 0 {
+			d.ErrorClasses[ec.class] = ec.mass
+		}
+	}
+	if fail := mistake + gexec + lapse + slip; fail > 0 {
+		d.StageFailures[agent.StageBehavior] += fail
+	}
+	// Everyone who never hit a behavior-stage error — including every
+	// pre-behavior failure and the whole heuristic pool — counts NoError,
+	// matching how the Monte Carlo aggregation classifies subjects.
+	d.ErrorClasses[gems.NoError] = 1 - (mistake + gexec + lapse + slip + geval)
+
+	// Heuristic pool: flagged either way, heeds with the heuristic
+	// probability, otherwise stops at the behavior stage.
+	d.Heuristic = heur
+	heurHeed := heur * pr.Heuristic
+	if miss := heur - heurHeed; miss > 0 {
+		d.StageFailures[agent.StageBehavior] += miss
+	}
+
+	// Heeded mass: verified completions, unverified (evaluation-gulf)
+	// completions, and heuristic compliance.
+	d.Heed = surv + geval + heurHeed
+	return d, nil
+}

@@ -38,7 +38,13 @@ func (p *PhaseTimes) Add(q PhaseTimes) { p.add(q) }
 // except the phase times is deterministic in (seed, spec) at any worker
 // count.
 type EngineReport struct {
-	Seed int64 `json:"seed"`
+	// Path is the engine path that produced the run: EngineInterpreted for
+	// the agent.Receiver walk, EngineCompiled for a lowered Program.
+	// (Analytic answers involve no engine run at all, so no EngineReport
+	// ever carries EngineAnalytic; the layers above record it on the
+	// RunReport envelope instead.)
+	Path string `json:"path,omitempty"`
+	Seed int64  `json:"seed"`
 	// N is the configured subject count; Completed is how many subjects
 	// were actually aggregated (less than N only for partial runs).
 	N         int `json:"n"`

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -230,6 +231,35 @@ type Runner struct {
 	// Completed) alongside the cancellation error. Subject errors and
 	// contained panics remain fatal regardless.
 	AllowPartial bool
+	// Tag, when set, is attached to the subject loop's pprof labels
+	// (hitl_tag) alongside the engine path and phase, so CPU profiles can
+	// attribute samples to a specific run — callers put the spec digest or
+	// scenario name here. An empty Tag falls back to the tag attached to
+	// the run's context (WithRunTag). It does not affect results.
+	Tag string
+}
+
+type runTagKey struct{}
+
+// WithRunTag attaches a pprof run tag to the context: every engine run
+// under it labels its subject-loop CPU samples hitl_tag=tag (unless the
+// Runner sets its own Tag). The scenario layer puts the canonical spec
+// digest here, so profiles attribute samples to specific runs even when
+// the Runner is constructed deep inside a domain package.
+func WithRunTag(ctx context.Context, tag string) context.Context {
+	if tag == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, runTagKey{}, tag)
+}
+
+// RunTagFromContext returns the tag attached with WithRunTag, or "".
+func RunTagFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	tag, _ := ctx.Value(runTagKey{}).(string)
+	return tag
 }
 
 // valueObs is one named-metric observation tagged with its subject index,
@@ -389,6 +419,25 @@ func (ru Runner) aggregate(shards []shard, completed int) *Result {
 // and histograms (subjects, stage failures, run duration, throughput) are
 // always recorded; they cost a handful of atomic adds per run.
 func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
+	return ru.run(ctx, f, EngineInterpreted, newFastSource)
+}
+
+// newFastSource and newJumpSource are the per-worker stream constructors
+// for the two engine paths. Both sources emit bit-identical streams to
+// rand.NewSource, so the choice never changes results — only how much
+// seeding work each subject pays. The interpreted path keeps the
+// eagerly-seeded fastSource as the plain reference implementation; the
+// compiled path uses the lazily-materialized jumpSource, whose O(1)
+// reseed is the dominant share of its speedup.
+func newFastSource() rand.Source64 { return &fastSource{} }
+func newJumpSource() rand.Source64 { return &jumpSource{} }
+
+// run is the engine shared by the interpreted (Run) and compiled
+// (RunProgram) paths. path names the engine path for pprof labels and the
+// EngineReport; newSource builds each worker's reseedable subject-stream
+// generator. Scheduling, containment, and aggregation are identical for
+// both paths.
+func (ru Runner) run(ctx context.Context, f SubjectFunc, path string, newSource func() rand.Source64) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -429,52 +478,63 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 	// subject error) is checked before every claim, so an aborted run stops
 	// within one subject per worker.
 	var nextSubject atomic.Int64
+	// pprof labels attribute subject-loop CPU samples to this run's engine
+	// path and tag. Label sets are per-goroutine state, so each worker
+	// applies them once around its whole batch — per-run cost, not
+	// per-subject.
+	tag := ru.Tag
+	if tag == "" {
+		tag = RunTagFromContext(ctx)
+	}
+	labels := pprof.Labels("hitl_engine", path, "hitl_phase", "subjects", "hitl_tag", tag)
 	setupEnd := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			telemetry.WorkerStarted()
-			defer telemetry.WorkerDone()
-			_, wspan := telemetry.StartSpan(runCtx, "worker-batch",
-				telemetry.String("worker", strconv.Itoa(w)))
-			processed := 0
-			defer func() {
-				wspan.SetAttr("subjects", strconv.Itoa(processed))
-				wspan.End()
-			}()
-			sh := &shards[w]
-			// One reseedable generator per worker: Seed re-derives the
-			// exact stream SubjectRand would return for the subject,
-			// without allocating a fresh source per subject.
-			src := &fastSource{}
-			rng := rand.New(src)
-			for {
-				if runCtx.Err() != nil {
-					return
+			pprof.Do(runCtx, labels, func(context.Context) {
+				telemetry.WorkerStarted()
+				defer telemetry.WorkerDone()
+				_, wspan := telemetry.StartSpan(runCtx, "worker-batch",
+					telemetry.String("worker", strconv.Itoa(w)))
+				processed := 0
+				defer func() {
+					wspan.SetAttr("subjects", strconv.Itoa(processed))
+					wspan.End()
+				}()
+				sh := &shards[w]
+				// One reseedable generator per worker: Seed re-derives the
+				// exact stream SubjectRand would return for the subject,
+				// without allocating a fresh source per subject.
+				src := newSource()
+				rng := rand.New(src)
+				for {
+					if runCtx.Err() != nil {
+						return
+					}
+					i := int(nextSubject.Add(1)) - 1
+					if i >= ru.N {
+						return
+					}
+					src.Seed(splitmix64(ru.Seed, i))
+					out, err := ru.runSubject(f, inj, rng, i)
+					if err != nil {
+						sh.err = err
+						sh.errSubject = i
+						cancel() // fatal: stop the other workers promptly
+						return
+					}
+					sh.add(i, out)
+					processed++
+					if rec != nil {
+						// Consider defers the Outcome->SubjectTrace conversion
+						// to the rare subjects that win a reservoir slot.
+						rec.Consider(ru.Seed, i, func() telemetry.SubjectTrace {
+							return subjectTrace(ru.Seed, i, out)
+						})
+					}
 				}
-				i := int(nextSubject.Add(1)) - 1
-				if i >= ru.N {
-					return
-				}
-				src.Seed(splitmix64(ru.Seed, i))
-				out, err := ru.runSubject(f, inj, rng, i)
-				if err != nil {
-					sh.err = err
-					sh.errSubject = i
-					cancel() // fatal: stop the other workers promptly
-					return
-				}
-				sh.add(i, out)
-				processed++
-				if rec != nil {
-					// Consider defers the Outcome->SubjectTrace conversion
-					// to the rare subjects that win a reservoir slot.
-					rec.Consider(ru.Seed, i, func() telemetry.SubjectTrace {
-						return subjectTrace(ru.Seed, i, out)
-					})
-				}
-			}
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -505,13 +565,13 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 			// Already self-describing (subject index and panic value); keep
 			// the typed error at the top so errors.As finds it directly.
 			if col != nil {
-				col.add(ru.engineReport(workers, phases, nil, subjectErr))
+				col.add(ru.engineReport(path, workers, phases, nil, subjectErr))
 			}
 			return nil, subjectErr
 		}
 		err := fmt.Errorf("sim: subject %d: %w", errSubject, subjectErr)
 		if col != nil {
-			col.add(ru.engineReport(workers, phases, nil, err))
+			col.add(ru.engineReport(path, workers, phases, nil, err))
 		}
 		return nil, err
 	}
@@ -526,7 +586,7 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 		if !ru.AllowPartial {
 			span.SetAttr("outcome", "canceled")
 			if col != nil {
-				col.add(ru.engineReport(workers, phases, nil, cancelErr))
+				col.add(ru.engineReport(path, workers, phases, nil, cancelErr))
 			}
 			return nil, cancelErr
 		}
@@ -541,7 +601,7 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 		phases.MergeSeconds = time.Since(mergeStart).Seconds()
 		recordRun(res, workers, time.Since(start))
 		if col != nil {
-			col.add(ru.engineReport(workers, phases, res, cancelErr))
+			col.add(ru.engineReport(path, workers, phases, res, cancelErr))
 		}
 		return res, cancelErr
 	}
@@ -551,7 +611,7 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 	phases.MergeSeconds = time.Since(mergeStart).Seconds()
 	recordRun(res, workers, time.Since(start))
 	if col != nil {
-		col.add(ru.engineReport(workers, phases, res, nil))
+		col.add(ru.engineReport(path, workers, phases, res, nil))
 	}
 	return res, nil
 }
@@ -559,8 +619,9 @@ func (ru Runner) Run(ctx context.Context, f SubjectFunc) (*Result, error) {
 // engineReport builds the collector entry for one finished or failed run.
 // res is nil when the run produced no aggregation (fatal subject error, or
 // cancellation without AllowPartial).
-func (ru Runner) engineReport(workers int, phases PhaseTimes, res *Result, runErr error) EngineReport {
+func (ru Runner) engineReport(path string, workers int, phases PhaseTimes, res *Result, runErr error) EngineReport {
 	er := EngineReport{
+		Path:             path,
 		Seed:             ru.Seed,
 		N:                ru.N,
 		RequestedWorkers: ru.Workers,

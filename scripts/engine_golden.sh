@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# engine_golden.sh proves the compiled engine's bit-identity contract over
+# the whole example corpus from the outside: every spec in
+# examples/scenarios/ runs through the hitl-sim CLI twice — once with
+# -engine interpreted, once with -engine compiled — and the rendered
+# stdout (tables, labels, every formatted metric digit) must be
+# byte-identical. Specs the compiler refuses fall back to the interpreter
+# under -engine compiled, so the diff holds trivially for them too; the
+# per-spec engine paths (from stderr) are recorded alongside the outputs.
+#
+# Outputs land under ENGINE_GOLDEN_DIR (default: a temp dir) as
+# <spec>.interpreted.txt / <spec>.compiled.txt plus engine_paths.txt, so
+# CI can archive the comparison as an artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${ENGINE_GOLDEN_DIR:-$(mktemp -d)}"
+mkdir -p "$OUT_DIR"
+BIN="$OUT_DIR/hitl-sim-golden"
+
+go build -o "$BIN" ./cmd/hitl-sim
+
+fail=0
+: >"$OUT_DIR/engine_paths.txt"
+for spec in examples/scenarios/*.json; do
+  name="$(basename "$spec" .json)"
+  echo "== $spec"
+  "$BIN" -spec "$spec" -engine interpreted \
+    >"$OUT_DIR/$name.interpreted.txt" 2>"$OUT_DIR/$name.interpreted.err"
+  "$BIN" -spec "$spec" -engine compiled \
+    >"$OUT_DIR/$name.compiled.txt" 2>"$OUT_DIR/$name.compiled.err"
+  {
+    printf '%s interpreted: ' "$name"; grep 'engine path' "$OUT_DIR/$name.interpreted.err" || true
+    printf '%s compiled:    ' "$name"; grep 'engine path' "$OUT_DIR/$name.compiled.err" || true
+  } >>"$OUT_DIR/engine_paths.txt"
+  if ! diff -u "$OUT_DIR/$name.interpreted.txt" "$OUT_DIR/$name.compiled.txt"; then
+    echo "engine-golden: MISMATCH: $spec renders differently interpreted vs compiled" >&2
+    fail=1
+  fi
+done
+
+rm -f "$BIN"
+if [ "$fail" -ne 0 ]; then
+  echo "engine-golden: FAIL (outputs in $OUT_DIR)" >&2
+  exit 1
+fi
+echo "engine-golden: OK — all example specs byte-identical across engines (outputs in $OUT_DIR)"
