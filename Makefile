@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-check bench-diff microbench chaos scenarios-smoke engine-golden jobs-smoke experiments examples fmt cover clean
+.PHONY: all ci build vet test race bench bench-check bench-diff microbench chaos scenarios-smoke engine-golden jobs-smoke cluster-smoke experiments examples fmt cover clean
 
 all: build vet test
 
@@ -89,6 +89,15 @@ engine-golden:
 # HITL_STORE_DIR overrides the store location so CI can archive it.
 jobs-smoke:
 	bash scripts/jobs_smoke.sh
+
+# cluster-smoke drives fault-tolerant distributed execution against real
+# processes: three workers plus a coordinator, a sharded run bit-identical
+# to the single-node baseline, then a SIGKILL'd worker and a re-run that
+# fails over — still bit-identical — with retries/failovers asserted in
+# /v1/metrics and the flight recorder. HITL_STORE_DIR overrides the
+# coordinator's store location so CI can archive it.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 experiments:
 	$(GO) run ./cmd/hitl-experiments

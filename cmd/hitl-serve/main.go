@@ -6,6 +6,8 @@
 //	           [-max-inflight N] [-max-queue N] [-queue-timeout 2s]
 //	           [-compute-timeout 60s] [-allow-faults]
 //	           [-store-dir DIR] [-job-workers N] [-job-timeout 10m]
+//	           [-workers URL,URL,...] [-workers-file FILE]
+//	           [-shard-timeout 60s] [-shard-attempts 4] [-probe-interval 5s]
 //
 // -pprof exposes net/http/pprof on a separate listener (e.g. -pprof
 // localhost:6060) so profiling never shares the public address; it is off
@@ -30,6 +32,15 @@
 // enables the ?faults= chaos-drill parameter on experiment runs (keep it
 // off on anything public).
 //
+// Cluster mode: -workers (comma-separated URLs) or -workers-file (one URL
+// per line, # comments) gives the server a worker pool; POST
+// /v1/cluster/run then shards scenario runs across the pool with
+// health-aware placement, per-shard retry, and failover, merging shard
+// aggregates into a result bit-identical to a single-node run. Every
+// hitl-serve is a shard worker (POST /v1/cluster/shard) whether or not it
+// coordinates. -shard-timeout, -shard-attempts, and -probe-interval tune
+// the coordinator's robustness machinery.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: /v1/healthz flips
 // to 503 "draining" immediately so load balancers stop routing, the
 // process keeps serving for -readiness-grace to let them notice, then it
@@ -48,18 +59,48 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"hitl/internal/cluster"
 	"hitl/internal/server"
 	"hitl/internal/telemetry"
 )
+
+// workerPool merges the -workers list and the -workers-file contents into
+// one worker URL list. The file format is one base URL per line; blank
+// lines and #-comments are ignored.
+func workerPool(flagList, file string) ([]string, error) {
+	var pool []string
+	for _, w := range strings.Split(flagList, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			pool = append(pool, w)
+		}
+	}
+	if file != "" {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("reading -workers-file: %w", err)
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			if line = strings.TrimSpace(line); line != "" {
+				pool = append(pool, line)
+			}
+		}
+	}
+	return pool, nil
+}
 
 // serve runs srv on ln until ctx is cancelled, then shuts it down
 // gracefully: onDrain (if non-nil) runs first — flipping readiness so load
@@ -131,7 +172,22 @@ func main() {
 		"max concurrently executing async jobs (0 = default 2)")
 	jobTimeout := flag.Duration("job-timeout", 0,
 		"per-job compute deadline (0 = default 10m, negative = unlimited)")
+	workers := flag.String("workers", "",
+		"comma-separated worker base URLs; enables the cluster coordinator (POST /v1/cluster/run)")
+	workersFile := flag.String("workers-file", "",
+		"file of worker base URLs, one per line (# comments); merged with -workers")
+	shardTimeout := flag.Duration("shard-timeout", 0,
+		"cluster: per-shard attempt deadline (0 = default 60s)")
+	shardAttempts := flag.Int("shard-attempts", 0,
+		"cluster: per-shard attempt budget across retries and failovers (0 = default 4)")
+	probeInterval := flag.Duration("probe-interval", 0,
+		"cluster: worker health-probe period (0 = default 5s, negative = off)")
 	flag.Parse()
+
+	pool, err := workerPool(*workers, *workersFile)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *pprofAddr != "" {
 		// The pprof listener is deliberately separate from the API listener
@@ -153,7 +209,14 @@ func main() {
 		StoreDir:       *storeDir,
 		JobWorkers:     *jobWorkers,
 		JobTimeout:     *jobTimeout,
+		Cluster: cluster.Config{
+			Workers:       pool,
+			ShardTimeout:  *shardTimeout,
+			MaxAttempts:   *shardAttempts,
+			ProbeInterval: *probeInterval,
+		},
 	})
+	defer api.Close()
 	srv := &http.Server{
 		Handler:           api,
 		ReadTimeout:       10 * time.Second,

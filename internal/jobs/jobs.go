@@ -552,34 +552,20 @@ func (m *Manager) run(j *Job, norm scenario.Spec, opts SubmitOptions) {
 		return
 	}
 
-	env := ResultEnvelope{
-		ID:       j.ID,
-		Scenario: res.Scenario,
-		Spec:     res.Spec,
-		Engine:   res.EnginePath,
-		Points:   res.Points,
-		Metrics:  res.Metrics(),
-		Text:     renderText(res),
-	}
-	// Workers cannot change results; zeroing it keeps the stored bytes —
-	// and therefore the ETag — identical however the run was parallelized.
-	env.Spec.Workers = 0
+	var trace []telemetry.SubjectTrace
 	if rec != nil {
-		env.Trace = rec.Traces()
+		trace = rec.Traces()
 	}
-	body, err := json.MarshalIndent(env, "", "  ")
+	body, meta, err := EncodeResult(j.ID, res, trace)
 	if err != nil {
 		m.failed.Add(1)
 		j.mu.Lock()
 		j.state = StateFailed
-		j.err = fmt.Errorf("jobs: encoding result: %w", err)
+		j.err = err
 		j.append(Event{Type: "error", Error: j.err.Error()})
 		j.mu.Unlock()
 		return
 	}
-	body = append(body, '\n')
-
-	meta := store.Meta{Key: j.ID, SHA256: bodySHA(body), Size: int64(len(body))}
 	reportBody, reportMeta := encodeReport(m.buildReport(j, norm, opts, col, before, res.EnginePath))
 	if m.cfg.Store != nil {
 		// Persist before announcing completion, so a client that sees
@@ -605,9 +591,9 @@ func (m *Manager) run(j *Job, norm scenario.Spec, opts SubmitOptions) {
 	j.done = total
 	j.body, j.meta = body, meta
 	j.reportBody, j.reportMeta = reportBody, reportMeta
-	evs := make([]Event, 0, len(env.Trace)+1)
-	for i := range env.Trace {
-		evs = append(evs, Event{Type: "trace", Trace: &env.Trace[i]})
+	evs := make([]Event, 0, len(trace)+1)
+	for i := range trace {
+		evs = append(evs, Event{Type: "trace", Trace: &trace[i]})
 	}
 	evs = append(evs, Event{Type: "done", ID: j.ID, ETag: meta.ETag()})
 	j.append(evs...)
@@ -661,6 +647,35 @@ func encodeReport(rep report.RunReport) ([]byte, store.Meta) {
 func bodySHA(body []byte) string {
 	sum := sha256.Sum256(body)
 	return hex.EncodeToString(sum[:])
+}
+
+// EncodeResult renders a completed scenario result as the persisted
+// result envelope — indented JSON with a trailing newline — plus the
+// store metadata (content SHA, size) addressing those bytes under id.
+// It is the single encoding every result-producing path shares: job runs
+// use it before persisting, and the cluster coordinator uses it to store
+// merged results under the parent spec's digest, so a result computed by
+// a worker pool is served byte-identically to one computed locally.
+func EncodeResult(id string, res *scenario.Result, trace []telemetry.SubjectTrace) ([]byte, store.Meta, error) {
+	env := ResultEnvelope{
+		ID:       id,
+		Scenario: res.Scenario,
+		Spec:     res.Spec,
+		Engine:   res.EnginePath,
+		Points:   res.Points,
+		Metrics:  res.Metrics(),
+		Text:     renderText(res),
+		Trace:    trace,
+	}
+	// Workers cannot change results; zeroing it keeps the stored bytes —
+	// and therefore the ETag — identical however the run was parallelized.
+	env.Spec.Workers = 0
+	body, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return nil, store.Meta{}, fmt.Errorf("jobs: encoding result: %w", err)
+	}
+	body = append(body, '\n')
+	return body, store.Meta{Key: id, SHA256: bodySHA(body), Size: int64(len(body))}, nil
 }
 
 // renderText renders the result table, matching the synchronous endpoint's

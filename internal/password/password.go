@@ -292,6 +292,13 @@ func (s Scenario) Run(ctx context.Context) (Metrics, error) {
 		return Metrics{}, err
 	}
 
+	return MetricsFrom(res), nil
+}
+
+// MetricsFrom derives the portfolio metrics from a raw per-subject
+// aggregate. It is a pure function of res, so the same metrics fall out
+// of a fresh run or of shard aggregates merged by sim.MergeResults.
+func MetricsFrom(res *sim.Result) Metrics {
 	m := Metrics{Run: res, ComplianceRate: res.HeedRate()}
 	if v, _, err := res.MeanValue("reuse_fraction"); err == nil {
 		m.MeanReuseFraction = v
@@ -308,7 +315,7 @@ func (s Scenario) Run(ctx context.Context) (Metrics, error) {
 	if v, _, err := res.MeanValue("strength_bits"); err == nil {
 		m.MeanStrengthBits = v
 	}
-	return m, nil
+	return m
 }
 
 // userOutcome is the per-user portfolio result.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"hitl/internal/scenario"
+	"hitl/internal/sim"
 )
 
 // The password case study registers its portfolio scenario with the
@@ -90,4 +91,18 @@ func (portfolioScenario) Run(ctx context.Context, inst scenario.Instance) ([]sce
 			"strength_bits": m.MeanStrengthBits,
 		},
 	}}, nil
+}
+
+// Rederive recomputes portfolio metrics from a raw aggregate via the same
+// pure derivation Run uses, implementing scenario.Rederiver.
+func (portfolioScenario) Rederive(label string, run *sim.Result) (map[string]float64, error) {
+	m := MetricsFrom(run)
+	return map[string]float64{
+		"compliance":    m.ComplianceRate,
+		"reuse":         m.MeanReuseFraction,
+		"write_down":    m.WriteDownRate,
+		"share":         m.ShareRate,
+		"resets":        m.MeanResetsPerYear,
+		"strength_bits": m.MeanStrengthBits,
+	}, nil
 }

@@ -385,6 +385,14 @@ func (c Campaign) Run(ctx context.Context) (CampaignMetrics, error) {
 	if err != nil {
 		return CampaignMetrics{}, err
 	}
+	return CampaignMetricsFrom(res), nil
+}
+
+// CampaignMetricsFrom derives the campaign's headline metrics from a raw
+// per-subject aggregate. It is a pure function of res, so the same
+// metrics fall out of a fresh run or of shard aggregates merged by
+// sim.MergeResults.
+func CampaignMetricsFrom(res *sim.Result) CampaignMetrics {
 	m := CampaignMetrics{Run: res, VictimRate: 1 - res.HeedRate()}
 	if mean, _, err := res.MeanValue("phish_seen"); err == nil {
 		m.MeanPhishEncounters = mean
@@ -402,7 +410,7 @@ func (c Campaign) Run(ctx context.Context) (CampaignMetrics, error) {
 	if seen > 0 {
 		m.PerEncounterVictimRate = hits / seen
 	}
-	return m, nil
+	return m
 }
 
 // selfDetects models a user spotting a phish without any warning: rare for

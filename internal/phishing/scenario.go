@@ -7,6 +7,7 @@ import (
 
 	"hitl/internal/comms"
 	"hitl/internal/scenario"
+	"hitl/internal/sim"
 )
 
 // The phishing case study registers its two runnable shapes with the
@@ -86,6 +87,13 @@ func (s studyScenario) Run(ctx context.Context, inst scenario.Instance) ([]scena
 		}
 	}
 	return pts, nil
+}
+
+// Rederive recomputes a study point's metric map from a raw aggregate,
+// implementing scenario.Rederiver so shard merges reproduce exactly what
+// Run derives per condition.
+func (studyScenario) Rederive(label string, run *sim.Result) (map[string]float64, error) {
+	return map[string]float64{"heed_rate": run.HeedRate()}, nil
 }
 
 // conditions resolves the instance's experimental arms — shared by Run
@@ -202,4 +210,16 @@ func (campaignScenario) Run(ctx context.Context, inst scenario.Instance) ([]scen
 			"mean_false_alarms":         m.MeanFalseAlarms,
 		},
 	}}, nil
+}
+
+// Rederive recomputes campaign metrics from a raw aggregate via the same
+// pure derivation Run uses, implementing scenario.Rederiver.
+func (campaignScenario) Rederive(label string, run *sim.Result) (map[string]float64, error) {
+	m := CampaignMetricsFrom(run)
+	return map[string]float64{
+		"victim_rate":               m.VictimRate,
+		"per_encounter_victim_rate": m.PerEncounterVictimRate,
+		"mean_phish_encounters":     m.MeanPhishEncounters,
+		"mean_false_alarms":         m.MeanFalseAlarms,
+	}, nil
 }

@@ -82,6 +82,29 @@ type RunReport struct {
 	// didn't snapshot). Scheduling-dependent fields are zeroed in canonical
 	// form.
 	Engine *telemetry.MetricsSnapshot `json:"engine_delta,omitempty"`
+	// Cluster is the coordinator's accounting for distributed runs (nil
+	// for single-node runs). Scheduling-dependent fields are zeroed in
+	// canonical form.
+	Cluster *ClusterReport `json:"cluster,omitempty"`
+}
+
+// ClusterReport is the distributed-execution section of a RunReport: how
+// the run was sharded and what it took to bring every shard home.
+type ClusterReport struct {
+	// Shards is the shard count (deterministic in the request); the rest
+	// is execution history: attempts dispatched, retries, failovers, and
+	// shards served per worker URL.
+	Shards     int            `json:"shards"`
+	Dispatched int            `json:"dispatched,omitempty"`
+	Retries    int            `json:"retries,omitempty"`
+	Failovers  int            `json:"failovers,omitempty"`
+	Nodes      map[string]int `json:"nodes,omitempty"`
+	// Partial and Missing record an incomplete cover: the merged result
+	// omits these shard indices, and its Completed < N. They stay in
+	// canonical form — unlike scheduling detail, missing subjects change
+	// the result bytes.
+	Partial bool  `json:"partial,omitempty"`
+	Missing []int `json:"missing,omitempty"`
 }
 
 // FaultRule pairs a fault rule's description with its fired count. Plain
@@ -145,6 +168,14 @@ func (r RunReport) Canonical() RunReport {
 		e.AllocBytes = 0
 		e.TracesKept = 0
 		r.Engine = &e
+	}
+	if r.Cluster != nil {
+		// Which nodes served which shards, and how many tries it took,
+		// is scheduling; the shard count and any gaps in the cover are
+		// not — they are visible in the result bytes.
+		cl := ClusterReport{Shards: r.Cluster.Shards, Partial: r.Cluster.Partial}
+		cl.Missing = append(cl.Missing, r.Cluster.Missing...)
+		r.Cluster = &cl
 	}
 	return r
 }

@@ -1,0 +1,237 @@
+package scenario_test
+
+// Shard-merge golden tests: slicing any example spec into shard specs,
+// running each shard independently, and merging through
+// scenario.MergeShardResults must reproduce the single run bit for bit —
+// the scenario-layer guarantee the cluster coordinator is built on.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+
+	"hitl/internal/agent"
+	"hitl/internal/scenario"
+	_ "hitl/internal/scenario/all"
+	"hitl/internal/sim"
+)
+
+// runShards slices spec, runs every shard, and merges.
+func runShards(t *testing.T, spec scenario.Spec, count int) *scenario.Result {
+	t.Helper()
+	shardSpecs, err := scenario.ShardSpecs(spec, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []*scenario.Result
+	for _, sp := range shardSpecs {
+		res, err := scenario.Run(context.Background(), sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, res)
+	}
+	merged, err := scenario.MergeShardResults(spec, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return merged
+}
+
+func TestShardMergeBitIdenticalToSingleRun(t *testing.T) {
+	entries, err := os.ReadDir(examplesDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		for _, shards := range []int{2, 5} {
+			t.Run(fmt.Sprintf("%s/shards=%d", e.Name(), shards), func(t *testing.T) {
+				spec := readExample(t, e.Name())
+				full := runSpec(t, spec, 0)
+				merged := runShards(t, spec, shards)
+				merged.Spec.Workers = 0
+				if !reflect.DeepEqual(full, merged) {
+					t.Errorf("sharded merge differs from single run\nfull   %+v\nmerged %+v", full, merged)
+				}
+			})
+		}
+	}
+}
+
+func TestShardMergeAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{3, 1234} {
+		for _, shards := range []int{3, 4} {
+			t.Run(fmt.Sprintf("seed=%d/shards=%d", seed, shards), func(t *testing.T) {
+				spec := scenario.Spec{Scenario: "phishing-campaign", N: 400, Seed: seed}
+				full := runSpec(t, spec, 0)
+				merged := runShards(t, spec, shards)
+				merged.Spec.Workers = 0
+				if !reflect.DeepEqual(full, merged) {
+					t.Errorf("sharded merge differs from single run at seed %d", seed)
+				}
+			})
+		}
+	}
+}
+
+func TestShardSpecsPartitionSubjects(t *testing.T) {
+	spec := scenario.Spec{Scenario: "phishing-study", N: 10, Seed: 1}
+	shards, err := scenario.ShardSpecs(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 3 {
+		t.Fatalf("%d shards, want 3", len(shards))
+	}
+	next := 0
+	total := 0
+	for i, sh := range shards {
+		if sh.Offset != next {
+			t.Errorf("shard %d offset %d, want %d (contiguous ascending)", i, sh.Offset, next)
+		}
+		next += sh.N
+		total += sh.N
+	}
+	if total != 10 {
+		t.Errorf("shard subjects sum to %d, want 10", total)
+	}
+	// 10 = 4+3+3: the remainder goes to the earliest shards.
+	if shards[0].N != 4 || shards[1].N != 3 || shards[2].N != 3 {
+		t.Errorf("shard sizes %d/%d/%d, want 4/3/3", shards[0].N, shards[1].N, shards[2].N)
+	}
+
+	// More shards than subjects clamps to one subject per shard.
+	if shards, err = scenario.ShardSpecs(scenario.Spec{Scenario: "phishing-study", N: 2, Seed: 1}, 9); err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 {
+		t.Errorf("%d shards for N=2, want 2", len(shards))
+	}
+
+	// A shard spec cannot be re-sharded.
+	if _, err := scenario.ShardSpecs(scenario.Spec{Scenario: "phishing-study", N: 10, Offset: 5}, 2); err == nil {
+		t.Error("sharding an offset spec: want error")
+	}
+}
+
+func TestShardMergePartialCover(t *testing.T) {
+	spec := scenario.Spec{Scenario: "phishing-study", N: 300, Seed: 5,
+		Params: map[string]any{"warning": "firefox-active"}}
+	shardSpecs, err := scenario.ShardSpecs(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []*scenario.Result
+	for i, sp := range shardSpecs {
+		if i == 1 {
+			continue // the failed shard, dropped under a partial policy
+		}
+		res, err := scenario.Run(context.Background(), sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, res)
+	}
+	merged, err := scenario.MergeShardResults(spec, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := merged.Points[0].Run
+	if run.N != 300 {
+		t.Errorf("partial merge N = %d, want the full 300", run.N)
+	}
+	if run.Completed != 200 {
+		t.Errorf("partial merge Completed = %d, want 200", run.Completed)
+	}
+}
+
+func TestShardMergeRejectsMisalignedShards(t *testing.T) {
+	spec := scenario.Spec{Scenario: "phishing-study", N: 100, Seed: 1}
+	a, err := scenario.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := scenario.Spec{Scenario: "phishing-study", N: 100, Seed: 1,
+		Params: map[string]any{"warning": "firefox-active"}}
+	b, err := scenario.Run(context.Background(), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.MergeShardResults(spec, []*scenario.Result{a, b}); err == nil {
+		t.Error("merging shards with different point sets: want error")
+	}
+	if _, err := scenario.MergeShardResults(spec, nil); err == nil {
+		t.Error("merging zero shards: want error")
+	}
+	if _, err := scenario.MergeShardResults(spec, []*scenario.Result{a, nil}); err == nil {
+		t.Error("merging a nil shard: want error")
+	}
+}
+
+// plainScenario carries only heed_rate, so it merges without implementing
+// Rederiver; richScenario adds a custom metric without Rederiver, so
+// merging must refuse rather than silently miscompute.
+type plainScenario struct{ rich bool }
+
+func (p plainScenario) Name() string {
+	if p.rich {
+		return "merge-test-rich"
+	}
+	return "merge-test-plain"
+}
+func (plainScenario) Doc() string { return "shard-merge test scenario" }
+func (plainScenario) Defaults() scenario.Defaults {
+	return scenario.Defaults{Population: "general-public", N: 100}
+}
+func (plainScenario) Params() []scenario.Param { return nil }
+
+func (p plainScenario) Run(ctx context.Context, inst scenario.Instance) ([]scenario.Point, error) {
+	res, err := sim.Runner{Seed: inst.Seed, N: inst.N, Workers: inst.Workers}.Run(ctx,
+		func(rng *rand.Rand, _ int) (sim.Outcome, error) {
+			if rng.Float64() < 0.5 {
+				return sim.Outcome{Heeded: true, FailedStage: agent.StageNone}, nil
+			}
+			return sim.Outcome{FailedStage: agent.StageAttentionSwitch}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	values := map[string]float64{"heed_rate": res.HeedRate()}
+	if p.rich {
+		values["exotic"] = 1
+	}
+	return []scenario.Point{{Label: "only", Run: res, Values: values}}, nil
+}
+
+func TestShardMergeWithoutRederiver(t *testing.T) {
+	scenario.Register(plainScenario{})
+	scenario.Register(plainScenario{rich: true})
+
+	spec := scenario.Spec{Scenario: "merge-test-plain", N: 120, Seed: 9}
+	full := runSpec(t, spec, 0)
+	merged := runShards(t, spec, 3)
+	merged.Spec.Workers = 0
+	if !reflect.DeepEqual(full, merged) {
+		t.Error("heed_rate-only scenario: sharded merge differs from single run")
+	}
+
+	rich := scenario.Spec{Scenario: "merge-test-rich", N: 120, Seed: 9}
+	shardSpecs, err := scenario.ShardSpecs(rich, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []*scenario.Result
+	for _, sp := range shardSpecs {
+		res, err := scenario.Run(context.Background(), sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, res)
+	}
+	if _, err := scenario.MergeShardResults(rich, parts); err == nil {
+		t.Error("rich metrics without Rederiver: want merge error")
+	}
+}

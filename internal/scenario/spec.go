@@ -29,6 +29,15 @@ type Spec struct {
 	Population string `json:"population,omitempty"`
 	// N is the subject count; 0 uses the scenario's default.
 	N int `json:"n,omitempty"`
+	// Offset restricts the run to global subjects [Offset, Offset+N) of a
+	// larger population: subject streams, fault decisions, and sampling
+	// identities use the global index, so a run at Offset is exactly the
+	// restriction of the Offset-0 run over Offset+N subjects to that
+	// subrange. This is the shard seam the cluster coordinator slices a
+	// spec along; Offset participates in the canonical digest, so each
+	// shard has its own cache/store identity derived from the same parent
+	// spec.
+	Offset int `json:"offset,omitempty"`
 	// Seed is the master seed; sweeps derive per-step seeds from it.
 	Seed int64 `json:"seed,omitempty"`
 	// Workers is the engine parallelism; 0 means GOMAXPROCS. Results are
@@ -99,6 +108,9 @@ func Normalize(spec Spec) (Spec, error) {
 	}
 	if out.N == 0 {
 		out.N = defs.N
+	}
+	if out.Offset < 0 {
+		return Spec{}, specErrf("offset", "negative subject offset %d", out.Offset)
 	}
 	if out.Workers < 0 {
 		return Spec{}, specErrf("workers", "negative worker count %d", out.Workers)
@@ -329,6 +341,12 @@ func RunObserved(ctx context.Context, spec Spec, obs Observer) (*Result, error) 
 	// samples to this exact run.
 	if digest, err := Canonical(norm); err == nil {
 		spanCtx = sim.WithRunTag(spanCtx, digest)
+	}
+	// A shard spec shifts every engine run under it to its global subject
+	// subrange; the context is the only channel that reaches the Runner
+	// wherever a domain package constructs it.
+	if norm.Offset > 0 {
+		spanCtx = sim.WithSubjectOffset(spanCtx, norm.Offset)
 	}
 
 	base := Instance{

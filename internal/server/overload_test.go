@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"hitl/internal/cluster"
 )
 
 // slowRunBody is an experiment request that, under the slowFaults latency
@@ -279,10 +281,10 @@ func TestHealthzDraining(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var body map[string]string
+	var body cluster.Health
 	decodeBody(t, resp, &body)
-	if resp.StatusCode != http.StatusServiceUnavailable || body["status"] != "draining" {
-		t.Errorf("healthz while draining: %d %v, want 503 draining", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusServiceUnavailable || body.Status != cluster.StatusDraining {
+		t.Errorf("healthz while draining: %d %+v, want 503 draining", resp.StatusCode, body)
 	}
 
 	// Draining only affects the health endpoint: compute still finishes.

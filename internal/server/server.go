@@ -82,6 +82,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hitl/internal/cluster"
 	"hitl/internal/core"
 	"hitl/internal/experiments"
 	"hitl/internal/faults"
@@ -165,6 +166,12 @@ type Config struct {
 	// MaxJobs bounds the in-memory job table; 0 means the manager default
 	// (256). Overflow of live (pending/running) jobs is shed with 429.
 	MaxJobs int
+	// Cluster configures the coordinator role. When Cluster.Workers is
+	// non-empty the server builds a cluster.Coordinator over that pool,
+	// starts its health prober, and mounts POST /v1/cluster/run; without
+	// workers the endpoint answers 503. Every server is always a shard
+	// worker (POST /v1/cluster/shard), coordinator or not.
+	Cluster cluster.Config
 	// Logger receives structured access logs; default logs to stderr.
 	Logger *slog.Logger
 }
@@ -223,7 +230,8 @@ type Server struct {
 	overload   *overload
 	store      *store.Store // nil when StoreDir is empty or unopenable
 	jobs       *jobs.Manager
-	retryAfter string // Retry-After seconds advertised on shed
+	coord      *cluster.Coordinator // nil unless Cluster.Workers configured
+	retryAfter string               // Retry-After seconds advertised on shed
 	draining   atomic.Bool
 	log        *slog.Logger
 }
@@ -283,7 +291,29 @@ func New(cfg Config) *Server {
 	s.route("/v1/jobs/{id}/report", s.handleJobReport, http.MethodGet)
 	s.route("/v1/jobs/{id}/stream", s.handleJobStream, http.MethodGet)
 	s.route("/v1/debug/events", s.handleDebugEvents, http.MethodGet)
+	s.route("/v1/cluster/shard", s.limited(s.handleClusterShard), http.MethodPost)
+	s.route("/v1/cluster/run", s.limited(s.handleClusterRun), http.MethodPost)
+	s.route("/v1/cluster/nodes", s.handleClusterNodes, http.MethodGet)
+	if len(cfg.Cluster.Workers) > 0 {
+		coord, err := cluster.New(cfg.Cluster)
+		if err != nil {
+			// A bad pool config degrades to worker-only rather than
+			// refusing to serve: every other endpoint is unaffected.
+			log.Warn("cluster coordinator disabled", slog.String("error", err.Error()))
+		} else {
+			s.coord = coord
+			coord.Start()
+		}
+	}
 	return s
+}
+
+// Close releases background resources — today the cluster coordinator's
+// health prober. The HTTP handler itself holds no connections.
+func (s *Server) Close() {
+	if s.coord != nil {
+		s.coord.Close()
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -415,12 +445,23 @@ func decodeStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// handleHealthz answers liveness probes. The status code alone decides
+// routing (200 take traffic, 503 stop routing); the JSON body lets a
+// cluster coordinator distinguish a draining worker from a dead one in
+// the same request, and carries build identity for fleet audits.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := cluster.Health{
+		Status:        cluster.StatusOK,
+		UptimeSeconds: telemetry.Uptime().Seconds(),
+		GoVersion:     runtime.Version(),
+		Revision:      telemetry.BuildRevision(),
+	}
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		h.Status = cluster.StatusDraining
+		writeJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -8,9 +8,11 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 
+	"hitl/internal/cluster"
 	"hitl/internal/comms"
 	"hitl/internal/core"
 	"hitl/internal/gems"
@@ -73,10 +75,18 @@ func TestHealthz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var body map[string]string
+	var body cluster.Health
 	decodeBody(t, resp, &body)
-	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
-		t.Errorf("healthz: %d %v", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusOK || body.Status != cluster.StatusOK {
+		t.Errorf("healthz: %d %+v", resp.StatusCode, body)
+	}
+	// The body carries enough to tell draining from dead and to audit the
+	// fleet's build: uptime and toolchain identity.
+	if body.UptimeSeconds <= 0 {
+		t.Errorf("healthz uptime_seconds = %v, want > 0", body.UptimeSeconds)
+	}
+	if body.GoVersion != runtime.Version() {
+		t.Errorf("healthz go_version = %q, want %q", body.GoVersion, runtime.Version())
 	}
 }
 

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"hitl/internal/agent"
+	"hitl/internal/gems"
+)
+
+// Subject-range sharding: the engine's determinism contract — subject i's
+// random stream is a pure function of (run seed, subject index) — means a
+// run over subjects [0, N) can be split into contiguous subranges executed
+// anywhere (another goroutine, another process, another machine) and merged
+// back into the exact aggregate the single run would have produced. A
+// shard run carries a subject offset: the engine still simulates Runner.N
+// subjects, but they are global subjects [offset, offset+N), each seeded
+// and fault-checked by its global index. MergeResults is the deterministic
+// merge that reassembles the full-run Result from shard Results.
+
+// subjectOffsetKey carries the shard's global subject offset through a
+// context, like the injector and telemetry keys: the offset has to reach
+// the Runner wherever a domain package constructs it, without every layer
+// growing a parameter.
+type subjectOffsetKey struct{}
+
+// WithSubjectOffset returns a context under which every engine run
+// simulates global subjects [offset, offset+N) instead of [0, N): subject
+// streams, fault decisions, and trace-sampling identities all use the
+// global index, so a shard run is exactly the restriction of the full run
+// to that subrange. Offsets at or below zero are equivalent to not
+// attaching one.
+func WithSubjectOffset(ctx context.Context, offset int) context.Context {
+	if offset <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, subjectOffsetKey{}, offset)
+}
+
+// SubjectOffsetFromContext returns the global subject offset attached to
+// ctx, or 0.
+func SubjectOffsetFromContext(ctx context.Context) int {
+	if ctx == nil {
+		return 0
+	}
+	off, _ := ctx.Value(subjectOffsetKey{}).(int)
+	return off
+}
+
+// MergeResults merges shard Results into the aggregate of one run over
+// the union of their subject ranges. It is the same fold Run's own
+// aggregate step applies to its per-worker shards, so merging the Results
+// of shard runs that partition [0, N) — passed in ascending subject-offset
+// order — produces a Result bit-identical to the single run over [0, N):
+// counters sum, and each named metric's observations concatenate in part
+// order, which is global subject order exactly because each part's
+// observations are already subject-ordered and the parts are disjoint
+// ascending ranges.
+//
+// The merged N and Completed are sums over the parts; callers merging an
+// incomplete cover (a failed shard under a partial-completion policy)
+// should overwrite N with the full-run subject count afterwards so
+// Completed < N records the gap.
+func MergeResults(parts []*Result) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("sim: merging zero results")
+	}
+	out := &Result{
+		StageFailures: make(map[agent.Stage]int),
+		ErrorClasses:  make(map[gems.ErrorClass]int),
+		Values:        make(map[string][]float64),
+	}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("sim: merging nil result (part %d)", i)
+		}
+		out.N += p.N
+		out.Completed += p.Completed
+		out.Heed.Successes += p.Heed.Successes
+		out.Heed.Trials += p.Heed.Trials
+		out.Spoofed += p.Spoofed
+		out.Heuristic += p.Heuristic
+		for s, n := range p.StageFailures {
+			out.StageFailures[s] += n
+		}
+		for c, n := range p.ErrorClasses {
+			out.ErrorClasses[c] += n
+		}
+		for k, xs := range p.Values {
+			out.Values[k] = append(out.Values[k], xs...)
+		}
+	}
+	return out, nil
+}

@@ -457,6 +457,11 @@ func (ru Runner) run(ctx context.Context, f SubjectFunc, path string, newSource 
 	rec := telemetry.RecorderFromContext(ctx)
 	inj := InjectorFromContext(ctx)
 	col := ReportCollectorFromContext(ctx)
+	// A shard run simulates global subjects [offset, offset+N): streams,
+	// fault decisions, and sampling identities all use the global index, so
+	// the run is exactly the restriction of the full run to that subrange
+	// (see WithSubjectOffset and MergeResults).
+	offset := SubjectOffsetFromContext(ctx)
 	start := time.Now()
 
 	// deadlineCtx layers the per-run deadline (Runner.Timeout) over the
@@ -516,21 +521,24 @@ func (ru Runner) run(ctx context.Context, f SubjectFunc, path string, newSource 
 					if i >= ru.N {
 						return
 					}
-					src.Seed(splitmix64(ru.Seed, i))
-					out, err := ru.runSubject(f, inj, rng, i)
+					// g is the subject's global index; it equals i except in
+					// shard runs, where the whole range shifts by the offset.
+					g := offset + i
+					src.Seed(splitmix64(ru.Seed, g))
+					out, err := ru.runSubject(f, inj, rng, g)
 					if err != nil {
 						sh.err = err
-						sh.errSubject = i
+						sh.errSubject = g
 						cancel() // fatal: stop the other workers promptly
 						return
 					}
-					sh.add(i, out)
+					sh.add(g, out)
 					processed++
 					if rec != nil {
 						// Consider defers the Outcome->SubjectTrace conversion
 						// to the rare subjects that win a reservoir slot.
-						rec.Consider(ru.Seed, i, func() telemetry.SubjectTrace {
-							return subjectTrace(ru.Seed, i, out)
+						rec.Consider(ru.Seed, g, func() telemetry.SubjectTrace {
+							return subjectTrace(ru.Seed, g, out)
 						})
 					}
 				}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Cluster metrics are process-wide like the engine metrics: a coordinator
+// embedded in any process folds its dispatch/retry/failover activity into
+// these collectors, and WriteMetrics appends them to the Prometheus
+// output. All counters are cumulative since process start; the unhealthy
+// gauge tracks the coordinator's current view of its worker pool.
+var cluster = struct {
+	runs          atomic.Int64
+	partialRuns   atomic.Int64
+	dispatched    atomic.Int64
+	retries       atomic.Int64
+	failovers     atomic.Int64
+	nodeUnhealthy atomic.Int64
+}{}
+
+// RecordClusterRun counts one completed cluster run; partial marks runs
+// that finished under a partial-completion policy with shards missing.
+func RecordClusterRun(partial bool) {
+	cluster.runs.Add(1)
+	if partial {
+		cluster.partialRuns.Add(1)
+	}
+}
+
+// RecordShardDispatched counts one shard handed to a worker (first
+// attempts and retries alike).
+func RecordShardDispatched() { cluster.dispatched.Add(1) }
+
+// RecordShardRetry counts one shard attempt re-dispatched after a
+// retryable failure.
+func RecordShardRetry() { cluster.retries.Add(1) }
+
+// RecordShardFailover counts one shard moved off its preferred node to
+// the next ring position.
+func RecordShardFailover() { cluster.failovers.Add(1) }
+
+// SetNodesUnhealthy sets the coordinator's current count of unhealthy
+// workers.
+func SetNodesUnhealthy(n int) { cluster.nodeUnhealthy.Store(int64(n)) }
+
+// writeClusterMetrics renders the cluster section of WriteMetrics.
+func writeClusterMetrics(b *strings.Builder) {
+	b.WriteString("# HELP hitl_cluster_runs_total Cluster runs coordinated by this process.\n")
+	b.WriteString("# TYPE hitl_cluster_runs_total counter\n")
+	fmt.Fprintf(b, "hitl_cluster_runs_total %d\n", cluster.runs.Load())
+
+	b.WriteString("# HELP hitl_cluster_partial_runs_total Cluster runs completed with shards missing.\n")
+	b.WriteString("# TYPE hitl_cluster_partial_runs_total counter\n")
+	fmt.Fprintf(b, "hitl_cluster_partial_runs_total %d\n", cluster.partialRuns.Load())
+
+	b.WriteString("# HELP hitl_cluster_shards_dispatched_total Shard attempts dispatched to workers.\n")
+	b.WriteString("# TYPE hitl_cluster_shards_dispatched_total counter\n")
+	fmt.Fprintf(b, "hitl_cluster_shards_dispatched_total %d\n", cluster.dispatched.Load())
+
+	b.WriteString("# HELP hitl_cluster_shard_retries_total Shard attempts re-dispatched after a retryable failure.\n")
+	b.WriteString("# TYPE hitl_cluster_shard_retries_total counter\n")
+	fmt.Fprintf(b, "hitl_cluster_shard_retries_total %d\n", cluster.retries.Load())
+
+	b.WriteString("# HELP hitl_cluster_shard_failovers_total Shards moved to another node after their preferred node failed.\n")
+	b.WriteString("# TYPE hitl_cluster_shard_failovers_total counter\n")
+	fmt.Fprintf(b, "hitl_cluster_shard_failovers_total %d\n", cluster.failovers.Load())
+
+	b.WriteString("# HELP hitl_cluster_node_unhealthy Workers the coordinator currently considers unhealthy.\n")
+	b.WriteString("# TYPE hitl_cluster_node_unhealthy gauge\n")
+	fmt.Fprintf(b, "hitl_cluster_node_unhealthy %d\n", cluster.nodeUnhealthy.Load())
+}

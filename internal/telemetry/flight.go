@@ -46,6 +46,15 @@ const (
 	EventJobFailed       = "job-failed"
 	EventPanicRecovered  = "panic-recovered"
 	EventStoreQuarantine = "store-quarantine"
+
+	// Cluster events, recorded by the coordinator: every shard handed to
+	// a worker, every retry and failover decision, and every health-state
+	// transition of a pool node.
+	EventShardDispatch = "shard-dispatch"
+	EventShardRetry    = "shard-retry"
+	EventShardFailover = "shard-failover"
+	EventNodeUnhealthy = "node-unhealthy"
+	EventNodeRecovered = "node-recovered"
 )
 
 // FlightEvent is one recorded wide event. Seq increases by one per event

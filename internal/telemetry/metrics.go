@@ -233,6 +233,7 @@ func WriteMetrics(w io.Writer) error {
 		fmt.Fprintf(&b, "hitl_span_duration_seconds_count{span=%q} %d\n", name, st.count.Load())
 	}
 
+	writeClusterMetrics(&b)
 	writeProcessMetrics(&b)
 
 	_, err := io.WriteString(w, b.String())

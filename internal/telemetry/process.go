@@ -41,6 +41,14 @@ var buildRevision = sync.OnceValue(func() string {
 	return rev
 })
 
+// Uptime returns the time since process start, for surfaces (like the
+// health endpoint) that report it outside the Prometheus exposition.
+func Uptime() time.Duration { return time.Since(processStart) }
+
+// BuildRevision returns the VCS revision of the running binary, as
+// reported in hitl_build_info.
+func BuildRevision() string { return buildRevision() }
+
 // allocCounters reads the allocator's lifetime malloc count and allocated
 // byte total for MetricsSnapshot.
 func allocCounters() (mallocs, bytes uint64) {
