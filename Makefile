@@ -2,16 +2,24 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench bench-check bench-diff microbench chaos scenarios-smoke engine-golden jobs-smoke cluster-smoke experiments examples fmt cover clean
+.PHONY: all ci lint build vet test race bench bench-check bench-diff microbench chaos scenarios-smoke engine-golden jobs-smoke cluster-smoke experiments examples fmt cover clean
 
 all: build vet test
 
-# ci mirrors .github/workflows/ci.yml: vet plus the race detector, which
+# ci mirrors .github/workflows/ci.yml: lint plus the race detector, which
 # guards the sim cancellation path and the atomic metrics counters.
-ci: build vet race
+ci: build lint race
 
 build:
 	$(GO) build ./...
+
+# lint mirrors the CI lint job: gofmt -l must print nothing, and vet must
+# pass.
+lint: vet
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...

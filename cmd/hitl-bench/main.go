@@ -53,12 +53,15 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"hitl/internal/agent"
 	"hitl/internal/comms"
 	"hitl/internal/gems"
 	"hitl/internal/population"
+	"hitl/internal/scenario"
+	_ "hitl/internal/scenario/all" // register the built-in scenarios
 	"hitl/internal/server"
 	"hitl/internal/sim"
 	"hitl/internal/stimuli"
@@ -106,6 +109,19 @@ type multicoreResult struct {
 	SubjectsPerSec   float64 `json:"subjects_per_sec"`
 }
 
+// episodeResult times the multi-round episode loop against manually
+// running the identical round specs back-to-back. The two do the same
+// Monte Carlo work, so overhead_pct isolates the episode machinery
+// (policy evaluation, round-spec materialization, per-round summaries) —
+// the -check gate keeps it under -max-episode-overhead percent.
+type episodeResult struct {
+	Rounds         int     `json:"rounds"`
+	SubjectsPerRun int     `json:"subjects_per_run"`
+	EpisodeSeconds float64 `json:"episode_seconds"`
+	ManualSeconds  float64 `json:"manual_seconds"`
+	OverheadPct    float64 `json:"overhead_pct"`
+}
+
 // report is the whole BENCH_sim.json document.
 type report struct {
 	GoVersion          string            `json:"go_version"`
@@ -118,6 +134,7 @@ type report struct {
 	MulticoreSpeedup   float64           `json:"multicore_speedup,omitempty"`
 	Server             []serverResult    `json:"server,omitempty"`
 	ServerCacheSpeedup float64           `json:"server_cache_speedup,omitempty"`
+	Episode            *episodeResult    `json:"episode,omitempty"`
 	TraceOverheadPct   float64           `json:"trace_overhead_pct"`
 	// Baseline carries the previous committed report when -baseline is
 	// given, so one artifact holds the before/after pair.
@@ -231,6 +248,81 @@ func benchServer(seed int64, n, repeats int) (cold, hit time.Duration, err error
 	return cold, hit, nil
 }
 
+// benchEpisode times an adaptive multi-round episode through scenario.Run
+// against the manual equivalent: the same round specs (recorded parameters
+// and derived seeds included) run back-to-back without the episode loop.
+// Both sides keep the best of repeats.
+func benchEpisode(seed int64, n, rounds, repeats int) (*episodeResult, error) {
+	ctx := context.Background()
+	spec := scenario.Spec{
+		Scenario: "phishing-adaptive-campaign",
+		N:        n,
+		Seed:     seed,
+		Rounds:   rounds,
+		Adapt:    &scenario.AdaptSpec{Policy: "phish-escalation"},
+		Params:   map[string]any{"days": 10},
+	}
+	norm, err := scenario.Normalize(spec)
+	if err != nil {
+		return nil, err
+	}
+	// Warm-up run, also recording the policy decisions the manual side
+	// replays — so both sides execute the identical Monte Carlo work.
+	recorded, err := scenario.Run(ctx, norm)
+	if err != nil {
+		return nil, err
+	}
+	// The overhead being measured is small relative to timer and scheduler
+	// noise, so each repeat times the two sides back to back — adjacent
+	// pairing cancels whole-process drift (GC cycles, a noisy neighbor) —
+	// and the reported overhead is the median of the per-pair ratios; spec
+	// materialization stays inside the timed loop on both sides (the
+	// episode loop pays it per round too).
+	if repeats < 5 {
+		repeats = 5
+	}
+	var episodeBest, manualBest time.Duration
+	overheads := make([]float64, 0, repeats)
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		if _, err := scenario.Run(ctx, norm); err != nil {
+			return nil, err
+		}
+		ep := time.Since(start)
+		if episodeBest == 0 || ep < episodeBest {
+			episodeBest = ep
+		}
+		start = time.Now()
+		for r, sum := range recorded.Rounds {
+			rspec, err := scenario.RoundSpec(norm, r, sum.Params)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := scenario.Run(ctx, rspec); err != nil {
+				return nil, err
+			}
+		}
+		man := time.Since(start)
+		if manualBest == 0 || man < manualBest {
+			manualBest = man
+		}
+		if man > 0 {
+			overheads = append(overheads, (ep.Seconds()-man.Seconds())/man.Seconds()*100)
+		}
+	}
+	sort.Float64s(overheads)
+	out := &episodeResult{
+		Rounds:         rounds,
+		SubjectsPerRun: n,
+		EpisodeSeconds: episodeBest.Seconds(),
+		ManualSeconds:  manualBest.Seconds(),
+	}
+	if len(overheads) > 0 {
+		out.OverheadPct = overheads[len(overheads)/2]
+	}
+	return out, nil
+}
+
 // loadBaseline reads a previous report, dropping its own nested baseline so
 // the chain never grows beyond one level.
 func loadBaseline(path string) (*report, error) {
@@ -302,6 +394,7 @@ func main() {
 	diff := flag.Bool("diff", false, "print a comparison against -baseline to stderr")
 	check := flag.Bool("check", false, "exit nonzero when subjects/s regresses more than -max-regress percent vs -baseline")
 	maxRegress := flag.Float64("max-regress", 15, "allowed subjects/s regression in percent (with -check)")
+	maxEpisodeOverhead := flag.Float64("max-episode-overhead", 5, "allowed episode-loop overhead in percent vs a manual round sequence (with -check)")
 	flag.Parse()
 
 	var baseline *report
@@ -421,6 +514,21 @@ func main() {
 	fmt.Fprintf(os.Stderr, "hitl-bench: server cold %8.3fs, cache hit %.6fs (%.0fx)\n",
 		cold.Seconds(), hit.Seconds(), rep.ServerCacheSpeedup)
 
+	// Episode loop vs a manual round sequence: the per-round subject count
+	// is reduced (rounds multiply the work), floored so tiny -n values
+	// still measure something.
+	epN := *n / 5
+	if epN < 2000 {
+		epN = 2000
+	}
+	episode, err := benchEpisode(*seed, epN, 4, *runs)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Episode = episode
+	fmt.Fprintf(os.Stderr, "hitl-bench: episode rounds=%d n=%d  %8.3fs vs manual %8.3fs (overhead %+.2f%%)\n",
+		episode.Rounds, episode.SubjectsPerRun, episode.EpisodeSeconds, episode.ManualSeconds, episode.OverheadPct)
+
 	if *diff {
 		if baseline == nil {
 			fatal(fmt.Errorf("-diff requires -baseline"))
@@ -445,6 +553,13 @@ func main() {
 		*out, rep.TraceOverheadPct, rep.GOMAXPROCS)
 
 	if *check {
+		// The episode gate is absolute, not baseline-relative: the round
+		// loop must stay within -max-episode-overhead percent of running
+		// the same rounds by hand, every commit.
+		if rep.Episode != nil && rep.Episode.OverheadPct > *maxEpisodeOverhead {
+			fatal(fmt.Errorf("episode loop overhead %.2f%% exceeds the %.0f%% limit vs a manual round sequence",
+				rep.Episode.OverheadPct, *maxEpisodeOverhead))
+		}
 		if bad := regressions(baseline, &rep, *maxRegress); len(bad) > 0 {
 			for _, line := range bad {
 				fmt.Fprintln(os.Stderr, "hitl-bench: REGRESSION:", line)

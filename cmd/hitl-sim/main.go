@@ -47,6 +47,7 @@ import (
 	"syscall"
 
 	"hitl/internal/faults"
+	"hitl/internal/population"
 	"hitl/internal/report"
 	"hitl/internal/scenario"
 	_ "hitl/internal/scenario/all" // register the built-in scenarios
@@ -90,6 +91,8 @@ func main() {
 
 	if *list {
 		listScenarios(os.Stdout)
+		listPopulations(os.Stdout)
+		listPolicies(os.Stdout)
 		return
 	}
 
@@ -267,6 +270,47 @@ func listScenarios(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
+}
+
+// listPopulations prints the population presets with their trait
+// dimensions — every named dimension (core registry order, then any
+// extension dimensions) with its mean and spread.
+func listPopulations(w io.Writer) {
+	fmt.Fprintln(w, "populations:")
+	for _, name := range population.Names() {
+		spec, err := population.ByName(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %s: age=[%d, %d] expert-fraction=%g accurate-model-base=%g\n",
+			spec.Name, spec.AgeMin, spec.AgeMax, spec.ExpertFraction, spec.AccurateModelBase)
+		for _, d := range population.Dimensions() {
+			t := spec.CoreTrait(d.Index)
+			fmt.Fprintf(w, "    %-22s mean=%.2f sd=%.2f — %s\n", d.Name, t.Mean, t.SD, d.Doc)
+		}
+		for _, e := range spec.ExtDims() {
+			fmt.Fprintf(w, "    %-22s mean=%.2f sd=%.2f (extension)\n", e.Name, e.Trait.Mean, e.Trait.SD)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// listPolicies prints the registered adaptive policies usable in a spec's
+// "adapt" block (with "rounds" >= 1).
+func listPolicies(w io.Writer) {
+	names := scenario.PolicyNames()
+	if len(names) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "adaptive policies (spec \"adapt\" block, with \"rounds\"):")
+	for _, name := range names {
+		p, err := scenario.PolicyByName(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %s — %s\n", p.Name, p.Doc)
+	}
+	fmt.Fprintln(w)
 }
 
 // writeFile creates path and streams write into it, reporting the first

@@ -19,7 +19,7 @@ func main() {
 
 	// 1. How fast does a one-shot security training fade?
 	fmt.Println("Forgetting curve after a single training session:")
-	store, err := hitl.NewMemoryStore(mem, avg.MemoryCapacity)
+	store, err := hitl.NewMemoryStore(mem, avg.MemoryCapacity())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func main() {
 
 	// 2. Pick a refresher cadence: availability vs training cost.
 	fmt.Println("\nRefresher cadence over a one-year horizon:")
-	points, err := hitl.TrainingCadenceSweep(mem, avg.MemoryCapacity,
+	points, err := hitl.TrainingCadenceSweep(mem, avg.MemoryCapacity(),
 		[]float64{7, 14, 30, 90, 180, 365}, 365)
 	if err != nil {
 		log.Fatal(err)
@@ -44,11 +44,11 @@ func main() {
 
 	// 3. Same content, different schedule: massed onboarding day vs spaced
 	//    micro-trainings.
-	massed, err := hitl.NewMemoryStore(mem, avg.MemoryCapacity)
+	massed, err := hitl.NewMemoryStore(mem, avg.MemoryCapacity())
 	if err != nil {
 		log.Fatal(err)
 	}
-	spaced, err := hitl.NewMemoryStore(mem, avg.MemoryCapacity)
+	spaced, err := hitl.NewMemoryStore(mem, avg.MemoryCapacity())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func main() {
 
 	// 4. Interference: the more near-identical procedures people must hold,
 	//    the worse each is recalled (the password problem in miniature).
-	one, err := hitl.NewMemoryStore(mem, avg.MemoryCapacity)
+	one, err := hitl.NewMemoryStore(mem, avg.MemoryCapacity())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -408,7 +408,7 @@ type MemoryStore = memory.Store
 func DefaultMemoryModel() MemoryModel { return memory.DefaultModel() }
 
 // NewMemoryStore creates a store for a person with the given memory
-// ability (Profile.MemoryCapacity).
+// ability (Profile.MemoryCapacity()).
 func NewMemoryStore(m MemoryModel, ability float64) (*MemoryStore, error) {
 	return memory.NewStore(m, ability)
 }

@@ -547,7 +547,7 @@ func (r *Receiver) skillLevel(topic string, day float64) float64 {
 	}
 	m := r.model()
 	hl := m.RetentionHalfLifeDays * (1 + m.RetentionInteractivity*s.Interactivity +
-		m.RetentionMemory*r.Profile.MemoryCapacity + m.RetentionRehearsal*float64(s.Rehearsals))
+		m.RetentionMemory*r.Profile.MemoryCapacity() + m.RetentionRehearsal*float64(s.Rehearsals))
 	age := day - s.AcquiredDay
 	if age < 0 {
 		age = 0
@@ -577,7 +577,7 @@ func (r *Receiver) PNotice(e Encounter) float64 {
 	p := m.NoticeBase +
 		m.NoticeActiveness*d.Activeness +
 		m.NoticeSalience*d.Salience*passive +
-		m.NoticeAcuity*(r.Profile.VisualAcuity-0.8) -
+		m.NoticeAcuity*(r.Profile.VisualAcuity()-0.8) -
 		m.NoticeLoadPenalty*passive*load
 	if e.Primed {
 		p += m.PrimedBoost
@@ -601,7 +601,7 @@ func (r *Receiver) PNotice(e Encounter) float64 {
 func (r *Receiver) PMaintain(e Encounter) float64 {
 	m := r.model()
 	d := e.Comm.Design
-	motivation := 0.5*r.Profile.RiskPerception + 0.5*(1-r.Profile.PrimaryTaskFocus)
+	motivation := 0.5*r.Profile.RiskPerception() + 0.5*(1-r.Profile.PrimaryTaskFocus())
 	p := m.MaintainBase +
 		m.MaintainActiveness*d.Activeness -
 		m.MaintainLengthPenalty*d.Length*(1-0.5*motivation) -
@@ -654,7 +654,7 @@ func (r *Receiver) PRetain(e Encounter) float64 {
 		rehearsals = s.Rehearsals
 	}
 	hl := m.RetentionHalfLifeDays * (1 + m.RetentionInteractivity*d.Interactivity +
-		m.RetentionMemory*r.Profile.MemoryCapacity + m.RetentionRehearsal*float64(rehearsals))
+		m.RetentionMemory*r.Profile.MemoryCapacity() + m.RetentionRehearsal*float64(rehearsals))
 	return clamp01(math.Exp(-math.Ln2 * e.ApplyDelayDays / hl))
 }
 
@@ -680,7 +680,7 @@ func (r *Receiver) PTransfer(e Encounter) float64 {
 // false-alarm erosion.
 func (r *Receiver) EffectiveTrust(topic string) float64 {
 	m := r.model()
-	return r.Profile.TrustInSecurityUI * math.Exp(-m.FPTrustDecay*float64(r.falseAlarms[topic]))
+	return r.Profile.TrustInSecurityUI() * math.Exp(-m.FPTrustDecay*float64(r.falseAlarms[topic]))
 }
 
 // PBelieve is the attitudes-and-beliefs probability: the receiver believes
@@ -691,7 +691,7 @@ func (r *Receiver) PBelieve(e Encounter) float64 {
 	trust := r.EffectiveTrust(e.Comm.Topic)
 	p := m.BeliefBase +
 		m.BeliefTrust*trust +
-		m.BeliefRisk*r.Profile.RiskPerception*e.Comm.Hazard.Severity +
+		m.BeliefRisk*r.Profile.RiskPerception()*e.Comm.Hazard.Severity +
 		m.BeliefExplain*d.Explanation +
 		m.BeliefSkill*r.skillLevel(e.Comm.Topic, e.Day) -
 		m.BeliefLookPenalty*d.LookAlike
@@ -704,12 +704,12 @@ func (r *Receiver) PMotivate(e Encounter) float64 {
 	m := r.model()
 	d := e.Comm.Design
 	p := m.MotBase +
-		m.MotRisk*r.Profile.RiskPerception*e.Comm.Hazard.Severity +
-		m.MotCompliance*r.Profile.ComplianceTendency +
+		m.MotRisk*r.Profile.RiskPerception()*e.Comm.Hazard.Severity +
+		m.MotCompliance*r.Profile.ComplianceTendency() +
 		m.MotActiveness*d.Activeness +
 		m.MotSkill*r.skillLevel(e.Comm.Topic, e.Day) -
 		m.MotCostPenalty*e.ComplianceCost -
-		m.MotFocusPenalty*r.Profile.PrimaryTaskFocus*(1-d.Activeness)
+		m.MotFocusPenalty*r.Profile.PrimaryTaskFocus()*(1-d.Activeness)
 	return clamp01(p)
 }
 
@@ -721,12 +721,12 @@ func (r *Receiver) PHeuristic(e Encounter) float64 {
 	d := e.Comm.Design
 	trust := r.EffectiveTrust(e.Comm.Topic)
 	p := m.HeurBase +
-		m.HeurRisk*r.Profile.RiskPerception +
+		m.HeurRisk*r.Profile.RiskPerception() +
 		m.HeurTrust*trust +
 		m.HeurActiveness*d.Activeness +
 		m.HeurSkill*r.skillLevel(e.Comm.Topic, e.Day) -
 		m.HeurLookPenalty*d.LookAlike -
-		m.HeurFocusPenalty*r.Profile.PrimaryTaskFocus*(1-d.Activeness)
+		m.HeurFocusPenalty*r.Profile.PrimaryTaskFocus()*(1-d.Activeness)
 	return clamp01(p)
 }
 
@@ -738,7 +738,7 @@ func (r *Receiver) PCapable(e Encounter) float64 {
 	}
 	(&e).withDefaults()
 	cog := clamp01(1 - 1.2*math.Max(0, e.Task.CognitiveDemand-(m.CapCognitiveSlack+(1-m.CapCognitiveSlack)*r.Profile.Expertise())))
-	phy := clamp01(1 - 1.2*math.Max(0, e.Task.PhysicalDemand-(m.CapPhysicalSlack+(1-m.CapPhysicalSlack)*r.Profile.MotorSkill)))
+	phy := clamp01(1 - 1.2*math.Max(0, e.Task.PhysicalDemand-(m.CapPhysicalSlack+(1-m.CapPhysicalSlack)*r.Profile.MotorSkill())))
 	return cog * phy
 }
 

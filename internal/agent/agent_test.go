@@ -15,12 +15,16 @@ import (
 )
 
 func avgProfile() population.Profile {
-	return population.Profile{
-		Age: 35, Education: 0.55, TechExpertise: 0.45, SecurityKnowledge: 0.25,
-		MemoryCapacity: 0.45, VisualAcuity: 0.8, MotorSkill: 0.8,
-		RiskPerception: 0.45, TrustInSecurityUI: 0.6, SelfEfficacy: 0.5,
-		PrimaryTaskFocus: 0.7, ComplianceTendency: 0.55,
+	p, err := population.NewProfile(35, false, map[string]float64{
+		"education": 0.55, "tech-expertise": 0.45, "security-knowledge": 0.25,
+		"memory-capacity": 0.45, "visual-acuity": 0.8, "motor-skill": 0.8,
+		"risk-perception": 0.45, "trust-in-security-ui": 0.6, "self-efficacy": 0.5,
+		"primary-task-focus": 0.7, "compliance-tendency": 0.55,
+	})
+	if err != nil {
+		panic(err)
 	}
+	return p
 }
 
 func warningEncounter(c comms.Communication) Encounter {
@@ -721,7 +725,7 @@ func TestResetMatchesFreshReceiver(t *testing.T) {
 	}
 
 	prof := avgProfile()
-	prof.TechExpertise = 0.9
+	prof.SetDim(population.DimTechExpertise, 0.9)
 	pooled.Reset(prof)
 	fresh := NewReceiver(prof)
 

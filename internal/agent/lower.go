@@ -267,7 +267,7 @@ func LowerEncounter(m *Model, e Encounter, trained bool, skill Skill) (*StagePar
 // operation sequence — and therefore the result bits — are identical.
 
 func (sp *StageParams) pNotice(prof *population.Profile) float64 {
-	p := sp.noticeC + sp.noticeAcuity*(prof.VisualAcuity-0.8) - sp.noticeLoadC
+	p := sp.noticeC + sp.noticeAcuity*(prof.VisualAcuity()-0.8) - sp.noticeLoadC
 	if sp.primed {
 		p += sp.noticePrimed
 	}
@@ -281,7 +281,7 @@ func (sp *StageParams) pNotice(prof *population.Profile) float64 {
 }
 
 func (sp *StageParams) pMaintain(prof *population.Profile) float64 {
-	motivation := 0.5*prof.RiskPerception + 0.5*(1-prof.PrimaryTaskFocus)
+	motivation := 0.5*prof.RiskPerception() + 0.5*(1-prof.PrimaryTaskFocus())
 	p := sp.maintainA - sp.maintainLenC*(1-0.5*motivation) - sp.maintainLoadC
 	if sp.primed {
 		p += sp.maintainPrimed
@@ -316,7 +316,7 @@ func (sp *StageParams) pTransfer(exp float64) float64 {
 func (sp *StageParams) pBelieve(prof *population.Profile, trust float64) float64 {
 	p := sp.beliefBase +
 		sp.beliefTrustW*trust +
-		sp.beliefRiskW*prof.RiskPerception*sp.severity +
+		sp.beliefRiskW*prof.RiskPerception()*sp.severity +
 		sp.beliefExplainC +
 		sp.beliefSkillC -
 		sp.beliefLookC
@@ -325,23 +325,23 @@ func (sp *StageParams) pBelieve(prof *population.Profile, trust float64) float64
 
 func (sp *StageParams) pMotivate(prof *population.Profile) float64 {
 	p := sp.motBase +
-		sp.motRiskW*prof.RiskPerception*sp.severity +
-		sp.motCompW*prof.ComplianceTendency +
+		sp.motRiskW*prof.RiskPerception()*sp.severity +
+		sp.motCompW*prof.ComplianceTendency() +
 		sp.motActC +
 		sp.motSkillC -
 		sp.motCostC -
-		sp.motFocusW*prof.PrimaryTaskFocus*sp.passive
+		sp.motFocusW*prof.PrimaryTaskFocus()*sp.passive
 	return clamp01(p)
 }
 
 func (sp *StageParams) pHeuristic(prof *population.Profile, trust float64) float64 {
 	p := sp.heurBase +
-		sp.heurRiskW*prof.RiskPerception +
+		sp.heurRiskW*prof.RiskPerception() +
 		sp.heurTrustW*trust +
 		sp.heurActC +
 		sp.heurSkillC -
 		sp.heurLookC -
-		sp.heurFocusW*prof.PrimaryTaskFocus*sp.passive
+		sp.heurFocusW*prof.PrimaryTaskFocus()*sp.passive
 	return clamp01(p)
 }
 
@@ -350,7 +350,7 @@ func (sp *StageParams) pCapable(prof *population.Profile, exp float64) float64 {
 		return sp.capMissing
 	}
 	cog := clamp01(1 - 1.2*math.Max(0, sp.cogDemand-(sp.cogSlack+sp.cogRange*exp)))
-	phy := clamp01(1 - 1.2*math.Max(0, sp.phyDemand-(sp.phySlack+sp.phyRange*prof.MotorSkill)))
+	phy := clamp01(1 - 1.2*math.Max(0, sp.phyDemand-(sp.phySlack+sp.phyRange*prof.MotorSkill())))
 	return cog * phy
 }
 
@@ -385,8 +385,8 @@ func (sp *StageParams) Eval(rng *rand.Rand, prof *population.Profile) Result {
 
 	// Expertise and trust are pure functions of the profile; computing them
 	// once up front matches every later use bit for bit.
-	exp := 0.4*prof.TechExpertise + 0.6*prof.SecurityKnowledge
-	trust := prof.TrustInSecurityUI * sp.trustFA
+	exp := 0.4*prof.TechExpertise() + 0.6*prof.SecurityKnowledge()
+	trust := prof.TrustInSecurityUI() * sp.trustFA
 
 	// --- Attention maintenance. ---
 	if !(rng.Float64() < sp.pMaintain(prof)) {
@@ -449,14 +449,14 @@ func (sp *StageParams) Eval(rng *rand.Rand, prof *population.Profile) Result {
 		res.FailedStage = StageBehavior
 		return res
 	}
-	if rng.Float64() < clamp01(sp.gexecC-0.25*exp-0.1*prof.SelfEfficacy)*0.5 {
+	if rng.Float64() < clamp01(sp.gexecC-0.25*exp-0.1*prof.SelfEfficacy())*0.5 {
 		res.ErrorClass = gems.ExecutionGulf
 		res.FailedStage = StageBehavior
 		return res
 	}
 	{
-		perStepLapse := sp.lapseC * (1 - 0.4*prof.MemoryCapacity)
-		perStepSlip := sp.slipC * (1 - 0.4*prof.MotorSkill)
+		perStepLapse := sp.lapseC * (1 - 0.4*prof.MemoryCapacity())
+		perStepSlip := sp.slipC * (1 - 0.4*prof.MotorSkill())
 		for s := 0; s < sp.steps; s++ {
 			if rng.Float64() < perStepLapse {
 				res.ErrorClass = gems.Lapse
@@ -527,8 +527,8 @@ type StageProbs struct {
 // Probabilities computes every stage threshold for one profile, using the
 // identical arithmetic Eval samples against.
 func (sp *StageParams) Probabilities(prof *population.Profile) StageProbs {
-	exp := 0.4*prof.TechExpertise + 0.6*prof.SecurityKnowledge
-	trust := prof.TrustInSecurityUI * sp.trustFA
+	exp := 0.4*prof.TechExpertise() + 0.6*prof.SecurityKnowledge()
+	trust := prof.TrustInSecurityUI() * sp.trustFA
 	pr := StageProbs{
 		Spoofed:  sp.spoofed,
 		Blocking: sp.blocking,
@@ -548,9 +548,9 @@ func (sp *StageParams) Probabilities(prof *population.Profile) StageProbs {
 		Heuristic:  sp.pHeuristic(prof, trust),
 
 		Mistake:  clamp01(sp.mistakeC * (1 - 0.7*exp)),
-		ExecGulf: clamp01(sp.gexecC-0.25*exp-0.1*prof.SelfEfficacy) * 0.5,
-		Lapse:    sp.lapseC * (1 - 0.4*prof.MemoryCapacity),
-		Slip:     sp.slipC * (1 - 0.4*prof.MotorSkill),
+		ExecGulf: clamp01(sp.gexecC-0.25*exp-0.1*prof.SelfEfficacy()) * 0.5,
+		Lapse:    sp.lapseC * (1 - 0.4*prof.MemoryCapacity()),
+		Slip:     sp.slipC * (1 - 0.4*prof.MotorSkill()),
 		EvalGulf: clamp01(sp.gevalC - 0.2*exp),
 	}
 	if sp.dismissRace {

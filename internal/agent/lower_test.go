@@ -73,21 +73,20 @@ func lowerableEncounters() []Encounter {
 
 func randomProfile(rng *rand.Rand) population.Profile {
 	u := rng.Float64
-	return population.Profile{
-		Age:                 18 + rng.Intn(60),
-		Education:           u(),
-		TechExpertise:       u(),
-		SecurityKnowledge:   u(),
-		AccurateMentalModel: rng.Intn(2) == 0,
-		MemoryCapacity:      u(),
-		VisualAcuity:        u(),
-		MotorSkill:          u(),
-		RiskPerception:      u(),
-		TrustInSecurityUI:   u(),
-		SelfEfficacy:        u(),
-		PrimaryTaskFocus:    u(),
-		ComplianceTendency:  u(),
-	}
+	p := population.Profile{Age: 18 + rng.Intn(60)}
+	p.SetDim(population.DimEducation, u())
+	p.SetDim(population.DimTechExpertise, u())
+	p.SetDim(population.DimSecurityKnowledge, u())
+	p.AccurateMentalModel = rng.Intn(2) == 0
+	p.SetDim(population.DimMemoryCapacity, u())
+	p.SetDim(population.DimVisualAcuity, u())
+	p.SetDim(population.DimMotorSkill, u())
+	p.SetDim(population.DimRiskPerception, u())
+	p.SetDim(population.DimTrustInSecurityUI, u())
+	p.SetDim(population.DimSelfEfficacy, u())
+	p.SetDim(population.DimPrimaryTaskFocus, u())
+	p.SetDim(population.DimComplianceTendency, u())
+	return p
 }
 
 // TestLowerBitIdentity is the compiler's correctness property: for every

@@ -130,6 +130,9 @@ type RunStats struct {
 	Missing []int `json:"missing,omitempty"`
 	// Nodes counts shards served per worker URL.
 	Nodes map[string]int `json:"nodes,omitempty"`
+	// Rounds is the episode round count for episodic runs (0 otherwise);
+	// the shard/dispatch counters then sum over every round.
+	Rounds int `json:"rounds,omitempty"`
 }
 
 func (s RunStats) String() string {

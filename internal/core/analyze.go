@@ -353,11 +353,11 @@ func analyzeTask(t HumanTask) ([]Finding, error) {
 
 	// --- Personal variables. ---
 	mean := t.Population.MeanProfile()
-	if mean.SecurityKnowledge < 0.3 && d.Clarity < 0.7 {
+	if mean.SecurityKnowledge() < 0.3 && d.Clarity < 0.7 {
 		add(CompDemographics, SeverityHigh,
 			"population is security-novice and the communication is not written in plain language",
 			"rewrite for non-experts: short jargon-free sentences, familiar symbols, unambiguous risk statements",
-			mean.SecurityKnowledge)
+			mean.SecurityKnowledge())
 	}
 	if t.Population.AccurateModelFraction() < 0.5 {
 		add(CompKnowledgeExperience, SeverityHigh,

@@ -69,8 +69,8 @@ func E14PasswordStrings(ctx context.Context, cfg Config) (*Output, error) {
 		for i := 0; i < m; i++ {
 			prof := spec.Sample(rng)
 			// A third of experts run vaults; nobody else does by default.
-			hasVault := prof.TechExpertise > 0.8 && rng.Float64() < 0.4
-			counts[password.StyleFor(prof.TechExpertise, prof.ComplianceTendency, hasVault)]++
+			hasVault := prof.TechExpertise() > 0.8 && rng.Float64() < 0.4
+			counts[password.StyleFor(prof.TechExpertise(), prof.ComplianceTendency(), hasVault)]++
 		}
 		t2.Add(spec.Name,
 			report.Pct(float64(counts[password.StyleWordDigits])/m),

@@ -165,7 +165,7 @@ func ActionCycle() []ActionStage {
 // and the mechanisms the task provides to act on it, in [0, 1]. It shrinks
 // with cue quality and the performer's expertise and self-efficacy.
 func GulfOfExecution(t Task, p population.Profile) float64 {
-	gap := 0.55*(1-t.CueQuality) + 0.25*t.CognitiveDemand - 0.25*p.Expertise() - 0.1*p.SelfEfficacy
+	gap := 0.55*(1-t.CueQuality) + 0.25*t.CognitiveDemand - 0.25*p.Expertise() - 0.1*p.SelfEfficacy()
 	return clamp01(gap)
 }
 
@@ -214,8 +214,8 @@ func Perform(rng *rand.Rand, t Task, p population.Profile) (Attempt, error) {
 	}
 
 	// Per-step lapses and slips across the task's steps.
-	perStepLapse := clamp01(0.02+0.08*(1-t.CueQuality)) * (1 - 0.4*p.MemoryCapacity)
-	perStepSlip := clamp01(0.01+0.07*(1-t.ControlClarity)+0.05*t.PhysicalDemand) * (1 - 0.4*p.MotorSkill)
+	perStepLapse := clamp01(0.02+0.08*(1-t.CueQuality)) * (1 - 0.4*p.MemoryCapacity())
+	perStepSlip := clamp01(0.01+0.07*(1-t.ControlClarity)+0.05*t.PhysicalDemand) * (1 - 0.4*p.MotorSkill())
 	for s := 0; s < t.Steps; s++ {
 		if rng.Float64() < perStepLapse {
 			return Attempt{Class: Lapse, Stage: ExecuteAction}, nil

@@ -11,20 +11,24 @@ import (
 )
 
 func averagePerformer() population.Profile {
-	return population.Profile{
-		Age: 35, Education: 0.5, TechExpertise: 0.5, SecurityKnowledge: 0.3,
-		MemoryCapacity: 0.5, VisualAcuity: 0.8, MotorSkill: 0.8,
-		RiskPerception: 0.5, TrustInSecurityUI: 0.6, SelfEfficacy: 0.5,
-		PrimaryTaskFocus: 0.7, ComplianceTendency: 0.5,
+	p, err := population.NewProfile(35, false, map[string]float64{
+		"education": 0.5, "tech-expertise": 0.5, "security-knowledge": 0.3,
+		"memory-capacity": 0.5, "visual-acuity": 0.8, "motor-skill": 0.8,
+		"risk-perception": 0.5, "trust-in-security-ui": 0.6, "self-efficacy": 0.5,
+		"primary-task-focus": 0.7, "compliance-tendency": 0.5,
+	})
+	if err != nil {
+		panic(err)
 	}
+	return p
 }
 
 func expertPerformer() population.Profile {
 	p := averagePerformer()
-	p.TechExpertise = 0.95
-	p.SecurityKnowledge = 0.9
-	p.SelfEfficacy = 0.9
-	p.MemoryCapacity = 0.7
+	p.SetDim(population.DimTechExpertise, 0.95)
+	p.SetDim(population.DimSecurityKnowledge, 0.9)
+	p.SetDim(population.DimSelfEfficacy, 0.9)
+	p.SetDim(population.DimMemoryCapacity, 0.7)
 	return p
 }
 
@@ -134,7 +138,7 @@ func TestPerformValidatesInput(t *testing.T) {
 		t.Error("invalid task: want error")
 	}
 	p := averagePerformer()
-	p.MotorSkill = 2
+	p.SetDim(population.DimMotorSkill, 2)
 	if _, err := Perform(rng, LeaveSuspiciousSite(), p); err == nil {
 		t.Error("invalid profile: want error")
 	}

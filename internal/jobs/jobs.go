@@ -64,7 +64,7 @@ func (s State) Terminal() bool { return s == StateComplete || s == StateFailed }
 // Event is one entry in a job's append-only event log — and one line of
 // the JSONL stream.
 type Event struct {
-	// Type is "status", "point", "trace", "done", or "error".
+	// Type is "status", "point", "round", "trace", "done", or "error".
 	Type string `json:"type"`
 	// State accompanies status events.
 	State State `json:"state,omitempty"`
@@ -77,6 +77,8 @@ type Event struct {
 	Index int `json:"index,omitempty"`
 	// Point carries one completed sweep point.
 	Point *scenario.Point `json:"point,omitempty"`
+	// Round carries one completed episode round's aggregate.
+	Round *scenario.RoundSummary `json:"round,omitempty"`
 	// Trace carries one sampled subject trace.
 	Trace *telemetry.SubjectTrace `json:"trace,omitempty"`
 	// ID and ETag identify the stored result on done events.
@@ -99,8 +101,11 @@ type ResultEnvelope struct {
 	// normalized spec, so the field is part of the content-addressed
 	// bytes like everything else. Absent in envelopes stored before
 	// engine paths existed.
-	Engine  string                   `json:"engine,omitempty"`
-	Points  []scenario.Point         `json:"points"`
+	Engine string           `json:"engine,omitempty"`
+	Points []scenario.Point `json:"points"`
+	// Rounds carries the per-round aggregates of an episodic run, in
+	// round order. Absent for round-free runs.
+	Rounds  []scenario.RoundSummary  `json:"rounds,omitempty"`
 	Metrics map[string]float64       `json:"metrics"`
 	Text    string                   `json:"text"`
 	Trace   []telemetry.SubjectTrace `json:"trace,omitempty"`
@@ -458,6 +463,8 @@ func synthesize(env *ResultEnvelope, body []byte, meta store.Meta) *Job {
 	total := 1
 	if env.Spec.Sweep != nil {
 		total = len(env.Spec.Sweep.Values)
+	} else if env.Spec.Rounds > 0 {
+		total = env.Spec.Rounds
 	}
 	j.state = StateComplete
 	j.done, j.total = total, total
@@ -469,10 +476,13 @@ func synthesize(env *ResultEnvelope, body []byte, meta store.Meta) *Job {
 // replayEvents renders the event log a live run of env would have
 // produced.
 func replayEvents(env *ResultEnvelope, total int, meta store.Meta) []Event {
-	evs := make([]Event, 0, len(env.Points)+len(env.Trace)+2)
+	evs := make([]Event, 0, len(env.Points)+len(env.Rounds)+len(env.Trace)+2)
 	evs = append(evs, Event{Type: "status", State: StateRunning, Done: 0, Total: total})
 	for i := range env.Points {
 		evs = append(evs, Event{Type: "point", Index: i, Point: &env.Points[i]})
+	}
+	for i := range env.Rounds {
+		evs = append(evs, Event{Type: "round", Index: i, Round: &env.Rounds[i]})
 	}
 	for i := range env.Trace {
 		evs = append(evs, Event{Type: "trace", Trace: &env.Trace[i]})
@@ -491,6 +501,8 @@ func (m *Manager) run(j *Job, norm scenario.Spec, opts SubmitOptions) {
 	total := 1
 	if norm.Sweep != nil {
 		total = len(norm.Sweep.Values)
+	} else if norm.Rounds > 0 {
+		total = norm.Rounds
 	}
 	j.mu.Lock()
 	j.state = StateRunning
@@ -541,7 +553,7 @@ func (m *Manager) run(j *Job, norm scenario.Spec, opts SubmitOptions) {
 		// Failed jobs still explain themselves: the report (with per-run
 		// errors and flags) is attached in memory, just not persisted —
 		// a failed job is replaced by the next submission attempt.
-		reportBody, reportMeta := encodeReport(m.buildReport(j, norm, opts, col, before, ""))
+		reportBody, reportMeta := encodeReport(m.buildReport(j, norm, opts, col, before, "", nil))
 		telemetry.Flight.Record(telemetry.EventJobFailed, j.ID+": "+err.Error())
 		j.mu.Lock()
 		j.state = StateFailed
@@ -566,7 +578,7 @@ func (m *Manager) run(j *Job, norm scenario.Spec, opts SubmitOptions) {
 		j.mu.Unlock()
 		return
 	}
-	reportBody, reportMeta := encodeReport(m.buildReport(j, norm, opts, col, before, res.EnginePath))
+	reportBody, reportMeta := encodeReport(m.buildReport(j, norm, opts, col, before, res.EnginePath, res.Rounds))
 	if m.cfg.Store != nil {
 		// Persist before announcing completion, so a client that sees
 		// "complete" can always read the result — even across a restart
@@ -591,7 +603,10 @@ func (m *Manager) run(j *Job, norm scenario.Spec, opts SubmitOptions) {
 	j.done = total
 	j.body, j.meta = body, meta
 	j.reportBody, j.reportMeta = reportBody, reportMeta
-	evs := make([]Event, 0, len(trace)+1)
+	evs := make([]Event, 0, len(res.Rounds)+len(trace)+1)
+	for i := range res.Rounds {
+		evs = append(evs, Event{Type: "round", Index: i, Round: &res.Rounds[i]})
+	}
 	for i := range trace {
 		evs = append(evs, Event{Type: "trace", Trace: &trace[i]})
 	}
@@ -604,10 +619,11 @@ func (m *Manager) run(j *Job, norm scenario.Spec, opts SubmitOptions) {
 // the request-level context, canonicalized so the persisted bytes are
 // bit-identical at any worker count (like the result envelope's zeroed
 // Spec.Workers).
-func (m *Manager) buildReport(j *Job, norm scenario.Spec, opts SubmitOptions, col *sim.ReportCollector, before telemetry.MetricsSnapshot, enginePath string) report.RunReport {
+func (m *Manager) buildReport(j *Job, norm scenario.Spec, opts SubmitOptions, col *sim.ReportCollector, before telemetry.MetricsSnapshot, enginePath string, rounds []scenario.RoundSummary) report.RunReport {
 	rep := report.FromEngine(col.Reports())
 	rep.JobID = j.ID
 	rep.SpecDigest = opts.SpecDigest
+	rep.Rounds = RoundReports(rounds)
 	rep.Scenario = norm.Scenario
 	if enginePath != "" {
 		// The scenario-level path is authoritative: analytic runs execute
@@ -656,6 +672,25 @@ func bodySHA(body []byte) string {
 // use it before persisting, and the cluster coordinator uses it to store
 // merged results under the parent spec's digest, so a result computed by
 // a worker pool is served byte-identically to one computed locally.
+// RoundReports converts a result's per-round summaries into the report
+// section form (report deliberately doesn't import scenario).
+func RoundReports(rounds []scenario.RoundSummary) []report.RoundReport {
+	if len(rounds) == 0 {
+		return nil
+	}
+	out := make([]report.RoundReport, len(rounds))
+	for i, r := range rounds {
+		out[i] = report.RoundReport{
+			Round:      r.Round,
+			Seed:       r.Seed,
+			Params:     r.Params,
+			Values:     r.Values,
+			EnginePath: r.EnginePath,
+		}
+	}
+	return out
+}
+
 func EncodeResult(id string, res *scenario.Result, trace []telemetry.SubjectTrace) ([]byte, store.Meta, error) {
 	env := ResultEnvelope{
 		ID:       id,
@@ -663,6 +698,7 @@ func EncodeResult(id string, res *scenario.Result, trace []telemetry.SubjectTrac
 		Spec:     res.Spec,
 		Engine:   res.EnginePath,
 		Points:   res.Points,
+		Rounds:   res.Rounds,
 		Metrics:  res.Metrics(),
 		Text:     renderText(res),
 		Trace:    trace,

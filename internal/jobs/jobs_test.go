@@ -114,6 +114,130 @@ func TestJobCompletesAndPersists(t *testing.T) {
 	}
 }
 
+// episodeSpec is a small adaptive episode: three rounds of the adaptive
+// phishing campaign under the phish-escalation policy.
+func episodeSpec(t *testing.T) (scenario.Spec, string) {
+	t.Helper()
+	spec := scenario.Spec{
+		Scenario:   "phishing-adaptive-campaign",
+		Population: "general-public",
+		N:          60,
+		Seed:       17,
+		Rounds:     3,
+		Adapt:      &scenario.AdaptSpec{Policy: "phish-escalation"},
+		Params:     map[string]any{"days": 5},
+	}
+	norm, err := scenario.Normalize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, err := scenario.Canonical(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return norm, digest
+}
+
+// TestEpisodicJobStreamsRounds runs an episodic job and checks the
+// per-round surfaces: progress totals count rounds, the stream carries
+// one round event per round (with seed and applied policy params), the
+// stored envelope keeps the round summaries, the run report records the
+// rounds section, and a restart-synthesized job replays the same stream.
+func TestEpisodicJobStreamsRounds(t *testing.T) {
+	st := openStore(t)
+	m := NewManager(Config{Store: st})
+	norm, digest := episodeSpec(t)
+	j, _, err := m.Submit(norm, digest, SubmitOptions{SpecDigest: digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := waitComplete(t, j)
+	if status.State != StateComplete {
+		t.Fatalf("state = %s (%s)", status.State, status.Error)
+	}
+	if status.Done != 3 || status.Total != 3 {
+		t.Errorf("progress = %d/%d, want 3/3 (one per round)", status.Done, status.Total)
+	}
+	evs := drainEvents(t, j)
+	var rounds, points int
+	for _, ev := range evs {
+		switch ev.Type {
+		case "round":
+			if ev.Round == nil {
+				t.Fatal("round event without a payload")
+			}
+			if ev.Round.Round != rounds {
+				t.Errorf("round event %d carries round %d", rounds, ev.Round.Round)
+			}
+			if ev.Round.Seed == 0 || len(ev.Round.Params) == 0 || len(ev.Round.Values) == 0 {
+				t.Errorf("round event %d incomplete: %+v", rounds, ev.Round)
+			}
+			rounds++
+		case "point":
+			points++
+		}
+	}
+	if rounds != 3 || points != 3 {
+		t.Errorf("stream carried %d round and %d point events, want 3 and 3", rounds, points)
+	}
+
+	body, _, ok := j.Result()
+	if !ok {
+		t.Fatal("no result")
+	}
+	var env ResultEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Rounds) != 3 {
+		t.Fatalf("envelope has %d rounds, want 3", len(env.Rounds))
+	}
+	rbody, _, ok := j.Report()
+	if !ok {
+		t.Fatal("no run report")
+	}
+	var rep struct {
+		Rounds []struct {
+			Round int   `json:"round"`
+			Seed  int64 `json:"seed"`
+		} `json:"rounds"`
+	}
+	if err := json.Unmarshal(rbody, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != 3 {
+		t.Fatalf("run report has %d rounds, want 3", len(rep.Rounds))
+	}
+	for r, rr := range rep.Rounds {
+		if rr.Round != r || rr.Seed != env.Rounds[r].Seed {
+			t.Errorf("report round %d = %+v, want round %d seed %d", r, rr, r, env.Rounds[r].Seed)
+		}
+	}
+
+	// A restart-synthesized job replays the same per-round stream.
+	m2 := NewManager(Config{Store: st})
+	j2, created, err := m2.Submit(norm, digest, SubmitOptions{SpecDigest: digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created {
+		t.Fatal("restart recomputed a stored episodic result")
+	}
+	evs2 := drainEvents(t, j2)
+	var rounds2 int
+	for _, ev := range evs2 {
+		if ev.Type == "round" {
+			rounds2++
+		}
+	}
+	if rounds2 != 3 {
+		t.Errorf("replayed stream carried %d round events, want 3", rounds2)
+	}
+	if st2 := j2.Status(); st2.Total != 3 {
+		t.Errorf("synthesized job total = %d, want 3", st2.Total)
+	}
+}
+
 // TestSingleflightCoalesces submits the same digest concurrently and checks
 // exactly one submission computes.
 func TestSingleflightCoalesces(t *testing.T) {

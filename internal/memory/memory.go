@@ -84,7 +84,7 @@ type Store struct {
 }
 
 // NewStore creates a store for a person with the given memory ability
-// (population.Profile.MemoryCapacity) under the model.
+// (population.Profile.MemoryCapacity()) under the model.
 func NewStore(m Model, ability float64) (*Store, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err

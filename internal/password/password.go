@@ -341,11 +341,11 @@ func simulatePortfolio(rng *rand.Rand, prof population.Profile, s Scenario, inte
 	vaultAdopted := false
 	if s.Tools.Vault {
 		// Adoption depends on tech comfort; deployed != used.
-		vaultAdopted = rng.Float64() < 0.35+0.6*prof.TechExpertise
+		vaultAdopted = rng.Float64() < 0.35+0.6*prof.TechExpertise()
 	}
 
 	// Memory capacity in "distinct strong passwords held reliably".
-	capacity := 2 + 8*prof.MemoryCapacity
+	capacity := 2 + 8*prof.MemoryCapacity()
 	// Harder passwords consume more capacity.
 	difficulty := math.Sqrt(float64(s.Policy.MinLength)/8) * (1 + 0.15*float64(s.Policy.RequiredClasses-1))
 	capacity /= difficulty
@@ -386,9 +386,9 @@ func simulatePortfolio(rng *rand.Rand, prof population.Profile, s Scenario, inte
 	if needed > 0 {
 		u.reuseFraction = clamp01(excess / needed)
 	}
-	pWrite := clamp01((0.1 + 0.5*clamp01(excess/math.Max(needed, 1))) * (1 - 0.55*prof.ComplianceTendency))
+	pWrite := clamp01((0.1 + 0.5*clamp01(excess/math.Max(needed, 1))) * (1 - 0.55*prof.ComplianceTendency()))
 	u.wroteDown = rng.Float64() < pWrite
-	pShare := 0.06 * (1 - 0.5*prof.ComplianceTendency)
+	pShare := 0.06 * (1 - 0.5*prof.ComplianceTendency())
 	u.shared = rng.Float64() < pShare
 	u.resetsPerYear = poissonF(rng, 0.4*excess+0.15*rotations)
 	u.strengthBits = effectiveBits(rng, s, prof, true)
@@ -413,7 +413,7 @@ func effectiveBits(rng *rand.Rand, s Scenario, prof population.Profile, careful 
 	theo := s.Policy.TheoreticalBits()
 	human := 0.4
 	if careful {
-		human += 0.1 * prof.ComplianceTendency
+		human += 0.1 * prof.ComplianceTendency()
 	}
 	if s.Tools.StrengthMeter {
 		human += 0.12

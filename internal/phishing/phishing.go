@@ -243,6 +243,18 @@ type Campaign struct {
 	Seed int64
 	// Workers is the engine parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Lookalike is the attacker's look-alike similarity in [0, 1]: how
+	// closely lure sites mimic the real thing. Higher values slip past the
+	// detector more often (effective TPR shrinks) and fool unaided users
+	// more often (self-detection shrinks). Zero is the classic campaign —
+	// both effects vanish and the sampling stream is bit-identical to a
+	// Campaign that predates the field.
+	Lookalike float64
+	// Targeting is how strongly the attacker aims volume at susceptible
+	// users, in [0, 1]: each subject's phish rate scales with their
+	// (1 - expertise) relative to the population midpoint. Zero sends
+	// everyone the same volume (the classic campaign).
+	Targeting float64
 }
 
 func (c *Campaign) setDefaults() {
@@ -280,6 +292,12 @@ func (c Campaign) Validate() error {
 	if c.DetectorTPR < 0 || c.DetectorTPR > 1 || c.DetectorFPR < 0 || c.DetectorFPR > 1 {
 		return fmt.Errorf("phishing: detector rates out of [0,1]")
 	}
+	if c.Lookalike < 0 || c.Lookalike > 1 {
+		return fmt.Errorf("phishing: lookalike %v out of [0,1]", c.Lookalike)
+	}
+	if c.Targeting < 0 || c.Targeting > 1 {
+		return fmt.Errorf("phishing: targeting %v out of [0,1]", c.Targeting)
+	}
 	return c.Warning.Validate()
 }
 
@@ -307,12 +325,19 @@ func (c Campaign) Run(ctx context.Context) (CampaignMetrics, error) {
 		return CampaignMetrics{}, err
 	}
 	runner := sim.Runner{Seed: c.Seed, N: c.N, Workers: c.Workers}
+	// Attacker effects are threshold shifts, never extra draws, so a zero
+	// Lookalike/Targeting campaign consumes the exact stream the classic
+	// campaign always has.
+	effTPR := c.DetectorTPR * (1 - 0.5*c.Lookalike)
 	// The campaign synthesizes its own Outcome from many encounters, so it
 	// never collects per-encounter traces; pooled receivers keep the
 	// multi-day loop allocation-free.
 	pool := receiverPool(false)
 	res, err := runner.Run(ctx, func(rng *rand.Rand, i int) (sim.Outcome, error) {
 		prof := c.Population.Sample(rng)
+		// Targeted volume: susceptible subjects (low expertise) see more
+		// phish, savvy ones less, symmetric around the 0.5 midpoint.
+		phishMean := c.PhishPerDay * (1 + c.Targeting*(0.5-prof.Expertise()))
 		r := pool.Get().(*agent.Receiver)
 		defer pool.Put(r)
 		r.Reset(prof)
@@ -337,12 +362,12 @@ func (c Campaign) Run(ctx context.Context) (CampaignMetrics, error) {
 				falseAlarms++
 			}
 			// Phishing emails.
-			nPhish := poisson(rng, c.PhishPerDay)
+			nPhish := poisson(rng, phishMean)
 			for e := 0; e < nPhish; e++ {
 				phishSeen++
-				if rng.Float64() >= c.DetectorTPR {
+				if rng.Float64() >= effTPR {
 					// Warning never fires: the user faces the phish alone.
-					if !selfDetects(rng, r, float64(day)) {
+					if !selfDetects(rng, r, float64(day), c.Lookalike) {
 						phished = true
 						phishedCount++
 					}
@@ -414,8 +439,9 @@ func CampaignMetricsFrom(res *sim.Result) CampaignMetrics {
 }
 
 // selfDetects models a user spotting a phish without any warning: rare for
-// naive users, more likely with accurate mental models and training.
-func selfDetects(rng *rand.Rand, r *agent.Receiver, day float64) bool {
+// naive users, more likely with accurate mental models and training, and
+// harder the more closely the lure mimics the real site (lookalike).
+func selfDetects(rng *rand.Rand, r *agent.Receiver, day, lookalike float64) bool {
 	p := 0.05
 	if r.HasAccurateModel("phishing") {
 		p += 0.25
@@ -423,6 +449,7 @@ func selfDetects(rng *rand.Rand, r *agent.Receiver, day float64) bool {
 	if s, ok := r.SkillFor("phishing"); ok {
 		p += 0.4 * s.Level
 	}
+	p *= 1 - 0.7*lookalike
 	_ = day
 	return rng.Float64() < p
 }

@@ -238,7 +238,7 @@ func TestCampaignTrainedPopulationSelfDetects(t *testing.T) {
 	hits := 0
 	const n = 2000
 	for i := 0; i < n; i++ {
-		if selfDetects(rng, nov, 0) {
+		if selfDetects(rng, nov, 0, 0) {
 			hits++
 		}
 	}
@@ -247,7 +247,7 @@ func TestCampaignTrainedPopulationSelfDetects(t *testing.T) {
 	tr.Train("phishing", agent.Skill{Level: 0.9, Interactivity: 0.9})
 	hits = 0
 	for i := 0; i < n; i++ {
-		if selfDetects(rng, tr, 0) {
+		if selfDetects(rng, tr, 0, 0) {
 			hits++
 		}
 	}

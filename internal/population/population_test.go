@@ -26,9 +26,10 @@ func TestSpecValidateErrors(t *testing.T) {
 		{"age range", func(s *Spec) { s.AgeMax = s.AgeMin - 1 }},
 		{"expert fraction", func(s *Spec) { s.ExpertFraction = 1.5 }},
 		{"model base", func(s *Spec) { s.AccurateModelBase = -0.1 }},
-		{"trait mean", func(s *Spec) { s.Education.Mean = 2 }},
-		{"trait sd", func(s *Spec) { s.MemoryCapacity.SD = -1 }},
-		{"trait NaN", func(s *Spec) { s.RiskPerception.Mean = math.NaN() }},
+		{"trait mean", func(s *Spec) { s.SetDim("education", Trait{Mean: 2}) }},
+		{"trait sd", func(s *Spec) { s.SetDim("memory-capacity", Trait{Mean: 0.5, SD: -1}) }},
+		{"trait NaN", func(s *Spec) { s.SetDim("risk-perception", Trait{Mean: math.NaN()}) }},
+		{"ext range", func(s *Spec) { s.SetDim("phishing-susceptibility", Trait{Mean: 1.5}) }},
 	}
 	for _, tc := range cases {
 		s := GeneralPublic()
@@ -55,7 +56,10 @@ func TestSampleProfilesValid(t *testing.T) {
 }
 
 func TestProfileValidateErrors(t *testing.T) {
-	p := Profile{Age: 30, Education: 0.5, VisualAcuity: 0.5}
+	p, err := NewProfile(30, false, map[string]float64{"education": 0.5, "visual-acuity": 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := p.Validate(); err != nil {
 		t.Fatalf("valid profile rejected: %v", err)
 	}
@@ -64,7 +68,7 @@ func TestProfileValidateErrors(t *testing.T) {
 		t.Error("negative age: want error")
 	}
 	p.Age = 30
-	p.SelfEfficacy = 1.4
+	p.SetDim(DimSelfEfficacy, 1.4)
 	if err := p.Validate(); err == nil {
 		t.Error("out-of-range trait: want error")
 	}
@@ -74,14 +78,14 @@ func TestSamplingDeterministic(t *testing.T) {
 	a := GeneralPublic().SampleN(rand.New(rand.NewSource(42)), 50)
 	b := GeneralPublic().SampleN(rand.New(rand.NewSource(42)), 50)
 	for i := range a {
-		if a[i] != b[i] {
+		if !a[i].Equal(b[i]) {
 			t.Fatalf("sample %d differs across identical seeds", i)
 		}
 	}
 	c := GeneralPublic().SampleN(rand.New(rand.NewSource(43)), 50)
 	same := true
 	for i := range a {
-		if a[i] != c[i] {
+		if !a[i].Equal(c[i]) {
 			same = false
 			break
 		}
@@ -98,7 +102,7 @@ func TestPopulationOrderings(t *testing.T) {
 		ps := spec.SampleN(rng, n)
 		xs := make([]float64, n)
 		for i, p := range ps {
-			xs[i] = p.SecurityKnowledge
+			xs[i] = p.SecurityKnowledge()
 		}
 		return stats.Mean(xs)
 	}
@@ -135,11 +139,11 @@ func TestExpertMentalModels(t *testing.T) {
 }
 
 func TestExpertiseBlend(t *testing.T) {
-	p := Profile{TechExpertise: 1, SecurityKnowledge: 0}
+	p, _ := NewProfile(0, false, map[string]float64{"tech-expertise": 1})
 	if e := p.Expertise(); !(e > 0 && e < 0.5) {
 		t.Errorf("tech-only expertise = %v, want in (0, 0.5)", e)
 	}
-	p = Profile{TechExpertise: 1, SecurityKnowledge: 1}
+	p, _ = NewProfile(0, false, map[string]float64{"tech-expertise": 1, "security-knowledge": 1})
 	if e := p.Expertise(); math.Abs(e-1) > 1e-12 {
 		t.Errorf("full expertise = %v, want 1", e)
 	}

@@ -86,6 +86,23 @@ type RunReport struct {
 	// for single-node runs). Scheduling-dependent fields are zeroed in
 	// canonical form.
 	Cluster *ClusterReport `json:"cluster,omitempty"`
+	// Rounds is the per-round history of an episodic run, in round order
+	// (empty for round-free runs). Round seeds, applied parameters, and
+	// aggregate values are all deterministic in the master seed, so the
+	// section survives canonicalization intact.
+	Rounds []RoundReport `json:"rounds,omitempty"`
+}
+
+// RoundReport is one episode round: the seed it ran under, the parameter
+// overrides the adaptive policy applied, and the aggregate metrics the
+// next round's policy decision saw. Plain fields keep the report envelope
+// decoupled from the scenario package.
+type RoundReport struct {
+	Round      int                `json:"round"`
+	Seed       int64              `json:"seed"`
+	Params     map[string]float64 `json:"params,omitempty"`
+	Values     map[string]float64 `json:"values,omitempty"`
+	EnginePath string             `json:"engine_path,omitempty"`
 }
 
 // ClusterReport is the distributed-execution section of a RunReport: how

@@ -18,6 +18,7 @@ import (
 	"hitl/internal/population"
 	"hitl/internal/scenario"
 	_ "hitl/internal/scenario/all"
+	"hitl/internal/sim"
 )
 
 const examplesDir = "../../examples/scenarios"
@@ -139,6 +140,49 @@ func TestGoldenPhishingCampaign(t *testing.T) {
 		"mean_phish_encounters":     m.MeanPhishEncounters,
 		"mean_false_alarms":         m.MeanFalseAlarms,
 	})
+}
+
+// TestGoldenPhishingAdaptiveCampaign pins the episodic example to a
+// programmatic twin for its opening round: the phish-escalation policy's
+// round-0 overrides are its configured starting knobs, so round 0 must be
+// byte-for-byte a hand-built Campaign under the derived round seed. Later
+// rounds depend on round 0's observed fall rate, which the per-round
+// summaries must record.
+func TestGoldenPhishingAdaptiveCampaign(t *testing.T) {
+	ctx := context.Background()
+	res, err := scenario.Run(ctx, readExample(t, "phishing-adaptive-campaign.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 4 || len(res.Points) != 4 {
+		t.Fatalf("%d rounds / %d points, want 4 / 4", len(res.Rounds), len(res.Points))
+	}
+	c := phishing.Campaign{
+		Population:  population.GeneralPublic(),
+		Warning:     phishing.StandardConditions()[0].Warning,
+		Days:        20,
+		PhishPerDay: 0.25, // the policy's configured round-0 volume
+		LegitPerDay: 10,
+		DetectorTPR: 0.9, DetectorFPR: 0.02,
+		N: 400, Seed: sim.RoundSeed(11, 0),
+		Lookalike: 0.1, Targeting: 0,
+	}
+	m, err := c.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPoint(t, res.Points[0], "round-0 firefox-active", m.Run, map[string]float64{
+		"victim_rate":               m.VictimRate,
+		"per_encounter_victim_rate": m.PerEncounterVictimRate,
+		"mean_phish_encounters":     m.MeanPhishEncounters,
+		"mean_false_alarms":         m.MeanFalseAlarms,
+	})
+	if got := res.Rounds[0].Values["per_encounter_victim_rate"]; got != m.PerEncounterVictimRate {
+		t.Errorf("round 0 aggregate fall rate %v, want programmatic %v", got, m.PerEncounterVictimRate)
+	}
+	if res.Rounds[1].Params["lookalike"] == res.Rounds[0].Params["lookalike"] {
+		t.Error("attacker look-alike did not adapt after round 0")
+	}
 }
 
 func TestGoldenPasswordPortfolio(t *testing.T) {

@@ -138,6 +138,11 @@ func ShardSpecs(parent Spec, count int) ([]Spec, error) {
 	if norm.Offset != 0 {
 		return nil, specErrf("offset", "cannot shard a spec that is already a shard (offset %d)", norm.Offset)
 	}
+	if norm.Rounds > 0 {
+		// Episodes shard within rounds, never across them: materialize
+		// round r with RoundSpec and shard that.
+		return nil, specErrf("rounds", "cannot shard an episodic spec; shard its round specs instead")
+	}
 	if count < 1 {
 		count = 1
 	}

@@ -111,8 +111,13 @@ type Result struct {
 	// possible under EngineAuto). Interpreted and compiled results are
 	// bit-identical, so the path is diagnostic, not semantic.
 	EnginePath string
-	// Points holds one entry per condition and sweep step, in order.
+	// Points holds one entry per condition and sweep step, in order. For
+	// episodic runs each round's points appear in round order, labeled
+	// "round-r" (plus the round's own label, if any).
 	Points []Point
+	// Rounds holds one summary per episode round, in order; nil for
+	// round-free runs.
+	Rounds []RoundSummary
 }
 
 // Metrics flattens every point's values (plus its heed rate) into one map.

@@ -50,6 +50,14 @@ type Spec struct {
 	// Sweep optionally runs the scenario once per value of one numeric
 	// parameter.
 	Sweep *Axis `json:"sweep,omitempty"`
+	// Rounds > 0 turns the run into a deterministic R-round episode: round
+	// r runs this spec with seed sim.RoundSeed(Seed, r), and the Adapt
+	// policy (if any) adjusts parameters between rounds. Both fields are
+	// omitempty, so round-free specs keep their canonical digests.
+	Rounds int `json:"rounds,omitempty"`
+	// Adapt names and configures the adaptive policy driving an episode's
+	// per-round parameter overrides; nil runs every round unadapted.
+	Adapt *AdaptSpec `json:"adapt,omitempty"`
 }
 
 // Axis is a sweep over one numeric parameter.
@@ -174,6 +182,9 @@ func Normalize(spec Spec) (Spec, error) {
 		}
 		ax.Values = append([]float64(nil), ax.Values...)
 		out.Sweep = &ax
+	}
+	if err := normalizeEpisode(&out); err != nil {
+		return Spec{}, err
 	}
 	return out, nil
 }
@@ -323,6 +334,9 @@ func RunObserved(ctx context.Context, spec Spec, obs Observer) (*Result, error) 
 	norm, err := Normalize(spec)
 	if err != nil {
 		return nil, err
+	}
+	if norm.Rounds > 0 {
+		return runEpisode(ctx, norm, obs)
 	}
 	sc, err := Get(norm.Scenario)
 	if err != nil {

@@ -170,6 +170,9 @@ func (s *Server) handleClusterRun(w http.ResponseWriter, r *http.Request) {
 		"text":     text.String(),
 		"cluster":  stats,
 	}
+	if len(res.Rounds) > 0 {
+		resp["rounds"] = res.Rounds
+	}
 	// ?report=1 attaches a RunReport with the cluster section filled in.
 	// The engine phases ran on remote workers, so only the coordinator's
 	// view is populated.
@@ -191,6 +194,7 @@ func (s *Server) handleClusterRun(w http.ResponseWriter, r *http.Request) {
 				Missing:    stats.Missing,
 			},
 		}
+		rep.Rounds = jobs.RoundReports(res.Rounds)
 		if digest, derr := scenario.Canonical(norm); derr == nil {
 			rep.SpecDigest = digest
 		}

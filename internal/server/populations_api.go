@@ -1,0 +1,53 @@
+package server
+
+import (
+	"net/http"
+
+	"hitl/internal/population"
+)
+
+// handlePopulationList serves the population presets with their full
+// dimension schemas, plus the core trait-dimension registry itself — the
+// discovery counterpart of /v1/scenarios, so clients can see which named
+// dimensions exist (and what they mean) and how each preset distributes
+// them, without reading Go.
+func (s *Server) handlePopulationList(w http.ResponseWriter, r *http.Request) {
+	type dimensionDTO struct {
+		Name string `json:"name"`
+		Doc  string `json:"doc"`
+	}
+	type populationDTO struct {
+		Name   string `json:"name"`
+		AgeMin int    `json:"age_min"`
+		AgeMax int    `json:"age_max"`
+		// Dims maps dimension name to its trait distribution; extension
+		// dimensions (if a preset carries any) appear alongside the core
+		// ones under their own names.
+		Dims              map[string]population.Trait `json:"dims"`
+		ExpertFraction    float64                     `json:"expert_fraction"`
+		AccurateModelBase float64                     `json:"accurate_model_base"`
+	}
+	dims := make([]dimensionDTO, 0)
+	for _, d := range population.Dimensions() {
+		dims = append(dims, dimensionDTO{Name: d.Name, Doc: d.Doc})
+	}
+	pops := make([]populationDTO, 0)
+	for _, name := range population.Names() {
+		spec, err := population.ByName(name)
+		if err != nil {
+			continue
+		}
+		pops = append(pops, populationDTO{
+			Name:              spec.Name,
+			AgeMin:            spec.AgeMin,
+			AgeMax:            spec.AgeMax,
+			Dims:              spec.DimMap(),
+			ExpertFraction:    spec.ExpertFraction,
+			AccurateModelBase: spec.AccurateModelBase,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dimensions":  dims,
+		"populations": pops,
+	})
+}

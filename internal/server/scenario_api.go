@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"hitl/internal/jobs"
 	"hitl/internal/report"
 	"hitl/internal/scenario"
 	_ "hitl/internal/scenario/all" // register the built-in scenarios
@@ -202,6 +203,9 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 		"metrics":  res.Metrics(),
 		"text":     text.String(),
 	}
+	if len(res.Rounds) > 0 {
+		resp["rounds"] = res.Rounds
+	}
 	if rec != nil {
 		resp["trace"] = rec.Traces()
 	}
@@ -228,6 +232,7 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		rep.Cache = "bypass"
+		rep.Rounds = jobs.RoundReports(res.Rounds)
 		delta := telemetry.Snapshot().Delta(before)
 		rep.Engine = &delta
 		resp["report"] = rep

@@ -281,6 +281,7 @@ func New(cfg Config) *Server {
 	s.route("/v1/experiments", s.handleExperimentList, http.MethodGet)
 	s.route("/v1/experiments/run", s.limited(s.handleExperimentRun), http.MethodPost)
 	s.route("/v1/scenarios", s.handleScenarioList, http.MethodGet)
+	s.route("/v1/populations", s.handlePopulationList, http.MethodGet)
 	s.route("/v1/scenarios/run", s.limited(s.handleScenarioRun), http.MethodPost)
 	s.route("/v1/analyze", s.limited(s.handleAnalyze), http.MethodPost)
 	s.route("/v1/process", s.limited(s.handleProcess), http.MethodPost)

@@ -134,6 +134,54 @@ func TestPatternsEndpoint(t *testing.T) {
 	}
 }
 
+func TestPopulationsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/populations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Dimensions []struct {
+			Name string `json:"name"`
+			Doc  string `json:"doc"`
+		} `json:"dimensions"`
+		Populations []struct {
+			Name   string `json:"name"`
+			AgeMin int    `json:"age_min"`
+			AgeMax int    `json:"age_max"`
+			Dims   map[string]struct {
+				Mean float64 `json:"mean"`
+				SD   float64 `json:"sd"`
+			} `json:"dims"`
+		} `json:"populations"`
+	}
+	decodeBody(t, resp, &body)
+	if len(body.Dimensions) != int(population.NumCoreDims) {
+		t.Errorf("%d dimensions, want %d", len(body.Dimensions), int(population.NumCoreDims))
+	}
+	for _, d := range body.Dimensions {
+		if d.Name == "" || d.Doc == "" {
+			t.Errorf("incomplete dimension DTO: %+v", d)
+		}
+	}
+	if len(body.Populations) < 4 {
+		t.Fatalf("got %d populations", len(body.Populations))
+	}
+	for _, p := range body.Populations {
+		if p.Name == "" || p.AgeMax <= p.AgeMin {
+			t.Errorf("incomplete population DTO: %+v", p)
+		}
+		if len(p.Dims) < int(population.NumCoreDims) {
+			t.Errorf("population %s lists %d dims, want >= %d", p.Name, len(p.Dims), population.NumCoreDims)
+		}
+		for _, d := range body.Dimensions {
+			if _, ok := p.Dims[d.Name]; !ok {
+				t.Errorf("population %s missing dimension %s", p.Name, d.Name)
+			}
+		}
+	}
+}
+
 func TestAnalyzeEndpoint(t *testing.T) {
 	ts := newTestServer(t)
 	resp := postJSON(t, ts.URL+"/v1/analyze", exampleSpec())

@@ -129,13 +129,13 @@ func (p *Program) AnalyticEligible() bool {
 	if s.AccurateModelBase != 0 && s.AccurateModelBase != 1 {
 		return false
 	}
-	for _, t := range []population.Trait{
-		s.Education, s.TechExpertise, s.SecurityKnowledge,
-		s.MemoryCapacity, s.VisualAcuity, s.MotorSkill,
-		s.RiskPerception, s.TrustInSecurityUI, s.SelfEfficacy,
-		s.PrimaryTaskFocus, s.ComplianceTendency,
-	} {
-		if t.SD != 0 {
+	for i := population.DimIndex(0); i < population.NumCoreDims; i++ {
+		if s.CoreTrait(i).SD != 0 {
+			return false
+		}
+	}
+	for _, d := range s.ExtDims() {
+		if d.Trait.SD != 0 {
 			return false
 		}
 	}
@@ -148,21 +148,14 @@ func (p *Program) AnalyticEligible() bool {
 // no stage model reads Age.
 func (p *Program) meanSubject() population.Profile {
 	s := p.Pop
-	return population.Profile{
+	prof := population.Profile{
 		Age:                 s.AgeMin,
-		Education:           s.Education.Mean,
-		TechExpertise:       s.TechExpertise.Mean,
-		SecurityKnowledge:   s.SecurityKnowledge.Mean,
 		AccurateMentalModel: s.AccurateModelBase == 1,
-		MemoryCapacity:      s.MemoryCapacity.Mean,
-		VisualAcuity:        s.VisualAcuity.Mean,
-		MotorSkill:          s.MotorSkill.Mean,
-		RiskPerception:      s.RiskPerception.Mean,
-		TrustInSecurityUI:   s.TrustInSecurityUI.Mean,
-		SelfEfficacy:        s.SelfEfficacy.Mean,
-		PrimaryTaskFocus:    s.PrimaryTaskFocus.Mean,
-		ComplianceTendency:  s.ComplianceTendency.Mean,
 	}
+	for i := population.DimIndex(0); i < population.NumCoreDims; i++ {
+		prof.SetDim(i, s.CoreTrait(i).Mean)
+	}
+	return prof
 }
 
 // Exact computes the program's aggregate outcome distribution in closed
